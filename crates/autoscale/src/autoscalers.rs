@@ -1,0 +1,324 @@
+//! The autoscaler portfolio from the experimental comparison the paper
+//! cites (Ilyushkin et al., "An Experimental Performance Evaluation of
+//! Autoscalers for Complex Workflows" \[43\]).
+//!
+//! Each autoscaler sees, at every scaling interval, the recent demand
+//! history (instances needed) and the current supply, and returns a target
+//! instance count. General-purpose autoscalers: React, Adapt, Hist, Reg,
+//! ConPaaS-style EWMA prediction; plus the static baseline.
+
+use serde::{Deserialize, Serialize};
+
+/// What an autoscaler observes at a scaling decision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AutoscaleObservation {
+    /// Demand (instances needed) per past interval, oldest first; the last
+    /// element is the most recent completed interval.
+    pub demand_history: Vec<f64>,
+    /// Instances currently provisioned.
+    pub supply: usize,
+    /// Index of the current interval since the start of the run.
+    pub interval_index: usize,
+    /// Intervals per "day", for history-based (Hist) prediction.
+    pub intervals_per_day: usize,
+}
+
+impl AutoscaleObservation {
+    /// The most recent observed demand, or 0 with no history.
+    pub fn current_demand(&self) -> f64 {
+        self.demand_history.last().copied().unwrap_or(0.0)
+    }
+}
+
+/// An autoscaling policy: returns the target instance count.
+pub trait Autoscaler {
+    /// The target supply for the next interval.
+    fn decide(&mut self, obs: &AutoscaleObservation) -> usize;
+
+    /// A short stable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Static provisioning: the no-elasticity baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct StaticAutoscaler(pub usize);
+
+impl Autoscaler for StaticAutoscaler {
+    fn decide(&mut self, _obs: &AutoscaleObservation) -> usize {
+        self.0
+    }
+    fn name(&self) -> &'static str {
+        "static"
+    }
+}
+
+/// React (Chieu et al.): provision exactly the current demand, plus
+/// headroom.
+#[derive(Debug, Clone, Copy)]
+pub struct React {
+    /// Fractional headroom above current demand (e.g. 0.1 = 10%).
+    pub headroom: f64,
+}
+
+impl Default for React {
+    fn default() -> Self {
+        React { headroom: 0.1 }
+    }
+}
+
+impl Autoscaler for React {
+    fn decide(&mut self, obs: &AutoscaleObservation) -> usize {
+        (obs.current_demand() * (1.0 + self.headroom)).ceil() as usize
+    }
+    fn name(&self) -> &'static str {
+        "react"
+    }
+}
+
+/// Adapt (Ali-Eldin et al.): move toward demand with a bounded step,
+/// trading reaction speed for stability.
+#[derive(Debug, Clone, Copy)]
+pub struct Adapt {
+    /// Largest per-interval change in instances.
+    pub max_step: usize,
+}
+
+impl Default for Adapt {
+    fn default() -> Self {
+        Adapt { max_step: 4 }
+    }
+}
+
+impl Autoscaler for Adapt {
+    fn decide(&mut self, obs: &AutoscaleObservation) -> usize {
+        let want = obs.current_demand().ceil() as i64;
+        let have = obs.supply as i64;
+        let step = (want - have).clamp(-(self.max_step as i64), self.max_step as i64);
+        (have + step).max(0) as usize
+    }
+    fn name(&self) -> &'static str {
+        "adapt"
+    }
+}
+
+/// Hist (Urgaonkar et al.): per time-of-day histogram of observed demand;
+/// provision a high percentile of what this time of day has needed before.
+#[derive(Debug, Clone)]
+pub struct Hist {
+    /// Which percentile of the per-slot history to provision (0–1).
+    pub percentile: f64,
+    slots: Vec<Vec<f64>>,
+}
+
+impl Hist {
+    /// A Hist autoscaler tracking `intervals_per_day` time-of-day slots.
+    pub fn new(intervals_per_day: usize, percentile: f64) -> Self {
+        Hist { percentile, slots: vec![Vec::new(); intervals_per_day.max(1)] }
+    }
+}
+
+impl Autoscaler for Hist {
+    fn decide(&mut self, obs: &AutoscaleObservation) -> usize {
+        let slot = obs.interval_index % self.slots.len();
+        // Record the just-completed interval's demand into its slot.
+        if let Some(d) = obs.demand_history.last() {
+            let prev_slot =
+                (obs.interval_index + self.slots.len() - 1) % self.slots.len();
+            self.slots[prev_slot].push(*d);
+        }
+        let history = &self.slots[slot];
+        if history.is_empty() {
+            // No history for this time of day yet: fall back to reactive.
+            return obs.current_demand().ceil() as usize;
+        }
+        mcs_simcore::metrics::quantile(history, self.percentile)
+            .unwrap_or(0.0)
+            .ceil() as usize
+    }
+    fn name(&self) -> &'static str {
+        "hist"
+    }
+}
+
+/// Reg (Iqbal et al.): least-squares linear regression over the recent
+/// window, extrapolated one interval ahead.
+#[derive(Debug, Clone, Copy)]
+pub struct Reg {
+    /// Window length in intervals.
+    pub window: usize,
+}
+
+impl Default for Reg {
+    fn default() -> Self {
+        Reg { window: 12 }
+    }
+}
+
+impl Autoscaler for Reg {
+    fn decide(&mut self, obs: &AutoscaleObservation) -> usize {
+        let h = &obs.demand_history;
+        if h.len() < 2 {
+            return obs.current_demand().ceil() as usize;
+        }
+        let w = h.len().min(self.window);
+        let ys = &h[h.len() - w..];
+        let n = w as f64;
+        let sx = (0..w).map(|i| i as f64).sum::<f64>();
+        let sy: f64 = ys.iter().sum();
+        let sxx = (0..w).map(|i| (i * i) as f64).sum::<f64>();
+        let sxy = ys.iter().enumerate().map(|(i, y)| i as f64 * y).sum::<f64>();
+        let denom = n * sxx - sx * sx;
+        let (slope, intercept) = if denom.abs() < 1e-12 {
+            (0.0, sy / n)
+        } else {
+            let slope = (n * sxy - sx * sy) / denom;
+            (slope, (sy - slope * sx) / n)
+        };
+        let predicted = intercept + slope * w as f64; // one step ahead
+        predicted.max(0.0).ceil() as usize
+    }
+    fn name(&self) -> &'static str {
+        "reg"
+    }
+}
+
+/// ConPaaS-style exponentially weighted prediction with a small safety
+/// margin.
+#[derive(Debug, Clone, Copy)]
+pub struct Ewma {
+    /// Smoothing factor in (0, 1]; higher reacts faster.
+    pub alpha: f64,
+    /// Fractional safety margin.
+    pub margin: f64,
+    state: f64,
+    primed: bool,
+}
+
+impl Ewma {
+    /// A predictor with the given smoothing and margin.
+    pub fn new(alpha: f64, margin: f64) -> Self {
+        Ewma { alpha: alpha.clamp(0.01, 1.0), margin, state: 0.0, primed: false }
+    }
+}
+
+impl Default for Ewma {
+    fn default() -> Self {
+        Ewma::new(0.5, 0.15)
+    }
+}
+
+impl Autoscaler for Ewma {
+    fn decide(&mut self, obs: &AutoscaleObservation) -> usize {
+        let d = obs.current_demand();
+        if !self.primed {
+            self.state = d;
+            self.primed = true;
+        } else {
+            self.state = self.alpha * d + (1.0 - self.alpha) * self.state;
+        }
+        (self.state * (1.0 + self.margin)).ceil() as usize
+    }
+    fn name(&self) -> &'static str {
+        "ewma"
+    }
+}
+
+/// The standard portfolio of the cited comparison.
+pub fn standard_autoscalers(intervals_per_day: usize) -> Vec<Box<dyn Autoscaler>> {
+    vec![
+        Box::new(React::default()),
+        Box::new(Adapt::default()),
+        Box::new(Hist::new(intervals_per_day, 0.95)),
+        Box::new(Reg::default()),
+        Box::new(Ewma::default()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(history: &[f64], supply: usize, idx: usize) -> AutoscaleObservation {
+        AutoscaleObservation {
+            demand_history: history.to_vec(),
+            supply,
+            interval_index: idx,
+            intervals_per_day: 24,
+        }
+    }
+
+    #[test]
+    fn static_ignores_demand() {
+        let mut a = StaticAutoscaler(7);
+        assert_eq!(a.decide(&obs(&[100.0], 1, 0)), 7);
+        assert_eq!(a.decide(&obs(&[0.0], 1, 1)), 7);
+    }
+
+    #[test]
+    fn react_tracks_current_demand_with_headroom() {
+        let mut a = React { headroom: 0.1 };
+        assert_eq!(a.decide(&obs(&[10.0], 5, 0)), 11);
+        assert_eq!(a.decide(&obs(&[0.0], 5, 1)), 0);
+    }
+
+    #[test]
+    fn adapt_bounds_steps() {
+        let mut a = Adapt { max_step: 2 };
+        assert_eq!(a.decide(&obs(&[10.0], 4, 0)), 6); // +2 cap
+        assert_eq!(a.decide(&obs(&[0.0], 4, 1)), 2); // -2 cap
+        assert_eq!(a.decide(&obs(&[5.0], 4, 2)), 5); // within cap
+    }
+
+    #[test]
+    fn hist_learns_time_of_day_pattern() {
+        let mut a = Hist::new(4, 0.9);
+        // Two "days" of a repeating pattern 2,8,2,2.
+        let pattern = [2.0, 8.0, 2.0, 2.0];
+        let mut history: Vec<f64> = Vec::new();
+        for day in 0..2 {
+            for (i, &d) in pattern.iter().enumerate() {
+                let idx = day * 4 + i;
+                history.push(d);
+                let _ = a.decide(&obs(&history, 2, idx + 1));
+            }
+        }
+        // Entering slot 1 (the busy one) on day 2: prediction should be ~8
+        // even though *current* demand is 2.
+        let decision = a.decide(&obs(&history, 2, 9)); // 9 % 4 == 1
+        assert!(decision >= 8, "hist predicted {decision}");
+    }
+
+    #[test]
+    fn reg_extrapolates_trend() {
+        let mut a = Reg { window: 4 };
+        // Demand rising 2,4,6,8: next should be ≈10.
+        let d = a.decide(&obs(&[2.0, 4.0, 6.0, 8.0], 8, 4));
+        assert_eq!(d, 10);
+        // Flat demand predicts itself.
+        let d2 = a.decide(&obs(&[5.0, 5.0, 5.0], 5, 3));
+        assert_eq!(d2, 5);
+    }
+
+    #[test]
+    fn reg_short_history_reactive() {
+        let mut a = Reg::default();
+        assert_eq!(a.decide(&obs(&[3.0], 1, 0)), 3);
+    }
+
+    #[test]
+    fn ewma_smooths_spikes() {
+        let mut a = Ewma::new(0.3, 0.0);
+        let _ = a.decide(&obs(&[10.0], 10, 0));
+        let after_spike = a.decide(&obs(&[100.0], 10, 1));
+        assert!(after_spike < 50, "EWMA should damp the spike, got {after_spike}");
+        assert!(after_spike > 10);
+    }
+
+    #[test]
+    fn portfolio_is_populated() {
+        let p = standard_autoscalers(24);
+        assert_eq!(p.len(), 5);
+        let names: std::collections::HashSet<_> = p.iter().map(|a| a.name()).collect();
+        assert_eq!(names.len(), 5);
+    }
+}

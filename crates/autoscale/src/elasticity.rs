@@ -1,0 +1,167 @@
+//! Elasticity metrics, after Herbst et al. and the SPEC RG Cloud group.
+//!
+//! The paper repeatedly points to "the over ten available metrics" of
+//! elasticity \[32\] as the vocabulary for C3's sophisticated non-functional
+//! requirements. Given a demand series `d(t)` (instances needed) and a
+//! supply series `s(t)` (instances provisioned), these metrics quantify how
+//! well the supply tracked the demand.
+
+use serde::{Deserialize, Serialize};
+
+/// The SPEC-style elasticity report for one (demand, supply) pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ElasticityMetrics {
+    /// Mean under-provisioned instances while under-provisioned
+    /// (accuracy_U, in instances; 0 is perfect).
+    pub accuracy_under: f64,
+    /// Mean over-provisioned instances while over-provisioned
+    /// (accuracy_O, in instances; 0 is perfect).
+    pub accuracy_over: f64,
+    /// Fraction of time spent under-provisioned (timeshare_U ∈ [0, 1]).
+    pub timeshare_under: f64,
+    /// Fraction of time spent over-provisioned (timeshare_O ∈ [0, 1]).
+    pub timeshare_over: f64,
+    /// Fraction of intervals where the supply changed direction relative to
+    /// demand (instability ∈ [0, 1]); thrashing autoscalers score high.
+    pub instability: f64,
+    /// Total supplied instance-intervals (the cost proxy).
+    pub supplied_instance_intervals: f64,
+    /// Total demanded instance-intervals.
+    pub demanded_instance_intervals: f64,
+}
+
+impl ElasticityMetrics {
+    /// Computes the metrics over interval-aligned series.
+    ///
+    /// Returns `None` when the series are empty or of different lengths.
+    pub fn compute(demand: &[f64], supply: &[f64]) -> Option<ElasticityMetrics> {
+        if demand.is_empty() || demand.len() != supply.len() {
+            return None;
+        }
+        let n = demand.len() as f64;
+        let mut under_sum = 0.0;
+        let mut under_t = 0.0;
+        let mut over_sum = 0.0;
+        let mut over_t = 0.0;
+        for (&d, &s) in demand.iter().zip(supply) {
+            let gap = d - s;
+            if gap > 1e-9 {
+                under_sum += gap;
+                under_t += 1.0;
+            } else if gap < -1e-9 {
+                over_sum += -gap;
+                over_t += 1.0;
+            }
+        }
+        // Instability: supply moves against the demand trend.
+        let mut against = 0.0;
+        for i in 1..demand.len() {
+            let dd = demand[i] - demand[i - 1];
+            let ds = supply[i] - supply[i - 1];
+            if dd * ds < 0.0 {
+                against += 1.0;
+            }
+        }
+        Some(ElasticityMetrics {
+            accuracy_under: if under_t > 0.0 { under_sum / under_t } else { 0.0 },
+            accuracy_over: if over_t > 0.0 { over_sum / over_t } else { 0.0 },
+            timeshare_under: under_t / n,
+            timeshare_over: over_t / n,
+            instability: if demand.len() > 1 { against / (n - 1.0) } else { 0.0 },
+            supplied_instance_intervals: supply.iter().sum(),
+            demanded_instance_intervals: demand.iter().sum(),
+        })
+    }
+
+    /// A single elastic-speedup-style score combining accuracy and
+    /// timeshare (higher is better, 1.0 = perfect tracking). The geometric
+    /// combination follows the SPEC aggregation style.
+    pub fn score(&self) -> f64 {
+        let au = 1.0 / (1.0 + self.accuracy_under);
+        let ao = 1.0 / (1.0 + self.accuracy_over);
+        let tu = 1.0 - self.timeshare_under;
+        let to = 1.0 - self.timeshare_over;
+        (au * ao * tu * to).powf(0.25)
+    }
+}
+
+/// Operational-risk style metric from the same SPEC line of work: the
+/// fraction of demanded instance-intervals that were *not* served
+/// (under-provisioned area over demand area).
+pub fn unserved_fraction(demand: &[f64], supply: &[f64]) -> f64 {
+    let mut unserved = 0.0;
+    let mut total = 0.0;
+    for (&d, &s) in demand.iter().zip(supply) {
+        unserved += (d - s).max(0.0);
+        total += d;
+    }
+    if total <= 0.0 {
+        0.0
+    } else {
+        unserved / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_tracking_scores_one() {
+        let d = vec![1.0, 2.0, 3.0, 2.0];
+        let m = ElasticityMetrics::compute(&d, &d).unwrap();
+        assert_eq!(m.accuracy_under, 0.0);
+        assert_eq!(m.accuracy_over, 0.0);
+        assert_eq!(m.timeshare_under, 0.0);
+        assert_eq!(m.timeshare_over, 0.0);
+        assert_eq!(m.instability, 0.0);
+        assert!((m.score() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hand_computed_example() {
+        let demand = vec![2.0, 4.0, 4.0, 2.0];
+        let supply = vec![2.0, 2.0, 6.0, 2.0];
+        let m = ElasticityMetrics::compute(&demand, &supply).unwrap();
+        // Under at i=1 by 2; over at i=2 by 2.
+        assert!((m.accuracy_under - 2.0).abs() < 1e-12);
+        assert!((m.accuracy_over - 2.0).abs() < 1e-12);
+        assert!((m.timeshare_under - 0.25).abs() < 1e-12);
+        assert!((m.timeshare_over - 0.25).abs() < 1e-12);
+        // Transitions: (d +2, s 0), (d 0, s +4), (d -2, s -4): none against.
+        assert_eq!(m.instability, 0.0);
+    }
+
+    #[test]
+    fn instability_detects_thrash() {
+        let demand = vec![2.0, 3.0, 4.0, 5.0];
+        let supply = vec![5.0, 4.0, 3.0, 2.0]; // always against the trend
+        let m = ElasticityMetrics::compute(&demand, &supply).unwrap();
+        assert_eq!(m.instability, 1.0);
+    }
+
+    #[test]
+    fn mismatched_or_empty_is_none() {
+        assert!(ElasticityMetrics::compute(&[], &[]).is_none());
+        assert!(ElasticityMetrics::compute(&[1.0], &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn unserved_fraction_hand_example() {
+        let d = vec![4.0, 4.0];
+        let s = vec![2.0, 6.0];
+        // Unserved = 2 of 8 demanded.
+        assert!((unserved_fraction(&d, &s) - 0.25).abs() < 1e-12);
+        assert_eq!(unserved_fraction(&[0.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn score_bounded() {
+        let d = vec![10.0, 10.0, 10.0];
+        let s = vec![0.0, 0.0, 0.0];
+        let m = ElasticityMetrics::compute(&d, &s).unwrap();
+        // Fully under-provisioned: timeshare_under = 1 drives the score to 0.
+        assert!(m.score() >= 0.0 && m.score() < 1.0);
+        assert_eq!(m.timeshare_under, 1.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//! portfolio vs fixed policy, locality-aware vs blind map scheduling,
+//! keep-alive horizon, and correlated vs independent failure analysis.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mcs::prelude::*;
+use std::hint::black_box;
+
+fn scheduler_jobs() -> Vec<Job> {
+    let mut generator = BatchWorkloadGenerator::new(BatchWorkloadConfig {
+        arrival_rate: 0.05,
+        ..Default::default()
+    });
+    let mut rng = RngStream::new(1, "ablation-jobs");
+    generator.generate(SimTime::from_secs(4 * 3600), 300, &mut rng)
+}
+
+fn cluster() -> Cluster {
+    Cluster::homogeneous(ClusterId(0), "abl", MachineSpec::commodity("std-8", 8.0, 32.0), 16)
+}
+
+/// Ablation 1: the runtime cost of portfolio scheduling vs a fixed policy.
+fn bench_ablation_portfolio(c: &mut Criterion) {
+    let jobs = scheduler_jobs();
+    let horizon = SimTime::from_secs(30 * 86_400);
+    let mut group = c.benchmark_group("ablation_portfolio");
+    group.bench_function("fixed_policy", |b| {
+        b.iter_batched(
+            || ClusterScheduler::new(cluster(), SchedulerConfig::default(), 1),
+            |mut sched| black_box(sched.run(jobs.clone(), horizon)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("portfolio_30min_ticks", |b| {
+        b.iter_batched(
+            || {
+                (
+                    ClusterScheduler::new(cluster(), SchedulerConfig::default(), 1),
+                    PortfolioSelector::new(default_portfolio(), Objective::MeanResponse, 1),
+                )
+            },
+            |(mut sched, mut selector)| {
+                black_box(sched.run_adaptive(
+                    jobs.clone(),
+                    horizon,
+                    &mut selector,
+                    SimDuration::from_mins(30),
+                ))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+/// Ablation 2: locality-aware vs blind map-phase scheduling.
+fn bench_ablation_locality(c: &mut Criterion) {
+    let mut store = BlockStore::new(16, 4, 3, 2);
+    let file = store.put("input", 128 * 128, 128).clone();
+    let mut group = c.benchmark_group("ablation_locality");
+    for (name, aware) in [("locality_aware", true), ("locality_blind", false)] {
+        group.bench_function(name, |b| {
+            let config = MapPhaseConfig { locality_aware: aware, ..Default::default() };
+            b.iter_batched(
+                || RngStream::new(2, "ablation-locality"),
+                |mut rng| black_box(schedule_map_phase(&store, &file, config, &mut rng)),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// Ablation 3: FaaS keep-alive horizon sweep.
+fn bench_ablation_keepalive(c: &mut Criterion) {
+    let invocations = poisson_invocations("api", 0.2, SimTime::from_secs(2 * 3600), 3);
+    let mut group = c.benchmark_group("ablation_keepalive");
+    for window in [0u64, 60, 600, 3_600] {
+        group.bench_function(format!("keepalive_{window}s"), |b| {
+            b.iter_batched(
+                || {
+                    let policy = if window == 0 {
+                        KeepAlivePolicy::None
+                    } else {
+                        KeepAlivePolicy::Fixed(SimDuration::from_secs(window))
+                    };
+                    let mut p = FaasPlatform::new(policy, 3);
+                    p.deploy(FunctionSpec::api_handler("api"));
+                    p
+                },
+                |mut p| black_box(p.run(invocations.clone())),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// Ablation 4: failure-model families at identical MTBF — generation plus
+/// availability analysis.
+fn bench_ablation_failures(c: &mut Criterion) {
+    let machines = 128usize;
+    let horizon = SimTime::from_secs(30 * 86_400);
+    let mtbf = 100.0 * 3600.0;
+    let mut group = c.benchmark_group("ablation_correlated_failures");
+    group.bench_function("independent", |b| {
+        let model = IndependentFailures::with_mtbf(mtbf);
+        b.iter_batched(
+            || RngStream::new(4, "abl-ind"),
+            |mut rng| {
+                let o = model.generate(machines, horizon, &mut rng);
+                black_box(analyze(&o, machines, horizon))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("space_correlated", |b| {
+        let model = SpaceCorrelatedFailures::with_mtbf(mtbf, machines, 16);
+        b.iter_batched(
+            || RngStream::new(4, "abl-space"),
+            |mut rng| {
+                let o = model.generate(machines, horizon, &mut rng);
+                black_box(analyze(&o, machines, horizon))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("time_correlated", |b| {
+        let model = TimeCorrelatedFailures::with_mtbf(mtbf, machines);
+        b.iter_batched(
+            || RngStream::new(4, "abl-time"),
+            |mut rng| {
+                let o = model.generate(machines, horizon, &mut rng);
+                black_box(analyze(&o, machines, horizon))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = ablations;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ablation_portfolio, bench_ablation_locality,
+              bench_ablation_keepalive, bench_ablation_failures
+}
+criterion_main!(ablations);

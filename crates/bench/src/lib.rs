@@ -1,0 +1,87 @@
+//! # mcs-bench — experiment harness for every figure and table of the paper
+//!
+//! One binary per paper artifact regenerates its rows/series
+//! (`cargo run -p mcs-bench --release --bin <experiment>`):
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `fig1_bigdata_ecosystem` | Figure 1 — big-data stack, MapReduce vs Pregel sub-ecosystems |
+//! | `fig2_evolution_timeline` | Figure 2 — technology evolution / lock-in dynamics |
+//! | `fig3_datacenter_refarch` | Figure 3 — datacenter layers, full-stack run |
+//! | `fig4_gaming_ecosystem` | Figure 4 — gaming functions |
+//! | `fig5_faas_refarch` | Figure 5 — FaaS layers |
+//! | `table1_methods` | Table 1 — measurement vs simulation vs formal model |
+//! | `table2_principles` | Table 2 — the systems principles quantified |
+//! | `table3_challenges` | Table 3 — one scenario per systems challenge |
+//! | `table4_use_cases` | Table 4 — the six use-case domains |
+//! | `table5_paradigms` | Table 5 — cluster/grid/cloud/MCS operating models |
+//!
+//! Criterion benches (`cargo bench -p mcs-bench`) time the kernels behind
+//! each artifact plus the ablations called out in DESIGN.md.
+
+use mcs::prelude::*;
+
+/// Prints an aligned table: a header row and data rows of equal arity.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (w, c) in widths.iter().zip(cells) {
+            s.push_str(&format!("{c:>w$}  ", w = w));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.iter().map(|h| (*h).to_owned()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// A standard 32-machine commodity cluster.
+pub fn standard_cluster() -> Cluster {
+    Cluster::homogeneous(
+        ClusterId(0),
+        "bench",
+        MachineSpec::commodity("std-8", 8.0, 32.0),
+        32,
+    )
+}
+
+/// A heterogeneous cluster: commodity plus GPU machines (C4).
+pub fn mixed_cluster() -> Cluster {
+    let mut c = Cluster::new(ClusterId(0), "mixed");
+    for _ in 0..24 {
+        c.add_machine(MachineSpec::commodity("std-8", 8.0, 32.0));
+    }
+    for _ in 0..8 {
+        c.add_machine(MachineSpec::gpu("gpu-8", 8.0, 64.0, 2.0));
+    }
+    c
+}
+
+/// A day of bursty batch jobs at moderate load.
+pub fn batch_day(seed: u64, max_jobs: usize) -> Vec<Job> {
+    let mut generator = BatchWorkloadGenerator::new(BatchWorkloadConfig {
+        arrival_rate: 0.08,
+        cpus: mcs::simcore::dist::Dist::LogNormal { mu: 0.5, sigma: 0.7 },
+        ..Default::default()
+    });
+    let mut rng = RngStream::new(seed, "bench-batch");
+    generator.generate(SimTime::from_secs(86_400), max_jobs, &mut rng)
+}
+
+/// The long horizon used to drain bench workloads.
+pub fn drain_horizon() -> SimTime {
+    SimTime::from_secs(60 * 86_400)
+}
+
+/// Formats a float with the given precision.
+pub fn f(x: f64, digits: usize) -> String {
+    format!("{x:.digits$}")
+}

@@ -1,0 +1,263 @@
+//! The high-level-language layer of the Figure 1 stack: a small dataflow
+//! plan (Pig/Hive-style) that *compiles to MapReduce jobs* on the execution
+//! engine below it, reporting per-stage timing — applications use the top
+//! layer, but performance is produced by the whole stack (the paper's
+//! central observation about Figure 1).
+
+use crate::mapreduce::{JobMetrics, MapReduceEngine};
+use serde::{Deserialize, Serialize};
+
+/// A record of the analytics domain: a key and a numeric value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Record {
+    /// Grouping key.
+    pub key: String,
+    /// Measure.
+    pub value: f64,
+}
+
+impl Record {
+    /// Convenience constructor.
+    pub fn new(key: &str, value: f64) -> Self {
+        Record { key: key.to_owned(), value }
+    }
+}
+
+/// One operator of the dataflow plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Op {
+    /// Keep records with `value >= min`.
+    FilterMin {
+        /// Inclusive lower bound.
+        min: f64,
+    },
+    /// Multiply every value by `factor`.
+    Scale {
+        /// Multiplier.
+        factor: f64,
+    },
+    /// Group by key, summing values. Terminal aggregation.
+    GroupSum,
+    /// Group by key, counting records.
+    GroupCount,
+    /// Group by key, averaging values.
+    GroupMean,
+}
+
+impl Op {
+    /// Stable operator name for plan explanations.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Op::FilterMin { .. } => "filter",
+            Op::Scale { .. } => "scale",
+            Op::GroupSum => "group-sum",
+            Op::GroupCount => "group-count",
+            Op::GroupMean => "group-mean",
+        }
+    }
+
+    /// True when the operator needs a shuffle (compiles to a full
+    /// MapReduce job rather than a map-only stage).
+    pub fn is_aggregation(&self) -> bool {
+        matches!(self, Op::GroupSum | Op::GroupCount | Op::GroupMean)
+    }
+}
+
+/// A dataflow plan: a linear chain of operators.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Plan {
+    ops: Vec<Op>,
+}
+
+impl Plan {
+    /// An empty plan (identity).
+    pub fn new() -> Self {
+        Plan::default()
+    }
+
+    /// Appends an operator.
+    pub fn then(mut self, op: Op) -> Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// The operators.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Human-readable compilation: which stages become map-only and which
+    /// become full MapReduce jobs (the HLL → programming-model lowering).
+    pub fn explain(&self) -> String {
+        let mut out = String::from("plan:");
+        for op in &self.ops {
+            out.push_str(&format!(
+                " {}[{}]",
+                op.name(),
+                if op.is_aggregation() { "map+shuffle+reduce" } else { "map-only" }
+            ));
+        }
+        out
+    }
+}
+
+/// Timing of one executed stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageReport {
+    /// Operator name.
+    pub op: String,
+    /// Whether the stage shuffled.
+    pub shuffled: bool,
+    /// Records entering the stage.
+    pub input_records: usize,
+    /// Records leaving the stage.
+    pub output_records: usize,
+    /// Wall time, seconds.
+    pub secs: f64,
+}
+
+/// Executes `plan` over `data` on `engine`, returning the final records
+/// (sorted by key for aggregations) and per-stage reports.
+pub fn execute(
+    plan: &Plan,
+    mut data: Vec<Record>,
+    engine: &MapReduceEngine,
+) -> (Vec<Record>, Vec<StageReport>) {
+    let mut reports = Vec::with_capacity(plan.ops().len());
+    for op in plan.ops() {
+        let input_records = data.len();
+        let (next, metrics, shuffled) = run_stage(op, data, engine);
+        reports.push(StageReport {
+            op: op.name().to_owned(),
+            shuffled,
+            input_records,
+            output_records: next.len(),
+            secs: metrics.total_secs(),
+        });
+        data = next;
+    }
+    (data, reports)
+}
+
+fn run_stage(
+    op: &Op,
+    data: Vec<Record>,
+    engine: &MapReduceEngine,
+) -> (Vec<Record>, JobMetrics, bool) {
+    match op {
+        Op::FilterMin { min } => {
+            let min = *min;
+            let (out, m) = engine.map_only(&data, move |r: &Record, out: &mut Vec<Record>| {
+                if r.value >= min {
+                    out.push(r.clone());
+                }
+            });
+            (out, m, false)
+        }
+        Op::Scale { factor } => {
+            let factor = *factor;
+            let (out, m) = engine.map_only(&data, move |r: &Record, out: &mut Vec<Record>| {
+                out.push(Record { key: r.key.clone(), value: r.value * factor });
+            });
+            (out, m, false)
+        }
+        Op::GroupSum => {
+            let (out, m) = engine.run(
+                &data,
+                |r: &Record, out: &mut Vec<(String, f64)>| out.push((r.key.clone(), r.value)),
+                |_k, vs: &[f64]| vs.iter().sum::<f64>(),
+            );
+            (out.into_iter().map(|(k, v)| Record { key: k, value: v }).collect(), m, true)
+        }
+        Op::GroupCount => {
+            let (out, m) = engine.run(
+                &data,
+                |r: &Record, out: &mut Vec<(String, f64)>| out.push((r.key.clone(), 1.0)),
+                |_k, vs: &[f64]| vs.len() as f64,
+            );
+            (out.into_iter().map(|(k, v)| Record { key: k, value: v }).collect(), m, true)
+        }
+        Op::GroupMean => {
+            let (out, m) = engine.run(
+                &data,
+                |r: &Record, out: &mut Vec<(String, f64)>| out.push((r.key.clone(), r.value)),
+                |_k, vs: &[f64]| vs.iter().sum::<f64>() / vs.len() as f64,
+            );
+            (out.into_iter().map(|(k, v)| Record { key: k, value: v }).collect(), m, true)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Vec<Record> {
+        vec![
+            Record::new("a", 1.0),
+            Record::new("b", 10.0),
+            Record::new("a", 3.0),
+            Record::new("b", 20.0),
+            Record::new("c", 0.5),
+        ]
+    }
+
+    #[test]
+    fn group_sum_pipeline() {
+        let plan = Plan::new().then(Op::FilterMin { min: 1.0 }).then(Op::GroupSum);
+        let (out, reports) = execute(&plan, data(), &MapReduceEngine::serial());
+        assert_eq!(
+            out,
+            vec![Record::new("a", 4.0), Record::new("b", 30.0)]
+        );
+        assert_eq!(reports.len(), 2);
+        assert!(!reports[0].shuffled);
+        assert!(reports[1].shuffled);
+        assert_eq!(reports[0].input_records, 5);
+        assert_eq!(reports[0].output_records, 4);
+    }
+
+    #[test]
+    fn scale_then_mean() {
+        let plan = Plan::new().then(Op::Scale { factor: 2.0 }).then(Op::GroupMean);
+        let (out, _) = execute(&plan, data(), &MapReduceEngine::serial());
+        let a = out.iter().find(|r| r.key == "a").unwrap();
+        assert!((a.value - 4.0).abs() < 1e-12); // mean(2, 6)
+    }
+
+    #[test]
+    fn group_count() {
+        let plan = Plan::new().then(Op::GroupCount);
+        let (out, _) = execute(&plan, data(), &MapReduceEngine::serial());
+        assert_eq!(
+            out,
+            vec![Record::new("a", 2.0), Record::new("b", 2.0), Record::new("c", 1.0)]
+        );
+    }
+
+    #[test]
+    fn explain_mentions_stage_kinds() {
+        let plan = Plan::new().then(Op::FilterMin { min: 0.0 }).then(Op::GroupSum);
+        let e = plan.explain();
+        assert!(e.contains("filter[map-only]"));
+        assert!(e.contains("group-sum[map+shuffle+reduce]"));
+    }
+
+    #[test]
+    fn parallel_matches_serial_for_aggregations() {
+        let big: Vec<Record> =
+            (0..1_000).map(|i| Record::new(&format!("k{}", i % 17), i as f64)).collect();
+        let plan = Plan::new().then(Op::FilterMin { min: 100.0 }).then(Op::GroupSum);
+        let (serial, _) = execute(&plan, big.clone(), &MapReduceEngine::serial());
+        let (par, _) =
+            execute(&plan, big, &MapReduceEngine { threads: 4, combine: false });
+        assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn empty_plan_is_identity() {
+        let (out, reports) = execute(&Plan::new(), data(), &MapReduceEngine::serial());
+        assert_eq!(out, data());
+        assert!(reports.is_empty());
+    }
+}

@@ -1,0 +1,44 @@
+//! # mcs-bigdata — the Figure 1 big-data ecosystem stack
+//!
+//! The four conceptual layers of the paper's Figure 1, as working code:
+//!
+//! - **Storage engine** ([`storage`]): rack-aware replicated block store
+//!   with locality queries and re-replication.
+//! - **Execution engine** ([`mapreduce`]): a real, multi-threaded,
+//!   deterministic MapReduce with combiner support and per-phase metrics;
+//!   plus locality-aware map scheduling simulation ([`locality`]).
+//! - **Programming models**: MapReduce itself and the Pregel sub-ecosystem
+//!   ([`pregel`]) backed by `mcs-graph`'s BSP engine.
+//! - **High-level language** ([`dataflow`]): a Pig/Hive-style plan that
+//!   compiles to map-only and map+shuffle+reduce stages.
+//!
+//! The crate exists to make the paper's point about Figure 1 executable:
+//! an application touches one layer, but its performance is produced by
+//! the whole stack.
+//!
+//! ## Example
+//! ```
+//! use mcs_bigdata::mapreduce::{word_count, MapReduceEngine};
+//!
+//! let docs = vec!["to be or not to be".to_owned()];
+//! let counts = word_count(&MapReduceEngine::default(), &docs);
+//! assert_eq!(counts.iter().find(|(w, _)| w == "be").unwrap().1, 2);
+//! ```
+
+pub mod dataflow;
+pub mod locality;
+pub mod mapreduce;
+pub mod pregel;
+pub mod storage;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::dataflow::{execute, Op, Plan, Record, StageReport};
+    pub use crate::locality::{schedule_map_phase, LocalityClass, MapPhaseConfig, MapPhaseOutcome};
+    pub use crate::mapreduce::{word_count, JobMetrics, MapReduceEngine};
+    pub use crate::pregel::{
+        degree_histogram_mapreduce, pagerank_mapreduce, pagerank_pregel, scan_time_secs,
+        StackTiming,
+    };
+    pub use crate::storage::{BlockId, BlockStore, NodeId, StoredFile};
+}

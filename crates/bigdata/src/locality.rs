@@ -1,0 +1,217 @@
+//! Locality-aware map-task scheduling simulation.
+//!
+//! The Figure 1 discussion stresses that layers the developer does not
+//! control (storage, execution engine) determine performance. This module
+//! quantifies one such effect: scheduling map tasks near their input blocks
+//! (node-local / rack-local / remote) versus locality-blind placement.
+
+use crate::storage::{BlockStore, NodeId, StoredFile};
+use mcs_simcore::rng::RngStream;
+use serde::{Deserialize, Serialize};
+
+/// Where a map task read its input from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LocalityClass {
+    /// Input block on the executing node.
+    NodeLocal,
+    /// Input block on the same rack.
+    RackLocal,
+    /// Input block on a remote rack.
+    Remote,
+}
+
+/// The outcome of scheduling one map phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MapPhaseOutcome {
+    /// Makespan of the map phase, seconds.
+    pub makespan_secs: f64,
+    /// Tasks per locality class: (node-local, rack-local, remote).
+    pub locality_counts: (usize, usize, usize),
+    /// Bytes moved across the network.
+    pub network_bytes: u64,
+}
+
+/// Map-phase scheduling parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MapPhaseConfig {
+    /// Map slots per node.
+    pub slots_per_node: usize,
+    /// Seconds to process one block when node-local.
+    pub local_secs_per_block: f64,
+    /// Multiplier when rack-local (extra intra-rack read).
+    pub rack_penalty: f64,
+    /// Multiplier when remote (cross-rack read).
+    pub remote_penalty: f64,
+    /// Prefer placing tasks on nodes holding (or rack-sharing) their block.
+    pub locality_aware: bool,
+}
+
+impl Default for MapPhaseConfig {
+    fn default() -> Self {
+        MapPhaseConfig {
+            slots_per_node: 2,
+            local_secs_per_block: 10.0,
+            rack_penalty: 1.3,
+            remote_penalty: 2.0,
+            locality_aware: true,
+        }
+    }
+}
+
+/// Simulates the map phase of a job over `file`, one task per block, using
+/// greedy list scheduling onto node slots.
+pub fn schedule_map_phase(
+    store: &BlockStore,
+    file: &StoredFile,
+    config: MapPhaseConfig,
+    rng: &mut RngStream,
+) -> MapPhaseOutcome {
+    let node_count = store.node_count() as usize;
+    // Per-slot available times.
+    let mut slot_free = vec![vec![0.0f64; config.slots_per_node]; node_count];
+    let mut counts = (0usize, 0usize, 0usize);
+    let mut network_bytes = 0u64;
+    let mut makespan = 0.0f64;
+
+    for &block in &file.blocks {
+        // Earliest-available slot per node.
+        let earliest = |node: usize, slot_free: &Vec<Vec<f64>>| {
+            slot_free[node]
+                .iter()
+                .cloned()
+                .fold(f64::INFINITY, f64::min)
+        };
+        let chosen_node = if config.locality_aware {
+            // Among replica holders pick the one whose slot frees first;
+            // fall back to rack-local, then the globally earliest node.
+            let holders = store.locations(block);
+            let best_holder = holders
+                .iter()
+                .map(|n| n.0 as usize)
+                .min_by(|&a, &b| {
+                    earliest(a, &slot_free)
+                        .partial_cmp(&earliest(b, &slot_free))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+            let global_best = (0..node_count)
+                .min_by(|&a, &b| {
+                    earliest(a, &slot_free)
+                        .partial_cmp(&earliest(b, &slot_free))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .unwrap_or(0);
+            match best_holder {
+                // Take the local node unless it is badly backlogged.
+                Some(h)
+                    if earliest(h, &slot_free)
+                        <= earliest(global_best, &slot_free)
+                            + config.local_secs_per_block =>
+                {
+                    h
+                }
+                _ => global_best,
+            }
+        } else {
+            // Locality-blind: random node (the Hadoop-without-delay-scheduling
+            // strawman).
+            rng.uniform_usize(node_count)
+        };
+
+        let node = NodeId(chosen_node as u32);
+        let class = if store.is_local(block, node) {
+            counts.0 += 1;
+            LocalityClass::NodeLocal
+        } else if store.is_rack_local(block, node) {
+            counts.1 += 1;
+            LocalityClass::RackLocal
+        } else {
+            counts.2 += 1;
+            LocalityClass::Remote
+        };
+        let runtime = config.local_secs_per_block
+            * match class {
+                LocalityClass::NodeLocal => 1.0,
+                LocalityClass::RackLocal => config.rack_penalty,
+                LocalityClass::Remote => config.remote_penalty,
+            };
+        if class != LocalityClass::NodeLocal {
+            network_bytes += file.block_size;
+        }
+        // Assign to the earliest slot of the chosen node.
+        let slot = (0..config.slots_per_node)
+            .min_by(|&a, &b| {
+                slot_free[chosen_node][a]
+                    .partial_cmp(&slot_free[chosen_node][b])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("at least one slot");
+        let start = slot_free[chosen_node][slot];
+        let end = start + runtime;
+        slot_free[chosen_node][slot] = end;
+        makespan = makespan.max(end);
+    }
+
+    MapPhaseOutcome { makespan_secs: makespan, locality_counts: counts, network_bytes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (BlockStore, StoredFile) {
+        let mut store = BlockStore::new(16, 4, 3, 11);
+        let file = store.put("input", 64 * 128, 128).clone();
+        (store, file)
+    }
+
+    #[test]
+    fn locality_aware_is_mostly_local() {
+        let (store, file) = setup();
+        let mut rng = RngStream::new(1, "map");
+        let out = schedule_map_phase(&store, &file, MapPhaseConfig::default(), &mut rng);
+        let total = out.locality_counts.0 + out.locality_counts.1 + out.locality_counts.2;
+        assert_eq!(total, 64);
+        assert!(
+            out.locality_counts.0 as f64 / total as f64 > 0.8,
+            "node-local fraction too low: {:?}",
+            out.locality_counts
+        );
+    }
+
+    #[test]
+    fn locality_blind_moves_more_data_and_is_slower() {
+        let (store, file) = setup();
+        let aware_cfg = MapPhaseConfig::default();
+        let blind_cfg = MapPhaseConfig { locality_aware: false, ..aware_cfg };
+        let mut rng_a = RngStream::new(2, "aware");
+        let mut rng_b = RngStream::new(2, "blind");
+        let aware = schedule_map_phase(&store, &file, aware_cfg, &mut rng_a);
+        let blind = schedule_map_phase(&store, &file, blind_cfg, &mut rng_b);
+        assert!(blind.network_bytes > aware.network_bytes * 2);
+        assert!(
+            blind.makespan_secs > aware.makespan_secs,
+            "blind {} vs aware {}",
+            blind.makespan_secs,
+            aware.makespan_secs
+        );
+    }
+
+    #[test]
+    fn makespan_respects_slot_capacity() {
+        let (store, file) = setup();
+        // 16 nodes x 2 slots = 32 parallel tasks; 64 blocks => ≥ 2 waves.
+        let mut rng = RngStream::new(3, "map");
+        let out = schedule_map_phase(&store, &file, MapPhaseConfig::default(), &mut rng);
+        assert!(out.makespan_secs >= 20.0, "makespan {}", out.makespan_secs);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (store, file) = setup();
+        let mut r1 = RngStream::new(4, "m");
+        let mut r2 = RngStream::new(4, "m");
+        let a = schedule_map_phase(&store, &file, MapPhaseConfig::default(), &mut r1);
+        let b = schedule_map_phase(&store, &file, MapPhaseConfig::default(), &mut r2);
+        assert_eq!(a, b);
+    }
+}

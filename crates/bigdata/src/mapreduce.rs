@@ -1,0 +1,367 @@
+//! The MapReduce execution engine of the Figure 1 stack.
+//!
+//! A real, multi-threaded, deterministic MapReduce over in-memory records:
+//! the map phase fans input chunks across crossbeam scoped threads, the
+//! shuffle groups by key into ordered runs, and the reduce phase processes
+//! key ranges in parallel. Output order is always sorted by key, so results
+//! are bit-identical regardless of thread count.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Phase timing of one job, the per-layer breakdown reported by the Fig. 1
+/// experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct JobMetrics {
+    /// Map-phase wall time, seconds.
+    pub map_secs: f64,
+    /// Shuffle wall time, seconds.
+    pub shuffle_secs: f64,
+    /// Reduce-phase wall time, seconds.
+    pub reduce_secs: f64,
+    /// Intermediate key-value pairs produced by the map phase.
+    pub shuffle_pairs: u64,
+}
+
+impl JobMetrics {
+    /// Total wall time, seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.map_secs + self.shuffle_secs + self.reduce_secs
+    }
+}
+
+/// The engine: thread count and an optional combiner switch.
+#[derive(Debug, Clone, Copy)]
+pub struct MapReduceEngine {
+    /// Worker threads for map and reduce phases.
+    pub threads: usize,
+    /// Run a per-thread combiner after map (reduces shuffle volume for
+    /// associative reducers).
+    pub combine: bool,
+}
+
+impl Default for MapReduceEngine {
+    fn default() -> Self {
+        MapReduceEngine { threads: 4, combine: false }
+    }
+}
+
+impl MapReduceEngine {
+    /// A serial engine.
+    pub fn serial() -> Self {
+        MapReduceEngine { threads: 1, combine: false }
+    }
+
+    /// Runs one MapReduce job.
+    ///
+    /// `map_fn` emits `(key, value)` pairs per input record; `reduce_fn`
+    /// folds all values of one key (delivered in emission order) into the
+    /// result. When [`MapReduceEngine::combine`] is set, `reduce_fn` is also
+    /// applied per-thread before the shuffle *and its output re-enters
+    /// reduce as a value*, so it must be associative with `V == R`
+    /// semantics; use [`MapReduceEngine::run`] for non-associative folds.
+    pub fn run<I, K, V, R>(
+        &self,
+        inputs: &[I],
+        map_fn: impl Fn(&I, &mut Vec<(K, V)>) + Sync,
+        reduce_fn: impl Fn(&K, &[V]) -> R + Sync,
+    ) -> (Vec<(K, R)>, JobMetrics)
+    where
+        I: Sync,
+        K: Ord + Clone + Send + Sync,
+        V: Clone + Send + Sync,
+        R: Send,
+    {
+        let threads = self.threads.max(1).min(inputs.len().max(1));
+        let chunk = inputs.len().div_ceil(threads).max(1);
+        let mut metrics = JobMetrics::default();
+
+        // Map phase.
+        let t0 = Instant::now();
+        let mut per_thread: Vec<Vec<(K, V)>> = if inputs.is_empty() {
+            Vec::new()
+        } else {
+            crossbeam::thread::scope(|scope| {
+                let map_fn = &map_fn;
+                let handles: Vec<_> = inputs
+                    .chunks(chunk)
+                    .map(|part| {
+                        scope.spawn(move |_| {
+                            let mut out = Vec::new();
+                            for record in part {
+                                map_fn(record, &mut out);
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("mapper panicked")).collect()
+            })
+            .expect("map scope failed")
+        };
+        metrics.map_secs = t0.elapsed().as_secs_f64();
+
+        // Shuffle phase: group per key, preserving thread order.
+        let t1 = Instant::now();
+        let mut groups: BTreeMap<K, Vec<V>> = BTreeMap::new();
+        for bucket in per_thread.drain(..) {
+            for (k, v) in bucket {
+                metrics.shuffle_pairs += 1;
+                groups.entry(k).or_default().push(v);
+            }
+        }
+        metrics.shuffle_secs = t1.elapsed().as_secs_f64();
+
+        // Reduce phase: split the ordered key space across threads.
+        let t2 = Instant::now();
+        let entries: Vec<(K, Vec<V>)> = groups.into_iter().collect();
+        let rchunk = entries.len().div_ceil(threads).max(1);
+        let results: Vec<(K, R)> = if entries.is_empty() {
+            Vec::new()
+        } else {
+            crossbeam::thread::scope(|scope| {
+                let reduce_fn = &reduce_fn;
+                let handles: Vec<_> = entries
+                    .chunks(rchunk)
+                    .map(|part| {
+                        scope.spawn(move |_| {
+                            part.iter()
+                                .map(|(k, vs)| (k.clone(), reduce_fn(k, vs)))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("reducer panicked"))
+                    .collect()
+            })
+            .expect("reduce scope failed")
+        };
+        metrics.reduce_secs = t2.elapsed().as_secs_f64();
+        (results, metrics)
+    }
+
+    /// A map-only stage: applies `f` to every record in parallel, preserving
+    /// input order (no shuffle, no reduce). Returns the flattened outputs
+    /// and the map-phase timing.
+    pub fn map_only<I, O>(
+        &self,
+        inputs: &[I],
+        f: impl Fn(&I, &mut Vec<O>) + Sync,
+    ) -> (Vec<O>, JobMetrics)
+    where
+        I: Sync,
+        O: Send,
+    {
+        let threads = self.threads.max(1).min(inputs.len().max(1));
+        let chunk = inputs.len().div_ceil(threads).max(1);
+        let t0 = Instant::now();
+        let out: Vec<O> = if inputs.is_empty() {
+            Vec::new()
+        } else {
+            crossbeam::thread::scope(|scope| {
+                let f = &f;
+                let handles: Vec<_> = inputs
+                    .chunks(chunk)
+                    .map(|part| {
+                        scope.spawn(move |_| {
+                            let mut out = Vec::new();
+                            for record in part {
+                                f(record, &mut out);
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("mapper panicked"))
+                    .collect()
+            })
+            .expect("map-only scope failed")
+        };
+        let metrics = JobMetrics { map_secs: t0.elapsed().as_secs_f64(), ..Default::default() };
+        (out, metrics)
+    }
+
+    /// Like [`MapReduceEngine::run`] for associative monoid folds
+    /// (`V == R`): applies a per-thread combiner before the shuffle when
+    /// [`MapReduceEngine::combine`] is set.
+    pub fn run_associative<I, K, V>(
+        &self,
+        inputs: &[I],
+        map_fn: impl Fn(&I, &mut Vec<(K, V)>) + Sync,
+        fold: impl Fn(&V, &V) -> V + Sync,
+    ) -> (Vec<(K, V)>, JobMetrics)
+    where
+        I: Sync,
+        K: Ord + Clone + Send + Sync,
+        V: Clone + Send + Sync,
+    {
+        if !self.combine {
+            return self.run(inputs, map_fn, |_k, vs: &[V]| {
+                let mut acc = vs[0].clone();
+                for v in &vs[1..] {
+                    acc = fold(&acc, v);
+                }
+                acc
+            });
+        }
+        // Combining variant: wrap map_fn so each thread pre-folds its pairs.
+        let fold = &fold;
+        let combined_map = |record: &I, out: &mut Vec<(K, V)>| {
+            map_fn(record, out);
+        };
+        let threads = self.threads;
+        let inner = MapReduceEngine { threads, combine: false };
+        // First run a map+combine pass per chunk (modelled as a map over
+        // chunks), then the grouping reduce.
+        let chunk = inputs.len().div_ceil(threads.max(1)).max(1);
+        let chunks: Vec<&[I]> = inputs.chunks(chunk).collect();
+        inner.run(
+            &chunks,
+            |part: &&[I], out: &mut Vec<(K, V)>| {
+                let mut local: BTreeMap<K, V> = BTreeMap::new();
+                let mut buf = Vec::new();
+                for record in &**part {
+                    combined_map(record, &mut buf);
+                    for (k, v) in buf.drain(..) {
+                        match local.get_mut(&k) {
+                            Some(acc) => *acc = fold(acc, &v),
+                            None => {
+                                local.insert(k, v);
+                            }
+                        }
+                    }
+                }
+                out.extend(local);
+            },
+            move |_k, vs: &[V]| {
+                let mut acc = vs[0].clone();
+                for v in &vs[1..] {
+                    acc = fold(&acc, v);
+                }
+                acc
+            },
+        )
+    }
+}
+
+/// The canonical example: word count.
+pub fn word_count(engine: &MapReduceEngine, documents: &[String]) -> Vec<(String, u64)> {
+    let (result, _) = engine.run_associative(
+        documents,
+        |doc: &String, out: &mut Vec<(String, u64)>| {
+            for w in doc.split_whitespace() {
+                out.push((w.to_lowercase(), 1));
+            }
+        },
+        |a, b| a + b,
+    );
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_count_hand_example() {
+        let docs = vec!["the cat and the hat".to_owned(), "The Cat".to_owned()];
+        let counts = word_count(&MapReduceEngine::serial(), &docs);
+        let get = |w: &str| counts.iter().find(|(k, _)| k == w).map(|(_, c)| *c);
+        assert_eq!(get("the"), Some(3));
+        assert_eq!(get("cat"), Some(2));
+        assert_eq!(get("hat"), Some(1));
+        assert_eq!(get("dog"), None);
+        // Output sorted by key.
+        let keys: Vec<&String> = counts.iter().map(|(k, _)| k).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let docs: Vec<String> =
+            (0..200).map(|i| format!("w{} w{} shared token", i % 7, i % 13)).collect();
+        let serial = word_count(&MapReduceEngine::serial(), &docs);
+        for threads in [2, 4, 8] {
+            let par = word_count(&MapReduceEngine { threads, combine: false }, &docs);
+            assert_eq!(par, serial, "threads = {threads}");
+            let comb = word_count(&MapReduceEngine { threads, combine: true }, &docs);
+            assert_eq!(comb, serial, "combiner, threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn combiner_reduces_shuffle_volume() {
+        let docs: Vec<String> = (0..500).map(|_| "a a a b".to_owned()).collect();
+        let plain = MapReduceEngine { threads: 4, combine: false };
+        let comb = MapReduceEngine { threads: 4, combine: true };
+        let (_, m_plain) = plain.run_associative(
+            &docs,
+            |d: &String, out: &mut Vec<(String, u64)>| {
+                for w in d.split_whitespace() {
+                    out.push((w.to_owned(), 1));
+                }
+            },
+            |a, b| a + b,
+        );
+        let (_, m_comb) = comb.run_associative(
+            &docs,
+            |d: &String, out: &mut Vec<(String, u64)>| {
+                for w in d.split_whitespace() {
+                    out.push((w.to_owned(), 1));
+                }
+            },
+            |a, b| a + b,
+        );
+        assert!(
+            m_comb.shuffle_pairs < m_plain.shuffle_pairs / 10,
+            "combiner {} vs plain {}",
+            m_comb.shuffle_pairs,
+            m_plain.shuffle_pairs
+        );
+    }
+
+    #[test]
+    fn general_reduce_sees_all_values() {
+        // Mean per key: a non-associative reduce.
+        let inputs: Vec<(u32, f64)> =
+            vec![(1, 2.0), (2, 10.0), (1, 4.0), (2, 20.0), (1, 6.0)];
+        let engine = MapReduceEngine { threads: 3, combine: false };
+        let (result, metrics) = engine.run(
+            &inputs,
+            |&(k, v): &(u32, f64), out: &mut Vec<(u32, f64)>| out.push((k, v)),
+            |_k, vs: &[f64]| vs.iter().sum::<f64>() / vs.len() as f64,
+        );
+        assert_eq!(result, vec![(1, 4.0), (2, 15.0)]);
+        assert_eq!(metrics.shuffle_pairs, 5);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let engine = MapReduceEngine::default();
+        let (result, metrics) = engine.run(
+            &[] as &[u32],
+            |_i: &u32, _o: &mut Vec<(u32, u32)>| {},
+            |_k, vs: &[u32]| vs.len(),
+        );
+        assert!(result.is_empty());
+        assert_eq!(metrics.shuffle_pairs, 0);
+    }
+
+    #[test]
+    fn metrics_phases_populated() {
+        let docs: Vec<String> = (0..100).map(|i| format!("token{}", i % 5)).collect();
+        let (_, m) = MapReduceEngine::default().run_associative(
+            &docs,
+            |d: &String, out: &mut Vec<(String, u64)>| out.push((d.clone(), 1)),
+            |a, b| a + b,
+        );
+        assert!(m.total_secs() >= 0.0);
+        assert_eq!(m.shuffle_pairs, 100);
+    }
+}

@@ -1,0 +1,212 @@
+//! The Pregel sub-ecosystem of Figure 1: graph analytics as a stack citizen.
+//!
+//! Runs `mcs-graph` BSP programs over edge lists held in the storage
+//! engine, charging storage-read time so that the per-layer breakdown of the
+//! Figure 1 experiment covers *Storage → Execution → Programming model*.
+//! The same workload can instead be lowered onto MapReduce (iterated jobs),
+//! which is how the crossover between the two sub-ecosystems is measured.
+
+use crate::mapreduce::MapReduceEngine;
+use crate::storage::{BlockStore, StoredFile};
+use mcs_graph::algorithms::pagerank::DAMPING;
+use mcs_graph::bsp::BspEngine;
+use mcs_graph::graph::Graph;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Per-layer timing of one analytics run over the stack.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StackTiming {
+    /// Simulated storage-read seconds (blocks / aggregate scan bandwidth).
+    pub storage_secs: f64,
+    /// Measured compute seconds in the execution engine.
+    pub compute_secs: f64,
+    /// Supersteps (Pregel) or jobs (MapReduce) executed.
+    pub rounds: usize,
+}
+
+impl StackTiming {
+    /// Total stack time, seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.storage_secs + self.compute_secs
+    }
+}
+
+/// Simulated time to scan a file from the block store: every block is read
+/// once at `per_node_mbps` per live replica-holding node, reads spread
+/// perfectly across nodes.
+pub fn scan_time_secs(store: &BlockStore, file: &StoredFile, per_node_mbps: f64) -> f64 {
+    let bytes = file.blocks.len() as u64 * file.block_size;
+    let nodes = store.node_count().max(1) as f64;
+    (bytes as f64 / (1024.0 * 1024.0)) / (per_node_mbps * nodes)
+}
+
+/// PageRank on the Pregel sub-ecosystem: one BSP run.
+pub fn pagerank_pregel(
+    store: &BlockStore,
+    file: &StoredFile,
+    graph: &Graph,
+    iterations: usize,
+    engine: &BspEngine,
+) -> (Vec<f64>, StackTiming) {
+    let storage_secs = scan_time_secs(store, file, 200.0);
+    let t = Instant::now();
+    let ranks = mcs_graph::algorithms::pagerank(graph, iterations, engine);
+    (
+        ranks,
+        StackTiming {
+            storage_secs,
+            compute_secs: t.elapsed().as_secs_f64(),
+            rounds: iterations,
+        },
+    )
+}
+
+/// PageRank lowered onto MapReduce: one full job per iteration, each
+/// re-reading the edge list (the classic pre-Pregel formulation whose cost
+/// the Pregel paper motivated against).
+pub fn pagerank_mapreduce(
+    store: &BlockStore,
+    file: &StoredFile,
+    graph: &Graph,
+    iterations: usize,
+    engine: &MapReduceEngine,
+) -> (Vec<f64>, StackTiming) {
+    let n = graph.vertex_count() as usize;
+    let mut ranks = vec![1.0 / n.max(1) as f64; n];
+    // Adjacency as input records: (vertex, its out-neighbors).
+    let adjacency: Vec<(u32, Vec<u32>)> =
+        graph.vertices().map(|v| (v, graph.neighbors(v).to_vec())).collect();
+    let mut compute_secs = 0.0;
+    let mut storage_secs = 0.0;
+    for _ in 0..iterations {
+        // Each iteration re-scans the edge list from storage.
+        storage_secs += scan_time_secs(store, file, 200.0);
+        let t = Instant::now();
+        let ranks_ref = &ranks;
+        let (contribs, _) = engine.run(
+            &adjacency,
+            move |&(v, ref neigh): &(u32, Vec<u32>), out: &mut Vec<(u32, f64)>| {
+                let r = ranks_ref[v as usize];
+                if neigh.is_empty() {
+                    // Dangling mass: spread uniformly via a sentinel key
+                    // handled below (key u32::MAX).
+                    out.push((u32::MAX, r));
+                } else {
+                    let share = r / neigh.len() as f64;
+                    for &t in neigh {
+                        out.push((t, share));
+                    }
+                }
+            },
+            |_k, vs: &[f64]| vs.iter().sum::<f64>(),
+        );
+        let mut incoming = vec![0.0f64; n];
+        let mut dangling = 0.0;
+        for (k, v) in contribs {
+            if k == u32::MAX {
+                dangling += v;
+            } else {
+                incoming[k as usize] = v;
+            }
+        }
+        let base = (1.0 - DAMPING) / n as f64 + DAMPING * dangling / n as f64;
+        for (r, inc) in ranks.iter_mut().zip(&incoming) {
+            *r = base + DAMPING * inc;
+        }
+        compute_secs += t.elapsed().as_secs_f64();
+    }
+    (ranks, StackTiming { storage_secs, compute_secs, rounds: iterations })
+}
+
+/// A one-shot aggregation on MapReduce (degree distribution): the workload
+/// family where MapReduce is the right sub-ecosystem.
+pub fn degree_histogram_mapreduce(
+    store: &BlockStore,
+    file: &StoredFile,
+    graph: &Graph,
+    engine: &MapReduceEngine,
+) -> (Vec<(u64, u64)>, StackTiming) {
+    let storage_secs = scan_time_secs(store, file, 200.0);
+    let t = Instant::now();
+    let vertices: Vec<u32> = graph.vertices().collect();
+    let (hist, _) = engine.run(
+        &vertices,
+        |&v: &u32, out: &mut Vec<(u64, u64)>| out.push((graph.out_degree(v), 1)),
+        |_k, vs: &[u64]| vs.iter().sum::<u64>(),
+    );
+    (
+        hist,
+        StackTiming { storage_secs, compute_secs: t.elapsed().as_secs_f64(), rounds: 1 },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_graph::generate::rmat;
+    use mcs_simcore::rng::RngStream;
+
+    fn setup() -> (BlockStore, StoredFile, Graph) {
+        let mut rng = RngStream::new(1, "pregel");
+        let graph = rmat(8, 8, (0.57, 0.19, 0.19), &mut rng);
+        let mut store = BlockStore::new(8, 4, 3, 2);
+        let bytes = graph.edge_count() * 8;
+        let file = store.put("edges", bytes, 1 << 20).clone();
+        (store, file, graph)
+    }
+
+    #[test]
+    fn mapreduce_pagerank_matches_pregel() {
+        let (store, file, graph) = setup();
+        let (pregel, _) =
+            pagerank_pregel(&store, &file, &graph, 15, &BspEngine::parallel(2));
+        let (mr, _) = pagerank_mapreduce(
+            &store,
+            &file,
+            &graph,
+            15,
+            &MapReduceEngine { threads: 2, combine: false },
+        );
+        for (a, b) in pregel.iter().zip(&mr) {
+            assert!((a - b).abs() < 1e-9, "pregel {a} vs mapreduce {b}");
+        }
+    }
+
+    #[test]
+    fn mapreduce_pays_storage_per_iteration() {
+        let (store, file, graph) = setup();
+        let (_, t_pregel) =
+            pagerank_pregel(&store, &file, &graph, 10, &BspEngine::serial());
+        let (_, t_mr) =
+            pagerank_mapreduce(&store, &file, &graph, 10, &MapReduceEngine::serial());
+        assert!(
+            t_mr.storage_secs > t_pregel.storage_secs * 5.0,
+            "mr {} vs pregel {}",
+            t_mr.storage_secs,
+            t_pregel.storage_secs
+        );
+    }
+
+    #[test]
+    fn degree_histogram_counts_vertices() {
+        let (store, file, graph) = setup();
+        let (hist, timing) = degree_histogram_mapreduce(
+            &store,
+            &file,
+            &graph,
+            &MapReduceEngine::serial(),
+        );
+        let total: u64 = hist.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, graph.vertex_count() as u64);
+        assert_eq!(timing.rounds, 1);
+    }
+
+    #[test]
+    fn scan_time_scales_with_size() {
+        let mut store = BlockStore::new(4, 2, 2, 3);
+        let small = store.put("s", 10 << 20, 1 << 20).clone();
+        let large = store.put("l", 100 << 20, 1 << 20).clone();
+        assert!(scan_time_secs(&store, &large, 100.0) > scan_time_secs(&store, &small, 100.0) * 5.0);
+    }
+}

@@ -1,0 +1,285 @@
+//! The ecosystem model: recursive, autonomous constituents with collective
+//! responsibility (§2.1 and principle P5, *super-distribution*).
+//!
+//! An [`Ecosystem`] is a named group of [`Constituent`]s; each constituent
+//! is either a leaf [`SystemNode`] or, recursively, another ecosystem —
+//! "distributed ecosystems comprised of distributed ecosystems". Leaves
+//! advertise *capabilities* with measured NFR profiles; capabilities marked
+//! *collective* only materialize when a quorum of providers participates
+//! (§2.1: "at least some of the collective functions involve the
+//! collaboration of a significant fraction of the ecosystem constituents").
+
+use crate::nfr::NfrProfile;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A capability name (e.g. `"object-storage"`, `"pagerank"`).
+pub type Capability = String;
+
+/// A leaf system: one autonomously operated component.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemNode {
+    /// System name.
+    pub name: String,
+    /// Operating organization (multi-ownership, C10).
+    pub owner: String,
+    /// Capabilities offered, with measured profiles.
+    pub capabilities: Vec<(Capability, NfrProfile)>,
+    /// Whether the system may act autonomously (§2.1 autonomy).
+    pub autonomous: bool,
+}
+
+impl SystemNode {
+    /// A system with one capability.
+    pub fn new(name: &str, owner: &str, capability: &str, profile: NfrProfile) -> Self {
+        SystemNode {
+            name: name.to_owned(),
+            owner: owner.to_owned(),
+            capabilities: vec![(capability.to_owned(), profile)],
+            autonomous: true,
+        }
+    }
+
+    /// Adds a capability (builder style).
+    pub fn with_capability(mut self, capability: &str, profile: NfrProfile) -> Self {
+        self.capabilities.push((capability.to_owned(), profile));
+        self
+    }
+}
+
+/// A constituent: a leaf system or a nested ecosystem.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Constituent {
+    /// A leaf system.
+    System(SystemNode),
+    /// A nested ecosystem (super-distribution).
+    Ecosystem(Ecosystem),
+}
+
+/// A collective function: only available when enough providers collaborate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CollectiveFunction {
+    /// The function's name.
+    pub name: String,
+    /// The capability each participant must provide.
+    pub requires: Capability,
+    /// Minimum fraction of constituents that must provide it, in `(0, 1]`.
+    pub quorum_fraction: f64,
+}
+
+/// A computer ecosystem (the paper's §2.1 definition).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ecosystem {
+    /// Ecosystem name.
+    pub name: String,
+    /// Direct constituents.
+    pub constituents: Vec<Constituent>,
+    /// Collective functions this ecosystem is responsible for.
+    pub collective: Vec<CollectiveFunction>,
+}
+
+impl Ecosystem {
+    /// An empty ecosystem.
+    pub fn new(name: &str) -> Self {
+        Ecosystem { name: name.to_owned(), constituents: Vec::new(), collective: Vec::new() }
+    }
+
+    /// Adds a leaf system (builder style).
+    pub fn with_system(mut self, system: SystemNode) -> Self {
+        self.constituents.push(Constituent::System(system));
+        self
+    }
+
+    /// Nests another ecosystem (builder style).
+    pub fn with_ecosystem(mut self, ecosystem: Ecosystem) -> Self {
+        self.constituents.push(Constituent::Ecosystem(ecosystem));
+        self
+    }
+
+    /// Declares a collective function (builder style).
+    pub fn with_collective(mut self, f: CollectiveFunction) -> Self {
+        self.collective.push(f);
+        self
+    }
+
+    /// Total leaf systems, recursively.
+    pub fn system_count(&self) -> usize {
+        self.constituents
+            .iter()
+            .map(|c| match c {
+                Constituent::System(_) => 1,
+                Constituent::Ecosystem(e) => e.system_count(),
+            })
+            .sum()
+    }
+
+    /// Nesting depth: 1 for an ecosystem of only leaves.
+    pub fn depth(&self) -> usize {
+        1 + self
+            .constituents
+            .iter()
+            .map(|c| match c {
+                Constituent::System(_) => 0,
+                Constituent::Ecosystem(e) => e.depth(),
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Distinct owning organizations, recursively (multi-ownership, C10).
+    pub fn owners(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_owners(&mut out);
+        out
+    }
+
+    fn collect_owners(&self, out: &mut BTreeSet<String>) {
+        for c in &self.constituents {
+            match c {
+                Constituent::System(s) => {
+                    out.insert(s.owner.clone());
+                }
+                Constituent::Ecosystem(e) => e.collect_owners(out),
+            }
+        }
+    }
+
+    /// Every leaf provider of `capability`, recursively, with its profile.
+    pub fn providers(&self, capability: &str) -> Vec<(&SystemNode, &NfrProfile)> {
+        let mut out = Vec::new();
+        self.collect_providers(capability, &mut out);
+        out
+    }
+
+    fn collect_providers<'a>(
+        &'a self,
+        capability: &str,
+        out: &mut Vec<(&'a SystemNode, &'a NfrProfile)>,
+    ) {
+        for c in &self.constituents {
+            match c {
+                Constituent::System(s) => {
+                    for (cap, profile) in &s.capabilities {
+                        if cap == capability {
+                            out.push((s, profile));
+                        }
+                    }
+                }
+                Constituent::Ecosystem(e) => e.collect_providers(capability, out),
+            }
+        }
+    }
+
+    /// Whether a declared collective function currently materializes: a
+    /// quorum of *direct* constituents must (recursively) provide the
+    /// required capability.
+    pub fn collective_available(&self, name: &str) -> Option<bool> {
+        let f = self.collective.iter().find(|f| f.name == name)?;
+        let providers = self
+            .constituents
+            .iter()
+            .filter(|c| match c {
+                Constituent::System(s) => {
+                    s.capabilities.iter().any(|(cap, _)| cap == &f.requires)
+                }
+                Constituent::Ecosystem(e) => !e.providers(&f.requires).is_empty(),
+            })
+            .count();
+        let total = self.constituents.len().max(1);
+        Some(providers as f64 / total as f64 >= f.quorum_fraction)
+    }
+
+    /// The replicated profile of `capability`: all providers composed in
+    /// parallel — the ecosystem-level guarantee that no single constituent
+    /// can offer (§2.1 "collective responsibility", P3 composability).
+    pub fn collective_profile(&self, capability: &str) -> Option<NfrProfile> {
+        let providers = self.providers(capability);
+        let mut iter = providers.into_iter().map(|(_, p)| p.clone());
+        let first = iter.next()?;
+        Some(iter.fold(first, |acc, p| acc.compose_parallel(&p)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfr::NfrKind;
+
+    fn storage_profile(avail: f64) -> NfrProfile {
+        NfrProfile::new()
+            .with(NfrKind::Availability, avail)
+            .with(NfrKind::Throughput, 100.0)
+            .with(NfrKind::CostPerHour, 1.0)
+    }
+
+    fn sample() -> Ecosystem {
+        let edge = Ecosystem::new("edge")
+            .with_system(SystemNode::new("edge-a", "org-b", "object-storage", storage_profile(0.99)))
+            .with_system(SystemNode::new("cdn", "org-c", "delivery", NfrProfile::new()));
+        Ecosystem::new("cloud")
+            .with_system(SystemNode::new("s3ish", "org-a", "object-storage", storage_profile(0.999)))
+            .with_system(SystemNode::new("compute", "org-a", "vm", NfrProfile::new()))
+            .with_ecosystem(edge)
+            .with_collective(CollectiveFunction {
+                name: "durable-storage".into(),
+                requires: "object-storage".into(),
+                quorum_fraction: 0.5,
+            })
+    }
+
+    #[test]
+    fn recursive_structure_queries() {
+        let eco = sample();
+        assert_eq!(eco.system_count(), 4);
+        assert_eq!(eco.depth(), 2);
+        let owners = eco.owners();
+        assert_eq!(owners.len(), 3);
+        assert!(owners.contains("org-b"));
+    }
+
+    #[test]
+    fn providers_found_recursively() {
+        let eco = sample();
+        let providers = eco.providers("object-storage");
+        assert_eq!(providers.len(), 2);
+        let names: Vec<&str> = providers.iter().map(|(s, _)| s.name.as_str()).collect();
+        assert!(names.contains(&"s3ish") && names.contains(&"edge-a"));
+    }
+
+    #[test]
+    fn collective_quorum() {
+        let eco = sample();
+        // 2 of 3 direct constituents provide object-storage (s3ish and the
+        // edge ecosystem, via edge-a): 0.66 >= 0.5.
+        assert_eq!(eco.collective_available("durable-storage"), Some(true));
+        assert_eq!(eco.collective_available("unknown"), None);
+        // Raise the quorum: no longer materializes.
+        let mut strict = sample();
+        strict.collective[0].quorum_fraction = 0.9;
+        assert_eq!(strict.collective_available("durable-storage"), Some(false));
+    }
+
+    #[test]
+    fn collective_profile_beats_any_single_provider() {
+        let eco = sample();
+        let collective = eco.collective_profile("object-storage").unwrap();
+        let a = collective.get(NfrKind::Availability).unwrap();
+        assert!(a > 0.999, "collective availability {a}");
+        assert_eq!(collective.get(NfrKind::Throughput), Some(200.0));
+        assert!(eco.collective_profile("nope").is_none());
+    }
+
+    #[test]
+    fn deep_nesting() {
+        let mut eco = Ecosystem::new("l0")
+            .with_system(SystemNode::new("leaf", "o", "x", NfrProfile::new()));
+        for i in 1..5 {
+            eco = Ecosystem::new(&format!("l{i}"))
+                .with_ecosystem(eco)
+                .with_system(SystemNode::new(&format!("leaf{i}"), "o", "x", NfrProfile::new()));
+        }
+        assert_eq!(eco.depth(), 5);
+        assert_eq!(eco.system_count(), 5);
+        assert_eq!(eco.providers("x").len(), 5);
+    }
+}

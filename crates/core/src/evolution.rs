@@ -1,0 +1,273 @@
+//! Ecosystem evolution: Darwinian and non-Darwinian technology dynamics
+//! (§3.2, and the history of Figure 2).
+//!
+//! The paper, following Arthur, distinguishes *Darwinian* evolution —
+//! incremental variation and selection of closely related technology — from
+//! *non-Darwinian* evolution, where "seemingly random events — which
+//! ecosystem adopted the technology first … and other soft lock-in
+//! elements — contribute to the propagation of the technology". This
+//! module simulates a population of adopters choosing among competing
+//! technologies; the Figure 2 experiment uses it to regenerate
+//! adoption-timeline series and measure lock-in sensitivity.
+
+use mcs_simcore::rng::RngStream;
+use serde::{Deserialize, Serialize};
+
+/// A competing technology in one generation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Technology {
+    /// Technology name.
+    pub name: String,
+    /// Intrinsic quality (Darwinian fitness); higher attracts adopters.
+    pub fitness: f64,
+}
+
+/// The adoption regime.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Regime {
+    /// Darwinian: adopters pick proportionally to intrinsic fitness only.
+    Darwinian,
+    /// Non-Darwinian: adopters weight fitness by the installed base raised
+    /// to `lock_in` (network effects; `lock_in = 0` reduces to Darwinian).
+    NonDarwinian {
+        /// Strength of increasing returns (≥ 0).
+        lock_in: f64,
+    },
+}
+
+/// The result of one adoption race.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdoptionOutcome {
+    /// Adoption share per technology per step: `series[tech][step]`.
+    pub series: Vec<Vec<f64>>,
+    /// Index of the technology with the largest final share.
+    pub winner: usize,
+    /// Final share of the winner.
+    pub winner_share: f64,
+}
+
+/// Simulates `steps` adopters arriving one at a time and choosing among
+/// `technologies` under `regime`.
+///
+/// # Panics
+/// Panics when `technologies` is empty.
+pub fn simulate_adoption(
+    technologies: &[Technology],
+    regime: Regime,
+    steps: usize,
+    rng: &mut RngStream,
+) -> AdoptionOutcome {
+    assert!(!technologies.is_empty(), "need at least one technology");
+    let k = technologies.len();
+    let mut installed = vec![1.0f64; k]; // seed base of 1 each
+    let mut series = vec![Vec::with_capacity(steps); k];
+    for _ in 0..steps {
+        let weights: Vec<f64> = technologies
+            .iter()
+            .zip(&installed)
+            .map(|(t, base)| {
+                let w = match regime {
+                    Regime::Darwinian => t.fitness,
+                    Regime::NonDarwinian { lock_in } => t.fitness * base.powf(lock_in),
+                };
+                w.max(1e-12)
+            })
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut pick = rng.next_f64() * total;
+        let mut chosen = k - 1;
+        for (i, w) in weights.iter().enumerate() {
+            pick -= w;
+            if pick <= 0.0 {
+                chosen = i;
+                break;
+            }
+        }
+        installed[chosen] += 1.0;
+        let base_total: f64 = installed.iter().sum();
+        for (i, s) in series.iter_mut().enumerate() {
+            s.push(installed[i] / base_total);
+        }
+    }
+    let (winner, &final_base) = installed
+        .iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+        .expect("non-empty");
+    AdoptionOutcome {
+        winner,
+        winner_share: final_base / installed.iter().sum::<f64>(),
+        series,
+    }
+}
+
+/// Lock-in sensitivity: the fraction of seeds (of `trials`) in which the
+/// *intrinsically best* technology loses the race. Near zero under
+/// Darwinian selection, substantial under strong lock-in — the paper's
+/// non-Darwinian claim as a number.
+pub fn upset_probability(
+    technologies: &[Technology],
+    regime: Regime,
+    steps: usize,
+    trials: usize,
+    seed: u64,
+) -> f64 {
+    let best = technologies
+        .iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| {
+            a.fitness.partial_cmp(&b.fitness).unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .map(|(i, _)| i)
+        .expect("non-empty");
+    let mut upsets = 0;
+    for t in 0..trials {
+        let mut rng = RngStream::new(seed, &format!("adoption-trial-{t}"));
+        let outcome = simulate_adoption(technologies, regime, steps, &mut rng);
+        if outcome.winner != best {
+            upsets += 1;
+        }
+    }
+    upsets as f64 / trials.max(1) as f64
+}
+
+/// The evolution mechanisms of §3.2, applied to a component inventory.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Mechanism {
+    /// Combine two components into a larger assembly.
+    Combine {
+        /// First input component.
+        a: String,
+        /// Second input component.
+        b: String,
+        /// Name of the assembly.
+        into: String,
+    },
+    /// Remove a redundant or useless component.
+    Remove {
+        /// Component to remove.
+        name: String,
+    },
+    /// Replace a component with a more advanced one.
+    Replace {
+        /// Outgoing component.
+        old: String,
+        /// Incoming component.
+        new: String,
+    },
+    /// Add a new component for a new function.
+    Add {
+        /// Component to add.
+        name: String,
+    },
+}
+
+/// Applies a sequence of evolution mechanisms to a component inventory,
+/// returning the resulting inventory; unknown references are ignored
+/// (evolution is permissive, not transactional).
+pub fn evolve_inventory(initial: &[&str], mechanisms: &[Mechanism]) -> Vec<String> {
+    let mut inv: Vec<String> = initial.iter().map(|s| (*s).to_owned()).collect();
+    for m in mechanisms {
+        match m {
+            Mechanism::Add { name } => {
+                if !inv.contains(name) {
+                    inv.push(name.clone());
+                }
+            }
+            Mechanism::Remove { name } => inv.retain(|c| c != name),
+            Mechanism::Replace { old, new } => {
+                if let Some(slot) = inv.iter_mut().find(|c| *c == old) {
+                    *slot = new.clone();
+                }
+            }
+            Mechanism::Combine { a, b, into } => {
+                if inv.contains(a) && inv.contains(b) {
+                    inv.retain(|c| c != a && c != b);
+                    inv.push(into.clone());
+                }
+            }
+        }
+    }
+    inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn techs() -> Vec<Technology> {
+        vec![
+            Technology { name: "better".into(), fitness: 1.2 },
+            Technology { name: "worse".into(), fitness: 1.0 },
+        ]
+    }
+
+    #[test]
+    fn darwinian_rarely_upsets() {
+        let p = upset_probability(&techs(), Regime::Darwinian, 2_000, 40, 1);
+        assert!(p < 0.15, "Darwinian upset probability {p}");
+    }
+
+    #[test]
+    fn lock_in_raises_upsets() {
+        let p_dar = upset_probability(&techs(), Regime::Darwinian, 2_000, 40, 2);
+        let p_lock =
+            upset_probability(&techs(), Regime::NonDarwinian { lock_in: 1.5 }, 2_000, 40, 2);
+        assert!(
+            p_lock > p_dar + 0.1,
+            "lock-in {p_lock} should upset far more than Darwinian {p_dar}"
+        );
+    }
+
+    #[test]
+    fn shares_sum_to_one_each_step() {
+        let mut rng = RngStream::new(3, "adoption");
+        let out = simulate_adoption(&techs(), Regime::Darwinian, 100, &mut rng);
+        for step in 0..100 {
+            let total: f64 = out.series.iter().map(|s| s[step]).sum();
+            assert!((total - 1.0).abs() < 1e-9);
+        }
+        assert!(out.winner_share > 0.0 && out.winner_share <= 1.0);
+    }
+
+    #[test]
+    fn strong_lock_in_locks_early_leader() {
+        // With extreme lock-in, the final winner share approaches 1.
+        let mut rng = RngStream::new(4, "adoption");
+        let out = simulate_adoption(
+            &techs(),
+            Regime::NonDarwinian { lock_in: 3.0 },
+            3_000,
+            &mut rng,
+        );
+        assert!(out.winner_share > 0.9, "share {}", out.winner_share);
+    }
+
+    #[test]
+    fn inventory_mechanisms() {
+        let result = evolve_inventory(
+            &["batch-queue", "nfs", "perl-scripts"],
+            &[
+                Mechanism::Replace { old: "nfs".into(), new: "hdfs".into() },
+                Mechanism::Add { name: "mapreduce".into() },
+                Mechanism::Combine {
+                    a: "batch-queue".into(),
+                    b: "mapreduce".into(),
+                    into: "yarn".into(),
+                },
+                Mechanism::Remove { name: "perl-scripts".into() },
+                // Unknown references are ignored.
+                Mechanism::Remove { name: "ghost".into() },
+                Mechanism::Replace { old: "ghost".into(), new: "x".into() },
+            ],
+        );
+        assert_eq!(result, vec!["hdfs".to_owned(), "yarn".to_owned()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one technology")]
+    fn empty_race_rejected() {
+        let mut rng = RngStream::new(1, "x");
+        let _ = simulate_adoption(&[], Regime::Darwinian, 10, &mut rng);
+    }
+}

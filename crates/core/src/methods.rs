@@ -1,0 +1,188 @@
+//! Analytical (formal) models: the "How?" row of Table 1.
+//!
+//! §3.3 of the paper envisions "a complex set of formal mathematical models,
+//! validated and calibrated with long-term data". The entry point is
+//! classical queueing theory: M/M/1 and M/M/c (Erlang C) response-time
+//! models, plus Little's Law — explicitly named in §3.5 as a seminal result
+//! MCS imports. The Table 1 experiment validates these against the
+//! simulator: measurement, simulation, and analysis agreeing on the same
+//! system is the paper's methodological triangle made executable.
+
+use serde::{Deserialize, Serialize};
+
+/// The analytical prediction for a queueing station.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueueingPrediction {
+    /// Offered load ρ = λ/(cμ), in `[0, 1)` for stability.
+    pub utilization: f64,
+    /// Probability an arrival must wait (Erlang-C for M/M/c).
+    pub wait_probability: f64,
+    /// Mean waiting time in queue, seconds.
+    pub mean_wait_secs: f64,
+    /// Mean response (sojourn) time, seconds.
+    pub mean_response_secs: f64,
+    /// Mean number in system (Little's Law: L = λW).
+    pub mean_in_system: f64,
+}
+
+/// M/M/1 analysis.
+///
+/// Returns `None` when unstable (λ ≥ μ) or parameters are non-positive.
+pub fn mm1(lambda: f64, mu: f64) -> Option<QueueingPrediction> {
+    if lambda <= 0.0 || mu <= 0.0 || lambda >= mu {
+        return None;
+    }
+    let rho = lambda / mu;
+    let mean_wait = rho / (mu - lambda);
+    let mean_response = 1.0 / (mu - lambda);
+    Some(QueueingPrediction {
+        utilization: rho,
+        wait_probability: rho,
+        mean_wait_secs: mean_wait,
+        mean_response_secs: mean_response,
+        mean_in_system: lambda * mean_response,
+    })
+}
+
+/// M/M/c analysis (Erlang C).
+///
+/// Returns `None` when unstable (λ ≥ cμ) or parameters are invalid.
+pub fn mmc(lambda: f64, mu: f64, servers: u32) -> Option<QueueingPrediction> {
+    if lambda <= 0.0 || mu <= 0.0 || servers == 0 {
+        return None;
+    }
+    let c = servers as f64;
+    let rho = lambda / (c * mu);
+    if rho >= 1.0 {
+        return None;
+    }
+    let a = lambda / mu; // offered load in Erlangs
+    // Erlang C: P(wait) = (a^c / c!) / ((1-rho) * sum_{k<c} a^k/k! + a^c/c!)
+    let mut sum = 0.0;
+    let mut term = 1.0; // a^0 / 0!
+    for k in 0..servers {
+        sum += term;
+        term *= a / (k as f64 + 1.0);
+    }
+    // After the loop, term = a^c / c!.
+    let erlang_c = term / (term + (1.0 - rho) * sum);
+    let mean_wait = erlang_c / (c * mu - lambda);
+    let mean_response = mean_wait + 1.0 / mu;
+    Some(QueueingPrediction {
+        utilization: rho,
+        wait_probability: erlang_c,
+        mean_wait_secs: mean_wait,
+        mean_response_secs: mean_response,
+        mean_in_system: lambda * mean_response,
+    })
+}
+
+/// Little's Law: mean number in system from throughput and mean response.
+pub fn littles_law(throughput: f64, mean_response_secs: f64) -> f64 {
+    throughput * mean_response_secs
+}
+
+/// The Roofline model (Williams et al. \[67\], cited in §3.5 as an effective
+/// performance-prediction framework "using only modest numbers of
+/// parameters").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Roofline {
+    /// Peak compute throughput, GFLOP/s.
+    pub peak_gflops: f64,
+    /// Peak memory bandwidth, GB/s.
+    pub mem_bandwidth_gbs: f64,
+}
+
+impl Roofline {
+    /// Attainable performance (GFLOP/s) at the given operational intensity
+    /// (FLOP per byte moved): `min(peak, bandwidth × intensity)`.
+    pub fn attainable_gflops(&self, operational_intensity: f64) -> f64 {
+        (self.mem_bandwidth_gbs * operational_intensity.max(0.0)).min(self.peak_gflops)
+    }
+
+    /// The ridge point: the operational intensity at which the machine
+    /// stops being memory-bound.
+    pub fn ridge_intensity(&self) -> f64 {
+        if self.mem_bandwidth_gbs <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.peak_gflops / self.mem_bandwidth_gbs
+        }
+    }
+
+    /// True when a kernel of this intensity is memory-bound on this machine.
+    pub fn is_memory_bound(&self, operational_intensity: f64) -> bool {
+        operational_intensity < self.ridge_intensity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mm1_textbook_example() {
+        // λ = 2/s, μ = 3/s: ρ = 2/3, W = 1/(μ-λ) = 1 s, L = 2.
+        let p = mm1(2.0, 3.0).unwrap();
+        assert!((p.utilization - 2.0 / 3.0).abs() < 1e-12);
+        assert!((p.mean_response_secs - 1.0).abs() < 1e-12);
+        assert!((p.mean_in_system - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mm1_instability() {
+        assert!(mm1(3.0, 3.0).is_none());
+        assert!(mm1(4.0, 3.0).is_none());
+        assert!(mm1(-1.0, 3.0).is_none());
+    }
+
+    #[test]
+    fn mmc_reduces_to_mm1_at_c1() {
+        let a = mm1(2.0, 3.0).unwrap();
+        let b = mmc(2.0, 3.0, 1).unwrap();
+        assert!((a.mean_response_secs - b.mean_response_secs).abs() < 1e-9);
+        assert!((a.wait_probability - b.wait_probability).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mmc_textbook_example() {
+        // λ = 3/s, μ = 2/s, c = 2: a = 1.5, ρ = 0.75.
+        // Erlang C = (1.5²/2!)/( (1-0.75)(1 + 1.5) + 1.5²/2! ) = 1.125/1.75.
+        let p = mmc(3.0, 2.0, 2).unwrap();
+        let expected_c = 1.125 / (0.25 * 2.5 + 1.125);
+        assert!((p.wait_probability - expected_c).abs() < 1e-12);
+        assert!((p.utilization - 0.75).abs() < 1e-12);
+        let expected_wait = expected_c / (2.0 * 2.0 - 3.0);
+        assert!((p.mean_wait_secs - expected_wait).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_servers_less_waiting() {
+        let few = mmc(8.0, 1.0, 10).unwrap();
+        let many = mmc(8.0, 1.0, 20).unwrap();
+        assert!(many.mean_wait_secs < few.mean_wait_secs / 10.0);
+    }
+
+    #[test]
+    fn littles_law_consistency() {
+        let p = mmc(3.0, 2.0, 2).unwrap();
+        assert!((littles_law(3.0, p.mean_response_secs) - p.mean_in_system).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roofline_regions() {
+        // A machine like the paper's era GPUs: 10 TFLOP/s, 500 GB/s.
+        let r = Roofline { peak_gflops: 10_000.0, mem_bandwidth_gbs: 500.0 };
+        assert!((r.ridge_intensity() - 20.0).abs() < 1e-12);
+        // Streaming kernel (0.25 FLOP/B): memory-bound at bw * oi.
+        assert!(r.is_memory_bound(0.25));
+        assert!((r.attainable_gflops(0.25) - 125.0).abs() < 1e-12);
+        // Dense kernel (100 FLOP/B): compute-bound at peak.
+        assert!(!r.is_memory_bound(100.0));
+        assert_eq!(r.attainable_gflops(100.0), 10_000.0);
+        // Degenerate inputs stay sane.
+        assert_eq!(r.attainable_gflops(-1.0), 0.0);
+        let broken = Roofline { peak_gflops: 1.0, mem_bandwidth_gbs: 0.0 };
+        assert!(broken.ridge_intensity().is_infinite());
+    }
+}

@@ -1,0 +1,300 @@
+//! The Ecosystem Navigation challenge (C9): comparison, selection, and
+//! composition of components on the user's behalf.
+//!
+//! Given a catalog of components (capability + measured NFR profile) and a
+//! user's requirement — a chain of capabilities plus NFR targets — the
+//! navigator ranks the alternatives per capability, composes the best
+//! pipeline under the NFR composition algebra, and *explains* its decision
+//! in plain text (P6: stakeholders must be able to understand the system's
+//! choices).
+
+use crate::nfr::{NfrProfile, NfrTarget};
+use serde::{Deserialize, Serialize};
+
+/// A catalog entry: one selectable component.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CatalogEntry {
+    /// Component name.
+    pub name: String,
+    /// The capability it provides.
+    pub capability: String,
+    /// Its measured/advertised profile.
+    pub profile: NfrProfile,
+}
+
+/// The component catalog.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Catalog {
+    entries: Vec<CatalogEntry>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Adds a component (builder style).
+    pub fn with(mut self, name: &str, capability: &str, profile: NfrProfile) -> Self {
+        self.entries.push(CatalogEntry {
+            name: name.to_owned(),
+            capability: capability.to_owned(),
+            profile,
+        });
+        self
+    }
+
+    /// All entries providing `capability`.
+    pub fn providers(&self, capability: &str) -> Vec<&CatalogEntry> {
+        self.entries.iter().filter(|e| e.capability == capability).collect()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Why navigation failed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NavigationError {
+    /// No catalog entry provides a required capability.
+    NoProvider {
+        /// The missing capability.
+        capability: String,
+    },
+    /// A pipeline exists but none satisfies every target.
+    NoSatisfyingComposition,
+}
+
+impl std::fmt::Display for NavigationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NavigationError::NoProvider { capability } => {
+                write!(f, "no component provides capability '{capability}'")
+            }
+            NavigationError::NoSatisfyingComposition => {
+                write!(f, "no composition satisfies all non-functional targets")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NavigationError {}
+
+/// A selected pipeline with its predicted profile and explanation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Selection {
+    /// Chosen component names, one per requested capability, in order.
+    pub components: Vec<String>,
+    /// The serial-composed profile of the pipeline.
+    pub predicted: NfrProfile,
+    /// Whether every target is satisfied by the prediction.
+    pub satisfies_all: bool,
+    /// A human-readable account of the decision.
+    pub explanation: String,
+}
+
+/// Selects one component per capability in `pipeline`, maximizing the
+/// weighted NFR score of the serial composition (exhaustive over the
+/// per-capability alternatives; catalogs are small by construction).
+///
+/// # Errors
+/// Returns [`NavigationError::NoProvider`] when a capability has no
+/// provider, and [`NavigationError::NoSatisfyingComposition`] when no
+/// combination satisfies all targets (the best-scoring one is described in
+/// the error path via [`navigate_best_effort`]).
+pub fn navigate(
+    catalog: &Catalog,
+    pipeline: &[&str],
+    targets: &[NfrTarget],
+) -> Result<Selection, NavigationError> {
+    let selection = navigate_best_effort(catalog, pipeline, targets)?;
+    if selection.satisfies_all {
+        Ok(selection)
+    } else {
+        Err(NavigationError::NoSatisfyingComposition)
+    }
+}
+
+/// Like [`navigate`] but returns the best-scoring composition even when it
+/// violates some targets (satisficing, §3.5).
+///
+/// # Errors
+/// Returns [`NavigationError::NoProvider`] when a capability has no
+/// provider at all.
+pub fn navigate_best_effort(
+    catalog: &Catalog,
+    pipeline: &[&str],
+    targets: &[NfrTarget],
+) -> Result<Selection, NavigationError> {
+    let mut alternatives: Vec<Vec<&CatalogEntry>> = Vec::with_capacity(pipeline.len());
+    for cap in pipeline {
+        let providers = catalog.providers(cap);
+        if providers.is_empty() {
+            return Err(NavigationError::NoProvider { capability: (*cap).to_owned() });
+        }
+        alternatives.push(providers);
+    }
+
+    // Exhaustive product search with odometer indexing.
+    let mut best: Option<(f64, Vec<usize>, NfrProfile)> = None;
+    let mut idx = vec![0usize; alternatives.len()];
+    loop {
+        let profile = idx
+            .iter()
+            .zip(&alternatives)
+            .map(|(&i, alts)| alts[i].profile.clone())
+            .reduce(|a, b| a.compose_serial(&b))
+            .unwrap_or_default();
+        let score = profile.score(targets);
+        let better = match &best {
+            None => true,
+            Some((s, _, _)) => score > *s,
+        };
+        if better {
+            best = Some((score, idx.clone(), profile));
+        }
+        // Advance the odometer.
+        let mut pos = 0;
+        loop {
+            if pos == idx.len() {
+                let (score, chosen, predicted) = best.expect("at least one combination");
+                let components: Vec<String> = chosen
+                    .iter()
+                    .zip(&alternatives)
+                    .map(|(&i, alts)| alts[i].name.clone())
+                    .collect();
+                let satisfies_all = predicted.satisfies(targets);
+                let explanation = explain(pipeline, &components, &predicted, targets, score);
+                return Ok(Selection { components, predicted, satisfies_all, explanation });
+            }
+            idx[pos] += 1;
+            if idx[pos] < alternatives[pos].len() {
+                break;
+            }
+            idx[pos] = 0;
+            pos += 1;
+        }
+    }
+}
+
+fn explain(
+    pipeline: &[&str],
+    components: &[String],
+    predicted: &NfrProfile,
+    targets: &[NfrTarget],
+    score: f64,
+) -> String {
+    let mut s = String::new();
+    s.push_str("selected pipeline:");
+    for (cap, comp) in pipeline.iter().zip(components) {
+        s.push_str(&format!(" {cap}→{comp}"));
+    }
+    s.push_str(&format!(" (score {score:.3});"));
+    for t in targets {
+        match predicted.get(t.kind) {
+            Some(m) => {
+                let verdict = if t.satisfied_by(m) { "meets" } else { "VIOLATES" };
+                s.push_str(&format!(" {} {verdict} target {:.4} (predicted {:.4});", t.kind, t.bound, m));
+            }
+            None => s.push_str(&format!(" {} unknown;", t.kind)),
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfr::NfrKind;
+
+    fn catalog() -> Catalog {
+        Catalog::new()
+            .with(
+                "fast-cache",
+                "cache",
+                NfrProfile::new()
+                    .with(NfrKind::LatencyP95, 0.001)
+                    .with(NfrKind::Availability, 0.999)
+                    .with(NfrKind::CostPerHour, 2.0),
+            )
+            .with(
+                "cheap-cache",
+                "cache",
+                NfrProfile::new()
+                    .with(NfrKind::LatencyP95, 0.01)
+                    .with(NfrKind::Availability, 0.99)
+                    .with(NfrKind::CostPerHour, 0.2),
+            )
+            .with(
+                "sql-db",
+                "database",
+                NfrProfile::new()
+                    .with(NfrKind::LatencyP95, 0.02)
+                    .with(NfrKind::Availability, 0.999)
+                    .with(NfrKind::CostPerHour, 3.0),
+            )
+            .with(
+                "kv-db",
+                "database",
+                NfrProfile::new()
+                    .with(NfrKind::LatencyP95, 0.005)
+                    .with(NfrKind::Availability, 0.995)
+                    .with(NfrKind::CostPerHour, 1.0),
+            )
+    }
+
+    #[test]
+    fn picks_latency_optimal_pipeline_under_latency_pressure() {
+        let targets = [NfrTarget::new(NfrKind::LatencyP95, 0.01)];
+        let sel = navigate(&catalog(), &["cache", "database"], &targets).unwrap();
+        assert_eq!(sel.components, vec!["fast-cache", "kv-db"]);
+        assert!(sel.satisfies_all);
+        assert!(sel.explanation.contains("meets"));
+    }
+
+    #[test]
+    fn cost_pressure_flips_the_choice() {
+        let targets = [
+            NfrTarget { kind: NfrKind::CostPerHour, bound: 1.5, weight: 5.0 },
+            NfrTarget { kind: NfrKind::LatencyP95, bound: 0.1, weight: 0.5 },
+        ];
+        let sel = navigate(&catalog(), &["cache", "database"], &targets).unwrap();
+        assert_eq!(sel.components, vec!["cheap-cache", "kv-db"]);
+    }
+
+    #[test]
+    fn missing_capability_is_an_error() {
+        let err = navigate(&catalog(), &["gpu-farm"], &[]).unwrap_err();
+        assert_eq!(err, NavigationError::NoProvider { capability: "gpu-farm".into() });
+    }
+
+    #[test]
+    fn impossible_targets_fail_but_best_effort_answers() {
+        let targets = [NfrTarget::new(NfrKind::LatencyP95, 0.000_1)];
+        let err = navigate(&catalog(), &["cache", "database"], &targets).unwrap_err();
+        assert_eq!(err, NavigationError::NoSatisfyingComposition);
+        let sel = navigate_best_effort(&catalog(), &["cache", "database"], &targets).unwrap();
+        assert!(!sel.satisfies_all);
+        assert!(sel.explanation.contains("VIOLATES"));
+        // An impossible target clamps every margin, so any pipeline ties;
+        // the selection must still be structurally valid.
+        assert_eq!(sel.components.len(), 2);
+    }
+
+    #[test]
+    fn prediction_uses_serial_composition() {
+        let sel = navigate_best_effort(&catalog(), &["cache", "database"], &[]).unwrap();
+        let lat = sel.predicted.get(NfrKind::LatencyP95).unwrap();
+        let cost = sel.predicted.get(NfrKind::CostPerHour).unwrap();
+        // Some pair of (cache, db): latency adds, cost adds.
+        assert!(lat >= 0.006 - 1e-12);
+        assert!(cost >= 1.2 - 1e-12);
+    }
+}

@@ -1,0 +1,359 @@
+//! Non-functional requirements as first-class, composable data (P3).
+//!
+//! The paper's principle P3 demands that non-functional properties be
+//! "first-class concerns, composable and portable, whose relative importance
+//! and target values are dynamic". This module makes that an executable
+//! calculus: a typed NFR vocabulary, targets with directions and weights,
+//! measured profiles, a composition algebra over serial and parallel
+//! assembly, and time-varying targets (C3's temporal fine-grained NFRs).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The NFR vocabulary (the paper's P3 list, plus cost).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum NfrKind {
+    /// 95th-percentile response latency, seconds (lower is better).
+    LatencyP95,
+    /// Sustained throughput, operations/second (higher is better).
+    Throughput,
+    /// Long-run availability in `[0, 1]` (higher is better).
+    Availability,
+    /// Money per hour of operation (lower is better).
+    CostPerHour,
+    /// Elasticity score in `[0, 1]` (higher is better;
+    /// see `mcs_autoscale::elasticity`).
+    Elasticity,
+    /// Performance-isolation score in `[0, 1]` (higher is better).
+    Isolation,
+    /// Security/trust score in `[0, 1]` (higher is better).
+    Security,
+}
+
+impl NfrKind {
+    /// All kinds, in a stable order.
+    pub const ALL: [NfrKind; 7] = [
+        NfrKind::LatencyP95,
+        NfrKind::Throughput,
+        NfrKind::Availability,
+        NfrKind::CostPerHour,
+        NfrKind::Elasticity,
+        NfrKind::Isolation,
+        NfrKind::Security,
+    ];
+
+    /// True when larger measured values are better.
+    pub fn higher_is_better(&self) -> bool {
+        !matches!(self, NfrKind::LatencyP95 | NfrKind::CostPerHour)
+    }
+
+    /// Stable lowercase name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            NfrKind::LatencyP95 => "latency-p95",
+            NfrKind::Throughput => "throughput",
+            NfrKind::Availability => "availability",
+            NfrKind::CostPerHour => "cost-per-hour",
+            NfrKind::Elasticity => "elasticity",
+            NfrKind::Isolation => "isolation",
+            NfrKind::Security => "security",
+        }
+    }
+}
+
+impl fmt::Display for NfrKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One requirement: a bound on a kind, with a weight for trade-offs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NfrTarget {
+    /// Which property.
+    pub kind: NfrKind,
+    /// The bound: an upper bound for lower-is-better kinds, a lower bound
+    /// otherwise.
+    pub bound: f64,
+    /// Relative importance in `[0, 1]` for scoring and satisficing.
+    pub weight: f64,
+}
+
+impl NfrTarget {
+    /// A target with weight 1.
+    pub fn new(kind: NfrKind, bound: f64) -> Self {
+        NfrTarget { kind, bound, weight: 1.0 }
+    }
+
+    /// Whether a measured value satisfies this target.
+    pub fn satisfied_by(&self, measured: f64) -> bool {
+        if self.kind.higher_is_better() {
+            measured >= self.bound
+        } else {
+            measured <= self.bound
+        }
+    }
+
+    /// A satisfaction margin: positive when satisfied, scaled by the bound
+    /// (dimension-free).
+    pub fn margin(&self, measured: f64) -> f64 {
+        let b = self.bound.abs().max(1e-12);
+        if self.kind.higher_is_better() {
+            (measured - self.bound) / b
+        } else {
+            (self.bound - measured) / b
+        }
+    }
+}
+
+/// A measured (or advertised) non-functional profile of a component.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct NfrProfile {
+    values: BTreeMap<NfrKind, f64>,
+}
+
+impl NfrProfile {
+    /// An empty profile.
+    pub fn new() -> Self {
+        NfrProfile::default()
+    }
+
+    /// Sets one property (builder style).
+    pub fn with(mut self, kind: NfrKind, value: f64) -> Self {
+        self.values.insert(kind, value);
+        self
+    }
+
+    /// The measured value of `kind`, if present.
+    pub fn get(&self, kind: NfrKind) -> Option<f64> {
+        self.values.get(&kind).copied()
+    }
+
+    /// Kinds present in the profile.
+    pub fn kinds(&self) -> impl Iterator<Item = NfrKind> + '_ {
+        self.values.keys().copied()
+    }
+
+    /// Serial composition: the profile of `self` followed by `other`
+    /// (a pipeline). Latencies and costs add, throughput is the bottleneck
+    /// minimum, availability multiplies, bounded scores take the minimum.
+    pub fn compose_serial(&self, other: &NfrProfile) -> NfrProfile {
+        self.compose_with(other, Assembly::Serial)
+    }
+
+    /// Parallel composition: `self` and `other` serve independently
+    /// (replication). Latency is the maximum (fan-out join), throughput
+    /// adds, availability is `1-(1-a)(1-b)` (either replica serves), cost
+    /// adds, bounded scores take the minimum.
+    pub fn compose_parallel(&self, other: &NfrProfile) -> NfrProfile {
+        self.compose_with(other, Assembly::Parallel)
+    }
+
+    fn compose_with(&self, other: &NfrProfile, assembly: Assembly) -> NfrProfile {
+        let mut out = NfrProfile::new();
+        for kind in NfrKind::ALL {
+            let (a, b) = (self.get(kind), other.get(kind));
+            let value = match (a, b) {
+                (None, None) => continue,
+                // A missing side is treated as neutral for that kind.
+                (Some(v), None) | (None, Some(v)) => v,
+                (Some(a), Some(b)) => combine(kind, a, b, assembly),
+            };
+            out.values.insert(kind, value);
+        }
+        out
+    }
+
+    /// Whether every target in `targets` is met by this profile; targets on
+    /// kinds the profile does not report are unmet (unknown is not good
+    /// enough for a guarantee — P3's composability of *guarantees*).
+    pub fn satisfies(&self, targets: &[NfrTarget]) -> bool {
+        targets.iter().all(|t| self.get(t.kind).map(|m| t.satisfied_by(m)).unwrap_or(false))
+    }
+
+    /// Weighted satisfaction score: mean of clamped margins, in `[-1, 1]`-ish
+    /// territory; used for ranking alternatives during navigation (C9).
+    pub fn score(&self, targets: &[NfrTarget]) -> f64 {
+        if targets.is_empty() {
+            return 0.0;
+        }
+        let total_weight: f64 = targets.iter().map(|t| t.weight).sum();
+        targets
+            .iter()
+            .map(|t| {
+                let margin = self
+                    .get(t.kind)
+                    .map(|m| t.margin(m).clamp(-1.0, 1.0))
+                    .unwrap_or(-1.0);
+                t.weight * margin
+            })
+            .sum::<f64>()
+            / total_weight.max(1e-12)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Assembly {
+    Serial,
+    Parallel,
+}
+
+fn combine(kind: NfrKind, a: f64, b: f64, assembly: Assembly) -> f64 {
+    match (kind, assembly) {
+        (NfrKind::LatencyP95, Assembly::Serial) => a + b,
+        (NfrKind::LatencyP95, Assembly::Parallel) => a.max(b),
+        (NfrKind::Throughput, Assembly::Serial) => a.min(b),
+        (NfrKind::Throughput, Assembly::Parallel) => a + b,
+        (NfrKind::Availability, Assembly::Serial) => a * b,
+        (NfrKind::Availability, Assembly::Parallel) => 1.0 - (1.0 - a) * (1.0 - b),
+        (NfrKind::CostPerHour, _) => a + b,
+        // Bounded scores: the weakest link in either assembly.
+        (NfrKind::Elasticity | NfrKind::Isolation | NfrKind::Security, _) => a.min(b),
+    }
+}
+
+/// A time-varying requirement set: C3's *temporal fine-grained NFRs* —
+/// "expressing NFRs that change over time possibly dynamically".
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct NfrSchedule {
+    /// `(from_second, targets)` entries, sorted by activation time.
+    phases: Vec<(f64, Vec<NfrTarget>)>,
+}
+
+impl NfrSchedule {
+    /// An empty schedule (no requirements ever).
+    pub fn new() -> Self {
+        NfrSchedule::default()
+    }
+
+    /// Adds a phase starting at `from_secs` (builder style).
+    pub fn phase(mut self, from_secs: f64, targets: Vec<NfrTarget>) -> Self {
+        self.phases.push((from_secs, targets));
+        self.phases.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        self
+    }
+
+    /// The targets in force at `at_secs` (the latest phase started).
+    pub fn targets_at(&self, at_secs: f64) -> &[NfrTarget] {
+        self.phases
+            .iter()
+            .rev()
+            .find(|(from, _)| *from <= at_secs)
+            .map(|(_, t)| t.as_slice())
+            .unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn web_tier() -> NfrProfile {
+        NfrProfile::new()
+            .with(NfrKind::LatencyP95, 0.050)
+            .with(NfrKind::Throughput, 1_000.0)
+            .with(NfrKind::Availability, 0.999)
+            .with(NfrKind::CostPerHour, 1.0)
+    }
+
+    fn db_tier() -> NfrProfile {
+        NfrProfile::new()
+            .with(NfrKind::LatencyP95, 0.020)
+            .with(NfrKind::Throughput, 600.0)
+            .with(NfrKind::Availability, 0.995)
+            .with(NfrKind::CostPerHour, 3.0)
+    }
+
+    #[test]
+    fn serial_composition_rules() {
+        let app = web_tier().compose_serial(&db_tier());
+        assert!((app.get(NfrKind::LatencyP95).unwrap() - 0.070).abs() < 1e-12);
+        assert_eq!(app.get(NfrKind::Throughput), Some(600.0));
+        assert!((app.get(NfrKind::Availability).unwrap() - 0.999 * 0.995).abs() < 1e-12);
+        assert_eq!(app.get(NfrKind::CostPerHour), Some(4.0));
+    }
+
+    #[test]
+    fn parallel_composition_rules() {
+        let replicated = db_tier().compose_parallel(&db_tier());
+        assert_eq!(replicated.get(NfrKind::LatencyP95), Some(0.020));
+        assert_eq!(replicated.get(NfrKind::Throughput), Some(1_200.0));
+        let a = replicated.get(NfrKind::Availability).unwrap();
+        assert!((a - (1.0 - 0.005 * 0.005)).abs() < 1e-12);
+        assert_eq!(replicated.get(NfrKind::CostPerHour), Some(6.0));
+    }
+
+    #[test]
+    fn replication_improves_availability_composition_shows_it() {
+        // The P3 claim in numbers: composing guarantees without re-measuring.
+        let single = db_tier();
+        let tri = single.compose_parallel(&single).compose_parallel(&single);
+        assert!(tri.get(NfrKind::Availability).unwrap() > 0.9999);
+    }
+
+    #[test]
+    fn targets_and_satisfaction() {
+        let t = NfrTarget::new(NfrKind::LatencyP95, 0.1);
+        assert!(t.satisfied_by(0.05));
+        assert!(!t.satisfied_by(0.2));
+        let t2 = NfrTarget::new(NfrKind::Availability, 0.99);
+        assert!(t2.satisfied_by(0.999));
+        assert!(!t2.satisfied_by(0.95));
+    }
+
+    #[test]
+    fn profile_satisfies_and_unknown_kind_fails() {
+        let app = web_tier();
+        assert!(app.satisfies(&[
+            NfrTarget::new(NfrKind::LatencyP95, 0.1),
+            NfrTarget::new(NfrKind::Throughput, 500.0),
+        ]));
+        // Target on a kind the profile does not report: not satisfied.
+        assert!(!app.satisfies(&[NfrTarget::new(NfrKind::Security, 0.5)]));
+    }
+
+    #[test]
+    fn score_ranks_better_profiles_higher() {
+        let targets = vec![
+            NfrTarget::new(NfrKind::LatencyP95, 0.1),
+            NfrTarget::new(NfrKind::CostPerHour, 5.0),
+        ];
+        let cheap_fast = NfrProfile::new()
+            .with(NfrKind::LatencyP95, 0.02)
+            .with(NfrKind::CostPerHour, 1.0);
+        let slow_pricey = NfrProfile::new()
+            .with(NfrKind::LatencyP95, 0.09)
+            .with(NfrKind::CostPerHour, 4.9);
+        assert!(cheap_fast.score(&targets) > slow_pricey.score(&targets));
+    }
+
+    #[test]
+    fn margins_signed_correctly() {
+        let lat = NfrTarget::new(NfrKind::LatencyP95, 0.1);
+        assert!(lat.margin(0.05) > 0.0);
+        assert!(lat.margin(0.2) < 0.0);
+        let thr = NfrTarget::new(NfrKind::Throughput, 100.0);
+        assert!(thr.margin(150.0) > 0.0);
+        assert!(thr.margin(50.0) < 0.0);
+    }
+
+    #[test]
+    fn schedule_switches_targets_over_time() {
+        let schedule = NfrSchedule::new()
+            .phase(0.0, vec![NfrTarget::new(NfrKind::LatencyP95, 0.5)])
+            .phase(3600.0, vec![NfrTarget::new(NfrKind::LatencyP95, 0.05)]);
+        assert_eq!(schedule.targets_at(10.0)[0].bound, 0.5);
+        assert_eq!(schedule.targets_at(4000.0)[0].bound, 0.05);
+        assert!(NfrSchedule::new().targets_at(1.0).is_empty());
+    }
+
+    #[test]
+    fn composition_handles_one_sided_kinds() {
+        let a = NfrProfile::new().with(NfrKind::Security, 0.8);
+        let b = NfrProfile::new().with(NfrKind::LatencyP95, 0.1);
+        let c = a.compose_serial(&b);
+        assert_eq!(c.get(NfrKind::Security), Some(0.8));
+        assert_eq!(c.get(NfrKind::LatencyP95), Some(0.1));
+    }
+}

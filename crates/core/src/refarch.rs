@@ -1,0 +1,184 @@
+//! Reference architectures as data: the paper's Figures 1, 3, 4, and 5.
+//!
+//! The paper argues (C9, §6.1, §6.5) that community reference architectures
+//! are the navigation charts of ecosystems. This module encodes the four
+//! figures as validated layer structures and provides deployment-coverage
+//! checking — the "highlighted components cover the minimum set of layers
+//! necessary for execution" analysis of Figure 1.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// One layer of a reference architecture.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Layer {
+    /// Layer name.
+    pub name: String,
+    /// Example components that live in this layer.
+    pub example_components: Vec<String>,
+    /// Whether a working deployment must cover this layer.
+    pub mandatory: bool,
+}
+
+/// A reference architecture: ordered layers, top (user-facing) first.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReferenceArchitecture {
+    /// Architecture name.
+    pub name: String,
+    /// The layers, user-facing first.
+    pub layers: Vec<Layer>,
+}
+
+impl ReferenceArchitecture {
+    /// Number of layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The layer that contains `component`, if any.
+    pub fn layer_of(&self, component: &str) -> Option<&Layer> {
+        self.layers
+            .iter()
+            .find(|l| l.example_components.iter().any(|c| c == component))
+    }
+
+    /// Checks whether a deployment (a set of component names) covers every
+    /// mandatory layer; returns the names of uncovered mandatory layers.
+    pub fn coverage_gaps(&self, deployment: &[&str]) -> Vec<String> {
+        let chosen: BTreeSet<&str> = deployment.iter().copied().collect();
+        self.layers
+            .iter()
+            .filter(|l| {
+                l.mandatory
+                    && !l.example_components.iter().any(|c| chosen.contains(c.as_str()))
+            })
+            .map(|l| l.name.clone())
+            .collect()
+    }
+
+    /// True when the deployment covers all mandatory layers.
+    pub fn is_executable(&self, deployment: &[&str]) -> bool {
+        self.coverage_gaps(deployment).is_empty()
+    }
+}
+
+fn layer(name: &str, components: &[&str], mandatory: bool) -> Layer {
+    Layer {
+        name: name.to_owned(),
+        example_components: components.iter().map(|c| (*c).to_owned()).collect(),
+        mandatory,
+    }
+}
+
+/// Figure 1: the big-data ecosystem (four conceptual layers).
+pub fn bigdata_refarch() -> ReferenceArchitecture {
+    ReferenceArchitecture {
+        name: "big-data (Fig. 1)".into(),
+        layers: vec![
+            layer("High-Level Language", &["Pig", "Hive", "mcs-dataflow"], false),
+            layer(
+                "Programming Model",
+                &["MapReduce", "Pregel", "mcs-mapreduce", "mcs-bsp"],
+                true,
+            ),
+            layer(
+                "Execution Engine",
+                &["Hadoop", "Giraph", "mcs-mapreduce-engine", "mcs-bsp-engine"],
+                true,
+            ),
+            layer("Storage Engine", &["HDFS", "mcs-blockstore"], true),
+        ],
+    }
+}
+
+/// Figure 3: the datacenter reference architecture (5 core layers + DevOps).
+pub fn datacenter_refarch() -> ReferenceArchitecture {
+    ReferenceArchitecture {
+        name: "datacenter (Fig. 3)".into(),
+        layers: vec![
+            layer("Front-end", &["app-frontend", "api-gateway"], true),
+            layer("Back-end", &["task-manager", "mcs-scheduler"], true),
+            layer("Resources", &["resource-manager", "mcs-provisioner"], true),
+            layer("Operations Service", &["naming", "locking", "mcs-simcore"], false),
+            layer("Infrastructure", &["machines", "mcs-infra"], true),
+            layer("DevOps", &["monitoring", "logging", "benchmarking"], false),
+        ],
+    }
+}
+
+/// Figure 4: the online-gaming functional architecture.
+pub fn gaming_refarch() -> ReferenceArchitecture {
+    ReferenceArchitecture {
+        name: "online gaming (Fig. 4)".into(),
+        layers: vec![
+            layer("Virtual World", &["zone-servers", "mcs-world"], true),
+            layer("Gaming Analytics", &["social-graph", "mcs-social"], false),
+            layer("Procedural Content Generation", &["puzzle-gen", "mcs-pcg"], false),
+            layer("Social Meta-Gaming", &["tournaments", "spectating", "mcs-metagame"], false),
+        ],
+    }
+}
+
+/// Figure 5: the FaaS reference architecture.
+pub fn faas_refarch() -> ReferenceArchitecture {
+    ReferenceArchitecture {
+        name: "FaaS (Fig. 5)".into(),
+        layers: vec![
+            layer("Function Composition", &["workflow-engine", "mcs-composition"], false),
+            layer("Function Management", &["router", "instance-pool", "mcs-faas-platform"], true),
+            layer("Resource Orchestration", &["kubernetes", "mcs-rms"], true),
+            layer("Resources", &["vms", "mcs-infra"], true),
+        ],
+    }
+}
+
+/// The registry of all four encoded figures.
+pub fn all_refarchs() -> Vec<ReferenceArchitecture> {
+    vec![bigdata_refarch(), datacenter_refarch(), gaming_refarch(), faas_refarch()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_architectures_encoded() {
+        let all = all_refarchs();
+        assert_eq!(all.len(), 4);
+        for arch in &all {
+            assert!(arch.depth() >= 4, "{} too shallow", arch.name);
+            assert!(arch.layers.iter().any(|l| l.mandatory));
+        }
+    }
+
+    #[test]
+    fn fig1_mapreduce_minimum_set() {
+        // The Fig. 1 highlight: MapReduce + engine + storage suffice; the
+        // HLL layer is optional.
+        let arch = bigdata_refarch();
+        assert!(arch.is_executable(&["MapReduce", "Hadoop", "HDFS"]));
+        assert!(!arch.is_executable(&["Pig", "MapReduce", "Hadoop"]));
+        let gaps = arch.coverage_gaps(&["MapReduce"]);
+        assert_eq!(gaps, vec!["Execution Engine".to_owned(), "Storage Engine".to_owned()]);
+    }
+
+    #[test]
+    fn layer_lookup() {
+        let arch = faas_refarch();
+        assert_eq!(arch.layer_of("kubernetes").unwrap().name, "Resource Orchestration");
+        assert!(arch.layer_of("not-a-thing").is_none());
+    }
+
+    #[test]
+    fn datacenter_devops_is_orthogonal() {
+        let arch = datacenter_refarch();
+        let devops = arch.layers.iter().find(|l| l.name == "DevOps").unwrap();
+        assert!(!devops.mandatory);
+        assert!(arch.is_executable(&[
+            "app-frontend",
+            "mcs-scheduler",
+            "resource-manager",
+            "machines",
+        ]));
+    }
+}

@@ -1,0 +1,286 @@
+//! Self-awareness: MAPE-K feedback loops and emergence detection.
+//!
+//! Principle P4 makes self-awareness "a key building block, without which
+//! scalability and efficiency … are not attainable"; C6 catalogs the
+//! adaptation approaches. This module provides the classic
+//! Monitor–Analyze–Plan–Execute loop over a knowledge base, a z-score
+//! anomaly detector, and a dispersion-based emergence detector (P9:
+//! "constantly monitoring for evolutionary and emergent behavior").
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// What the analyzer concluded about the latest observation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Analysis {
+    /// Within expectations.
+    Nominal,
+    /// Above the target band.
+    TooHigh,
+    /// Below the target band.
+    TooLow,
+    /// Statistically anomalous relative to recent history.
+    Anomalous,
+}
+
+/// A planned adaptation action.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Action {
+    /// Do nothing.
+    Hold,
+    /// Add `usize` units of capacity.
+    ScaleUp(usize),
+    /// Remove `usize` units of capacity.
+    ScaleDown(usize),
+    /// Raise an alert for the human in the loop (P2: humans can still
+    /// shape and control the loop).
+    Alert,
+}
+
+/// The knowledge base of the loop: bounded observation history.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Knowledge {
+    window: VecDeque<f64>,
+    capacity: usize,
+}
+
+impl Knowledge {
+    /// A knowledge base retaining `capacity` observations.
+    pub fn new(capacity: usize) -> Self {
+        Knowledge { window: VecDeque::new(), capacity: capacity.max(2) }
+    }
+
+    /// Records an observation.
+    pub fn record(&mut self, value: f64) {
+        if self.window.len() == self.capacity {
+            self.window.pop_front();
+        }
+        self.window.push_back(value);
+    }
+
+    /// Mean of the retained window.
+    pub fn mean(&self) -> f64 {
+        if self.window.is_empty() {
+            0.0
+        } else {
+            self.window.iter().sum::<f64>() / self.window.len() as f64
+        }
+    }
+
+    /// Standard deviation of the retained window.
+    pub fn std_dev(&self) -> f64 {
+        let n = self.window.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        (self.window.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64).sqrt()
+    }
+
+    /// Number of retained observations.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// True when no observations are retained.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+}
+
+/// A MAPE-K loop controlling a scalar metric toward a target band.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MapeLoop {
+    /// Lower edge of the acceptable band.
+    pub low: f64,
+    /// Upper edge of the acceptable band.
+    pub high: f64,
+    /// Z-score above which an observation is anomalous.
+    pub anomaly_z: f64,
+    /// Units of capacity to adjust per action.
+    pub step: usize,
+    knowledge: Knowledge,
+    actions: Vec<Action>,
+}
+
+impl MapeLoop {
+    /// A loop holding the metric inside `[low, high]`.
+    ///
+    /// # Panics
+    /// Panics when the band is empty.
+    pub fn new(low: f64, high: f64) -> Self {
+        assert!(low < high, "band must be non-empty");
+        MapeLoop {
+            low,
+            high,
+            anomaly_z: 4.0,
+            step: 1,
+            knowledge: Knowledge::new(64),
+            actions: Vec::new(),
+        }
+    }
+
+    /// The knowledge base.
+    pub fn knowledge(&self) -> &Knowledge {
+        &self.knowledge
+    }
+
+    /// The action log.
+    pub fn actions(&self) -> &[Action] {
+        &self.actions
+    }
+
+    /// Monitor: ingest an observation; Analyze, Plan, and return the action
+    /// to Execute.
+    pub fn observe(&mut self, value: f64) -> Action {
+        // Analyze.
+        let analysis = if self.knowledge.len() >= 8 && self.knowledge.std_dev() > 1e-12 {
+            let z = (value - self.knowledge.mean()).abs() / self.knowledge.std_dev();
+            if z > self.anomaly_z {
+                Analysis::Anomalous
+            } else {
+                self.band_analysis(value)
+            }
+        } else {
+            self.band_analysis(value)
+        };
+        self.knowledge.record(value);
+        // Plan.
+        let action = match analysis {
+            Analysis::Nominal => Action::Hold,
+            Analysis::TooHigh => Action::ScaleUp(self.step),
+            Analysis::TooLow => Action::ScaleDown(self.step),
+            Analysis::Anomalous => Action::Alert,
+        };
+        self.actions.push(action);
+        action
+    }
+
+    fn band_analysis(&self, value: f64) -> Analysis {
+        if value > self.high {
+            Analysis::TooHigh
+        } else if value < self.low {
+            Analysis::TooLow
+        } else {
+            Analysis::Nominal
+        }
+    }
+}
+
+/// Emergence detector (P9): flags when the *dispersion* of a fleet-wide
+/// metric grows far beyond its historical level — the statistical signature
+/// of emergent, correlated behaviour (flash crowds, cascades, thundering
+/// herds) as opposed to independent noise.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmergenceDetector {
+    baseline: Knowledge,
+    /// Dispersion growth factor that triggers detection.
+    pub factor: f64,
+}
+
+impl EmergenceDetector {
+    /// A detector with the given trigger factor over a baseline window.
+    pub fn new(window: usize, factor: f64) -> Self {
+        EmergenceDetector { baseline: Knowledge::new(window), factor }
+    }
+
+    /// Feeds the per-interval dispersion (e.g. variance of per-node load)
+    /// and returns true when emergence is detected.
+    pub fn observe_dispersion(&mut self, dispersion: f64) -> bool {
+        let trained = self.baseline.len() >= 8;
+        let mean = self.baseline.mean();
+        let emergent = trained && dispersion > mean * self.factor && mean > 1e-12;
+        // Only absorb nominal observations into the baseline so a sustained
+        // event does not normalize itself away.
+        if !emergent {
+            self.baseline.record(dispersion);
+        }
+        emergent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knowledge_window_is_bounded() {
+        let mut k = Knowledge::new(4);
+        for i in 0..10 {
+            k.record(i as f64);
+        }
+        assert_eq!(k.len(), 4);
+        assert!((k.mean() - 7.5).abs() < 1e-12); // 6,7,8,9
+    }
+
+    #[test]
+    fn loop_holds_in_band() {
+        let mut l = MapeLoop::new(0.3, 0.7);
+        assert_eq!(l.observe(0.5), Action::Hold);
+        assert_eq!(l.observe(0.9), Action::ScaleUp(1));
+        assert_eq!(l.observe(0.1), Action::ScaleDown(1));
+        assert_eq!(l.actions().len(), 3);
+    }
+
+    #[test]
+    fn loop_converges_a_simple_plant() {
+        // Plant: utilization = load / capacity; loop adjusts capacity.
+        let mut l = MapeLoop::new(0.4, 0.8);
+        let load = 40.0;
+        let mut capacity = 10.0f64;
+        for _ in 0..50 {
+            let util = load / capacity;
+            match l.observe(util) {
+                Action::ScaleUp(s) => capacity += s as f64 * 10.0,
+                Action::ScaleDown(s) => capacity -= s as f64 * 10.0,
+                _ => {}
+            }
+            capacity = capacity.max(10.0);
+        }
+        let final_util = load / capacity;
+        assert!(
+            (0.4..=0.8).contains(&final_util),
+            "did not converge: util {final_util}, capacity {capacity}"
+        );
+    }
+
+    #[test]
+    fn anomaly_raises_alert_not_scaling() {
+        let mut l = MapeLoop::new(0.0, 100.0);
+        for _ in 0..20 {
+            l.observe(50.0 + 0.01 * (l.knowledge().len() as f64));
+        }
+        // A wild spike inside the band is still anomalous.
+        assert_eq!(l.observe(99.0), Action::Alert);
+    }
+
+    #[test]
+    #[should_panic(expected = "band must be non-empty")]
+    fn empty_band_rejected() {
+        let _ = MapeLoop::new(1.0, 1.0);
+    }
+
+    #[test]
+    fn emergence_detected_only_after_training() {
+        let mut d = EmergenceDetector::new(32, 3.0);
+        // No detection while the baseline is untrained.
+        assert!(!d.observe_dispersion(100.0));
+        for _ in 0..16 {
+            assert!(!d.observe_dispersion(1.0));
+        }
+        assert!(d.observe_dispersion(50.0), "50x dispersion must be flagged");
+        // Nominal dispersion is still fine afterwards.
+        assert!(!d.observe_dispersion(1.2));
+    }
+
+    #[test]
+    fn sustained_emergence_keeps_firing() {
+        let mut d = EmergenceDetector::new(32, 3.0);
+        for _ in 0..16 {
+            d.observe_dispersion(1.0);
+        }
+        for _ in 0..5 {
+            assert!(d.observe_dispersion(10.0));
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Service-level agreements over the NFR vocabulary.
+//!
+//! The paper (P3, C3) distinguishes service-level *objectives* (per-property
+//! targets) from the overall *agreement* (objectives + penalties + review
+//! window). An SLA here is evaluated against a measured [`NfrProfile`],
+//! producing a violation report and penalty — the machinery the banking use
+//! case (§6.4, PSD2 deadlines) exercises.
+
+use crate::nfr::{NfrProfile, NfrTarget};
+use serde::{Deserialize, Serialize};
+
+/// One objective inside an agreement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Slo {
+    /// Human-readable name ("p95 latency under 100 ms").
+    pub name: String,
+    /// The measurable target.
+    pub target: NfrTarget,
+    /// Penalty charged per review window when violated.
+    pub penalty: f64,
+}
+
+/// A service-level agreement: objectives plus a service credit cap.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sla {
+    /// Agreement name.
+    pub name: String,
+    /// The objectives.
+    pub slos: Vec<Slo>,
+    /// Cap on total penalty per review window.
+    pub penalty_cap: f64,
+}
+
+/// One objective's evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloOutcome {
+    /// The objective's name.
+    pub name: String,
+    /// The measured value, when the profile reported one.
+    pub measured: Option<f64>,
+    /// Whether the objective was met.
+    pub met: bool,
+    /// The satisfaction margin (positive = met with room).
+    pub margin: f64,
+}
+
+/// The agreement-level evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlaReport {
+    /// Per-objective outcomes.
+    pub outcomes: Vec<SloOutcome>,
+    /// Number of violated objectives.
+    pub violations: usize,
+    /// Penalty due (capped).
+    pub penalty: f64,
+    /// True when every objective was met.
+    pub compliant: bool,
+}
+
+impl Sla {
+    /// Evaluates the agreement against a measured profile.
+    pub fn evaluate(&self, measured: &NfrProfile) -> SlaReport {
+        let mut outcomes = Vec::with_capacity(self.slos.len());
+        let mut penalty = 0.0;
+        for slo in &self.slos {
+            let value = measured.get(slo.target.kind);
+            let met = value.map(|v| slo.target.satisfied_by(v)).unwrap_or(false);
+            let margin = value.map(|v| slo.target.margin(v)).unwrap_or(-1.0);
+            if !met {
+                penalty += slo.penalty;
+            }
+            outcomes.push(SloOutcome { name: slo.name.clone(), measured: value, met, margin });
+        }
+        let violations = outcomes.iter().filter(|o| !o.met).count();
+        SlaReport {
+            violations,
+            penalty: penalty.min(self.penalty_cap),
+            compliant: violations == 0,
+            outcomes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfr::NfrKind;
+
+    fn sla() -> Sla {
+        Sla {
+            name: "gold".into(),
+            slos: vec![
+                Slo {
+                    name: "p95 < 100ms".into(),
+                    target: NfrTarget::new(NfrKind::LatencyP95, 0.1),
+                    penalty: 100.0,
+                },
+                Slo {
+                    name: "availability ≥ 99.9%".into(),
+                    target: NfrTarget::new(NfrKind::Availability, 0.999),
+                    penalty: 500.0,
+                },
+            ],
+            penalty_cap: 450.0,
+        }
+    }
+
+    #[test]
+    fn compliant_profile() {
+        let measured = NfrProfile::new()
+            .with(NfrKind::LatencyP95, 0.05)
+            .with(NfrKind::Availability, 0.9995);
+        let report = sla().evaluate(&measured);
+        assert!(report.compliant);
+        assert_eq!(report.violations, 0);
+        assert_eq!(report.penalty, 0.0);
+        assert!(report.outcomes.iter().all(|o| o.met && o.margin > 0.0));
+    }
+
+    #[test]
+    fn violations_accumulate_penalty_with_cap() {
+        let measured = NfrProfile::new()
+            .with(NfrKind::LatencyP95, 0.3)
+            .with(NfrKind::Availability, 0.98);
+        let report = sla().evaluate(&measured);
+        assert_eq!(report.violations, 2);
+        // 100 + 500 capped at 450.
+        assert_eq!(report.penalty, 450.0);
+        assert!(!report.compliant);
+    }
+
+    #[test]
+    fn missing_measurement_is_a_violation() {
+        let measured = NfrProfile::new().with(NfrKind::LatencyP95, 0.05);
+        let report = sla().evaluate(&measured);
+        assert_eq!(report.violations, 1);
+        let avail = report.outcomes.iter().find(|o| o.name.contains("availability")).unwrap();
+        assert!(avail.measured.is_none());
+        assert!(!avail.met);
+    }
+}

@@ -1,0 +1,173 @@
+//! Operational transparency (C13): "support for showing and explaining the
+//! operation of the ecosystem to all stakeholders, continuously".
+//!
+//! The paper envisions operators with "a duty, possibly legislated, to
+//! continuously and transparently inform stakeholders on a variety of
+//! operational properties, including risk … cost … and legal aspects".
+//! [`OperationalReport`] aggregates the platform's measured quantities into
+//! one structure with a plain-language rendering per stakeholder audience.
+
+use crate::sla::SlaReport;
+use serde::{Deserialize, Serialize};
+
+/// Who the explanation is for; wording and selection change per audience
+/// (the C13 requirement to address "stakeholders with different levels of
+/// sophistication").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Audience {
+    /// Site reliability / operations engineers: everything, precise.
+    Operator,
+    /// Paying customers: SLOs, incidents, credits.
+    Customer,
+    /// The general public / regulators: availability, incidents, energy.
+    Public,
+}
+
+/// One reporting window's operational facts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OperationalReport {
+    /// Reporting window length, hours.
+    pub window_hours: f64,
+    /// Measured availability in `[0, 1]`.
+    pub availability: f64,
+    /// Number of user-visible incidents (outages crossing the degradation
+    /// threshold).
+    pub incidents: usize,
+    /// Longest single degradation, minutes.
+    pub longest_incident_mins: f64,
+    /// Energy consumed, kWh.
+    pub energy_kwh: f64,
+    /// Money spent operating, currency units.
+    pub cost: f64,
+    /// The SLA evaluation of the window, if an SLA is in force.
+    pub sla: Option<SlaReport>,
+}
+
+impl OperationalReport {
+    /// Renders the report for an audience.
+    pub fn render(&self, audience: Audience) -> String {
+        let nines = |a: f64| format!("{:.4}%", a * 100.0);
+        match audience {
+            Audience::Operator => {
+                let mut s = format!(
+                    "window {:.0}h: availability {}, {} incident(s), longest {:.1} min, \
+                     {:.1} kWh, cost {:.2}",
+                    self.window_hours,
+                    nines(self.availability),
+                    self.incidents,
+                    self.longest_incident_mins,
+                    self.energy_kwh,
+                    self.cost,
+                );
+                if let Some(sla) = &self.sla {
+                    s.push_str(&format!(
+                        "; SLA: {} violation(s), penalty {:.2}",
+                        sla.violations, sla.penalty
+                    ));
+                    for o in &sla.outcomes {
+                        s.push_str(&format!(
+                            " [{} {} margin {:+.3}]",
+                            o.name,
+                            if o.met { "met" } else { "MISSED" },
+                            o.margin
+                        ));
+                    }
+                }
+                s
+            }
+            Audience::Customer => {
+                let mut s = format!(
+                    "In the last {:.0} hours the service was available {} of the time",
+                    self.window_hours,
+                    nines(self.availability),
+                );
+                if self.incidents > 0 {
+                    s.push_str(&format!(
+                        ", with {} incident(s); the longest lasted {:.0} minutes",
+                        self.incidents, self.longest_incident_mins
+                    ));
+                }
+                match &self.sla {
+                    Some(sla) if !sla.compliant => s.push_str(&format!(
+                        ". Your agreement was missed; a service credit of {:.2} applies.",
+                        sla.penalty
+                    )),
+                    Some(_) => s.push_str(". All service-level objectives were met."),
+                    None => s.push('.'),
+                }
+                s
+            }
+            Audience::Public => format!(
+                "Service availability: {}. Incidents: {}. Energy used: {:.0} kWh.",
+                nines(self.availability),
+                self.incidents,
+                self.energy_kwh,
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfr::{NfrKind, NfrProfile, NfrTarget};
+    use crate::sla::{Sla, Slo};
+
+    fn report(compliant: bool) -> OperationalReport {
+        let sla = Sla {
+            name: "t".into(),
+            slos: vec![Slo {
+                name: "availability".into(),
+                target: NfrTarget::new(NfrKind::Availability, 0.999),
+                penalty: 42.0,
+            }],
+            penalty_cap: 100.0,
+        };
+        let measured = NfrProfile::new()
+            .with(NfrKind::Availability, if compliant { 0.9995 } else { 0.99 });
+        OperationalReport {
+            window_hours: 720.0,
+            availability: if compliant { 0.9995 } else { 0.99 },
+            incidents: if compliant { 0 } else { 3 },
+            longest_incident_mins: if compliant { 0.0 } else { 47.0 },
+            energy_kwh: 1234.0,
+            cost: 5678.0,
+            sla: Some(sla.evaluate(&measured)),
+        }
+    }
+
+    #[test]
+    fn operator_view_has_everything() {
+        let s = report(false).render(Audience::Operator);
+        assert!(s.contains("kWh"));
+        assert!(s.contains("penalty 42.00"));
+        assert!(s.contains("MISSED"));
+        assert!(s.contains("cost"));
+    }
+
+    #[test]
+    fn customer_view_mentions_credit_only_when_missed() {
+        let missed = report(false).render(Audience::Customer);
+        assert!(missed.contains("service credit of 42.00"));
+        let met = report(true).render(Audience::Customer);
+        assert!(met.contains("All service-level objectives were met"));
+        assert!(!met.contains("credit"));
+    }
+
+    #[test]
+    fn public_view_is_minimal() {
+        let s = report(false).render(Audience::Public);
+        assert!(s.contains("availability"));
+        assert!(s.contains("Energy"));
+        assert!(!s.contains("penalty"));
+        assert!(!s.contains("cost"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = report(true);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: OperationalReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

@@ -1,0 +1,190 @@
+//! The Function Composition Layer of Figure 5: workflows of functions.
+//!
+//! User-defined functions "interact with each other through an event-driven
+//! paradigm … these FaaS workloads can often be modeled as (complex)
+//! workflows" (§6.5). A composition is a sequence of stages; each stage
+//! invokes one function or a parallel fan-out, and the layer adds a
+//! meta-scheduling overhead per step — the quantity the Figure 5 experiment
+//! sweeps against workflow depth.
+
+use crate::platform::{FaasPlatform, InvocationResult};
+use mcs_simcore::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One stage of a composition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Stage {
+    /// Invoke a single function.
+    Call(String),
+    /// Invoke several functions in parallel; the stage completes when all do.
+    Parallel(Vec<String>),
+}
+
+/// A function workflow: stages executed in order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Composition {
+    /// Workflow name.
+    pub name: String,
+    /// Stages, in execution order.
+    pub stages: Vec<Stage>,
+    /// Meta-scheduling overhead the composition layer adds per stage
+    /// transition, seconds.
+    pub step_overhead_secs: f64,
+}
+
+impl Composition {
+    /// A linear chain over the given function names.
+    pub fn chain(name: &str, functions: &[&str]) -> Self {
+        Composition {
+            name: name.to_owned(),
+            stages: functions.iter().map(|f| Stage::Call((*f).to_owned())).collect(),
+            step_overhead_secs: 0.01,
+        }
+    }
+
+    /// Number of stages.
+    pub fn depth(&self) -> usize {
+        self.stages.len()
+    }
+}
+
+/// The result of one workflow execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompositionResult {
+    /// Workflow name.
+    pub name: String,
+    /// Start instant.
+    pub started: SimTime,
+    /// Completion instant.
+    pub finished: SimTime,
+    /// End-to-end latency, seconds.
+    pub latency_secs: f64,
+    /// Seconds spent purely in function execution.
+    pub exec_secs: f64,
+    /// Seconds added by the composition layer (step overheads).
+    pub overhead_secs: f64,
+    /// Cold starts encountered.
+    pub cold_starts: usize,
+    /// Every underlying invocation.
+    pub invocations: Vec<InvocationResult>,
+}
+
+/// Executes `composition` once on `platform`, starting at `at`.
+pub fn execute_composition(
+    platform: &mut FaasPlatform,
+    composition: &Composition,
+    at: SimTime,
+) -> CompositionResult {
+    let mut now = at;
+    let mut all = Vec::new();
+    let mut overhead = 0.0f64;
+    for (i, stage) in composition.stages.iter().enumerate() {
+        if i > 0 {
+            overhead += composition.step_overhead_secs;
+            now += SimDuration::from_secs_f64(composition.step_overhead_secs);
+        }
+        let calls: Vec<String> = match stage {
+            Stage::Call(f) => vec![f.clone()],
+            Stage::Parallel(fs) => fs.clone(),
+        };
+        let results: Vec<_> = calls.iter().map(|f| platform.invoke(f, now)).collect();
+        let stage_end = results.iter().map(|r| r.finished).max().unwrap_or(now);
+        all.extend(results);
+        now = stage_end;
+    }
+    let exec_secs = all.iter().map(|r| r.exec_secs).sum();
+    CompositionResult {
+        name: composition.name.clone(),
+        started: at,
+        finished: now,
+        latency_secs: (now - at).as_secs_f64(),
+        exec_secs,
+        overhead_secs: overhead,
+        cold_starts: all.iter().filter(|r| r.cold).count(),
+        invocations: all,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::{FunctionSpec, KeepAlivePolicy};
+    use mcs_simcore::dist::Dist;
+
+    fn platform() -> FaasPlatform {
+        let mut p = FaasPlatform::new(KeepAlivePolicy::Fixed(SimDuration::from_secs(600)), 1);
+        for name in ["extract", "transform", "load"] {
+            p.deploy(FunctionSpec {
+                name: name.to_owned(),
+                memory_gb: 0.5,
+                exec_time: Dist::constant(0.1),
+                cold_start_secs: 1.0,
+                warm_start_secs: 0.0,
+            });
+        }
+        p
+    }
+
+    #[test]
+    fn chain_latency_is_sum_of_stages() {
+        let mut p = platform();
+        let wf = Composition {
+            step_overhead_secs: 0.05,
+            ..Composition::chain("etl", &["extract", "transform", "load"])
+        };
+        let r = execute_composition(&mut p, &wf, SimTime::ZERO);
+        // 3 cold starts (1.0) + 3 execs (0.1) + 2 overheads (0.05).
+        assert!((r.latency_secs - (3.0 * 1.1 + 0.1)).abs() < 1e-9, "{}", r.latency_secs);
+        assert_eq!(r.cold_starts, 3);
+        assert!((r.overhead_secs - 0.1).abs() < 1e-12);
+        assert!((r.exec_secs - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn second_run_is_warm() {
+        let mut p = platform();
+        let wf = Composition::chain("etl", &["extract", "transform", "load"]);
+        let first = execute_composition(&mut p, &wf, SimTime::ZERO);
+        let second = execute_composition(&mut p, &wf, SimTime::from_secs(30));
+        assert_eq!(first.cold_starts, 3);
+        assert_eq!(second.cold_starts, 0);
+        assert!(second.latency_secs < first.latency_secs / 2.0);
+    }
+
+    #[test]
+    fn parallel_stage_takes_max_not_sum() {
+        let mut p = platform();
+        let fan = Composition {
+            name: "fan".into(),
+            stages: vec![Stage::Parallel(vec![
+                "extract".into(),
+                "transform".into(),
+                "load".into(),
+            ])],
+            step_overhead_secs: 0.0,
+        };
+        let r = execute_composition(&mut p, &fan, SimTime::ZERO);
+        // All three in parallel, cold: 1.0 + 0.1.
+        assert!((r.latency_secs - 1.1).abs() < 1e-9, "{}", r.latency_secs);
+        assert_eq!(r.invocations.len(), 3);
+    }
+
+    #[test]
+    fn overhead_grows_with_depth() {
+        let mut p = platform();
+        // Warm everything first.
+        let warmup = Composition::chain("w", &["extract"]);
+        let _ = execute_composition(&mut p, &warmup, SimTime::ZERO);
+        let deep = Composition {
+            step_overhead_secs: 0.2,
+            ..Composition::chain(
+                "deep",
+                &["extract", "extract", "extract", "extract", "extract"],
+            )
+        };
+        let r = execute_composition(&mut p, &deep, SimTime::from_secs(10));
+        assert!((r.overhead_secs - 0.8).abs() < 1e-12);
+        assert_eq!(r.cold_starts, 0);
+        assert_eq!(deep.depth(), 5);
+    }
+}

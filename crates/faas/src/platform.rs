@@ -1,0 +1,392 @@
+//! The Function Management Layer of the Figure 5 FaaS reference
+//! architecture: instance pools, cold/warm starts, keep-alive policies,
+//! routing, and fine-grained billing (§6.5: "billed at a very fine
+//! resource-granularity").
+
+use mcs_simcore::dist::{Dist, Sample};
+use mcs_simcore::metrics::Summary;
+use mcs_simcore::rng::RngStream;
+use mcs_simcore::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A deployed cloud function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FunctionSpec {
+    /// Unique function name.
+    pub name: String,
+    /// Memory footprint, GiB (the billing unit).
+    pub memory_gb: f64,
+    /// Execution-time distribution, seconds.
+    pub exec_time: Dist,
+    /// Cold-start delay (runtime + dependency initialization), seconds.
+    pub cold_start_secs: f64,
+    /// Warm-start overhead, seconds.
+    pub warm_start_secs: f64,
+}
+
+impl FunctionSpec {
+    /// A typical small API-handler function.
+    pub fn api_handler(name: &str) -> Self {
+        FunctionSpec {
+            name: name.to_owned(),
+            memory_gb: 0.25,
+            exec_time: Dist::Gamma { shape: 2.0, scale: 0.01 }, // ~20 ms
+            cold_start_secs: 0.8,
+            warm_start_secs: 0.002,
+        }
+    }
+
+    /// A heavier data-processing function.
+    pub fn data_processor(name: &str) -> Self {
+        FunctionSpec {
+            name: name.to_owned(),
+            memory_gb: 2.0,
+            exec_time: Dist::Gamma { shape: 2.0, scale: 1.0 }, // ~2 s
+            cold_start_secs: 2.5,
+            warm_start_secs: 0.005,
+        }
+    }
+}
+
+/// How long an idle instance is kept warm before reclamation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum KeepAlivePolicy {
+    /// Reclaim immediately (every invocation is cold — the no-pool baseline).
+    None,
+    /// Keep idle instances for a fixed window (the industry default).
+    Fixed(SimDuration),
+}
+
+impl KeepAlivePolicy {
+    fn window(&self) -> SimDuration {
+        match self {
+            KeepAlivePolicy::None => SimDuration::ZERO,
+            KeepAlivePolicy::Fixed(d) => *d,
+        }
+    }
+}
+
+/// One function invocation request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Invocation {
+    /// Which function to run.
+    pub function: String,
+    /// Arrival instant.
+    pub at: SimTime,
+}
+
+/// The result of one invocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InvocationResult {
+    /// Which function ran.
+    pub function: String,
+    /// Arrival instant.
+    pub at: SimTime,
+    /// Completion instant.
+    pub finished: SimTime,
+    /// Whether a new instance had to cold-start.
+    pub cold: bool,
+    /// End-to-end latency, seconds.
+    pub latency_secs: f64,
+    /// Pure execution time, seconds (billed).
+    pub exec_secs: f64,
+}
+
+/// Platform-level metrics of one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformReport {
+    /// All invocation results, in completion order per function.
+    pub invocations: Vec<InvocationResult>,
+    /// Fraction of invocations that cold-started.
+    pub cold_fraction: f64,
+    /// Latency distribution, seconds.
+    pub latency: Option<Summary>,
+    /// GB-seconds billed to customers (execution only).
+    pub billed_gb_secs: f64,
+    /// GB-seconds of provider-side instance lifetime (including idle
+    /// keep-alive): the provider's cost of the warm pool.
+    pub provider_gb_secs: f64,
+    /// Peak concurrent instances across functions.
+    pub peak_instances: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Instance {
+    free_at: SimTime,
+    started_at: SimTime,
+    last_used: SimTime,
+}
+
+/// The FaaS platform simulator. Instance pools persist across calls, so
+/// warmth carries over between [`FaasPlatform::invoke`] calls and workflow
+/// stages; [`FaasPlatform::run`] finalizes and resets the platform.
+#[derive(Debug)]
+pub struct FaasPlatform {
+    functions: HashMap<String, FunctionSpec>,
+    keep_alive: KeepAlivePolicy,
+    rng: RngStream,
+    pools: HashMap<String, Vec<Instance>>,
+    last_invoke_at: SimTime,
+    log: Vec<InvocationResult>,
+    billed: f64,
+    provider: f64,
+    lifetime_events: Vec<(SimTime, i64)>,
+}
+
+impl FaasPlatform {
+    /// Creates a platform with the given keep-alive policy.
+    pub fn new(keep_alive: KeepAlivePolicy, seed: u64) -> Self {
+        FaasPlatform {
+            functions: HashMap::new(),
+            keep_alive,
+            rng: RngStream::new(seed, "faas"),
+            pools: HashMap::new(),
+            last_invoke_at: SimTime::ZERO,
+            log: Vec::new(),
+            billed: 0.0,
+            provider: 0.0,
+            lifetime_events: Vec::new(),
+        }
+    }
+
+    /// Deploys a function.
+    ///
+    /// # Panics
+    /// Panics when a function with the same name is already deployed.
+    pub fn deploy(&mut self, spec: FunctionSpec) {
+        assert!(
+            self.functions.insert(spec.name.clone(), spec).is_none(),
+            "function already deployed"
+        );
+    }
+
+    /// Invokes `function` at instant `at` against the live instance pools.
+    ///
+    /// Invocations must be issued in non-decreasing time order for the
+    /// keep-alive accounting to be exact.
+    ///
+    /// # Panics
+    /// Panics when the function is unknown, or when `at` precedes an
+    /// earlier invocation (keep-alive accounting needs monotone time).
+    pub fn invoke(&mut self, function: &str, at: SimTime) -> InvocationResult {
+        assert!(
+            at >= self.last_invoke_at,
+            "invocations must be issued in non-decreasing time order"
+        );
+        self.last_invoke_at = at;
+        let window = self.keep_alive.window();
+        let spec = self
+            .functions
+            .get(function)
+            .unwrap_or_else(|| panic!("unknown function {function}"))
+            .clone();
+        let pool = self.pools.entry(function.to_owned()).or_default();
+        // Expire idle instances beyond the keep-alive window.
+        let (provider, events) = (&mut self.provider, &mut self.lifetime_events);
+        pool.retain(|i| {
+            let expired = i.free_at <= at && (at - i.free_at) > window;
+            if expired {
+                let end = i.free_at + window;
+                *provider += spec.memory_gb * (end - i.started_at).as_secs_f64();
+                events.push((i.started_at, 1));
+                events.push((end, -1));
+            }
+            !expired
+        });
+        // Warm, idle instance with the most recent use (LIFO keeps pools small).
+        let warm_idx = pool
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.free_at <= at)
+            .max_by_key(|(_, i)| i.last_used)
+            .map(|(idx, _)| idx);
+        let exec = spec.exec_time.sample(&mut self.rng).max(1e-4);
+        let (start_delay, cold) = match warm_idx {
+            Some(_) => (spec.warm_start_secs, false),
+            None => (spec.cold_start_secs, true),
+        };
+        let begin = at + SimDuration::from_secs_f64(start_delay);
+        let finish = begin + SimDuration::from_secs_f64(exec);
+        match warm_idx {
+            Some(idx) => {
+                pool[idx].free_at = finish;
+                pool[idx].last_used = at;
+            }
+            None => {
+                pool.push(Instance { free_at: finish, started_at: at, last_used: at });
+            }
+        }
+        self.billed += spec.memory_gb * exec;
+        let result = InvocationResult {
+            function: function.to_owned(),
+            at,
+            finished: finish,
+            cold,
+            latency_secs: (finish - at).as_secs_f64(),
+            exec_secs: exec,
+        };
+        self.log.push(result.clone());
+        result
+    }
+
+    /// Runs a chronologically sorted invocation stream, then finalizes the
+    /// platform (drains pools, closes billing) and returns the report.
+    ///
+    /// # Panics
+    /// Panics when an invocation names an unknown function.
+    pub fn run(&mut self, mut invocations: Vec<Invocation>) -> PlatformReport {
+        invocations.sort_by_key(|i| i.at);
+        for inv in invocations {
+            self.invoke(&inv.function, inv.at);
+        }
+        self.finish()
+    }
+
+    /// Finalizes the platform: closes every live instance at its keep-alive
+    /// expiry, computes totals, and resets pools and logs for reuse.
+    pub fn finish(&mut self) -> PlatformReport {
+        let window = self.keep_alive.window();
+        for (name, pool) in self.pools.drain() {
+            let spec = &self.functions[&name];
+            for i in pool {
+                let end = i.free_at + window;
+                self.provider += spec.memory_gb * (end - i.started_at).as_secs_f64();
+                self.lifetime_events.push((i.started_at, 1));
+                self.lifetime_events.push((end, -1));
+            }
+        }
+        let mut events = std::mem::take(&mut self.lifetime_events);
+        events.sort_by_key(|&(t, d)| (t, -d));
+        let mut level = 0i64;
+        let mut peak = 0i64;
+        for (_, d) in events {
+            level += d;
+            peak = peak.max(level);
+        }
+        let results = std::mem::take(&mut self.log);
+        let cold_count = results.iter().filter(|r| r.cold).count();
+        let latencies: Vec<f64> = results.iter().map(|r| r.latency_secs).collect();
+        let report = PlatformReport {
+            cold_fraction: if results.is_empty() {
+                0.0
+            } else {
+                cold_count as f64 / results.len() as f64
+            },
+            latency: Summary::of(&latencies),
+            billed_gb_secs: self.billed,
+            provider_gb_secs: self.provider,
+            peak_instances: peak as usize,
+            invocations: results,
+        };
+        self.billed = 0.0;
+        self.provider = 0.0;
+        self.last_invoke_at = SimTime::ZERO;
+        report
+    }
+}
+
+/// Generates a Poisson invocation stream for one function.
+pub fn poisson_invocations(
+    function: &str,
+    rate_per_sec: f64,
+    horizon: SimTime,
+    seed: u64,
+) -> Vec<Invocation> {
+    let mut rng = RngStream::new(seed, "faas-arrivals");
+    let mut out = Vec::new();
+    let mut t = SimTime::ZERO;
+    loop {
+        let gap = Dist::Exponential { rate: rate_per_sec }.sample(&mut rng);
+        t += SimDuration::from_secs_f64(gap);
+        if t >= horizon {
+            break;
+        }
+        out.push(Invocation { function: function.to_owned(), at: t });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn platform(keep_alive: KeepAlivePolicy) -> FaasPlatform {
+        let mut p = FaasPlatform::new(keep_alive, 1);
+        p.deploy(FunctionSpec::api_handler("api"));
+        p
+    }
+
+    #[test]
+    fn first_invocation_is_cold_second_is_warm() {
+        let mut p = platform(KeepAlivePolicy::Fixed(SimDuration::from_secs(600)));
+        let report = p.run(vec![
+            Invocation { function: "api".into(), at: SimTime::from_secs(0) },
+            Invocation { function: "api".into(), at: SimTime::from_secs(10) },
+        ]);
+        assert_eq!(report.invocations.len(), 2);
+        assert!(report.invocations[0].cold);
+        assert!(!report.invocations[1].cold);
+        assert!(report.invocations[0].latency_secs > report.invocations[1].latency_secs);
+    }
+
+    #[test]
+    fn no_keep_alive_means_all_cold() {
+        let mut p = platform(KeepAlivePolicy::None);
+        let invs = poisson_invocations("api", 0.2, SimTime::from_secs(600), 3);
+        let report = p.run(invs);
+        assert_eq!(report.cold_fraction, 1.0);
+    }
+
+    #[test]
+    fn longer_keep_alive_fewer_colds_more_provider_cost() {
+        let invs = poisson_invocations("api", 0.05, SimTime::from_secs(4 * 3600), 5);
+        let mut short = platform(KeepAlivePolicy::Fixed(SimDuration::from_secs(10)));
+        let mut long = platform(KeepAlivePolicy::Fixed(SimDuration::from_secs(1800)));
+        let r_short = short.run(invs.clone());
+        let r_long = long.run(invs);
+        assert!(
+            r_long.cold_fraction < r_short.cold_fraction * 0.6,
+            "long {} vs short {}",
+            r_long.cold_fraction,
+            r_short.cold_fraction
+        );
+        assert!(r_long.provider_gb_secs > r_short.provider_gb_secs);
+        // Billing is identical: same executions.
+        assert!((r_long.billed_gb_secs - r_short.billed_gb_secs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrent_burst_spawns_instances() {
+        let mut p = platform(KeepAlivePolicy::Fixed(SimDuration::from_secs(60)));
+        // 10 simultaneous invocations cannot share one instance.
+        let invs: Vec<Invocation> = (0..10)
+            .map(|_| Invocation { function: "api".into(), at: SimTime::from_secs(1) })
+            .collect();
+        let report = p.run(invs);
+        assert_eq!(report.cold_fraction, 1.0);
+        assert!(report.peak_instances >= 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown function")]
+    fn unknown_function_panics() {
+        let mut p = platform(KeepAlivePolicy::None);
+        p.run(vec![Invocation { function: "nope".into(), at: SimTime::ZERO }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already deployed")]
+    fn duplicate_deploy_panics() {
+        let mut p = platform(KeepAlivePolicy::None);
+        p.deploy(FunctionSpec::api_handler("api"));
+    }
+
+    #[test]
+    fn deterministic() {
+        let invs = poisson_invocations("api", 0.1, SimTime::from_secs(3600), 7);
+        let mut a = platform(KeepAlivePolicy::Fixed(SimDuration::from_secs(300)));
+        let mut b = platform(KeepAlivePolicy::Fixed(SimDuration::from_secs(300)));
+        assert_eq!(a.run(invs.clone()), b.run(invs));
+    }
+}

@@ -1,0 +1,32 @@
+//! # mcs-failure — correlated failure models and availability analysis
+//!
+//! Implements the failure-model families the paper cites as evidence for its
+//! second fundamental problem (§2.2, "we lack the comprehensive technology to
+//! maintain the current computer ecosystems"): independent renewals,
+//! space-correlated bursts (Gallet et al. \[26\]), and time-correlated storms
+//! (Yigitbasi et al. \[27\]) — plus the analysis that shows why correlation,
+//! not raw MTBF, is what kills ecosystem availability.
+//!
+//! ## Example
+//! ```
+//! use mcs_failure::prelude::*;
+//! use mcs_simcore::prelude::*;
+//!
+//! let model = IndependentFailures::with_mtbf(100.0 * 3600.0);
+//! let mut rng = RngStream::new(7, "failures");
+//! let outages = model.generate(100, SimTime::from_secs(30 * 86_400), &mut rng);
+//! let report = analyze(&outages, 100, SimTime::from_secs(30 * 86_400));
+//! assert!(report.availability > 0.9);
+//! ```
+
+pub mod analysis;
+pub mod model;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::analysis::{analyze, longest_degradation, merge_per_machine, AvailabilityReport};
+    pub use crate::model::{
+        FailureModel, IndependentFailures, Outage, SpaceCorrelatedFailures,
+        TimeCorrelatedFailures,
+    };
+}

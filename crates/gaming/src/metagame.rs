@@ -1,0 +1,210 @@
+//! Social meta-gaming: the fourth function of Figure 4.
+//!
+//! "Spending time in activities related to the game itself, such as playing
+//! in a tournament or being spectators" (§6.3, citing the XFire meta-gaming
+//! study \[49\] and the replay/streaming study \[50\]). This module models a
+//! tournament's bracket and its spectator audience: viewers arrive per
+//! match, concentrated on star players (Zipf), and the platform must
+//! provision stream capacity for the audience peak — another elasticity
+//! story, one layer above the virtual world.
+
+use mcs_simcore::dist::{Dist, Sample};
+use mcs_simcore::rng::RngStream;
+use serde::{Deserialize, Serialize};
+
+/// A single-elimination tournament over `2^rounds` players.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tournament {
+    /// Player ids, seeded in bracket order; length is a power of two.
+    pub players: Vec<u32>,
+    /// Per-player skill (higher tends to win).
+    pub skill: Vec<f64>,
+}
+
+/// One played match.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlayedMatch {
+    /// Bracket round, 0 = first round.
+    pub round: u32,
+    /// First contestant.
+    pub a: u32,
+    /// Second contestant.
+    pub b: u32,
+    /// The winner (`a` or `b`).
+    pub winner: u32,
+    /// Spectators who watched this match.
+    pub spectators: u64,
+}
+
+/// The outcome of a tournament: matches in play order plus audience totals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TournamentOutcome {
+    /// All matches, first round first.
+    pub matches: Vec<PlayedMatch>,
+    /// The champion.
+    pub champion: u32,
+    /// Largest single-match audience.
+    pub peak_spectators: u64,
+    /// Total spectator-matches.
+    pub total_spectators: u64,
+}
+
+impl Tournament {
+    /// Seeds a tournament of `2^rounds` players with Pareto-distributed
+    /// skill (a few stars, many journeymen).
+    ///
+    /// # Panics
+    /// Panics when `rounds == 0` or `rounds > 16`.
+    pub fn seeded(rounds: u32, rng: &mut RngStream) -> Self {
+        assert!((1..=16).contains(&rounds), "rounds must be 1..=16");
+        let n = 1u32 << rounds;
+        let skill_dist = Dist::Pareto { x_min: 1.0, alpha: 1.5 };
+        Tournament {
+            players: (0..n).collect(),
+            skill: (0..n).map(|_| skill_dist.sample(rng)).collect(),
+        }
+    }
+
+    /// Number of rounds.
+    pub fn rounds(&self) -> u32 {
+        self.players.len().trailing_zeros()
+    }
+
+    /// Plays the bracket. Win probability follows relative skill; the
+    /// audience of a match scales with the contestants' combined skill
+    /// (stars draw crowds) and doubles each round (stakes rise).
+    pub fn play(&self, base_audience: f64, rng: &mut RngStream) -> TournamentOutcome {
+        let mut alive: Vec<u32> = self.players.clone();
+        let mut matches = Vec::new();
+        let mut round = 0u32;
+        let mut peak = 0u64;
+        let mut total = 0u64;
+        while alive.len() > 1 {
+            let mut next = Vec::with_capacity(alive.len() / 2);
+            for pair in alive.chunks(2) {
+                let (a, b) = (pair[0], pair[1]);
+                let (sa, sb) = (self.skill[a as usize], self.skill[b as usize]);
+                let winner = if rng.next_f64() < sa / (sa + sb) { a } else { b };
+                let spectators = (base_audience
+                    * (sa + sb)
+                    * 2f64.powi(round as i32))
+                .round() as u64;
+                peak = peak.max(spectators);
+                total += spectators;
+                matches.push(PlayedMatch { round, a, b, winner, spectators });
+                next.push(winner);
+            }
+            alive = next;
+            round += 1;
+        }
+        TournamentOutcome { champion: alive[0], peak_spectators: peak, total_spectators: total, matches }
+    }
+}
+
+/// Stream capacity planning for a tournament: how many stream servers are
+/// needed at `viewers_per_server`, statically (peak) vs per-round
+/// (elastic). Returns `(static_server_rounds, elastic_server_rounds)` —
+/// server-rounds are the cost unit.
+pub fn stream_capacity_plan(
+    outcome: &TournamentOutcome,
+    viewers_per_server: u64,
+) -> (u64, u64) {
+    let viewers_per_server = viewers_per_server.max(1);
+    let rounds = outcome.matches.iter().map(|m| m.round).max().unwrap_or(0) + 1;
+    // Audience per round is the concurrent load (matches in a round overlap).
+    let mut per_round = vec![0u64; rounds as usize];
+    for m in &outcome.matches {
+        per_round[m.round as usize] += m.spectators;
+    }
+    let peak_servers = per_round
+        .iter()
+        .map(|v| v.div_ceil(viewers_per_server))
+        .max()
+        .unwrap_or(0);
+    let static_cost = peak_servers * rounds as u64;
+    let elastic_cost: u64 = per_round.iter().map(|v| v.div_ceil(viewers_per_server)).sum();
+    (static_cost, elastic_cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bracket_plays_all_matches() {
+        let mut rng = RngStream::new(1, "meta");
+        let t = Tournament::seeded(4, &mut rng); // 16 players
+        let out = t.play(10.0, &mut rng);
+        assert_eq!(out.matches.len(), 15); // n-1 matches
+        assert_eq!(t.rounds(), 4);
+        assert!(t.players.contains(&out.champion));
+    }
+
+    #[test]
+    fn winners_advance() {
+        let mut rng = RngStream::new(2, "meta");
+        let t = Tournament::seeded(3, &mut rng);
+        let out = t.play(10.0, &mut rng);
+        // Every non-final winner appears in a later round.
+        let final_round = out.matches.iter().map(|m| m.round).max().unwrap();
+        for m in &out.matches {
+            if m.round < final_round {
+                assert!(
+                    out.matches
+                        .iter()
+                        .any(|later| later.round == m.round + 1
+                            && (later.a == m.winner || later.b == m.winner)),
+                    "winner {} of round {} vanished",
+                    m.winner,
+                    m.round
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn skill_wins_in_expectation() {
+        let mut rng = RngStream::new(3, "meta");
+        // A rigged bracket: player 0 has overwhelming skill.
+        let mut t = Tournament::seeded(3, &mut rng);
+        t.skill[0] = 1_000.0;
+        let wins = (0..50)
+            .filter(|i| {
+                let mut r = RngStream::new(100 + i, "meta-play");
+                t.play(10.0, &mut r).champion == 0
+            })
+            .count();
+        assert!(wins > 40, "star won only {wins}/50");
+    }
+
+    #[test]
+    fn audience_grows_toward_the_final() {
+        let mut rng = RngStream::new(4, "meta");
+        let t = Tournament::seeded(4, &mut rng);
+        let out = t.play(100.0, &mut rng);
+        let final_match = out.matches.last().unwrap();
+        let first_match = &out.matches[0];
+        assert!(final_match.spectators > first_match.spectators);
+        assert_eq!(out.peak_spectators, out.matches.iter().map(|m| m.spectators).max().unwrap());
+    }
+
+    #[test]
+    fn elastic_streaming_cheaper_than_static_peak() {
+        let mut rng = RngStream::new(5, "meta");
+        let t = Tournament::seeded(5, &mut rng);
+        let out = t.play(100.0, &mut rng);
+        let (static_cost, elastic_cost) = stream_capacity_plan(&out, 1_000);
+        assert!(elastic_cost <= static_cost);
+        assert!(
+            elastic_cost as f64 <= static_cost as f64 * 0.9,
+            "elastic {elastic_cost} vs static {static_cost}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "rounds must be")]
+    fn zero_round_tournament_rejected() {
+        let mut rng = RngStream::new(6, "meta");
+        let _ = Tournament::seeded(0, &mut rng);
+    }
+}

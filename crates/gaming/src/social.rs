@@ -1,0 +1,274 @@
+//! Gaming analytics: implicit social ties and toxicity detection.
+//!
+//! The paper's C5 ("socially aware systems") builds on the authors' work on
+//! implicit social relationships in multiplayer games \[48\]\[82\] and toxicity
+//! detection \[35\]. This module generates match logs from a latent community
+//! structure, recovers the communities from nothing but co-play
+//! observations, and runs a toxicity detector whose precision/recall can be
+//! measured against the latent ground truth.
+
+use mcs_graph::algorithms::cdlp_serial;
+use mcs_graph::graph::Graph;
+use mcs_simcore::rng::RngStream;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A match record: which players played together.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatchRecord {
+    /// Player ids in the match.
+    pub players: Vec<u32>,
+    /// Chat messages flagged by peers, per player (index-aligned).
+    pub flags: Vec<u32>,
+}
+
+/// The latent population used to generate match logs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PopulationModel {
+    /// Number of players.
+    pub players: u32,
+    /// Number of latent friend communities.
+    pub communities: u32,
+    /// Probability that a match is arranged within one community
+    /// (the social signal strength).
+    pub party_probability: f64,
+    /// Players per match.
+    pub match_size: usize,
+    /// Fraction of players who are toxic.
+    pub toxic_fraction: f64,
+    /// Flag rate of toxic players, per match.
+    pub toxic_flag_rate: f64,
+    /// Flag rate of normal players (false reports), per match.
+    pub normal_flag_rate: f64,
+}
+
+impl Default for PopulationModel {
+    fn default() -> Self {
+        PopulationModel {
+            players: 400,
+            communities: 8,
+            party_probability: 0.7,
+            match_size: 4,
+            toxic_fraction: 0.05,
+            toxic_flag_rate: 1.5,
+            normal_flag_rate: 0.05,
+        }
+    }
+}
+
+/// A generated match log plus the latent truth (for evaluation only).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatchLog {
+    /// The matches, in play order.
+    pub matches: Vec<MatchRecord>,
+    /// Latent community of each player.
+    pub true_community: Vec<u32>,
+    /// Latent toxicity of each player.
+    pub truly_toxic: Vec<bool>,
+}
+
+/// Generates `match_count` matches from the population model.
+pub fn generate_matches(model: &PopulationModel, match_count: usize, seed: u64) -> MatchLog {
+    let mut rng = RngStream::new(seed, "match-log");
+    let n = model.players;
+    let true_community: Vec<u32> =
+        (0..n).map(|p| p % model.communities.max(1)).collect();
+    let truly_toxic: Vec<bool> =
+        (0..n).map(|_| rng.bernoulli(model.toxic_fraction)).collect();
+    let mut by_community: HashMap<u32, Vec<u32>> = HashMap::new();
+    for (p, &c) in true_community.iter().enumerate() {
+        by_community.entry(c).or_default().push(p as u32);
+    }
+
+    let mut matches = Vec::with_capacity(match_count);
+    for _ in 0..match_count {
+        let players: Vec<u32> = if rng.bernoulli(model.party_probability) {
+            // Party match: everyone from one community.
+            let c = rng.uniform_usize(model.communities.max(1) as usize) as u32;
+            let pool = &by_community[&c];
+            (0..model.match_size)
+                .map(|_| pool[rng.uniform_usize(pool.len())])
+                .collect()
+        } else {
+            // Matchmaking: uniform across the population.
+            (0..model.match_size)
+                .map(|_| rng.uniform_usize(n as usize) as u32)
+                .collect()
+        };
+        let flags = players
+            .iter()
+            .map(|&p| {
+                let rate = if truly_toxic[p as usize] {
+                    model.toxic_flag_rate
+                } else {
+                    model.normal_flag_rate
+                };
+                // Poisson-ish flag count via repeated Bernoulli halves.
+                let mut count = 0u32;
+                let mut remaining = rate;
+                while remaining > 0.0 {
+                    if rng.bernoulli(remaining.min(1.0)) {
+                        count += 1;
+                    }
+                    remaining -= 1.0;
+                }
+                count
+            })
+            .collect();
+        matches.push(MatchRecord { players, flags });
+    }
+    MatchLog { matches, true_community, truly_toxic }
+}
+
+/// Builds the implicit social graph: an edge per co-play above
+/// `min_coplays` shared matches (\[82\]'s tie-strength thresholding).
+pub fn implicit_social_graph(log: &MatchLog, players: u32, min_coplays: u32) -> Graph {
+    let mut coplay: HashMap<(u32, u32), u32> = HashMap::new();
+    for m in &log.matches {
+        for (i, &a) in m.players.iter().enumerate() {
+            for &b in &m.players[i + 1..] {
+                if a == b {
+                    continue;
+                }
+                let key = if a < b { (a, b) } else { (b, a) };
+                *coplay.entry(key).or_insert(0) += 1;
+            }
+        }
+    }
+    let edges: Vec<(u32, u32)> = coplay
+        .into_iter()
+        .filter(|(_, c)| *c >= min_coplays)
+        .map(|(k, _)| k)
+        .collect();
+    let mut sorted = edges;
+    sorted.sort_unstable();
+    Graph::from_edges(players, &sorted, None)
+}
+
+/// Recovers communities from the implicit graph via label propagation and
+/// scores them against the latent truth with pairwise precision/recall F1.
+pub fn community_recovery_f1(log: &MatchLog, players: u32, min_coplays: u32) -> f64 {
+    let g = implicit_social_graph(log, players, min_coplays);
+    let labels = cdlp_serial(&g, 10);
+    // Pairwise F1 over a deterministic sample of pairs.
+    let mut tp = 0u64;
+    let mut fp = 0u64;
+    let mut fn_ = 0u64;
+    let n = players as usize;
+    for a in 0..n {
+        for b in (a + 1)..n {
+            let same_true = log.true_community[a] == log.true_community[b];
+            let same_found = labels[a] == labels[b];
+            match (same_true, same_found) {
+                (true, true) => tp += 1,
+                (false, true) => fp += 1,
+                (true, false) => fn_ += 1,
+                (false, false) => {}
+            }
+        }
+    }
+    if tp == 0 {
+        return 0.0;
+    }
+    let precision = tp as f64 / (tp + fp) as f64;
+    let recall = tp as f64 / (tp + fn_) as f64;
+    2.0 * precision * recall / (precision + recall)
+}
+
+/// The toxicity detector: flag-rate thresholding over a player's matches.
+/// Returns `(precision, recall)` against the latent truth.
+pub fn toxicity_detector(log: &MatchLog, players: u32, threshold: f64) -> (f64, f64) {
+    let mut flags = vec![0u32; players as usize];
+    let mut games = vec![0u32; players as usize];
+    for m in &log.matches {
+        for (&p, &f) in m.players.iter().zip(&m.flags) {
+            flags[p as usize] += f;
+            games[p as usize] += 1;
+        }
+    }
+    let predicted: Vec<bool> = (0..players as usize)
+        .map(|p| games[p] >= 3 && flags[p] as f64 / games[p] as f64 >= threshold)
+        .collect();
+    let mut tp = 0.0;
+    let mut fp = 0.0;
+    let mut fn_ = 0.0;
+    for (truth, pred) in log.truly_toxic.iter().zip(&predicted) {
+        match (*truth, *pred) {
+            (true, true) => tp += 1.0,
+            (false, true) => fp += 1.0,
+            (true, false) => fn_ += 1.0,
+            _ => {}
+        }
+    }
+    let precision = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
+    let recall = if tp + fn_ > 0.0 { tp / (tp + fn_) } else { 0.0 };
+    (precision, recall)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn social_graph_denser_inside_communities() {
+        let model = PopulationModel::default();
+        let log = generate_matches(&model, 20_000, 1);
+        let g = implicit_social_graph(&log, model.players, 3);
+        assert!(g.edge_count() > 0);
+        let mut intra = 0u64;
+        let mut inter = 0u64;
+        for v in g.vertices() {
+            for &t in g.neighbors(v) {
+                if log.true_community[v as usize] == log.true_community[t as usize] {
+                    intra += 1;
+                } else {
+                    inter += 1;
+                }
+            }
+        }
+        assert!(intra > inter * 3, "intra {intra} vs inter {inter}");
+    }
+
+    #[test]
+    fn communities_recoverable_when_parties_dominate() {
+        let model = PopulationModel {
+            players: 120,
+            communities: 4,
+            party_probability: 0.9,
+            ..Default::default()
+        };
+        let log = generate_matches(&model, 30_000, 2);
+        let f1 = community_recovery_f1(&log, model.players, 10);
+        assert!(f1 > 0.6, "F1 = {f1}");
+        // With no social signal, recovery should collapse.
+        let noise = PopulationModel { party_probability: 0.0, ..model };
+        let noise_log = generate_matches(&noise, 30_000, 3);
+        let noise_f1 = community_recovery_f1(&noise_log, noise.players, 10);
+        assert!(noise_f1 < f1 * 0.8, "signal {f1} vs noise {noise_f1}");
+    }
+
+    #[test]
+    fn toxicity_detector_beats_chance() {
+        let model = PopulationModel::default();
+        let log = generate_matches(&model, 20_000, 4);
+        let (precision, recall) = toxicity_detector(&log, model.players, 0.5);
+        assert!(precision > 0.8, "precision {precision}");
+        assert!(recall > 0.8, "recall {recall}");
+    }
+
+    #[test]
+    fn toxicity_threshold_trades_precision_for_recall() {
+        let model = PopulationModel::default();
+        let log = generate_matches(&model, 20_000, 5);
+        let (p_strict, r_strict) = toxicity_detector(&log, model.players, 1.2);
+        let (p_lax, r_lax) = toxicity_detector(&log, model.players, 0.1);
+        assert!(p_strict >= p_lax, "strict precision {p_strict} vs lax {p_lax}");
+        assert!(r_lax >= r_strict, "lax recall {r_lax} vs strict {r_strict}");
+    }
+
+    #[test]
+    fn deterministic_log_generation() {
+        let m = PopulationModel::default();
+        assert_eq!(generate_matches(&m, 100, 7), generate_matches(&m, 100, 7));
+    }
+}

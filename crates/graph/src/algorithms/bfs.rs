@@ -1,0 +1,108 @@
+//! Breadth-first search (Graphalytics algorithm 1): depth of every vertex
+//! from a source, `-1` when unreachable.
+
+use crate::bsp::{BspEngine, Outbox, VertexProgram};
+use crate::graph::{Graph, VertexId};
+use std::collections::VecDeque;
+
+/// Serial reference BFS.
+pub fn bfs_serial(graph: &Graph, source: VertexId) -> Vec<i64> {
+    let mut depth = vec![-1i64; graph.vertex_count() as usize];
+    if source >= graph.vertex_count() {
+        return depth;
+    }
+    depth[source as usize] = 0;
+    let mut queue = VecDeque::from([source]);
+    while let Some(v) = queue.pop_front() {
+        for &t in graph.neighbors(v) {
+            if depth[t as usize] < 0 {
+                depth[t as usize] = depth[v as usize] + 1;
+                queue.push_back(t);
+            }
+        }
+    }
+    depth
+}
+
+/// The vertex-centric BFS program.
+pub struct BfsProgram {
+    /// The source vertex.
+    pub source: VertexId,
+}
+
+impl VertexProgram for BfsProgram {
+    type State = i64;
+    type Message = ();
+
+    fn init(&self, _v: VertexId, _graph: &Graph) -> i64 {
+        -1
+    }
+
+    fn compute(
+        &self,
+        v: VertexId,
+        state: &mut i64,
+        messages: &[()],
+        outbox: &mut Outbox<'_, ()>,
+        graph: &Graph,
+        superstep: usize,
+        _agg: f64,
+    ) {
+        let discovered = if superstep == 0 {
+            v == self.source
+        } else {
+            *state < 0 && !messages.is_empty()
+        };
+        if discovered {
+            *state = superstep as i64;
+            for &t in graph.neighbors(v) {
+                outbox.send(t, ());
+            }
+        }
+    }
+}
+
+/// BSP BFS on `engine`.
+pub fn bfs(graph: &Graph, source: VertexId, engine: &BspEngine) -> Vec<i64> {
+    engine.run(graph, &BfsProgram { source }).states
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{erdos_renyi, rmat};
+    use mcs_simcore::rng::RngStream;
+
+    #[test]
+    fn chain_depths() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)], None);
+        assert_eq!(bfs_serial(&g, 0), vec![0, 1, 2, 3]);
+        assert_eq!(bfs(&g, 0, &BspEngine::serial()), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn unreachable_is_minus_one() {
+        let g = Graph::from_edges(3, &[(0, 1)], None);
+        assert_eq!(bfs_serial(&g, 0), vec![0, 1, -1]);
+        assert_eq!(bfs(&g, 0, &BspEngine::serial()), vec![0, 1, -1]);
+    }
+
+    #[test]
+    fn bsp_matches_serial_on_random_graphs() {
+        for seed in 0..3 {
+            let mut rng = RngStream::new(seed, "bfs");
+            let g = erdos_renyi(300, 1_200, &mut rng);
+            let reference = bfs_serial(&g, 0);
+            assert_eq!(bfs(&g, 0, &BspEngine::serial()), reference);
+            assert_eq!(bfs(&g, 0, &BspEngine::parallel(4)), reference);
+        }
+    }
+
+    #[test]
+    fn bsp_matches_serial_on_rmat() {
+        let mut rng = RngStream::new(9, "bfs-rmat");
+        let g = rmat(9, 8, (0.57, 0.19, 0.19), &mut rng);
+        let reference = bfs_serial(&g, 1);
+        assert_eq!(bfs(&g, 1, &BspEngine::parallel(4)), reference);
+    }
+}

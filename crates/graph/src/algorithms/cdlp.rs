@@ -1,0 +1,128 @@
+//! Community detection by label propagation (Graphalytics algorithm 4):
+//! each vertex repeatedly adopts the most frequent label among its
+//! neighbors, ties broken toward the smallest label.
+
+use crate::bsp::{BspEngine, Outbox, VertexProgram};
+use crate::graph::{Graph, VertexId};
+use std::collections::HashMap;
+
+fn most_frequent_min(labels: impl Iterator<Item = u32>) -> Option<u32> {
+    let mut counts: HashMap<u32, u32> = HashMap::new();
+    for l in labels {
+        *counts.entry(l).or_insert(0) += 1;
+    }
+    counts
+        .into_iter()
+        .max_by(|(la, ca), (lb, cb)| ca.cmp(cb).then(lb.cmp(la)))
+        .map(|(l, _)| l)
+}
+
+/// Serial reference CDLP: synchronous label propagation on the undirected
+/// view for a fixed number of iterations.
+pub fn cdlp_serial(graph: &Graph, iterations: usize) -> Vec<u32> {
+    let u = graph.undirected();
+    let n = u.vertex_count() as usize;
+    let mut labels: Vec<u32> = (0..n as u32).collect();
+    let mut next = labels.clone();
+    for _ in 0..iterations {
+        for v in u.vertices() {
+            let incoming = u.neighbors(v).iter().map(|&t| labels[t as usize]);
+            next[v as usize] = most_frequent_min(incoming).unwrap_or(labels[v as usize]);
+        }
+        std::mem::swap(&mut labels, &mut next);
+    }
+    labels
+}
+
+/// The vertex-centric CDLP program (expects an undirected graph).
+pub struct CdlpProgram {
+    /// Number of propagation rounds.
+    pub iterations: usize,
+}
+
+impl VertexProgram for CdlpProgram {
+    type State = u32;
+    type Message = u32;
+
+    fn init(&self, v: VertexId, _graph: &Graph) -> u32 {
+        v
+    }
+
+    fn compute(
+        &self,
+        v: VertexId,
+        state: &mut u32,
+        messages: &[u32],
+        outbox: &mut Outbox<'_, u32>,
+        graph: &Graph,
+        superstep: usize,
+        _agg: f64,
+    ) {
+        if superstep > 0 {
+            if let Some(l) = most_frequent_min(messages.iter().copied()) {
+                *state = l;
+            }
+        }
+        if superstep < self.iterations {
+            for &t in graph.neighbors(v) {
+                outbox.send(t, *state);
+            }
+            if graph.out_degree(v) == 0 {
+                outbox.send(v, *state); // isolated vertices stay active
+            }
+        }
+    }
+}
+
+/// BSP CDLP: symmetrizes the graph, then runs `iterations` rounds.
+pub fn cdlp(graph: &Graph, iterations: usize, engine: &BspEngine) -> Vec<u32> {
+    let u = graph.undirected();
+    engine.run(&u, &CdlpProgram { iterations }).states
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two triangles joined by one bridge edge.
+    fn two_communities() -> Graph {
+        Graph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)],
+            None,
+        )
+    }
+
+    #[test]
+    fn communities_found() {
+        let labels = cdlp_serial(&two_communities(), 10);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_eq!(labels[4], labels[5]);
+    }
+
+    #[test]
+    fn bsp_matches_serial() {
+        let g = two_communities();
+        for iters in [1, 3, 7] {
+            let reference = cdlp_serial(&g, iters);
+            assert_eq!(cdlp(&g, iters, &BspEngine::serial()), reference, "iters {iters}");
+            assert_eq!(cdlp(&g, iters, &BspEngine::parallel(3)), reference);
+        }
+    }
+
+    #[test]
+    fn tie_break_is_smallest_label() {
+        assert_eq!(most_frequent_min([5, 3, 5, 3].into_iter()), Some(3));
+        assert_eq!(most_frequent_min([7].into_iter()), Some(7));
+        assert_eq!(most_frequent_min(std::iter::empty()), None);
+    }
+
+    #[test]
+    fn isolated_vertex_keeps_own_label() {
+        let g = Graph::from_edges(3, &[(0, 1)], None);
+        let labels = cdlp(&g, 5, &BspEngine::serial());
+        assert_eq!(labels[2], 2);
+    }
+}

@@ -1,0 +1,107 @@
+//! Local clustering coefficient (Graphalytics algorithm 5): for each
+//! vertex, the fraction of pairs of its neighbors that are themselves
+//! connected, computed on the undirected view.
+
+use crate::graph::{Graph, VertexId};
+
+/// Serial reference LCC.
+pub fn lcc_serial(graph: &Graph) -> Vec<f64> {
+    let u = graph.undirected();
+    (0..u.vertex_count()).map(|v| lcc_of(&u, v)).collect()
+}
+
+/// LCC computed in parallel over vertices with `threads` workers;
+/// deterministic because vertices are independent.
+pub fn lcc_parallel(graph: &Graph, threads: usize) -> Vec<f64> {
+    let u = graph.undirected();
+    let n = u.vertex_count() as usize;
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(n);
+    let chunk = n.div_ceil(threads);
+    let mut out = vec![0.0f64; n];
+    crossbeam::thread::scope(|scope| {
+        for (tid, slot) in out.chunks_mut(chunk).enumerate() {
+            let u_ref = &u;
+            scope.spawn(move |_| {
+                for (i, value) in slot.iter_mut().enumerate() {
+                    *value = lcc_of(u_ref, (tid * chunk + i) as VertexId);
+                }
+            });
+        }
+    })
+    .expect("lcc scope failed");
+    out
+}
+
+/// LCC of one vertex on an already-undirected graph: triangles through `v`
+/// divided by `deg * (deg - 1) / 2`.
+fn lcc_of(u: &Graph, v: VertexId) -> f64 {
+    let neigh: Vec<VertexId> =
+        u.neighbors(v).iter().copied().filter(|&t| t != v).collect();
+    let d = neigh.len();
+    if d < 2 {
+        return 0.0;
+    }
+    let mut links = 0u64;
+    for (i, &a) in neigh.iter().enumerate() {
+        let a_neigh = u.neighbors(a);
+        for &b in &neigh[i + 1..] {
+            if a_neigh.binary_search(&b).is_ok() {
+                links += 1;
+            }
+        }
+    }
+    2.0 * links as f64 / (d as f64 * (d - 1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::preferential_attachment;
+    use mcs_simcore::rng::RngStream;
+
+    #[test]
+    fn triangle_is_fully_clustered() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)], None);
+        let lcc = lcc_serial(&g);
+        assert!(lcc.iter().all(|&c| (c - 1.0).abs() < 1e-12), "{lcc:?}");
+    }
+
+    #[test]
+    fn star_center_unclustered() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)], None);
+        let lcc = lcc_serial(&g);
+        assert_eq!(lcc[0], 0.0); // no neighbor pairs connected
+        assert_eq!(lcc[1], 0.0); // degree 1
+    }
+
+    #[test]
+    fn square_with_diagonal() {
+        // 0-1-2-3-0 plus diagonal 0-2.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)], None);
+        let lcc = lcc_serial(&g);
+        // Vertex 1: neighbors {0, 2}, connected: LCC 1.0.
+        assert!((lcc[1] - 1.0).abs() < 1e-12);
+        // Vertex 0: neighbors {1, 2, 3}; pairs (1,2) yes, (1,3) no, (2,3) yes.
+        assert!((lcc[0] - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let mut rng = RngStream::new(1, "lcc");
+        let g = preferential_attachment(500, 3, &mut rng);
+        let reference = lcc_serial(&g);
+        for threads in [2, 4] {
+            assert_eq!(lcc_parallel(&g, threads), reference);
+        }
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let g = Graph::from_edges(3, &[(0, 0), (0, 1), (1, 2), (2, 0)], None);
+        let lcc = lcc_serial(&g);
+        assert!((lcc[0] - 1.0).abs() < 1e-12, "{lcc:?}");
+    }
+}

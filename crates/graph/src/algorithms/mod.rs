@@ -1,0 +1,16 @@
+//! The six Graphalytics algorithms \[42\], each as a serial reference and a
+//! BSP vertex program: BFS, PageRank, WCC, CDLP, LCC, SSSP.
+
+pub mod bfs;
+pub mod cdlp;
+pub mod lcc;
+pub mod pagerank;
+pub mod sssp;
+pub mod wcc;
+
+pub use bfs::{bfs, bfs_serial, BfsProgram};
+pub use cdlp::{cdlp, cdlp_serial, CdlpProgram};
+pub use lcc::{lcc_parallel, lcc_serial};
+pub use pagerank::{pagerank, pagerank_serial, PageRankProgram, DAMPING};
+pub use sssp::{sssp, sssp_serial, SsspProgram};
+pub use wcc::{wcc, wcc_serial, WccProgram};

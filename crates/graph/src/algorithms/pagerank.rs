@@ -1,0 +1,152 @@
+//! PageRank (Graphalytics algorithm 2), with dangling-mass redistribution.
+
+use crate::bsp::{BspEngine, Outbox, VertexProgram};
+use crate::graph::{Graph, VertexId};
+
+/// Damping factor used by Graphalytics.
+pub const DAMPING: f64 = 0.85;
+
+/// Serial reference PageRank: `iterations` synchronous power iterations,
+/// dangling mass redistributed uniformly.
+pub fn pagerank_serial(graph: &Graph, iterations: usize) -> Vec<f64> {
+    let n = graph.vertex_count() as usize;
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut rank = vec![1.0 / n as f64; n];
+    let mut next = vec![0.0f64; n];
+    for _ in 0..iterations {
+        next.iter_mut().for_each(|x| *x = 0.0);
+        let mut dangling = 0.0;
+        for v in graph.vertices() {
+            let d = graph.out_degree(v);
+            if d == 0 {
+                dangling += rank[v as usize];
+            } else {
+                let share = rank[v as usize] / d as f64;
+                for &t in graph.neighbors(v) {
+                    next[t as usize] += share;
+                }
+            }
+        }
+        let base = (1.0 - DAMPING) / n as f64 + DAMPING * dangling / n as f64;
+        for x in next.iter_mut() {
+            *x = base + DAMPING * *x;
+        }
+        std::mem::swap(&mut rank, &mut next);
+    }
+    rank
+}
+
+/// The vertex-centric PageRank program (fixed iteration count).
+pub struct PageRankProgram {
+    /// Number of power iterations.
+    pub iterations: usize,
+}
+
+impl VertexProgram for PageRankProgram {
+    type State = f64;
+    type Message = f64;
+
+    fn init(&self, _v: VertexId, graph: &Graph) -> f64 {
+        1.0 / graph.vertex_count().max(1) as f64
+    }
+
+    fn compute(
+        &self,
+        v: VertexId,
+        state: &mut f64,
+        messages: &[f64],
+        outbox: &mut Outbox<'_, f64>,
+        graph: &Graph,
+        superstep: usize,
+        prev_aggregate: f64,
+    ) {
+        let n = graph.vertex_count().max(1) as f64;
+        if superstep > 0 {
+            // Messages are deterministic in thread order; sum as delivered.
+            let incoming: f64 = messages.iter().sum();
+            *state = (1.0 - DAMPING) / n
+                + DAMPING * (incoming + prev_aggregate / n);
+        }
+        if superstep < self.iterations {
+            // A zero-valued self-message keeps every vertex active each
+            // superstep, matching the synchronous power-iteration semantics
+            // even for vertices without in-edges.
+            outbox.send(v, 0.0);
+            let d = graph.out_degree(v);
+            if d == 0 {
+                // Dangling: publish the rank to the global aggregate.
+                outbox.aggregate(*state);
+            } else {
+                let share = *state / d as f64;
+                for &t in graph.neighbors(v) {
+                    outbox.send(t, share);
+                }
+            }
+        }
+    }
+}
+
+/// BSP PageRank on `engine`; matches [`pagerank_serial`] to float tolerance.
+pub fn pagerank(graph: &Graph, iterations: usize, engine: &BspEngine) -> Vec<f64> {
+    engine.run(graph, &PageRankProgram { iterations }).states
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::rmat;
+    use mcs_simcore::rng::RngStream;
+
+    #[test]
+    fn ranks_sum_to_one_serial() {
+        let mut rng = RngStream::new(1, "pr");
+        let g = rmat(8, 8, (0.57, 0.19, 0.19), &mut rng);
+        let r = pagerank_serial(&g, 30);
+        let sum: f64 = r.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sum = {sum}");
+    }
+
+    #[test]
+    fn star_center_has_highest_rank() {
+        // Edges point into vertex 0.
+        let edges: Vec<(u32, u32)> = (1..10).map(|i| (i, 0)).collect();
+        let g = Graph::from_edges(10, &edges, None);
+        let r = pagerank_serial(&g, 50);
+        let max_v = (0..10).max_by(|&a, &b| r[a].partial_cmp(&r[b]).unwrap()).unwrap();
+        assert_eq!(max_v, 0);
+    }
+
+    #[test]
+    fn bsp_matches_serial() {
+        let mut rng = RngStream::new(2, "pr");
+        let g = rmat(8, 8, (0.57, 0.19, 0.19), &mut rng);
+        let reference = pagerank_serial(&g, 20);
+        for engine in [BspEngine::serial(), BspEngine::parallel(4)] {
+            let bsp = pagerank(&g, 20, &engine);
+            for (a, b) in bsp.iter().zip(&reference) {
+                assert!((a - b).abs() < 1e-9, "bsp {a} vs serial {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn dangling_mass_not_lost() {
+        // 0 -> 1, 1 dangling.
+        let g = Graph::from_edges(2, &[(0, 1)], None);
+        let r = pagerank_serial(&g, 100);
+        assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let b = pagerank(&g, 100, &BspEngine::serial());
+        assert!((b.iter().sum::<f64>() - 1.0).abs() < 1e-9, "{b:?}");
+    }
+
+    #[test]
+    fn two_iterations_hand_checked() {
+        // 0 <-> 1: symmetric, ranks stay 0.5.
+        let g = Graph::from_edges(2, &[(0, 1), (1, 0)], None);
+        let r = pagerank_serial(&g, 2);
+        assert!((r[0] - 0.5).abs() < 1e-12);
+        assert!((r[1] - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,147 @@
+//! Single-source shortest paths (Graphalytics algorithm 6), for graphs with
+//! non-negative edge weights. Unreachable vertices get `f64::INFINITY`.
+
+use crate::bsp::{BspEngine, Outbox, VertexProgram};
+use crate::graph::{Graph, VertexId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Serial reference SSSP: Dijkstra with a binary heap.
+pub fn sssp_serial(graph: &Graph, source: VertexId) -> Vec<f64> {
+    let n = graph.vertex_count() as usize;
+    let mut dist = vec![f64::INFINITY; n];
+    if (source as usize) >= n {
+        return dist;
+    }
+    #[derive(PartialEq)]
+    struct Entry(f64, VertexId);
+    impl Eq for Entry {}
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(o))
+        }
+    }
+    impl Ord for Entry {
+        fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+            self.0.partial_cmp(&o.0).unwrap_or(std::cmp::Ordering::Equal)
+                .then(self.1.cmp(&o.1))
+        }
+    }
+    dist[source as usize] = 0.0;
+    let mut heap = BinaryHeap::new();
+    heap.push(Reverse(Entry(0.0, source)));
+    while let Some(Reverse(Entry(d, v))) = heap.pop() {
+        if d > dist[v as usize] {
+            continue;
+        }
+        for (t, w) in graph.edges_of(v) {
+            debug_assert!(w >= 0.0, "Dijkstra needs non-negative weights");
+            let nd = d + w;
+            if nd < dist[t as usize] {
+                dist[t as usize] = nd;
+                heap.push(Reverse(Entry(nd, t)));
+            }
+        }
+    }
+    dist
+}
+
+/// The vertex-centric SSSP program (Bellman-Ford style relaxation).
+pub struct SsspProgram {
+    /// The source vertex.
+    pub source: VertexId,
+}
+
+impl VertexProgram for SsspProgram {
+    type State = f64;
+    type Message = f64;
+
+    fn init(&self, _v: VertexId, _graph: &Graph) -> f64 {
+        f64::INFINITY
+    }
+
+    fn compute(
+        &self,
+        v: VertexId,
+        state: &mut f64,
+        messages: &[f64],
+        outbox: &mut Outbox<'_, f64>,
+        graph: &Graph,
+        superstep: usize,
+        _agg: f64,
+    ) {
+        let candidate = if superstep == 0 && v == self.source {
+            0.0
+        } else {
+            messages.iter().fold(f64::INFINITY, |a, &b| a.min(b))
+        };
+        if candidate < *state {
+            *state = candidate;
+            for (t, w) in graph.edges_of(v) {
+                outbox.send(t, *state + w);
+            }
+        }
+    }
+}
+
+/// BSP SSSP on `engine`.
+pub fn sssp(graph: &Graph, source: VertexId, engine: &BspEngine) -> Vec<f64> {
+    engine.run(graph, &SsspProgram { source }).states
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{erdos_renyi, with_random_weights};
+    use mcs_simcore::rng::RngStream;
+
+    fn weighted_diamond() -> Graph {
+        // 0 -> 1 (1), 0 -> 2 (4), 1 -> 2 (2), 2 -> 3 (1), 1 -> 3 (10)
+        Graph::from_edges(
+            4,
+            &[(0, 1), (0, 2), (1, 2), (2, 3), (1, 3)],
+            Some(&[1.0, 4.0, 2.0, 1.0, 10.0]),
+        )
+    }
+
+    #[test]
+    fn hand_checked_shortest_paths() {
+        let g = weighted_diamond();
+        let d = sssp_serial(&g, 0);
+        assert_eq!(d, vec![0.0, 1.0, 3.0, 4.0]);
+        assert_eq!(sssp(&g, 0, &BspEngine::serial()), d);
+    }
+
+    #[test]
+    fn unreachable_is_infinite() {
+        let g = Graph::from_edges(3, &[(0, 1)], None);
+        let d = sssp_serial(&g, 0);
+        assert!(d[2].is_infinite());
+        let b = sssp(&g, 0, &BspEngine::serial());
+        assert!(b[2].is_infinite());
+    }
+
+    #[test]
+    fn unweighted_equals_bfs_distance() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)], None);
+        assert_eq!(sssp_serial(&g, 0), vec![0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn bsp_matches_dijkstra_on_random_weighted_graphs() {
+        for seed in 0..3 {
+            let mut rng = RngStream::new(seed, "sssp");
+            let base = erdos_renyi(200, 1_000, &mut rng);
+            let g = with_random_weights(&base, 1.0, 10.0, &mut rng);
+            let reference = sssp_serial(&g, 0);
+            for engine in [BspEngine::serial(), BspEngine::parallel(4)] {
+                let result = sssp(&g, 0, &engine);
+                for (a, b) in result.iter().zip(&reference) {
+                    if a.is_finite() || b.is_finite() {
+                        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+                    }
+                }
+            }
+        }
+    }
+}

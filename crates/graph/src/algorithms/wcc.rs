@@ -1,0 +1,113 @@
+//! Weakly connected components (Graphalytics algorithm 3): every vertex is
+//! labelled with the smallest vertex id in its component, ignoring edge
+//! direction.
+
+use crate::bsp::{BspEngine, Outbox, VertexProgram};
+use crate::graph::{Graph, VertexId};
+
+/// Serial reference WCC via union-find with path compression.
+pub fn wcc_serial(graph: &Graph) -> Vec<u32> {
+    let n = graph.vertex_count() as usize;
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], mut v: u32) -> u32 {
+        while parent[v as usize] != v {
+            parent[v as usize] = parent[parent[v as usize] as usize];
+            v = parent[v as usize];
+        }
+        v
+    }
+    for v in graph.vertices() {
+        for &t in graph.neighbors(v) {
+            let (a, b) = (find(&mut parent, v), find(&mut parent, t));
+            if a != b {
+                // Union by smaller id so the root is the minimum label.
+                let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                parent[hi as usize] = lo;
+            }
+        }
+    }
+    (0..n as u32).map(|v| find(&mut parent, v)).collect()
+}
+
+/// The vertex-centric min-label-propagation program (expects an undirected
+/// graph; use [`Graph::undirected`] first for directed inputs).
+pub struct WccProgram;
+
+impl VertexProgram for WccProgram {
+    type State = u32;
+    type Message = u32;
+
+    fn init(&self, v: VertexId, _graph: &Graph) -> u32 {
+        v
+    }
+
+    fn compute(
+        &self,
+        v: VertexId,
+        state: &mut u32,
+        messages: &[u32],
+        outbox: &mut Outbox<'_, u32>,
+        graph: &Graph,
+        superstep: usize,
+        _agg: f64,
+    ) {
+        let improved = match messages.iter().min() {
+            Some(&m) if m < *state => {
+                *state = m;
+                true
+            }
+            _ => false,
+        };
+        if superstep == 0 || improved {
+            for &t in graph.neighbors(v) {
+                outbox.send(t, *state);
+            }
+        }
+    }
+}
+
+/// BSP WCC: symmetrizes the graph, then propagates minimum labels.
+pub fn wcc(graph: &Graph, engine: &BspEngine) -> Vec<u32> {
+    let undirected = graph.undirected();
+    engine.run(&undirected, &WccProgram).states
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::erdos_renyi;
+    use mcs_simcore::rng::RngStream;
+
+    #[test]
+    fn two_components() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4)], None);
+        assert_eq!(wcc_serial(&g), vec![0, 0, 0, 3, 3]);
+        assert_eq!(wcc(&g, &BspEngine::serial()), vec![0, 0, 0, 3, 3]);
+    }
+
+    #[test]
+    fn direction_ignored() {
+        // 2 -> 0 still joins {0, 2}.
+        let g = Graph::from_edges(3, &[(2, 0)], None);
+        assert_eq!(wcc_serial(&g), vec![0, 1, 0]);
+        assert_eq!(wcc(&g, &BspEngine::serial()), vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn isolated_vertices_self_labelled() {
+        let g = Graph::from_edges(3, &[], None);
+        assert_eq!(wcc_serial(&g), vec![0, 1, 2]);
+        assert_eq!(wcc(&g, &BspEngine::serial()), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn bsp_matches_serial_on_random_graphs() {
+        for seed in 0..3 {
+            let mut rng = RngStream::new(seed, "wcc");
+            let g = erdos_renyi(400, 600, &mut rng);
+            let reference = wcc_serial(&g);
+            assert_eq!(wcc(&g, &BspEngine::serial()), reference);
+            assert_eq!(wcc(&g, &BspEngine::parallel(4)), reference);
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Synthetic graph generators.
+//!
+//! Graphalytics \[42\] evaluates on synthetic datasets with controlled scale;
+//! we provide the standard families: Erdős–Rényi, R-MAT/Kronecker-style
+//! (skewed, community-like), and preferential attachment (scale-free).
+
+use crate::graph::{Graph, VertexId};
+use mcs_simcore::rng::RngStream;
+
+/// Uniform random directed graph with `edge_count` edges (G(n, m)).
+///
+/// # Panics
+/// Panics when `vertex_count == 0` and `edge_count > 0`.
+pub fn erdos_renyi(vertex_count: u32, edge_count: u64, rng: &mut RngStream) -> Graph {
+    assert!(vertex_count > 0 || edge_count == 0, "edges need vertices");
+    let mut edges = Vec::with_capacity(edge_count as usize);
+    for _ in 0..edge_count {
+        let s = rng.uniform_usize(vertex_count as usize) as VertexId;
+        let t = rng.uniform_usize(vertex_count as usize) as VertexId;
+        edges.push((s, t));
+    }
+    Graph::from_edges(vertex_count, &edges, None)
+}
+
+/// R-MAT (recursive matrix) generator: the Kronecker-style generator behind
+/// Graph500 and LDBC datasets. `scale` gives `2^scale` vertices; the
+/// (a, b, c) probabilities steer skew (Graph500 uses 0.57, 0.19, 0.19).
+pub fn rmat(
+    scale: u32,
+    edge_factor: u64,
+    (a, b, c): (f64, f64, f64),
+    rng: &mut RngStream,
+) -> Graph {
+    assert!(scale <= 30, "scale too large for in-memory generation");
+    let n: u32 = 1 << scale;
+    let edge_count = edge_factor * n as u64;
+    let mut edges = Vec::with_capacity(edge_count as usize);
+    for _ in 0..edge_count {
+        let (mut lo_s, mut lo_t) = (0u32, 0u32);
+        let mut half = n >> 1;
+        while half > 0 {
+            let r = rng.next_f64();
+            let (ds, dt) = if r < a {
+                (0, 0)
+            } else if r < a + b {
+                (0, half)
+            } else if r < a + b + c {
+                (half, 0)
+            } else {
+                (half, half)
+            };
+            lo_s += ds;
+            lo_t += dt;
+            half >>= 1;
+        }
+        edges.push((lo_s, lo_t));
+    }
+    Graph::from_edges(n, &edges, None)
+}
+
+/// Preferential-attachment (Barabási–Albert style) graph: each new vertex
+/// attaches `m` edges to existing vertices chosen proportionally to degree.
+/// Produces the scale-free degree distribution of social networks (§6.6).
+pub fn preferential_attachment(vertex_count: u32, m: u32, rng: &mut RngStream) -> Graph {
+    let m = m.max(1);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    // Repeated-endpoints list: sampling from it is degree-proportional.
+    let mut endpoints: Vec<VertexId> = Vec::new();
+    let seed = (m + 1).min(vertex_count.max(1));
+    // Seed clique among the first vertices.
+    for i in 0..seed {
+        for j in (i + 1)..seed {
+            edges.push((i, j));
+            endpoints.push(i);
+            endpoints.push(j);
+        }
+    }
+    for v in seed..vertex_count {
+        for _ in 0..m {
+            let t = if endpoints.is_empty() {
+                0
+            } else {
+                endpoints[rng.uniform_usize(endpoints.len())]
+            };
+            edges.push((v, t));
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    Graph::from_edges(vertex_count, &edges, None)
+}
+
+/// Attaches uniform random weights in `[lo, hi)` to a graph's edges
+/// (for SSSP benchmarking).
+pub fn with_random_weights(g: &Graph, lo: f64, hi: f64, rng: &mut RngStream) -> Graph {
+    let mut edges = Vec::with_capacity(g.edge_count() as usize);
+    let mut weights = Vec::with_capacity(g.edge_count() as usize);
+    for v in g.vertices() {
+        for &t in g.neighbors(v) {
+            edges.push((v, t));
+            weights.push(rng.uniform_f64(lo, hi));
+        }
+    }
+    Graph::from_edges(g.vertex_count(), &edges, Some(&weights))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erdos_renyi_counts() {
+        let mut rng = RngStream::new(1, "er");
+        let g = erdos_renyi(100, 500, &mut rng);
+        assert_eq!(g.vertex_count(), 100);
+        assert_eq!(g.edge_count(), 500);
+    }
+
+    #[test]
+    fn erdos_renyi_deterministic() {
+        let g1 = erdos_renyi(50, 200, &mut RngStream::new(2, "er"));
+        let g2 = erdos_renyi(50, 200, &mut RngStream::new(2, "er"));
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        let mut rng = RngStream::new(3, "rmat");
+        let g = rmat(10, 8, (0.57, 0.19, 0.19), &mut rng);
+        assert_eq!(g.vertex_count(), 1024);
+        assert_eq!(g.edge_count(), 8 * 1024);
+        // Skew: the max out-degree should far exceed the mean (8).
+        let max_deg = g.vertices().map(|v| g.out_degree(v)).max().unwrap();
+        assert!(max_deg > 40, "max degree {max_deg} not skewed");
+    }
+
+    #[test]
+    fn preferential_attachment_is_scale_free_ish() {
+        let mut rng = RngStream::new(4, "pa");
+        let g = preferential_attachment(2_000, 2, &mut rng);
+        let u = g.undirected();
+        let mut degrees: Vec<u64> = u.vertices().map(|v| u.out_degree(v)).collect();
+        degrees.sort_unstable_by(|a, b| b.cmp(a));
+        // Hubs exist: top degree far above the median.
+        let median = degrees[degrees.len() / 2];
+        assert!(degrees[0] > median * 5, "top {} median {}", degrees[0], median);
+    }
+
+    #[test]
+    fn random_weights_in_range() {
+        let mut rng = RngStream::new(5, "w");
+        let g = erdos_renyi(20, 100, &mut rng);
+        let wg = with_random_weights(&g, 1.0, 5.0, &mut rng);
+        assert!(wg.is_weighted());
+        for v in wg.vertices() {
+            for (_, w) in wg.edges_of(v) {
+                assert!((1.0..5.0).contains(&w));
+            }
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Compressed-sparse-row graph storage.
+//!
+//! The substrate of the paper's "generalized graph processing" use case
+//! (§6.6) and of the Graphalytics-style benchmark (C16): a compact,
+//! immutable directed graph with optional edge weights, plus the undirected
+//! view most analytics algorithms need.
+
+use serde::{Deserialize, Serialize};
+
+/// Vertex identifier (dense, `0..vertex_count`).
+pub type VertexId = u32;
+
+/// An immutable directed graph in CSR form, with parallel weight storage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Graph {
+    offsets: Vec<u64>,
+    targets: Vec<VertexId>,
+    weights: Option<Vec<f64>>,
+    vertex_count: u32,
+}
+
+impl Graph {
+    /// Builds a graph from an edge list. Self-loops are kept; duplicate
+    /// edges are kept (multi-graph semantics); edges are sorted per source.
+    ///
+    /// # Panics
+    /// Panics when an endpoint is `>= vertex_count` or when `weights` is
+    /// provided with a different length than `edges`.
+    pub fn from_edges(
+        vertex_count: u32,
+        edges: &[(VertexId, VertexId)],
+        weights: Option<&[f64]>,
+    ) -> Self {
+        if let Some(w) = weights {
+            assert_eq!(w.len(), edges.len(), "one weight per edge");
+        }
+        let n = vertex_count as usize;
+        let mut degree = vec![0u64; n];
+        for &(s, t) in edges {
+            assert!((s as usize) < n && (t as usize) < n, "edge endpoint out of range");
+            degree[s as usize] += 1;
+        }
+        let mut offsets = vec![0u64; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + degree[i];
+        }
+        // Stable placement: sort edge indices by (source, target).
+        let mut order: Vec<usize> = (0..edges.len()).collect();
+        order.sort_by_key(|&i| edges[i]);
+        let mut targets = Vec::with_capacity(edges.len());
+        let mut out_weights = weights.map(|_| Vec::with_capacity(edges.len()));
+        for &i in &order {
+            targets.push(edges[i].1);
+            if let (Some(out), Some(w)) = (&mut out_weights, weights) {
+                out.push(w[i]);
+            }
+        }
+        Graph { offsets, targets, weights: out_weights, vertex_count }
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> u32 {
+        self.vertex_count
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> u64 {
+        self.targets.len() as u64
+    }
+
+    /// Whether edges carry weights.
+    pub fn is_weighted(&self) -> bool {
+        self.weights.is_some()
+    }
+
+    /// Out-neighbors of `v`, sorted.
+    ///
+    /// # Panics
+    /// Panics when `v` is out of range.
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Out-edges of `v` with weights (weight 1.0 when unweighted).
+    pub fn edges_of(&self, v: VertexId) -> impl Iterator<Item = (VertexId, f64)> + '_ {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        (lo..hi).map(move |i| {
+            (self.targets[i], self.weights.as_ref().map_or(1.0, |w| w[i]))
+        })
+    }
+
+    /// Out-degree of `v`.
+    pub fn out_degree(&self, v: VertexId) -> u64 {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// All vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> {
+        0..self.vertex_count
+    }
+
+    /// The reverse graph (every edge flipped), weights preserved.
+    pub fn reversed(&self) -> Graph {
+        let mut edges = Vec::with_capacity(self.targets.len());
+        let mut weights = self.weights.as_ref().map(|_| Vec::with_capacity(self.targets.len()));
+        for v in self.vertices() {
+            for (t, w) in self.edges_of(v) {
+                edges.push((t, v));
+                if let Some(ws) = &mut weights {
+                    ws.push(w);
+                }
+            }
+        }
+        Graph::from_edges(self.vertex_count, &edges, weights.as_deref())
+    }
+
+    /// An undirected view: each edge present in both directions, then
+    /// deduplicated. Weights are dropped.
+    pub fn undirected(&self) -> Graph {
+        let mut edges = Vec::with_capacity(self.targets.len() * 2);
+        for v in self.vertices() {
+            for &t in self.neighbors(v) {
+                edges.push((v, t));
+                edges.push((t, v));
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        Graph::from_edges(self.vertex_count, &edges, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Graph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        Graph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)], None)
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let g = diamond();
+        assert_eq!(g.vertex_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.out_degree(3), 0);
+        assert!(!g.is_weighted());
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let g = Graph::from_edges(3, &[(0, 2), (0, 1)], None);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+    }
+
+    #[test]
+    fn weights_follow_edge_sort() {
+        let g = Graph::from_edges(3, &[(0, 2), (0, 1)], Some(&[20.0, 10.0]));
+        let edges: Vec<(u32, f64)> = g.edges_of(0).collect();
+        assert_eq!(edges, vec![(1, 10.0), (2, 20.0)]);
+    }
+
+    #[test]
+    fn reversed_flips_edges() {
+        let g = diamond();
+        let r = g.reversed();
+        assert_eq!(r.neighbors(3), &[1, 2]);
+        assert_eq!(r.neighbors(0), &[] as &[u32]);
+        assert_eq!(r.edge_count(), 4);
+    }
+
+    #[test]
+    fn undirected_symmetrizes() {
+        let g = diamond();
+        let u = g.undirected();
+        assert_eq!(u.neighbors(0), &[1, 2]);
+        assert_eq!(u.neighbors(3), &[1, 2]);
+        assert_eq!(u.edge_count(), 8);
+        // Deduplicated: adding the reverse of an existing edge changes nothing.
+        let g2 = Graph::from_edges(2, &[(0, 1), (1, 0)], None);
+        assert_eq!(g2.undirected().edge_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_rejected() {
+        let _ = Graph::from_edges(2, &[(0, 2)], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per edge")]
+    fn weight_length_mismatch_rejected() {
+        let _ = Graph::from_edges(2, &[(0, 1)], Some(&[1.0, 2.0]));
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = Graph::from_edges(0, &[], None);
+        assert_eq!(g.vertex_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

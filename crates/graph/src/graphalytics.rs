@@ -1,0 +1,142 @@
+//! A Graphalytics-style benchmark harness.
+//!
+//! LDBC Graphalytics \[42\] — created by the paper's authors — scores
+//! graph-processing platforms by runtime and EVPS (edges+vertices per
+//! second) per algorithm, plus scalability and robustness (variability
+//! across repetitions). This harness runs the six algorithms over a graph
+//! and reports those rows.
+
+use crate::algorithms::{bfs, cdlp, lcc_parallel, pagerank, sssp, wcc};
+use crate::bsp::BspEngine;
+use crate::graph::Graph;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// The six benchmark algorithms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Breadth-first search.
+    Bfs,
+    /// PageRank (fixed iterations).
+    PageRank,
+    /// Weakly connected components.
+    Wcc,
+    /// Community detection by label propagation.
+    Cdlp,
+    /// Local clustering coefficient.
+    Lcc,
+    /// Single-source shortest paths.
+    Sssp,
+}
+
+impl Algorithm {
+    /// All six, in Graphalytics order.
+    pub const ALL: [Algorithm; 6] = [
+        Algorithm::Bfs,
+        Algorithm::PageRank,
+        Algorithm::Wcc,
+        Algorithm::Cdlp,
+        Algorithm::Lcc,
+        Algorithm::Sssp,
+    ];
+
+    /// Stable lowercase name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Bfs => "bfs",
+            Algorithm::PageRank => "pagerank",
+            Algorithm::Wcc => "wcc",
+            Algorithm::Cdlp => "cdlp",
+            Algorithm::Lcc => "lcc",
+            Algorithm::Sssp => "sssp",
+        }
+    }
+}
+
+/// One benchmark measurement row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkRow {
+    /// Which algorithm ran.
+    pub algorithm: Algorithm,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock processing time, seconds.
+    pub runtime_secs: f64,
+    /// Edges+vertices per second (the Graphalytics throughput metric).
+    pub evps: f64,
+}
+
+/// Runs one algorithm on `graph` with `threads` workers and measures it.
+pub fn run_algorithm(graph: &Graph, algorithm: Algorithm, threads: usize) -> BenchmarkRow {
+    let engine = BspEngine::parallel(threads);
+    let start = Instant::now();
+    match algorithm {
+        Algorithm::Bfs => {
+            let _ = bfs(graph, 0, &engine);
+        }
+        Algorithm::PageRank => {
+            let _ = pagerank(graph, 10, &engine);
+        }
+        Algorithm::Wcc => {
+            let _ = wcc(graph, &engine);
+        }
+        Algorithm::Cdlp => {
+            let _ = cdlp(graph, 10, &engine);
+        }
+        Algorithm::Lcc => {
+            let _ = lcc_parallel(graph, threads);
+        }
+        Algorithm::Sssp => {
+            let _ = sssp(graph, 0, &engine);
+        }
+    }
+    let runtime_secs = start.elapsed().as_secs_f64().max(1e-9);
+    let ev = graph.vertex_count() as f64 + graph.edge_count() as f64;
+    BenchmarkRow { algorithm, threads, runtime_secs, evps: ev / runtime_secs }
+}
+
+/// Runs the full six-algorithm suite.
+pub fn run_suite(graph: &Graph, threads: usize) -> Vec<BenchmarkRow> {
+    Algorithm::ALL.iter().map(|&a| run_algorithm(graph, a, threads)).collect()
+}
+
+/// Strong-scalability sweep: the same graph at increasing thread counts.
+/// Returns `(threads, runtime)` rows per algorithm.
+pub fn strong_scalability(
+    graph: &Graph,
+    algorithm: Algorithm,
+    thread_counts: &[usize],
+) -> Vec<BenchmarkRow> {
+    thread_counts.iter().map(|&t| run_algorithm(graph, algorithm, t)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::rmat;
+    use mcs_simcore::rng::RngStream;
+
+    #[test]
+    fn suite_produces_all_rows() {
+        let mut rng = RngStream::new(1, "ga");
+        let g = rmat(8, 4, (0.57, 0.19, 0.19), &mut rng);
+        let rows = run_suite(&g, 2);
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            assert!(r.runtime_secs > 0.0);
+            assert!(r.evps > 0.0);
+        }
+        let names: std::collections::HashSet<_> =
+            rows.iter().map(|r| r.algorithm.name()).collect();
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn scalability_rows_cover_thread_counts() {
+        let mut rng = RngStream::new(2, "ga");
+        let g = rmat(7, 4, (0.57, 0.19, 0.19), &mut rng);
+        let rows = strong_scalability(&g, Algorithm::Bfs, &[1, 2, 4]);
+        let threads: Vec<usize> = rows.iter().map(|r| r.threads).collect();
+        assert_eq!(threads, vec![1, 2, 4]);
+    }
+}

@@ -1,0 +1,40 @@
+//! # mcs-graph — generalized graph processing
+//!
+//! The substrate for the paper's §6.6 use case ("Generalized Graph
+//! Processing for the Modern Society") and the Pregel sub-ecosystem of
+//! Figure 1: CSR graph storage, synthetic generators (Erdős–Rényi, R-MAT,
+//! preferential attachment), a deterministic parallel BSP/Pregel engine,
+//! the six LDBC Graphalytics algorithms with serial references, and a
+//! Graphalytics-style benchmark harness.
+//!
+//! ## Example
+//! ```
+//! use mcs_graph::prelude::*;
+//! use mcs_simcore::rng::RngStream;
+//!
+//! let mut rng = RngStream::new(7, "example");
+//! let g = erdos_renyi(100, 400, &mut rng);
+//! let depths = bfs(&g, 0, &BspEngine::parallel(2));
+//! assert_eq!(depths.len(), 100);
+//! assert_eq!(depths[0], 0);
+//! ```
+
+pub mod algorithms;
+pub mod bsp;
+pub mod generate;
+pub mod graph;
+pub mod graphalytics;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::algorithms::{
+        bfs, bfs_serial, cdlp, cdlp_serial, lcc_parallel, lcc_serial, pagerank,
+        pagerank_serial, sssp, sssp_serial, wcc, wcc_serial,
+    };
+    pub use crate::bsp::{BspEngine, BspResult, Outbox, VertexProgram};
+    pub use crate::generate::{
+        erdos_renyi, preferential_attachment, rmat, with_random_weights,
+    };
+    pub use crate::graph::{Graph, VertexId};
+    pub use crate::graphalytics::{run_algorithm, run_suite, strong_scalability, Algorithm, BenchmarkRow};
+}

@@ -1,0 +1,325 @@
+//! Clusters and datacenters: hierarchical aggregations of machines (the
+//! "Infrastructure" layer of the paper's Figure 3 reference architecture).
+
+use crate::machine::{Machine, MachineId, MachineSpec, MachineState};
+use crate::resource::ResourceVector;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies a cluster within a [`Datacenter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ClusterId(pub u32);
+
+impl fmt::Display for ClusterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A homogeneous-or-not group of machines managed as one scheduling domain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    id: ClusterId,
+    name: String,
+    machines: Vec<Machine>,
+}
+
+impl Cluster {
+    /// Creates an empty cluster.
+    pub fn new(id: ClusterId, name: &str) -> Self {
+        Cluster { id, name: name.to_owned(), machines: Vec::new() }
+    }
+
+    /// Creates a cluster of `n` identical machines.
+    pub fn homogeneous(id: ClusterId, name: &str, spec: MachineSpec, n: u32) -> Self {
+        let mut c = Cluster::new(id, name);
+        for i in 0..n {
+            c.add_machine(spec.clone());
+            debug_assert_eq!(c.machines.last().unwrap().id(), MachineId(i));
+        }
+        c
+    }
+
+    /// The cluster id.
+    pub fn id(&self) -> ClusterId {
+        self.id
+    }
+
+    /// The cluster name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds one machine of the given spec; returns its id.
+    pub fn add_machine(&mut self, spec: MachineSpec) -> MachineId {
+        let id = MachineId(self.machines.len() as u32);
+        self.machines.push(Machine::new(id, spec));
+        id
+    }
+
+    /// All machines, in id order.
+    pub fn machines(&self) -> &[Machine] {
+        &self.machines
+    }
+
+    /// Mutable access to one machine.
+    ///
+    /// # Panics
+    /// Panics on an unknown id.
+    pub fn machine_mut(&mut self, id: MachineId) -> &mut Machine {
+        &mut self.machines[id.0 as usize]
+    }
+
+    /// Shared access to one machine.
+    ///
+    /// # Panics
+    /// Panics on an unknown id.
+    pub fn machine(&self, id: MachineId) -> &Machine {
+        &self.machines[id.0 as usize]
+    }
+
+    /// Number of machines (any state).
+    pub fn len(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// True when the cluster has no machines.
+    pub fn is_empty(&self) -> bool {
+        self.machines.is_empty()
+    }
+
+    /// Aggregate capacity of `Up` machines.
+    pub fn capacity(&self) -> ResourceVector {
+        self.machines
+            .iter()
+            .filter(|m| m.state() == MachineState::Up)
+            .fold(ResourceVector::ZERO, |acc, m| acc + m.capacity())
+    }
+
+    /// Aggregate still-free resources of `Up` machines.
+    pub fn available(&self) -> ResourceVector {
+        self.machines.iter().fold(ResourceVector::ZERO, |acc, m| acc + m.available())
+    }
+
+    /// Machines that are `Up` and can fit `req` right now.
+    pub fn feasible_machines(&self, req: &ResourceVector) -> impl Iterator<Item = &Machine> {
+        let req = *req;
+        self.machines.iter().filter(move |m| req.fits_in(&m.available()))
+    }
+
+    /// Cluster-wide dominant-share utilization over `Up` machines, in `[0,1]`.
+    pub fn utilization(&self) -> f64 {
+        let cap = self.capacity();
+        let used = self
+            .machines
+            .iter()
+            .filter(|m| m.state() == MachineState::Up)
+            .fold(ResourceVector::ZERO, |acc, m| acc + m.allocated());
+        used.dominant_share(&cap).min(1.0)
+    }
+
+    /// Number of machines in the `Up` state.
+    pub fn up_count(&self) -> usize {
+        self.machines.iter().filter(|m| m.state() == MachineState::Up).count()
+    }
+
+    /// Total instantaneous power draw, watts.
+    pub fn power_watts(&self) -> f64 {
+        self.machines.iter().map(Machine::power_watts).sum()
+    }
+}
+
+/// Geographic location, for geo-distributed federation latency (C10).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoLocation {
+    /// Degrees latitude, positive north.
+    pub lat_deg: f64,
+    /// Degrees longitude, positive east.
+    pub lon_deg: f64,
+}
+
+impl GeoLocation {
+    /// Great-circle distance to `other`, kilometres (haversine).
+    pub fn distance_km(&self, other: &GeoLocation) -> f64 {
+        const R_KM: f64 = 6371.0;
+        let (lat1, lon1) = (self.lat_deg.to_radians(), self.lon_deg.to_radians());
+        let (lat2, lon2) = (other.lat_deg.to_radians(), other.lon_deg.to_radians());
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * R_KM * a.sqrt().atan2((1.0 - a).sqrt())
+    }
+}
+
+/// Identifies a datacenter within a federation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DatacenterId(pub u32);
+
+impl fmt::Display for DatacenterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dc{}", self.0)
+    }
+}
+
+/// A datacenter: clusters at one site, from hyperscale to edge
+/// micro-datacenter (paper §6.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Datacenter {
+    id: DatacenterId,
+    name: String,
+    location: GeoLocation,
+    clusters: Vec<Cluster>,
+}
+
+impl Datacenter {
+    /// Creates an empty datacenter at a location.
+    pub fn new(id: DatacenterId, name: &str, location: GeoLocation) -> Self {
+        Datacenter { id, name: name.to_owned(), location, clusters: Vec::new() }
+    }
+
+    /// The datacenter id.
+    pub fn id(&self) -> DatacenterId {
+        self.id
+    }
+
+    /// The datacenter name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Site location.
+    pub fn location(&self) -> GeoLocation {
+        self.location
+    }
+
+    /// Adds a cluster; returns its id.
+    pub fn add_cluster(&mut self, name: &str) -> ClusterId {
+        let id = ClusterId(self.clusters.len() as u32);
+        self.clusters.push(Cluster::new(id, name));
+        id
+    }
+
+    /// Adds a pre-built cluster (its id is rewritten to the local sequence).
+    pub fn push_cluster(&mut self, mut cluster: Cluster) -> ClusterId {
+        let id = ClusterId(self.clusters.len() as u32);
+        cluster.id = id;
+        self.clusters.push(cluster);
+        id
+    }
+
+    /// All clusters, in id order.
+    pub fn clusters(&self) -> &[Cluster] {
+        &self.clusters
+    }
+
+    /// Mutable access to one cluster.
+    ///
+    /// # Panics
+    /// Panics on an unknown id.
+    pub fn cluster_mut(&mut self, id: ClusterId) -> &mut Cluster {
+        &mut self.clusters[id.0 as usize]
+    }
+
+    /// Shared access to one cluster.
+    ///
+    /// # Panics
+    /// Panics on an unknown id.
+    pub fn cluster(&self, id: ClusterId) -> &Cluster {
+        &self.clusters[id.0 as usize]
+    }
+
+    /// Aggregate up-capacity across clusters.
+    pub fn capacity(&self) -> ResourceVector {
+        self.clusters.iter().fold(ResourceVector::ZERO, |acc, c| acc + c.capacity())
+    }
+
+    /// Aggregate free resources across clusters.
+    pub fn available(&self) -> ResourceVector {
+        self.clusters.iter().fold(ResourceVector::ZERO, |acc, c| acc + c.available())
+    }
+
+    /// Total machine count.
+    pub fn machine_count(&self) -> usize {
+        self.clusters.iter().map(Cluster::len).sum()
+    }
+
+    /// Total instantaneous power draw, watts.
+    pub fn power_watts(&self) -> f64 {
+        self.clusters.iter().map(Cluster::power_watts).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster() -> Cluster {
+        Cluster::homogeneous(ClusterId(0), "batch", MachineSpec::commodity("std-4", 4.0, 16.0), 4)
+    }
+
+    #[test]
+    fn homogeneous_cluster_capacity() {
+        let c = cluster();
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.capacity().cpu_cores, 16.0);
+        assert_eq!(c.available().memory_gb, 64.0);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn feasible_machines_filters() {
+        let mut c = cluster();
+        c.machine_mut(MachineId(0)).try_allocate(&ResourceVector::new(4.0, 1.0));
+        let feasible: Vec<MachineId> =
+            c.feasible_machines(&ResourceVector::new(2.0, 2.0)).map(|m| m.id()).collect();
+        assert_eq!(feasible, vec![MachineId(1), MachineId(2), MachineId(3)]);
+    }
+
+    #[test]
+    fn utilization_reflects_allocations() {
+        let mut c = cluster();
+        assert_eq!(c.utilization(), 0.0);
+        c.machine_mut(MachineId(0)).try_allocate(&ResourceVector::new(4.0, 4.0));
+        c.machine_mut(MachineId(1)).try_allocate(&ResourceVector::new(4.0, 4.0));
+        assert!((c.utilization() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn failed_machines_leave_capacity() {
+        let mut c = cluster();
+        c.machine_mut(MachineId(3)).fail();
+        assert_eq!(c.capacity().cpu_cores, 12.0);
+        assert_eq!(c.up_count(), 3);
+    }
+
+    #[test]
+    fn datacenter_aggregates_clusters() {
+        let mut dc = Datacenter::new(
+            DatacenterId(0),
+            "ams-1",
+            GeoLocation { lat_deg: 52.37, lon_deg: 4.89 },
+        );
+        dc.push_cluster(cluster());
+        dc.push_cluster(Cluster::homogeneous(
+            ClusterId(9), // will be rewritten
+            "gpu",
+            MachineSpec::gpu("gpu-8", 8.0, 64.0, 2.0),
+            2,
+        ));
+        assert_eq!(dc.clusters().len(), 2);
+        assert_eq!(dc.clusters()[1].id(), ClusterId(1));
+        assert_eq!(dc.machine_count(), 6);
+        assert_eq!(dc.capacity().cpu_cores, 32.0);
+        assert_eq!(dc.capacity().accelerators, 4.0);
+    }
+
+    #[test]
+    fn haversine_known_distance() {
+        // Amsterdam to New York is roughly 5 860 km.
+        let ams = GeoLocation { lat_deg: 52.37, lon_deg: 4.89 };
+        let nyc = GeoLocation { lat_deg: 40.71, lon_deg: -74.01 };
+        let d = ams.distance_km(&nyc);
+        assert!((5700.0..6050.0).contains(&d), "d = {d}");
+        assert_eq!(ams.distance_km(&ams), 0.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # mcs-infra — heterogeneous infrastructure model
+//!
+//! Machines, clusters, datacenters, geo-distributed network topology, and
+//! power/cost models: the "Infrastructure" and "Resources" layers of the
+//! paper's Figure 3 datacenter reference architecture, with the extreme
+//! heterogeneity of challenge C4 (CPU/GPU/TPU/FPGA machine types, different
+//! core speeds, memory and network capacities).
+//!
+//! ## Example: a small federated infrastructure
+//! ```
+//! use mcs_infra::prelude::*;
+//!
+//! let mut dc = Datacenter::new(
+//!     DatacenterId(0),
+//!     "ams-1",
+//!     GeoLocation { lat_deg: 52.4, lon_deg: 4.9 },
+//! );
+//! dc.push_cluster(Cluster::homogeneous(
+//!     ClusterId(0), "batch", MachineSpec::commodity("std-16", 16.0, 64.0), 8,
+//! ));
+//! assert_eq!(dc.capacity().cpu_cores, 128.0);
+//! ```
+
+pub mod cluster;
+pub mod machine;
+pub mod network;
+pub mod power;
+pub mod resource;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::cluster::{Cluster, ClusterId, Datacenter, DatacenterId, GeoLocation};
+    pub use crate::machine::{Machine, MachineId, MachineSpec, MachineState};
+    pub use crate::network::{Link, Route, Topology};
+    pub use crate::power::{CostModel, EnergyMeter, PowerModel};
+    pub use crate::resource::{AcceleratorKind, ResourceVector};
+}

@@ -1,0 +1,289 @@
+//! Machines: the leaf resources of a datacenter.
+
+use crate::power::PowerModel;
+use crate::resource::{AcceleratorKind, ResourceVector};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies a machine within a [`Cluster`](crate::cluster::Cluster).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MachineId(pub u32);
+
+impl fmt::Display for MachineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// The hardware description of a machine model (C4: heterogeneous machine
+/// types — different core counts, speeds, memory tiers, accelerators).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineSpec {
+    /// Human-readable model name (e.g. `"std-16"`, `"gpu-8"`).
+    pub model: String,
+    /// Total capacity of the machine.
+    pub capacity: ResourceVector,
+    /// Relative per-core speed (1.0 = reference core). Heterogeneity in
+    /// *speed*, not just count, is what makes scheduling hard.
+    pub core_speed: f64,
+    /// The accelerator family installed, if any.
+    pub accelerator: Option<AcceleratorKind>,
+    /// Relative accelerator speed-up for accelerator-friendly work.
+    pub accelerator_speedup: f64,
+    /// Power draw model.
+    pub power: PowerModel,
+    /// Price of one machine-hour, in abstract currency units.
+    pub cost_per_hour: f64,
+}
+
+impl MachineSpec {
+    /// A commodity CPU node: `cores` reference-speed cores, `memory_gb` GiB.
+    pub fn commodity(model: &str, cores: f64, memory_gb: f64) -> Self {
+        MachineSpec {
+            model: model.to_owned(),
+            capacity: ResourceVector::new(cores, memory_gb)
+                .with_storage_gb(memory_gb * 16.0)
+                .with_network_gbps(10.0),
+            core_speed: 1.0,
+            accelerator: None,
+            accelerator_speedup: 1.0,
+            power: PowerModel::linear(100.0, 100.0 + 15.0 * cores),
+            cost_per_hour: 0.05 * cores,
+        }
+    }
+
+    /// A GPU node: commodity base plus `gpus` accelerators.
+    pub fn gpu(model: &str, cores: f64, memory_gb: f64, gpus: f64) -> Self {
+        let mut spec = MachineSpec::commodity(model, cores, memory_gb);
+        spec.model = model.to_owned();
+        spec.capacity = spec.capacity.with_accelerators(gpus);
+        spec.accelerator = Some(AcceleratorKind::Gpu);
+        spec.accelerator_speedup = 10.0;
+        spec.power = PowerModel::linear(150.0, 150.0 + 15.0 * cores + 300.0 * gpus);
+        spec.cost_per_hour = 0.05 * cores + 0.9 * gpus;
+        spec
+    }
+}
+
+/// Whether the machine is powered and reachable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MachineState {
+    /// Serving allocations.
+    Up,
+    /// Crashed or unreachable (failure model); allocations are lost.
+    Down,
+    /// Administratively drained: existing allocations finish, no new ones.
+    Draining,
+}
+
+/// A concrete machine: a spec plus live allocation state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Machine {
+    id: MachineId,
+    spec: MachineSpec,
+    allocated: ResourceVector,
+    state: MachineState,
+    allocations: u32,
+}
+
+impl Machine {
+    /// Creates an empty, powered-up machine.
+    pub fn new(id: MachineId, spec: MachineSpec) -> Self {
+        Machine { id, spec, allocated: ResourceVector::ZERO, state: MachineState::Up, allocations: 0 }
+    }
+
+    /// The machine id.
+    pub fn id(&self) -> MachineId {
+        self.id
+    }
+
+    /// The hardware description.
+    pub fn spec(&self) -> &MachineSpec {
+        &self.spec
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> MachineState {
+        self.state
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> ResourceVector {
+        self.spec.capacity
+    }
+
+    /// Resources currently allocated.
+    pub fn allocated(&self) -> ResourceVector {
+        self.allocated
+    }
+
+    /// Resources still available (zero when not `Up`).
+    pub fn available(&self) -> ResourceVector {
+        match self.state {
+            MachineState::Up => self.spec.capacity - self.allocated,
+            _ => ResourceVector::ZERO,
+        }
+    }
+
+    /// Number of live allocations.
+    pub fn allocation_count(&self) -> u32 {
+        self.allocations
+    }
+
+    /// Dominant-share utilization in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        self.allocated.dominant_share(&self.spec.capacity).min(1.0)
+    }
+
+    /// Attempts to allocate `req`; returns `false` (and changes nothing) when
+    /// the machine is not `Up` or `req` does not fit.
+    pub fn try_allocate(&mut self, req: &ResourceVector) -> bool {
+        if self.state != MachineState::Up || !req.fits_in(&self.available()) {
+            return false;
+        }
+        self.allocated += *req;
+        self.allocations += 1;
+        true
+    }
+
+    /// Releases a previous allocation.
+    ///
+    /// # Panics
+    /// Panics (debug builds) if more is released than was allocated.
+    pub fn release(&mut self, req: &ResourceVector) {
+        debug_assert!(
+            req.fits_in(&self.allocated),
+            "releasing more than allocated on {}",
+            self.id
+        );
+        self.allocated -= *req;
+        self.allocations = self.allocations.saturating_sub(1);
+    }
+
+    /// Crashes the machine: state becomes `Down` and all allocations are
+    /// dropped. Returns the resource volume that was lost.
+    pub fn fail(&mut self) -> ResourceVector {
+        self.state = MachineState::Down;
+        let lost = self.allocated;
+        self.allocated = ResourceVector::ZERO;
+        self.allocations = 0;
+        lost
+    }
+
+    /// Repairs a `Down` machine back to `Up`.
+    pub fn repair(&mut self) {
+        if self.state == MachineState::Down {
+            self.state = MachineState::Up;
+        }
+    }
+
+    /// Starts draining: running work may finish but nothing new is placed.
+    pub fn drain(&mut self) {
+        if self.state == MachineState::Up {
+            self.state = MachineState::Draining;
+        }
+    }
+
+    /// Reverses a drain (or keeps `Up` as-is).
+    pub fn undrain(&mut self) {
+        if self.state == MachineState::Draining {
+            self.state = MachineState::Up;
+        }
+    }
+
+    /// Instantaneous power draw in watts at the current utilization.
+    pub fn power_watts(&self) -> f64 {
+        match self.state {
+            MachineState::Down => 0.0,
+            _ => self.spec.power.watts(self.utilization()),
+        }
+    }
+
+    /// The wall-clock speed-up this machine gives a task: per-core speed,
+    /// times accelerator speed-up when the task wants accelerators and the
+    /// machine has them.
+    pub fn speedup_for(&self, req: &ResourceVector) -> f64 {
+        let accel = if req.accelerators > 0.0 && self.spec.capacity.accelerators > 0.0 {
+            self.spec.accelerator_speedup
+        } else {
+            1.0
+        };
+        self.spec.core_speed * accel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> Machine {
+        Machine::new(MachineId(0), MachineSpec::commodity("std-8", 8.0, 32.0))
+    }
+
+    #[test]
+    fn allocate_release_cycle() {
+        let mut machine = m();
+        let req = ResourceVector::new(4.0, 8.0);
+        assert!(machine.try_allocate(&req));
+        assert_eq!(machine.allocation_count(), 1);
+        assert!((machine.utilization() - 0.5).abs() < 1e-9);
+        machine.release(&req);
+        assert!(machine.allocated().is_zero());
+        assert_eq!(machine.allocation_count(), 0);
+    }
+
+    #[test]
+    fn over_allocation_rejected() {
+        let mut machine = m();
+        assert!(machine.try_allocate(&ResourceVector::new(6.0, 8.0)));
+        assert!(!machine.try_allocate(&ResourceVector::new(3.0, 8.0)));
+        assert!(machine.try_allocate(&ResourceVector::new(2.0, 8.0)));
+    }
+
+    #[test]
+    fn failure_drops_allocations() {
+        let mut machine = m();
+        machine.try_allocate(&ResourceVector::new(4.0, 8.0));
+        let lost = machine.fail();
+        assert_eq!(lost, ResourceVector::new(4.0, 8.0));
+        assert_eq!(machine.state(), MachineState::Down);
+        assert!(machine.available().is_zero());
+        assert!(!machine.try_allocate(&ResourceVector::cores(1.0)));
+        machine.repair();
+        assert!(machine.try_allocate(&ResourceVector::cores(1.0)));
+    }
+
+    #[test]
+    fn drain_blocks_new_work_only() {
+        let mut machine = m();
+        machine.try_allocate(&ResourceVector::cores(2.0));
+        machine.drain();
+        assert_eq!(machine.state(), MachineState::Draining);
+        assert!(!machine.try_allocate(&ResourceVector::cores(1.0)));
+        // Release of existing work is still allowed.
+        machine.release(&ResourceVector::cores(2.0));
+        machine.undrain();
+        assert!(machine.try_allocate(&ResourceVector::cores(1.0)));
+    }
+
+    #[test]
+    fn power_tracks_utilization() {
+        let mut machine = m();
+        let idle = machine.power_watts();
+        machine.try_allocate(&ResourceVector::new(8.0, 1.0));
+        assert!(machine.power_watts() > idle);
+        machine.fail();
+        assert_eq!(machine.power_watts(), 0.0);
+    }
+
+    #[test]
+    fn gpu_speedup_applies_only_to_accel_requests() {
+        let gpu = Machine::new(MachineId(1), MachineSpec::gpu("gpu-8", 8.0, 64.0, 2.0));
+        let plain = ResourceVector::new(2.0, 4.0);
+        let accel = ResourceVector::new(2.0, 4.0).with_accelerators(1.0);
+        assert_eq!(gpu.speedup_for(&plain), 1.0);
+        assert_eq!(gpu.speedup_for(&accel), 10.0);
+        let cpu = m();
+        assert_eq!(cpu.speedup_for(&accel), 1.0);
+    }
+}

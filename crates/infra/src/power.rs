@@ -1,0 +1,142 @@
+//! Power and cost models.
+//!
+//! The paper lists energy-proportionality (C6 class v) and cost (C13) among
+//! the first-class non-functional concerns of ecosystems; these models make
+//! them measurable in every simulation.
+
+use mcs_simcore::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Maps utilization to instantaneous power draw.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PowerModel {
+    /// The classic linear model: `idle + (max - idle) * utilization`.
+    Linear {
+        /// Draw at zero utilization, watts.
+        idle_watts: f64,
+        /// Draw at full utilization, watts.
+        max_watts: f64,
+    },
+    /// Energy-proportional square-root model, `idle + (max-idle) * sqrt(u)`:
+    /// pessimistic at low utilization, as measured on real servers.
+    SquareRoot {
+        /// Draw at zero utilization, watts.
+        idle_watts: f64,
+        /// Draw at full utilization, watts.
+        max_watts: f64,
+    },
+}
+
+impl PowerModel {
+    /// A linear model from idle and peak draw.
+    pub fn linear(idle_watts: f64, max_watts: f64) -> PowerModel {
+        PowerModel::Linear { idle_watts, max_watts }
+    }
+
+    /// Instantaneous draw at `utilization ∈ [0, 1]` (clamped).
+    pub fn watts(&self, utilization: f64) -> f64 {
+        let u = utilization.clamp(0.0, 1.0);
+        match *self {
+            PowerModel::Linear { idle_watts, max_watts } => {
+                idle_watts + (max_watts - idle_watts) * u
+            }
+            PowerModel::SquareRoot { idle_watts, max_watts } => {
+                idle_watts + (max_watts - idle_watts) * u.sqrt()
+            }
+        }
+    }
+}
+
+/// Integrates power over virtual time into energy (kWh).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyMeter {
+    last_at: SimTime,
+    watts: f64,
+    joules: f64,
+}
+
+impl EnergyMeter {
+    /// Starts metering at `t0` with an initial draw.
+    pub fn new(t0: SimTime, initial_watts: f64) -> Self {
+        EnergyMeter { last_at: t0, watts: initial_watts, joules: 0.0 }
+    }
+
+    /// Records a change in draw at instant `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` precedes the previous update.
+    pub fn set_watts(&mut self, at: SimTime, watts: f64) {
+        assert!(at >= self.last_at, "energy meter updates must be monotone");
+        self.joules += self.watts * (at - self.last_at).as_secs_f64();
+        self.last_at = at;
+        self.watts = watts;
+    }
+
+    /// Total energy consumed up to `at`, in kilowatt-hours.
+    pub fn kwh_until(&self, at: SimTime) -> f64 {
+        let tail = self.watts * at.saturating_since(self.last_at).as_secs_f64();
+        (self.joules + tail) / 3_600_000.0
+    }
+}
+
+/// Converts machine-time and energy into money.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Price of one kWh.
+    pub per_kwh: f64,
+    /// Datacenter power-usage effectiveness (total facility power divided by
+    /// IT power); ≥ 1.0.
+    pub pue: f64,
+}
+
+impl CostModel {
+    /// A typical cloud-provider cost model.
+    pub fn default_cloud() -> Self {
+        CostModel { per_kwh: 0.12, pue: 1.4 }
+    }
+
+    /// Money spent on `kwh` of IT energy, including facility overhead, plus
+    /// the machine-hour price for `machine_time` at `per_machine_hour`.
+    pub fn cost(&self, kwh: f64, machine_time: SimDuration, per_machine_hour: f64) -> f64 {
+        self.per_kwh * self.pue * kwh + per_machine_hour * machine_time.as_secs_f64() / 3600.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_power_endpoints() {
+        let p = PowerModel::linear(100.0, 300.0);
+        assert_eq!(p.watts(0.0), 100.0);
+        assert_eq!(p.watts(1.0), 300.0);
+        assert_eq!(p.watts(0.5), 200.0);
+        assert_eq!(p.watts(-1.0), 100.0);
+        assert_eq!(p.watts(2.0), 300.0);
+    }
+
+    #[test]
+    fn sqrt_power_above_linear_mid_range() {
+        let lin = PowerModel::linear(100.0, 300.0);
+        let sq = PowerModel::SquareRoot { idle_watts: 100.0, max_watts: 300.0 };
+        assert!(sq.watts(0.25) > lin.watts(0.25));
+        assert_eq!(sq.watts(1.0), lin.watts(1.0));
+    }
+
+    #[test]
+    fn energy_meter_integrates() {
+        let mut m = EnergyMeter::new(SimTime::ZERO, 1000.0);
+        m.set_watts(SimTime::from_secs(3600), 2000.0); // 1 kW for 1 h = 1 kWh
+        let kwh = m.kwh_until(SimTime::from_secs(7200)); // + 2 kW for 1 h
+        assert!((kwh - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cost_combines_energy_and_machine_hours() {
+        let c = CostModel { per_kwh: 0.10, pue: 1.5 };
+        let money = c.cost(10.0, SimDuration::from_hours(2), 0.5);
+        // 10 kWh * 1.5 * 0.10 + 2 h * 0.5 = 1.5 + 1.0
+        assert!((money - 2.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,277 @@
+//! Multi-dimensional resource vectors.
+//!
+//! Challenge C4 of the paper ("extreme heterogeneity") requires machines
+//! whose capacity spans CPU cores, memory, accelerators, storage, and
+//! network. [`ResourceVector`] is the common currency: requests, capacities,
+//! and allocations are all vectors, compared dimension-wise.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// Accelerator families from the paper's heterogeneity discussion (C4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AcceleratorKind {
+    /// General-purpose GPUs (machine learning, graph processing).
+    Gpu,
+    /// Tensor-processing ASICs.
+    Tpu,
+    /// Field-programmable gate arrays (datacenter-internal offload).
+    Fpga,
+}
+
+impl fmt::Display for AcceleratorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AcceleratorKind::Gpu => write!(f, "GPU"),
+            AcceleratorKind::Tpu => write!(f, "TPU"),
+            AcceleratorKind::Fpga => write!(f, "FPGA"),
+        }
+    }
+}
+
+/// A point in resource space: how much of each dimension is requested,
+/// available, or allocated.
+///
+/// All quantities are non-negative `f64`s so fractional allocations
+/// (e.g. 0.5 cores for a function instance) are expressible.
+///
+/// # Examples
+/// ```
+/// use mcs_infra::resource::ResourceVector;
+/// let capacity = ResourceVector::new(16.0, 64.0);
+/// let req = ResourceVector::new(4.0, 8.0);
+/// assert!(req.fits_in(&capacity));
+/// let rest = capacity.checked_sub(&req).unwrap();
+/// assert_eq!(rest.cpu_cores, 12.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ResourceVector {
+    /// CPU cores (fractional allowed).
+    pub cpu_cores: f64,
+    /// Memory in GiB.
+    pub memory_gb: f64,
+    /// Accelerator devices.
+    pub accelerators: f64,
+    /// Local storage in GiB.
+    pub storage_gb: f64,
+    /// Network bandwidth in Gbit/s.
+    pub network_gbps: f64,
+}
+
+impl ResourceVector {
+    /// The zero vector.
+    pub const ZERO: ResourceVector = ResourceVector {
+        cpu_cores: 0.0,
+        memory_gb: 0.0,
+        accelerators: 0.0,
+        storage_gb: 0.0,
+        network_gbps: 0.0,
+    };
+
+    /// A CPU+memory vector, the common case.
+    pub fn new(cpu_cores: f64, memory_gb: f64) -> Self {
+        ResourceVector { cpu_cores, memory_gb, ..ResourceVector::ZERO }
+    }
+
+    /// A CPU-only vector.
+    pub fn cores(cpu_cores: f64) -> Self {
+        ResourceVector { cpu_cores, ..ResourceVector::ZERO }
+    }
+
+    /// Adds accelerator devices to the vector (builder style).
+    pub fn with_accelerators(mut self, n: f64) -> Self {
+        self.accelerators = n;
+        self
+    }
+
+    /// Adds storage to the vector (builder style).
+    pub fn with_storage_gb(mut self, gb: f64) -> Self {
+        self.storage_gb = gb;
+        self
+    }
+
+    /// Adds network bandwidth to the vector (builder style).
+    pub fn with_network_gbps(mut self, gbps: f64) -> Self {
+        self.network_gbps = gbps;
+        self
+    }
+
+    /// True when every dimension of `self` is ≤ the corresponding dimension
+    /// of `capacity` (within a small epsilon to absorb float drift).
+    pub fn fits_in(&self, capacity: &ResourceVector) -> bool {
+        const EPS: f64 = 1e-9;
+        self.cpu_cores <= capacity.cpu_cores + EPS
+            && self.memory_gb <= capacity.memory_gb + EPS
+            && self.accelerators <= capacity.accelerators + EPS
+            && self.storage_gb <= capacity.storage_gb + EPS
+            && self.network_gbps <= capacity.network_gbps + EPS
+    }
+
+    /// Dimension-wise subtraction; `None` if any dimension would go negative.
+    pub fn checked_sub(&self, rhs: &ResourceVector) -> Option<ResourceVector> {
+        if rhs.fits_in(self) {
+            Some(ResourceVector {
+                cpu_cores: (self.cpu_cores - rhs.cpu_cores).max(0.0),
+                memory_gb: (self.memory_gb - rhs.memory_gb).max(0.0),
+                accelerators: (self.accelerators - rhs.accelerators).max(0.0),
+                storage_gb: (self.storage_gb - rhs.storage_gb).max(0.0),
+                network_gbps: (self.network_gbps - rhs.network_gbps).max(0.0),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// The largest per-dimension utilization fraction of `self` relative to
+    /// `capacity`; dimensions with zero capacity are skipped. This is the
+    /// "dominant share" of DRF-style fair allocation.
+    pub fn dominant_share(&self, capacity: &ResourceVector) -> f64 {
+        let frac = |used: f64, cap: f64| if cap > 0.0 { used / cap } else { 0.0 };
+        frac(self.cpu_cores, capacity.cpu_cores)
+            .max(frac(self.memory_gb, capacity.memory_gb))
+            .max(frac(self.accelerators, capacity.accelerators))
+            .max(frac(self.storage_gb, capacity.storage_gb))
+            .max(frac(self.network_gbps, capacity.network_gbps))
+    }
+
+    /// True when every dimension is (approximately) zero.
+    pub fn is_zero(&self) -> bool {
+        const EPS: f64 = 1e-9;
+        self.cpu_cores < EPS
+            && self.memory_gb < EPS
+            && self.accelerators < EPS
+            && self.storage_gb < EPS
+            && self.network_gbps < EPS
+    }
+
+    /// Scales every dimension by a non-negative factor.
+    pub fn scaled(&self, factor: f64) -> ResourceVector {
+        ResourceVector {
+            cpu_cores: self.cpu_cores * factor,
+            memory_gb: self.memory_gb * factor,
+            accelerators: self.accelerators * factor,
+            storage_gb: self.storage_gb * factor,
+            network_gbps: self.network_gbps * factor,
+        }
+    }
+}
+
+impl Add for ResourceVector {
+    type Output = ResourceVector;
+    fn add(self, rhs: ResourceVector) -> ResourceVector {
+        ResourceVector {
+            cpu_cores: self.cpu_cores + rhs.cpu_cores,
+            memory_gb: self.memory_gb + rhs.memory_gb,
+            accelerators: self.accelerators + rhs.accelerators,
+            storage_gb: self.storage_gb + rhs.storage_gb,
+            network_gbps: self.network_gbps + rhs.network_gbps,
+        }
+    }
+}
+
+impl AddAssign for ResourceVector {
+    fn add_assign(&mut self, rhs: ResourceVector) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for ResourceVector {
+    type Output = ResourceVector;
+    /// Saturating subtraction: dimensions clamp at zero. Use
+    /// [`ResourceVector::checked_sub`] when underflow must be detected.
+    fn sub(self, rhs: ResourceVector) -> ResourceVector {
+        ResourceVector {
+            cpu_cores: (self.cpu_cores - rhs.cpu_cores).max(0.0),
+            memory_gb: (self.memory_gb - rhs.memory_gb).max(0.0),
+            accelerators: (self.accelerators - rhs.accelerators).max(0.0),
+            storage_gb: (self.storage_gb - rhs.storage_gb).max(0.0),
+            network_gbps: (self.network_gbps - rhs.network_gbps).max(0.0),
+        }
+    }
+}
+
+impl SubAssign for ResourceVector {
+    fn sub_assign(&mut self, rhs: ResourceVector) {
+        *self = *self - rhs;
+    }
+}
+
+impl fmt::Display for ResourceVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:.1} cores, {:.1} GiB, {:.0} accel, {:.0} GiB disk, {:.1} Gbps]",
+            self.cpu_cores, self.memory_gb, self.accelerators, self.storage_gb, self.network_gbps
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_in_is_dimension_wise() {
+        let cap = ResourceVector::new(8.0, 32.0).with_accelerators(2.0);
+        assert!(ResourceVector::new(8.0, 32.0).fits_in(&cap));
+        assert!(!ResourceVector::new(9.0, 1.0).fits_in(&cap));
+        assert!(!ResourceVector::new(1.0, 33.0).fits_in(&cap));
+        assert!(!ResourceVector::new(1.0, 1.0).with_accelerators(3.0).fits_in(&cap));
+        assert!(ResourceVector::ZERO.fits_in(&cap));
+    }
+
+    #[test]
+    fn checked_sub_detects_underflow() {
+        let cap = ResourceVector::new(4.0, 16.0);
+        assert!(cap.checked_sub(&ResourceVector::new(5.0, 1.0)).is_none());
+        let rest = cap.checked_sub(&ResourceVector::new(1.0, 4.0)).unwrap();
+        assert_eq!(rest, ResourceVector::new(3.0, 12.0));
+    }
+
+    #[test]
+    fn add_sub_round_trip() {
+        let a = ResourceVector::new(2.0, 8.0).with_storage_gb(100.0);
+        let b = ResourceVector::new(1.0, 2.0).with_network_gbps(10.0);
+        let sum = a + b;
+        assert_eq!(sum.cpu_cores, 3.0);
+        assert_eq!(sum.network_gbps, 10.0);
+        let back = sum - b;
+        assert!((back.cpu_cores - a.cpu_cores).abs() < 1e-12);
+        assert!((back.storage_gb - a.storage_gb).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturating_sub_clamps() {
+        let a = ResourceVector::new(1.0, 1.0);
+        let diff = a - ResourceVector::new(5.0, 0.5);
+        assert_eq!(diff.cpu_cores, 0.0);
+        assert_eq!(diff.memory_gb, 0.5);
+    }
+
+    #[test]
+    fn dominant_share_picks_max_dimension() {
+        let cap = ResourceVector::new(10.0, 100.0);
+        let use1 = ResourceVector::new(5.0, 20.0);
+        assert!((use1.dominant_share(&cap) - 0.5).abs() < 1e-12);
+        let use2 = ResourceVector::new(1.0, 90.0);
+        assert!((use2.dominant_share(&cap) - 0.9).abs() < 1e-12);
+        // Zero-capacity dimensions are ignored, not division by zero.
+        let accel_req = ResourceVector::cores(1.0).with_accelerators(1.0);
+        assert!((accel_req.dominant_share(&cap) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn is_zero_and_scaled() {
+        assert!(ResourceVector::ZERO.is_zero());
+        assert!(!ResourceVector::cores(0.1).is_zero());
+        let v = ResourceVector::new(2.0, 4.0).scaled(2.5);
+        assert_eq!(v, ResourceVector::new(5.0, 10.0));
+    }
+
+    #[test]
+    fn display_mentions_all_dimensions() {
+        let s = format!("{}", ResourceVector::new(1.0, 2.0));
+        assert!(s.contains("cores") && s.contains("GiB") && s.contains("Gbps"));
+    }
+}

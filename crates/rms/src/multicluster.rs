@@ -1,0 +1,311 @@
+//! Federated multi-cluster scheduling: routing and offloading.
+//!
+//! The provisioning half of the dual problem (C7) and the federation
+//! challenge (C10): jobs are routed across geo-distributed clusters at
+//! submission, optionally offloaded away from an overloaded home cluster,
+//! with wide-area transfer delay charged on remote placement.
+
+use crate::scheduler::{ClusterScheduler, ScheduleOutcome, SchedulerConfig};
+use mcs_infra::cluster::{Cluster, DatacenterId};
+use mcs_infra::network::Topology;
+use mcs_simcore::time::SimTime;
+use mcs_workload::task::Job;
+use serde::{Deserialize, Serialize};
+
+/// How jobs are routed across the federation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RoutingPolicy {
+    /// Cycle through clusters regardless of load.
+    RoundRobin,
+    /// Send each job to the cluster with the least estimated backlog
+    /// (outstanding core-seconds divided by core capacity).
+    LeastBacklog,
+    /// Keep jobs at the user's home cluster until its estimated backlog
+    /// exceeds `threshold_secs`, then offload to the least-backlogged remote
+    /// (the offloading technique of C7).
+    LocalFirstOffload {
+        /// Backlog (seconds of work per core) above which jobs leave home.
+        threshold_secs: f64,
+    },
+    /// Always the user's home cluster (the no-federation baseline).
+    HomeOnly,
+}
+
+impl RoutingPolicy {
+    /// A short stable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RoutingPolicy::RoundRobin => "round-robin",
+            RoutingPolicy::LeastBacklog => "least-backlog",
+            RoutingPolicy::LocalFirstOffload { .. } => "offload",
+            RoutingPolicy::HomeOnly => "home-only",
+        }
+    }
+}
+
+/// The outcome of a federated run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FederationOutcome {
+    /// Per-cluster scheduling outcomes, in cluster order.
+    pub per_cluster: Vec<ScheduleOutcome>,
+    /// Jobs routed to each cluster.
+    pub jobs_per_cluster: Vec<usize>,
+    /// Jobs placed away from their home cluster.
+    pub offloaded_jobs: usize,
+    /// Total data-transfer delay charged on offloaded jobs, seconds.
+    pub transfer_delay_secs: f64,
+}
+
+impl FederationOutcome {
+    /// Mean response time across all completions, seconds.
+    pub fn mean_response_secs(&self) -> f64 {
+        let (sum, n) = self.per_cluster.iter().fold((0.0, 0usize), |(s, n), o| {
+            (
+                s + o.completions.iter().map(|c| c.response_time().as_secs_f64()).sum::<f64>(),
+                n + o.completions.len(),
+            )
+        });
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Total completed tasks.
+    pub fn completed(&self) -> usize {
+        self.per_cluster.iter().map(|o| o.completions.len()).sum()
+    }
+
+    /// Total unfinished tasks.
+    pub fn unfinished(&self) -> usize {
+        self.per_cluster.iter().map(|o| o.unfinished).sum()
+    }
+}
+
+/// A federation of clusters at different sites, joined by a topology.
+#[derive(Debug)]
+pub struct Federation {
+    clusters: Vec<Cluster>,
+    sites: Vec<DatacenterId>,
+    topology: Topology,
+    config: SchedulerConfig,
+    policy: RoutingPolicy,
+    /// Mean bytes a job must move when placed off-site.
+    pub job_input_bytes: u64,
+    seed: u64,
+}
+
+impl Federation {
+    /// Creates a federation; `sites[i]` is the site of `clusters[i]` in
+    /// `topology`.
+    ///
+    /// # Panics
+    /// Panics when `clusters` and `sites` lengths differ or are empty.
+    pub fn new(
+        clusters: Vec<Cluster>,
+        sites: Vec<DatacenterId>,
+        topology: Topology,
+        config: SchedulerConfig,
+        policy: RoutingPolicy,
+        seed: u64,
+    ) -> Self {
+        assert!(!clusters.is_empty(), "federation needs clusters");
+        assert_eq!(clusters.len(), sites.len(), "one site per cluster");
+        Federation {
+            clusters,
+            sites,
+            topology,
+            config,
+            policy,
+            job_input_bytes: 256 << 20,
+            seed,
+        }
+    }
+
+    /// Routes and runs `jobs` (each user has a home cluster
+    /// `user.0 % clusters`), returning the merged outcome.
+    pub fn run(&mut self, jobs: Vec<Job>, horizon: SimTime) -> FederationOutcome {
+        let n = self.clusters.len();
+        let capacities: Vec<f64> =
+            self.clusters.iter().map(|c| c.capacity().cpu_cores.max(1e-9)).collect();
+        // Fluid backlog estimate per cluster, in core-seconds.
+        let mut backlog = vec![0.0f64; n];
+        let mut last_at = SimTime::ZERO;
+        let mut rr = 0usize;
+        let mut routed: Vec<Vec<Job>> = vec![Vec::new(); n];
+        let mut offloaded = 0usize;
+        let mut transfer_delay_secs = 0.0f64;
+
+        let mut jobs = jobs;
+        jobs.sort_by_key(|j| (j.submit, j.id));
+        for mut job in jobs {
+            // Drain backlog since the previous arrival.
+            let dt = job.submit.saturating_since(last_at).as_secs_f64();
+            last_at = job.submit;
+            for (b, cap) in backlog.iter_mut().zip(&capacities) {
+                *b = (*b - cap * dt).max(0.0);
+            }
+            let home = (job.user.0 as usize) % n;
+            let least = (0..n)
+                .min_by(|&a, &b| {
+                    let sa = backlog[a] / capacities[a];
+                    let sb = backlog[b] / capacities[b];
+                    sa.partial_cmp(&sb).unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .unwrap_or(home);
+            let target = match self.policy {
+                RoutingPolicy::RoundRobin => {
+                    rr = (rr + 1) % n;
+                    rr
+                }
+                RoutingPolicy::LeastBacklog => least,
+                RoutingPolicy::HomeOnly => home,
+                RoutingPolicy::LocalFirstOffload { threshold_secs } => {
+                    if backlog[home] / capacities[home] > threshold_secs && least != home {
+                        least
+                    } else {
+                        home
+                    }
+                }
+            };
+            if target != home {
+                offloaded += 1;
+                // Charge the wide-area transfer by delaying the submission.
+                if let Some(dt) = self.topology.transfer_time(
+                    self.sites[home],
+                    self.sites[target],
+                    self.job_input_bytes,
+                ) {
+                    transfer_delay_secs += dt.as_secs_f64();
+                    job.submit += dt;
+                    for t in &mut job.tasks {
+                        // Deadlines are relative to original submission.
+                        if let Some(d) = &mut t.deadline {
+                            *d = d.saturating_sub(dt);
+                        }
+                    }
+                }
+            }
+            backlog[target] += job.total_demand();
+            routed[target].push(job);
+        }
+
+        let jobs_per_cluster: Vec<usize> = routed.iter().map(Vec::len).collect();
+        let mut per_cluster = Vec::with_capacity(n);
+        for (i, cluster_jobs) in routed.into_iter().enumerate() {
+            let cluster = self.clusters[i].clone();
+            let mut sched =
+                ClusterScheduler::new(cluster, self.config, self.seed.wrapping_add(i as u64));
+            per_cluster.push(sched.run(cluster_jobs, horizon));
+        }
+        FederationOutcome { per_cluster, jobs_per_cluster, offloaded_jobs: offloaded, transfer_delay_secs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_infra::cluster::ClusterId;
+    use mcs_infra::machine::MachineSpec;
+    use mcs_infra::network::Link;
+    use mcs_infra::resource::ResourceVector;
+    use mcs_simcore::time::SimDuration;
+    use mcs_workload::task::{JobId, JobKind, Task, TaskId, UserId};
+
+    fn cluster(n: u32) -> Cluster {
+        Cluster::homogeneous(ClusterId(0), "c", MachineSpec::commodity("std-4", 4.0, 16.0), n)
+    }
+
+    fn topology() -> Topology {
+        let mut t = Topology::new(2);
+        t.connect(
+            DatacenterId(0),
+            DatacenterId(1),
+            Link { latency: SimDuration::from_millis(50), bandwidth_gbps: 10.0 },
+        );
+        t
+    }
+
+    fn job(id: u64, user: u32, submit: u64, demand: f64) -> Job {
+        Job {
+            id: JobId(id),
+            user: UserId(user),
+            kind: JobKind::BagOfTasks,
+            submit: SimTime::from_secs(submit),
+            tasks: vec![Task::independent(
+                TaskId(id),
+                JobId(id),
+                demand,
+                ResourceVector::new(2.0, 4.0),
+            )],
+        }
+    }
+
+    fn federation(policy: RoutingPolicy) -> Federation {
+        Federation::new(
+            vec![cluster(2), cluster(2)],
+            vec![DatacenterId(0), DatacenterId(1)],
+            topology(),
+            SchedulerConfig::default(),
+            policy,
+            42,
+        )
+    }
+
+    #[test]
+    fn round_robin_balances_counts() {
+        let jobs: Vec<Job> = (0..40).map(|i| job(i, 0, i, 60.0)).collect();
+        let out = federation(RoutingPolicy::RoundRobin).run(jobs, SimTime::from_secs(100_000));
+        assert_eq!(out.jobs_per_cluster, vec![20, 20]);
+        assert_eq!(out.completed(), 40);
+    }
+
+    #[test]
+    fn home_only_keeps_users_local() {
+        let jobs: Vec<Job> = (0..20).map(|i| job(i, (i % 2) as u32, i, 60.0)).collect();
+        let out = federation(RoutingPolicy::HomeOnly).run(jobs, SimTime::from_secs(100_000));
+        assert_eq!(out.offloaded_jobs, 0);
+        assert_eq!(out.jobs_per_cluster, vec![10, 10]);
+    }
+
+    #[test]
+    fn offload_relieves_hot_home_cluster() {
+        // All users live on cluster 0; a burst overloads it.
+        let jobs: Vec<Job> = (0..40).map(|i| job(i, 0, 0, 400.0)).collect();
+        let horizon = SimTime::from_secs(1_000_000);
+        let home = federation(RoutingPolicy::HomeOnly).run(jobs.clone(), horizon);
+        let off = federation(RoutingPolicy::LocalFirstOffload { threshold_secs: 60.0 })
+            .run(jobs, horizon);
+        assert!(off.offloaded_jobs > 0);
+        assert!(off.transfer_delay_secs > 0.0);
+        assert!(
+            off.mean_response_secs() < home.mean_response_secs() * 0.75,
+            "offload {} vs home {}",
+            off.mean_response_secs(),
+            home.mean_response_secs()
+        );
+    }
+
+    #[test]
+    fn least_backlog_beats_home_only_under_skew() {
+        let jobs: Vec<Job> = (0..40).map(|i| job(i, 0, i, 300.0)).collect();
+        let horizon = SimTime::from_secs(1_000_000);
+        let home = federation(RoutingPolicy::HomeOnly).run(jobs.clone(), horizon);
+        let lb = federation(RoutingPolicy::LeastBacklog).run(jobs, horizon);
+        assert!(lb.mean_response_secs() < home.mean_response_secs());
+    }
+
+    #[test]
+    #[should_panic(expected = "one site per cluster")]
+    fn mismatched_sites_rejected() {
+        let _ = Federation::new(
+            vec![cluster(1)],
+            vec![],
+            topology(),
+            SchedulerConfig::default(),
+            RoutingPolicy::RoundRobin,
+            1,
+        );
+    }
+}

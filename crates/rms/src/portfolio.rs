@@ -1,0 +1,268 @@
+//! Portfolio scheduling: simulate the candidates, run the winner.
+//!
+//! The paper lists portfolio scheduling among the proven self-adaptation
+//! approaches (C6, approach iv; applied to business-critical workloads in
+//! van Beek et al. \[112\]). At every decision tick the portfolio selector
+//! forward-simulates the *currently queued work* under each candidate
+//! configuration on an idle copy of the cluster, and adopts the
+//! configuration with the best predicted objective.
+//!
+//! The idle-clone lookahead is an approximation (running tasks keep their
+//! machines in reality); it is the standard simulation-based selector and is
+//! cheap enough to run inside the decision loop.
+
+use crate::scheduler::{
+    ClusterScheduler, PolicySelector, SchedulerConfig, SchedulerView,
+};
+use mcs_infra::cluster::{Cluster, ClusterId};
+use mcs_simcore::time::SimTime;
+use mcs_workload::task::{Job, JobId, JobKind, Task, TaskId, UserId};
+use serde::{Deserialize, Serialize};
+
+/// What the portfolio optimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Objective {
+    /// Minimize predicted makespan of the queued work.
+    Makespan,
+    /// Minimize predicted mean response time.
+    MeanResponse,
+}
+
+/// A simulation-based portfolio selector.
+#[derive(Debug)]
+pub struct PortfolioSelector {
+    candidates: Vec<SchedulerConfig>,
+    objective: Objective,
+    lookahead: SimTime,
+    seed: u64,
+    /// History of `(decision instant, chosen candidate index)`.
+    decisions: Vec<(SimTime, usize)>,
+    consultations: u64,
+}
+
+impl PortfolioSelector {
+    /// Creates a selector over `candidates`.
+    ///
+    /// # Panics
+    /// Panics when `candidates` is empty.
+    pub fn new(candidates: Vec<SchedulerConfig>, objective: Objective, seed: u64) -> Self {
+        assert!(!candidates.is_empty(), "portfolio needs at least one candidate");
+        PortfolioSelector {
+            candidates,
+            objective,
+            lookahead: SimTime::from_secs(24 * 3600),
+            seed,
+            decisions: Vec::new(),
+            consultations: 0,
+        }
+    }
+
+    /// The decision log: when each candidate was chosen (ticks with an
+    /// empty queue keep the current configuration and are not logged).
+    pub fn decisions(&self) -> &[(SimTime, usize)] {
+        &self.decisions
+    }
+
+    /// How many times the scheduler consulted this selector.
+    pub fn consultations(&self) -> u64 {
+        self.consultations
+    }
+
+    /// The candidate list.
+    pub fn candidates(&self) -> &[SchedulerConfig] {
+        &self.candidates
+    }
+
+    fn evaluate(&self, cluster: Cluster, config: SchedulerConfig, jobs: Vec<Job>) -> f64 {
+        let mut sim = ClusterScheduler::new(cluster, config, self.seed ^ 0xF0F0);
+        let out = sim.run(jobs, self.lookahead);
+        match self.objective {
+            Objective::Makespan => {
+                if out.unfinished > 0 {
+                    f64::INFINITY
+                } else {
+                    out.makespan.as_secs_f64()
+                }
+            }
+            Objective::MeanResponse => {
+                if out.completions.is_empty() {
+                    f64::INFINITY
+                } else {
+                    out.mean_response_secs() + out.unfinished as f64 * 1e6
+                }
+            }
+        }
+    }
+}
+
+/// Builds an idle cluster with the same machine specs as `cluster`.
+fn idle_clone(cluster: &Cluster) -> Cluster {
+    let mut c = Cluster::new(ClusterId(0), "portfolio-lookahead");
+    for m in cluster.machines() {
+        // Preserve Down machines as failed so the lookahead sees true capacity.
+        let id = c.add_machine(m.spec().clone());
+        if m.state() != mcs_infra::machine::MachineState::Up {
+            c.machine_mut(id).fail();
+        }
+    }
+    c
+}
+
+impl PolicySelector for PortfolioSelector {
+    fn select(&mut self, view: &SchedulerView<'_>) -> SchedulerConfig {
+        self.consultations += 1;
+        if view.queued.is_empty() {
+            // Nothing to optimize; keep the current configuration.
+            return view.current;
+        }
+        // Re-materialize the queue as an immediate bag of tasks.
+        let job_id = JobId(u64::MAX);
+        let jobs = vec![Job {
+            id: job_id,
+            user: UserId(0),
+            kind: JobKind::BagOfTasks,
+            submit: SimTime::ZERO,
+            tasks: view
+                .queued
+                .iter()
+                .enumerate()
+                .map(|(i, (demand, req))| {
+                    Task::independent(TaskId(i as u64), job_id, *demand, *req)
+                })
+                .collect(),
+        }];
+        let mut best = 0usize;
+        let mut best_score = f64::INFINITY;
+        for (i, cand) in self.candidates.iter().enumerate() {
+            let score = self.evaluate(idle_clone(view.cluster), *cand, jobs.clone());
+            if score < best_score {
+                best_score = score;
+                best = i;
+            }
+        }
+        self.decisions.push((view.now, best));
+        self.candidates[best]
+    }
+}
+
+/// A portfolio of the standard policy corners: FCFS+backfill/best-fit (the
+/// grid default), SJF/worst-fit (interactive), LJF/best-fit (throughput),
+/// and FCFS/fastest-first (heterogeneity).
+pub fn default_portfolio() -> Vec<SchedulerConfig> {
+    use crate::allocation::AllocationPolicy as A;
+    use crate::scheduler::QueuePolicy as Q;
+    let base = SchedulerConfig::default();
+    vec![
+        SchedulerConfig { queue: Q::Fcfs, allocation: A::BestFit, backfill: true, ..base },
+        SchedulerConfig { queue: Q::Sjf, allocation: A::WorstFit, backfill: false, ..base },
+        SchedulerConfig { queue: Q::Ljf, allocation: A::BestFit, backfill: true, ..base },
+        SchedulerConfig { queue: Q::Fcfs, allocation: A::FastestFirst, backfill: true, ..base },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_infra::machine::MachineSpec;
+    use mcs_infra::resource::ResourceVector;
+    use mcs_simcore::time::SimDuration;
+
+    fn cluster() -> Cluster {
+        Cluster::homogeneous(
+            ClusterId(0),
+            "c",
+            MachineSpec::commodity("std-4", 4.0, 16.0),
+            4,
+        )
+    }
+
+    fn bag(id: u64, submit: u64, tasks: &[(f64, f64)]) -> Job {
+        Job {
+            id: JobId(id),
+            user: UserId(0),
+            kind: JobKind::BagOfTasks,
+            submit: SimTime::from_secs(submit),
+            tasks: tasks
+                .iter()
+                .enumerate()
+                .map(|(i, &(d, c))| {
+                    Task::independent(
+                        TaskId(id * 1000 + i as u64),
+                        JobId(id),
+                        d,
+                        ResourceVector::new(c, c),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn empty_portfolio_rejected() {
+        let _ = PortfolioSelector::new(vec![], Objective::Makespan, 1);
+    }
+
+    #[test]
+    fn portfolio_runs_and_records_decisions() {
+        let jobs: Vec<Job> = (0..50)
+            .map(|i| bag(i, i * 20, &[(200.0, 2.0), (10.0, 1.0), (10.0, 1.0)]))
+            .collect();
+        let mut selector =
+            PortfolioSelector::new(default_portfolio(), Objective::MeanResponse, 7);
+        let mut sched = ClusterScheduler::new(cluster(), SchedulerConfig::default(), 7);
+        let out = sched.run_adaptive(
+            jobs,
+            SimTime::from_secs(1_000_000),
+            &mut selector,
+            SimDuration::from_secs(60),
+        );
+        assert_eq!(out.unfinished, 0);
+        assert!(selector.consultations() > 0, "selector should have been consulted");
+    }
+
+    #[test]
+    fn portfolio_not_much_worse_than_best_fixed() {
+        // A mixed workload in which no single policy dominates.
+        let mut jobs: Vec<Job> = Vec::new();
+        for i in 0..30 {
+            jobs.push(bag(i, i * 30, &[(600.0, 4.0)])); // long wide
+            jobs.push(bag(100 + i, i * 30 + 1, &[(5.0, 1.0), (5.0, 1.0)])); // short
+        }
+        jobs.sort_by_key(|j| j.submit);
+        let horizon = SimTime::from_secs(1_000_000);
+
+        let mut fixed_scores = Vec::new();
+        for cand in default_portfolio() {
+            let out = ClusterScheduler::new(cluster(), cand, 3).run(jobs.clone(), horizon);
+            fixed_scores.push(out.mean_response_secs());
+        }
+        let best_fixed = fixed_scores.iter().cloned().fold(f64::INFINITY, f64::min);
+        let worst_fixed = fixed_scores.iter().cloned().fold(0.0, f64::max);
+
+        let mut selector =
+            PortfolioSelector::new(default_portfolio(), Objective::MeanResponse, 3);
+        let out = ClusterScheduler::new(cluster(), SchedulerConfig::default(), 3)
+            .run_adaptive(jobs, horizon, &mut selector, SimDuration::from_secs(120));
+        let portfolio_score = out.mean_response_secs();
+
+        // The portfolio must beat the worst fixed policy and stay within 2x
+        // of the best fixed policy (selection overhead is approximation).
+        assert!(
+            portfolio_score < worst_fixed,
+            "portfolio {portfolio_score} vs worst fixed {worst_fixed}"
+        );
+        assert!(
+            portfolio_score < best_fixed * 2.0,
+            "portfolio {portfolio_score} vs best fixed {best_fixed}"
+        );
+    }
+
+    #[test]
+    fn default_portfolio_is_diverse() {
+        let p = default_portfolio();
+        assert!(p.len() >= 3);
+        let queues: std::collections::HashSet<_> = p.iter().map(|c| c.queue.name()).collect();
+        assert!(queues.len() >= 2);
+    }
+}

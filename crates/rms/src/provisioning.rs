@@ -1,0 +1,300 @@
+//! Provisioning policies: how many machines to lease, and when.
+//!
+//! The first half of the dual scheduling problem (C7): acquiring resources
+//! on the user's behalf. A provisioning plan is computed over epochs from a
+//! fluid backlog estimate and *materialized as an outage schedule* — an
+//! unleased machine is indistinguishable from a down machine to the
+//! allocation layer, so [`ClusterScheduler`](crate::scheduler::ClusterScheduler)
+//! consumes plans without modification. Scale-down reclaims the
+//! highest-indexed machines (spot-style: running work is requeued).
+
+use mcs_failure::model::Outage;
+use mcs_simcore::time::{SimDuration, SimTime};
+use mcs_workload::task::Job;
+use serde::{Deserialize, Serialize};
+
+/// What a provisioning policy observes at each epoch boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProvisioningObservation {
+    /// Estimated outstanding work, core-seconds.
+    pub backlog_core_seconds: f64,
+    /// Work that arrived during the last epoch, core-seconds.
+    pub arrived_core_seconds: f64,
+    /// Machines currently leased.
+    pub leased: usize,
+    /// Cores per machine.
+    pub cores_per_machine: f64,
+    /// Epoch length, seconds.
+    pub epoch_secs: f64,
+}
+
+/// Decides the machine count for the next epoch.
+pub trait ProvisioningPolicy {
+    /// Target lease count, clamped by the driver to `[min, max]`.
+    fn target(&mut self, obs: &ProvisioningObservation) -> usize;
+
+    /// A short stable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Always lease a fixed number of machines (the non-elastic baseline).
+#[derive(Debug, Clone, Copy)]
+pub struct StaticProvisioning(pub usize);
+
+impl ProvisioningPolicy for StaticProvisioning {
+    fn target(&mut self, _obs: &ProvisioningObservation) -> usize {
+        self.0
+    }
+    fn name(&self) -> &'static str {
+        "static"
+    }
+}
+
+/// Lease enough machines to drain the current backlog within
+/// `drain_target_secs`, plus the steady-state rate.
+#[derive(Debug, Clone, Copy)]
+pub struct BacklogDriven {
+    /// How quickly the backlog should be drained, seconds.
+    pub drain_target_secs: f64,
+}
+
+impl ProvisioningPolicy for BacklogDriven {
+    fn target(&mut self, obs: &ProvisioningObservation) -> usize {
+        let rate_cores = obs.arrived_core_seconds / obs.epoch_secs.max(1e-9);
+        let drain_cores = obs.backlog_core_seconds / self.drain_target_secs.max(1e-9);
+        ((rate_cores + drain_cores) / obs.cores_per_machine.max(1e-9)).ceil() as usize
+    }
+    fn name(&self) -> &'static str {
+        "backlog-driven"
+    }
+}
+
+/// A provisioning plan: per-epoch lease counts plus the outage schedule that
+/// encodes the unleased machines.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProvisioningPlan {
+    /// Lease count per epoch.
+    pub leases: Vec<usize>,
+    /// Epoch length.
+    pub epoch: SimDuration,
+    /// Machine-hours leased in total.
+    pub machine_hours: f64,
+    /// Unleased periods encoded as outages for the scheduler.
+    pub outages: Vec<Outage>,
+}
+
+/// Builds a provisioning plan for `jobs` over `[0, horizon)`.
+///
+/// The fluid model estimates the backlog at each epoch boundary: arrivals
+/// add their total demand; the leased capacity drains it.
+///
+/// # Panics
+/// Panics if `max_machines == 0` or the epoch is zero.
+pub fn plan_provisioning(
+    jobs: &[Job],
+    cores_per_machine: f64,
+    min_machines: usize,
+    max_machines: usize,
+    epoch: SimDuration,
+    horizon: SimTime,
+    policy: &mut dyn ProvisioningPolicy,
+) -> ProvisioningPlan {
+    assert!(max_machines > 0, "need at least one machine");
+    assert!(!epoch.is_zero(), "epoch must be positive");
+    let epoch_secs = epoch.as_secs_f64();
+    let epochs = (horizon.as_secs_f64() / epoch_secs).ceil() as usize;
+
+    // Demand arriving per epoch.
+    let mut arrived = vec![0.0f64; epochs.max(1)];
+    for j in jobs {
+        let e = (j.submit.as_secs_f64() / epoch_secs) as usize;
+        if e < arrived.len() {
+            arrived[e] += j.total_demand();
+        }
+    }
+
+    let mut leases = Vec::with_capacity(epochs);
+    let mut backlog = 0.0f64;
+    let mut leased = min_machines.max(1);
+    for a in &arrived {
+        backlog += a;
+        let obs = ProvisioningObservation {
+            backlog_core_seconds: backlog,
+            arrived_core_seconds: *a,
+            leased,
+            cores_per_machine,
+            epoch_secs,
+        };
+        leased = policy.target(&obs).clamp(min_machines, max_machines);
+        leases.push(leased);
+        let drained = leased as f64 * cores_per_machine * epoch_secs;
+        backlog = (backlog - drained).max(0.0);
+    }
+
+    // Encode unleased machines as outages: machine m is out during every
+    // epoch whose lease count is ≤ m (contiguous epochs are merged).
+    let mut outages = Vec::new();
+    for m in 0..max_machines {
+        let mut out_since: Option<usize> = None;
+        for (e, &l) in leases.iter().enumerate() {
+            let is_out = m >= l;
+            match (is_out, out_since) {
+                (true, None) => out_since = Some(e),
+                (false, Some(s)) => {
+                    outages.push(Outage {
+                        machine: m,
+                        fail_at: SimTime::ZERO + epoch * s as u64,
+                        repair_at: SimTime::ZERO + epoch * e as u64,
+                    });
+                    out_since = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(s) = out_since {
+            outages.push(Outage {
+                machine: m,
+                fail_at: SimTime::ZERO + epoch * s as u64,
+                repair_at: horizon,
+            });
+        }
+    }
+    outages.sort_by_key(|o| (o.fail_at, o.machine));
+
+    let machine_hours =
+        leases.iter().map(|&l| l as f64).sum::<f64>() * epoch_secs / 3600.0;
+    ProvisioningPlan { leases, epoch, machine_hours, outages }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_infra::resource::ResourceVector;
+    use mcs_workload::task::{JobId, JobKind, Task, TaskId, UserId};
+
+    fn job(id: u64, submit: u64, demand: f64) -> Job {
+        Job {
+            id: JobId(id),
+            user: UserId(0),
+            kind: JobKind::BagOfTasks,
+            submit: SimTime::from_secs(submit),
+            tasks: vec![Task::independent(
+                TaskId(id),
+                JobId(id),
+                demand,
+                ResourceVector::new(1.0, 1.0),
+            )],
+        }
+    }
+
+    #[test]
+    fn static_plan_has_constant_leases_and_no_outages_at_full_size() {
+        let jobs: Vec<Job> = (0..10).map(|i| job(i, i * 10, 100.0)).collect();
+        let mut policy = StaticProvisioning(4);
+        let plan = plan_provisioning(
+            &jobs,
+            4.0,
+            4,
+            4,
+            SimDuration::from_secs(100),
+            SimTime::from_secs(1_000),
+            &mut policy,
+        );
+        assert!(plan.leases.iter().all(|&l| l == 4));
+        assert!(plan.outages.is_empty());
+        assert!((plan.machine_hours - 4.0 * 1000.0 / 3600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backlog_driven_scales_with_load() {
+        // Quiet first half, heavy second half.
+        let mut jobs = Vec::new();
+        for i in 0..5 {
+            jobs.push(job(i, i * 100, 10.0));
+        }
+        for i in 5..50 {
+            jobs.push(job(i, 500 + (i - 5) * 10, 2_000.0));
+        }
+        let mut policy = BacklogDriven { drain_target_secs: 200.0 };
+        let plan = plan_provisioning(
+            &jobs,
+            4.0,
+            1,
+            32,
+            SimDuration::from_secs(100),
+            SimTime::from_secs(1_000),
+            &mut policy,
+        );
+        let first_half_max = plan.leases[..5].iter().copied().max().unwrap();
+        let second_half_max = plan.leases[5..].iter().copied().max().unwrap();
+        assert!(second_half_max > first_half_max * 2, "{plan:?}");
+        assert!(plan.machine_hours > 0.0);
+    }
+
+    #[test]
+    fn outages_cover_unleased_machines_exactly() {
+        // Leases: 2 machines for epoch 0, 1 for epoch 1 (max 2).
+        let jobs = vec![job(0, 0, 800.0)];
+        struct Seq(Vec<usize>, usize);
+        impl ProvisioningPolicy for Seq {
+            fn target(&mut self, _o: &ProvisioningObservation) -> usize {
+                let v = self.0[self.1.min(self.0.len() - 1)];
+                self.1 += 1;
+                v
+            }
+            fn name(&self) -> &'static str {
+                "seq"
+            }
+        }
+        let mut policy = Seq(vec![2, 1], 0);
+        let plan = plan_provisioning(
+            &jobs,
+            4.0,
+            1,
+            2,
+            SimDuration::from_secs(100),
+            SimTime::from_secs(200),
+            &mut policy,
+        );
+        assert_eq!(plan.leases, vec![2, 1]);
+        // Machine 1 is unleased during epoch 1 only.
+        assert_eq!(plan.outages.len(), 1);
+        let o = &plan.outages[0];
+        assert_eq!(o.machine, 1);
+        assert_eq!(o.fail_at, SimTime::from_secs(100));
+        assert_eq!(o.repair_at, SimTime::from_secs(200));
+    }
+
+    #[test]
+    fn plan_feeds_scheduler() {
+        use crate::scheduler::{ClusterScheduler, SchedulerConfig};
+        use mcs_infra::cluster::{Cluster, ClusterId};
+        use mcs_infra::machine::MachineSpec;
+
+        let jobs: Vec<Job> = (0..20).map(|i| job(i, i * 50, 200.0)).collect();
+        let mut policy = BacklogDriven { drain_target_secs: 100.0 };
+        let horizon = SimTime::from_secs(10_000);
+        let plan = plan_provisioning(
+            &jobs,
+            4.0,
+            1,
+            8,
+            SimDuration::from_secs(100),
+            horizon,
+            &mut policy,
+        );
+        let cluster = Cluster::homogeneous(
+            ClusterId(0),
+            "elastic",
+            MachineSpec::commodity("std-4", 4.0, 16.0),
+            8,
+        );
+        let mut sched = ClusterScheduler::new(cluster, SchedulerConfig::default(), 1)
+            .with_outages(plan.outages.clone());
+        let out = sched.run(jobs, horizon);
+        assert_eq!(out.unfinished, 0);
+        // Elastic plan should lease far fewer machine-hours than static-8.
+        let static_hours = 8.0 * horizon.as_secs_f64() / 3600.0;
+        assert!(plan.machine_hours < static_hours * 0.8, "{}", plan.machine_hours);
+    }
+}

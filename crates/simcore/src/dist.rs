@@ -1,0 +1,328 @@
+//! Statistical distributions for workload, failure, and behaviour modelling.
+//!
+//! The grid/cloud workload-modelling literature the paper builds on (Iosup et
+//! al., "Grid Computing Workloads"; Li, "Realistic Workload Modeling") fits
+//! inter-arrival times, service demands, and failure processes with the
+//! distribution families implemented here. All samplers draw from an
+//! [`crate::rng::RngStream`] so experiments stay deterministic.
+
+use crate::rng::RngStream;
+use serde::{Deserialize, Serialize};
+
+/// A univariate distribution over `f64` that can be sampled deterministically.
+pub trait Sample {
+    /// Draws one value.
+    fn sample(&self, rng: &mut RngStream) -> f64;
+
+    /// The theoretical mean, when it exists and is finite.
+    fn mean(&self) -> Option<f64>;
+}
+
+/// A serializable, closed vocabulary of distributions used across MCS crates.
+///
+/// # Examples
+/// ```
+/// use mcs_simcore::dist::{Dist, Sample};
+/// use mcs_simcore::rng::RngStream;
+/// let d = Dist::Exponential { rate: 2.0 };
+/// let mut rng = RngStream::new(1, "doc");
+/// let x = d.sample(&mut rng);
+/// assert!(x >= 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Dist {
+    /// Always returns `value`.
+    Constant { value: f64 },
+    /// Uniform on `[lo, hi)`.
+    Uniform { lo: f64, hi: f64 },
+    /// Exponential with rate `rate` (mean `1/rate`).
+    Exponential { rate: f64 },
+    /// Normal with the given mean and standard deviation.
+    Normal { mean: f64, std_dev: f64 },
+    /// Log-normal: `exp(N(mu, sigma))`.
+    LogNormal { mu: f64, sigma: f64 },
+    /// Weibull with shape `k` and scale `lambda`.
+    Weibull { shape: f64, scale: f64 },
+    /// Pareto (type I) with scale `x_min > 0` and tail index `alpha`.
+    Pareto { x_min: f64, alpha: f64 },
+    /// Gamma with shape `k > 0` and scale `theta > 0`.
+    Gamma { shape: f64, scale: f64 },
+    /// Zipf over ranks `1..=n` with exponent `s`; returns the rank as `f64`.
+    Zipf { n: u64, s: f64 },
+    /// Discrete uniform over `{0, 1, …, n-1}` returned as `f64`.
+    DiscreteUniform { n: u64 },
+    /// Two-phase hyper-exponential: with probability `p` rate `rate1`,
+    /// otherwise `rate2`. Captures the high-variance service times of grid
+    /// workloads better than a single exponential.
+    HyperExponential { p: f64, rate1: f64, rate2: f64 },
+}
+
+impl Dist {
+    /// A constant distribution, the degenerate case used for planned demand.
+    pub fn constant(value: f64) -> Dist {
+        Dist::Constant { value }
+    }
+
+    /// Exponential with the given mean.
+    pub fn exponential_mean(mean: f64) -> Dist {
+        assert!(mean > 0.0, "exponential mean must be positive");
+        Dist::Exponential { rate: 1.0 / mean }
+    }
+}
+
+/// Standard-normal draw via Box–Muller (one value; the sibling is discarded
+/// to keep the stream layout simple and deterministic).
+fn std_normal(rng: &mut RngStream) -> f64 {
+    // Avoid ln(0).
+    let u1 = (1.0 - rng.next_f64()).max(f64::MIN_POSITIVE);
+    let u2 = rng.next_f64();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Gamma(shape, 1) via Marsaglia–Tsang, with the boost trick for shape < 1.
+fn std_gamma(rng: &mut RngStream, shape: f64) -> f64 {
+    if shape < 1.0 {
+        // Gamma(a) = Gamma(a+1) * U^{1/a}
+        let u = rng.next_f64().max(f64::MIN_POSITIVE);
+        return std_gamma(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = std_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u = rng.next_f64().max(f64::MIN_POSITIVE);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+/// Zipf rank sampler by inverse CDF over precomputable weights. For the small
+/// `n` values used in simulations a linear scan is fast and exact.
+fn zipf_rank(rng: &mut RngStream, n: u64, s: f64) -> u64 {
+    debug_assert!(n >= 1);
+    let h: f64 = (1..=n).map(|k| (k as f64).powf(-s)).sum();
+    let mut target = rng.next_f64() * h;
+    for k in 1..=n {
+        target -= (k as f64).powf(-s);
+        if target <= 0.0 {
+            return k;
+        }
+    }
+    n
+}
+
+impl Sample for Dist {
+    fn sample(&self, rng: &mut RngStream) -> f64 {
+        match *self {
+            Dist::Constant { value } => value,
+            Dist::Uniform { lo, hi } => rng.uniform_f64(lo, hi),
+            Dist::Exponential { rate } => {
+                let u = (1.0 - rng.next_f64()).max(f64::MIN_POSITIVE);
+                -u.ln() / rate
+            }
+            Dist::Normal { mean, std_dev } => mean + std_dev * std_normal(rng),
+            Dist::LogNormal { mu, sigma } => (mu + sigma * std_normal(rng)).exp(),
+            Dist::Weibull { shape, scale } => {
+                let u = (1.0 - rng.next_f64()).max(f64::MIN_POSITIVE);
+                scale * (-u.ln()).powf(1.0 / shape)
+            }
+            Dist::Pareto { x_min, alpha } => {
+                let u = (1.0 - rng.next_f64()).max(f64::MIN_POSITIVE);
+                x_min / u.powf(1.0 / alpha)
+            }
+            Dist::Gamma { shape, scale } => std_gamma(rng, shape) * scale,
+            Dist::Zipf { n, s } => zipf_rank(rng, n.max(1), s) as f64,
+            Dist::DiscreteUniform { n } => rng.uniform_usize(n.max(1) as usize) as f64,
+            Dist::HyperExponential { p, rate1, rate2 } => {
+                let rate = if rng.bernoulli(p) { rate1 } else { rate2 };
+                let u = (1.0 - rng.next_f64()).max(f64::MIN_POSITIVE);
+                -u.ln() / rate
+            }
+        }
+    }
+
+    fn mean(&self) -> Option<f64> {
+        match *self {
+            Dist::Constant { value } => Some(value),
+            Dist::Uniform { lo, hi } => Some(0.5 * (lo + hi)),
+            Dist::Exponential { rate } => Some(1.0 / rate),
+            Dist::Normal { mean, .. } => Some(mean),
+            Dist::LogNormal { mu, sigma } => Some((mu + 0.5 * sigma * sigma).exp()),
+            Dist::Weibull { shape, scale } => Some(scale * gamma_fn(1.0 + 1.0 / shape)),
+            Dist::Pareto { x_min, alpha } => {
+                if alpha > 1.0 {
+                    Some(alpha * x_min / (alpha - 1.0))
+                } else {
+                    None
+                }
+            }
+            Dist::Gamma { shape, scale } => Some(shape * scale),
+            Dist::Zipf { n, s } => {
+                let h: f64 = (1..=n).map(|k| (k as f64).powf(-s)).sum();
+                let num: f64 = (1..=n).map(|k| (k as f64).powf(1.0 - s)).sum();
+                Some(num / h)
+            }
+            Dist::DiscreteUniform { n } => Some((n.saturating_sub(1)) as f64 / 2.0),
+            Dist::HyperExponential { p, rate1, rate2 } => {
+                Some(p / rate1 + (1.0 - p) / rate2)
+            }
+        }
+    }
+}
+
+/// Lanczos approximation of the gamma function, used for Weibull moments.
+fn gamma_fn(x: f64) -> f64 {
+    // g = 7, n = 9 coefficients (Numerical Recipes / Boost-style constants).
+    const G: f64 = 7.0;
+    const C: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        std::f64::consts::PI / ((std::f64::consts::PI * x).sin() * gamma_fn(1.0 - x))
+    } else {
+        let x = x - 1.0;
+        let mut a = C[0];
+        let t = x + G + 0.5;
+        for (i, c) in C.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        (2.0 * std::f64::consts::PI).sqrt() * t.powf(x + 0.5) * (-t).exp() * a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empirical_mean(d: &Dist, n: usize, seed: u64) -> f64 {
+        let mut rng = RngStream::new(seed, "dist-test");
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn gamma_fn_known_values() {
+        assert!((gamma_fn(1.0) - 1.0).abs() < 1e-9);
+        assert!((gamma_fn(2.0) - 1.0).abs() < 1e-9);
+        assert!((gamma_fn(3.0) - 2.0).abs() < 1e-9);
+        assert!((gamma_fn(0.5) - std::f64::consts::PI.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let d = Dist::constant(4.2);
+        let mut rng = RngStream::new(1, "c");
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 4.2);
+        }
+        assert_eq!(d.mean(), Some(4.2));
+    }
+
+    #[test]
+    fn exponential_mean_matches() {
+        let d = Dist::exponential_mean(3.0);
+        let m = empirical_mean(&d, 200_000, 2);
+        assert!((m - 3.0).abs() < 0.05, "mean = {m}");
+    }
+
+    #[test]
+    fn normal_mean_matches() {
+        let d = Dist::Normal { mean: 10.0, std_dev: 2.0 };
+        let m = empirical_mean(&d, 200_000, 3);
+        assert!((m - 10.0).abs() < 0.05, "mean = {m}");
+    }
+
+    #[test]
+    fn lognormal_mean_matches_theory() {
+        let d = Dist::LogNormal { mu: 0.5, sigma: 0.4 };
+        let theory = d.mean().unwrap();
+        let m = empirical_mean(&d, 300_000, 4);
+        assert!((m - theory).abs() / theory < 0.02, "mean = {m}, theory = {theory}");
+    }
+
+    #[test]
+    fn weibull_mean_matches_theory() {
+        let d = Dist::Weibull { shape: 1.5, scale: 2.0 };
+        let theory = d.mean().unwrap();
+        let m = empirical_mean(&d, 300_000, 5);
+        assert!((m - theory).abs() / theory < 0.02, "mean = {m}, theory = {theory}");
+    }
+
+    #[test]
+    fn pareto_bounded_below_and_mean() {
+        let d = Dist::Pareto { x_min: 1.0, alpha: 3.0 };
+        let mut rng = RngStream::new(6, "p");
+        for _ in 0..1_000 {
+            assert!(d.sample(&mut rng) >= 1.0);
+        }
+        let theory = d.mean().unwrap();
+        assert!((theory - 1.5).abs() < 1e-12);
+        let heavy = Dist::Pareto { x_min: 1.0, alpha: 0.9 };
+        assert!(heavy.mean().is_none());
+    }
+
+    #[test]
+    fn gamma_mean_matches_theory() {
+        for shape in [0.5, 1.0, 2.5] {
+            let d = Dist::Gamma { shape, scale: 2.0 };
+            let theory = d.mean().unwrap();
+            let m = empirical_mean(&d, 300_000, 7);
+            assert!(
+                (m - theory).abs() / theory < 0.03,
+                "shape {shape}: mean = {m}, theory = {theory}"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_ranks_in_range_and_skewed() {
+        let d = Dist::Zipf { n: 10, s: 1.2 };
+        let mut rng = RngStream::new(8, "z");
+        let mut counts = [0usize; 11];
+        for _ in 0..50_000 {
+            let r = d.sample(&mut rng) as usize;
+            assert!((1..=10).contains(&r));
+            counts[r] += 1;
+        }
+        assert!(counts[1] > counts[5], "rank 1 should dominate rank 5");
+        assert!(counts[1] > counts[10] * 3);
+    }
+
+    #[test]
+    fn hyper_exponential_mean_matches_theory() {
+        let d = Dist::HyperExponential { p: 0.3, rate1: 10.0, rate2: 0.5 };
+        let theory = d.mean().unwrap();
+        let m = empirical_mean(&d, 300_000, 9);
+        assert!((m - theory).abs() / theory < 0.03, "mean = {m}, theory = {theory}");
+    }
+
+    #[test]
+    fn discrete_uniform_in_range() {
+        let d = Dist::DiscreteUniform { n: 4 };
+        let mut rng = RngStream::new(10, "du");
+        for _ in 0..1_000 {
+            let v = d.sample(&mut rng);
+            assert!((0.0..4.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn dist_serde_round_trip() {
+        let d = Dist::Weibull { shape: 1.5, scale: 2.0 };
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Dist = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+    }
+}

@@ -1,0 +1,48 @@
+//! # mcs-simcore — deterministic discrete-event simulation kernel
+//!
+//! The foundation of the MCS workspace: virtual time, an event-driven actor
+//! engine, named deterministic RNG streams, the distribution families used in
+//! grid/cloud workload modelling, and measurement instruments.
+//!
+//! The paper ("Massivizing Computer Systems", ICDCS 2018) argues in §3.3 and
+//! challenge C15 that calibrated simulation is a first-class methodology for
+//! studying computer ecosystems; this crate is the instrument every other MCS
+//! crate builds on.
+//!
+//! ## Quick example
+//! ```
+//! use mcs_simcore::prelude::*;
+//!
+//! enum Msg { Arrive }
+//!
+//! struct Server { served: u64 }
+//! impl Actor<Msg> for Server {
+//!     fn handle(&mut self, ctx: &mut Context<'_, Msg>, _msg: Msg) {
+//!         self.served += 1;
+//!         if self.served < 10 {
+//!             ctx.send_self(SimDuration::from_millis(100), Msg::Arrive);
+//!         }
+//!     }
+//! }
+//!
+//! let mut sim = Simulation::new(7);
+//! let s = sim.add_actor(Server { served: 0 });
+//! sim.schedule(SimTime::ZERO, s, Msg::Arrive);
+//! sim.run();
+//! assert_eq!(sim.now(), SimTime::ZERO + SimDuration::from_millis(900));
+//! ```
+
+pub mod dist;
+pub mod engine;
+pub mod metrics;
+pub mod rng;
+pub mod time;
+
+/// Convenience re-exports of the types used by nearly every simulation.
+pub mod prelude {
+    pub use crate::dist::{Dist, Sample};
+    pub use crate::engine::{Actor, ActorId, Context, Simulation};
+    pub use crate::metrics::{OnlineStats, Summary, TimeWeighted};
+    pub use crate::rng::RngStream;
+    pub use crate::time::{SimDuration, SimTime};
+}

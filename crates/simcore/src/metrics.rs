@@ -1,0 +1,429 @@
+//! Measurement instruments: online statistics, percentiles, histograms, and
+//! time-weighted series.
+//!
+//! The paper (§3.3, "Quantitative results") calls for statistically sound
+//! observation as the entry point of MCS methodology; these are the
+//! instruments the rest of the workspace records into.
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Streaming mean/variance/min/max via Welford's algorithm.
+///
+/// # Examples
+/// ```
+/// use mcs_simcore::metrics::OnlineStats;
+/// let mut s = OnlineStats::new();
+/// for x in [1.0, 2.0, 3.0] { s.record(x); }
+/// assert_eq!(s.mean(), 2.0);
+/// assert_eq!(s.count(), 3);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 { 0.0 } else { self.mean }
+    }
+
+    /// Population variance; `0.0` when fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 { 0.0 } else { self.m2 / self.count as f64 }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Coefficient of variation (std/mean); `0.0` when the mean is zero.
+    pub fn cov(&self) -> f64 {
+        if self.mean().abs() < f64::EPSILON { 0.0 } else { self.std_dev() / self.mean().abs() }
+    }
+
+    /// Smallest observation; `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        if self.count == 0 { None } else { Some(self.min) }
+    }
+
+    /// Largest observation; `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        if self.count == 0 { None } else { Some(self.max) }
+    }
+}
+
+/// Computes the `q`-quantile (0 ≤ q ≤ 1) of unordered samples by sorting a
+/// copy; linear interpolation between order statistics.
+///
+/// Returns `None` on an empty slice or non-finite `q`.
+pub fn quantile(samples: &[f64], q: f64) -> Option<f64> {
+    if samples.is_empty() || !q.is_finite() {
+        return None;
+    }
+    let mut v: Vec<f64> = samples.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        Some(v[lo])
+    } else {
+        let frac = pos - lo as f64;
+        Some(v[lo] * (1.0 - frac) + v[hi] * frac)
+    }
+}
+
+/// A complete distribution summary of a sample set, as reported in the
+/// experiment tables (mean, p50, p95, p99, max, …).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Standard deviation (population).
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample set; `None` when empty.
+    pub fn of(samples: &[f64]) -> Option<Summary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut stats = OnlineStats::new();
+        for &x in samples {
+            stats.record(x);
+        }
+        Some(Summary {
+            count: stats.count(),
+            mean: stats.mean(),
+            std_dev: stats.std_dev(),
+            min: stats.min().unwrap(),
+            p50: quantile(samples, 0.50).unwrap(),
+            p95: quantile(samples, 0.95).unwrap(),
+            p99: quantile(samples, 0.99).unwrap(),
+            max: stats.max().unwrap(),
+        })
+    }
+}
+
+/// Fixed-width histogram over `[lo, hi)` with overflow/underflow buckets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `buckets` equal-width bins.
+    ///
+    /// # Panics
+    /// Panics if `hi <= lo` or `buckets == 0`.
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
+        assert!(hi > lo, "histogram range must be non-empty");
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        Histogram { lo, hi, buckets: vec![0; buckets], underflow: 0, overflow: 0 }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.buckets.len() as f64;
+            let idx = ((x - self.lo) / w) as usize;
+            let idx = idx.min(self.buckets.len() - 1);
+            self.buckets[idx] += 1;
+        }
+    }
+
+    /// Per-bucket counts, in range order.
+    pub fn counts(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the range end.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations, including out-of-range ones.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+}
+
+/// A step function of virtual time: tracks a level (e.g. queue length, busy
+/// machines) and integrates it for time-weighted averages and peak analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeWeighted {
+    last_at: SimTime,
+    level: f64,
+    weighted_sum: f64,
+    observed: SimDuration,
+    peak: f64,
+    samples: Vec<(SimTime, f64)>,
+    keep_samples: bool,
+}
+
+impl TimeWeighted {
+    /// Starts tracking at `t0` with the given initial level.
+    pub fn new(t0: SimTime, initial: f64) -> Self {
+        TimeWeighted {
+            last_at: t0,
+            level: initial,
+            weighted_sum: 0.0,
+            observed: SimDuration::ZERO,
+            peak: initial,
+            samples: Vec::new(),
+            keep_samples: false,
+        }
+    }
+
+    /// Also retains every `(time, level)` step for later plotting.
+    pub fn with_samples(mut self) -> Self {
+        self.keep_samples = true;
+        self.samples.push((self.last_at, self.level));
+        self
+    }
+
+    /// Sets a new level at instant `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` precedes the previous update.
+    pub fn set(&mut self, at: SimTime, level: f64) {
+        assert!(at >= self.last_at, "time-weighted updates must be monotone");
+        let span = at - self.last_at;
+        self.weighted_sum += self.level * span.as_secs_f64();
+        self.observed += span;
+        self.last_at = at;
+        self.level = level;
+        self.peak = self.peak.max(level);
+        if self.keep_samples {
+            self.samples.push((at, level));
+        }
+    }
+
+    /// Adjusts the level by `delta` at instant `at`.
+    pub fn add(&mut self, at: SimTime, delta: f64) {
+        let next = self.level + delta;
+        self.set(at, next);
+    }
+
+    /// The current level.
+    pub fn level(&self) -> f64 {
+        self.level
+    }
+
+    /// The largest level seen.
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+
+    /// Time-weighted average level up to instant `at`.
+    pub fn average_until(&self, at: SimTime) -> f64 {
+        let tail = at.saturating_since(self.last_at).as_secs_f64();
+        let total = self.observed.as_secs_f64() + tail;
+        if total <= 0.0 {
+            self.level
+        } else {
+            (self.weighted_sum + self.level * tail) / total
+        }
+    }
+
+    /// The retained step samples (empty unless built [`with_samples`]).
+    ///
+    /// [`with_samples`]: TimeWeighted::with_samples
+    pub fn samples(&self) -> &[(SimTime, f64)] {
+        &self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_hand_example() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn online_stats_empty() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = OnlineStats::new();
+        for &x in &xs {
+            all.record(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..37] {
+            a.record(x);
+        }
+        for &x in &xs[37..] {
+            b.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_hand_example() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&v, 0.0), Some(1.0));
+        assert_eq!(quantile(&v, 0.5), Some(3.0));
+        assert_eq!(quantile(&v, 1.0), Some(5.0));
+        assert_eq!(quantile(&v, 0.25), Some(2.0));
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn summary_consistency() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = Summary::of(&v).unwrap();
+        assert_eq!(s.count, 100);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.p50 - 50.5).abs() < 1e-9);
+        assert!(s.p95 > s.p50 && s.p99 > s.p95);
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn histogram_bucketing() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for x in [-1.0, 0.0, 0.5, 5.0, 9.99, 10.0, 42.0] {
+            h.record(x);
+        }
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.counts()[0], 2); // 0.0 and 0.5
+        assert_eq!(h.counts()[5], 1);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "histogram range must be non-empty")]
+    fn histogram_rejects_empty_range() {
+        let _ = Histogram::new(1.0, 1.0, 4);
+    }
+
+    #[test]
+    fn time_weighted_average() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+        tw.set(SimTime::from_secs(10), 4.0); // level 0 for 10 s
+        tw.set(SimTime::from_secs(20), 2.0); // level 4 for 10 s
+        // level 2 for 20 more seconds:
+        let avg = tw.average_until(SimTime::from_secs(40));
+        // (0*10 + 4*10 + 2*20) / 40 = 2.0
+        assert!((avg - 2.0).abs() < 1e-12);
+        assert_eq!(tw.peak(), 4.0);
+        assert_eq!(tw.level(), 2.0);
+    }
+
+    #[test]
+    fn time_weighted_add_and_samples() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 1.0).with_samples();
+        tw.add(SimTime::from_secs(1), 2.0);
+        tw.add(SimTime::from_secs(2), -3.0);
+        assert_eq!(tw.level(), 0.0);
+        assert_eq!(tw.samples().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn time_weighted_rejects_backwards_time() {
+        let mut tw = TimeWeighted::new(SimTime::from_secs(5), 0.0);
+        tw.set(SimTime::from_secs(1), 1.0);
+    }
+}

@@ -1,0 +1,253 @@
+//! Deterministic random-number streams.
+//!
+//! Every stochastic component of an MCS simulation draws from its own
+//! [`RngStream`], derived from a single experiment seed by hashing a textual
+//! label. This gives *reproducibility as an essential service* (paper
+//! principle P8): the same seed always yields bit-identical experiments, and
+//! adding a new component does not perturb the streams of existing ones.
+
+use rand::RngCore;
+
+/// SplitMix64: a tiny, high-quality 64-bit PRNG used both as a generator and
+/// as the seed-derivation function for stream splitting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub const fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 raw bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// FNV-1a hash of a label, used to fold stream names into seeds.
+fn fnv1a(label: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in label.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A named, independent random stream derived from an experiment seed.
+///
+/// Implements [`rand::RngCore`], so it works with `rand`'s `Rng` extension
+/// trait and with the distribution types in [`crate::dist`].
+///
+/// # Examples
+/// ```
+/// use mcs_simcore::rng::RngStream;
+/// let mut a = RngStream::new(42, "arrivals");
+/// let mut b = RngStream::new(42, "arrivals");
+/// assert_eq!(a.next_u64(), b.next_u64()); // same seed + label => same stream
+/// ```
+#[derive(Debug, Clone)]
+pub struct RngStream {
+    inner: SplitMix64,
+    label_hash: u64,
+}
+
+impl RngStream {
+    /// Creates the stream identified by `label` under experiment `seed`.
+    pub fn new(seed: u64, label: &str) -> Self {
+        let label_hash = fnv1a(label);
+        // Mix seed and label through one SplitMix64 round each so that
+        // nearby seeds do not produce correlated streams.
+        let mut mixer = SplitMix64::new(seed ^ label_hash.rotate_left(17));
+        let s0 = mixer.next_u64();
+        RngStream {
+            inner: SplitMix64::new(s0),
+            label_hash,
+        }
+    }
+
+    /// Derives a child stream, e.g. one per machine from a per-cluster stream.
+    pub fn derive(&self, label: &str) -> RngStream {
+        RngStream::new(self.label_hash ^ self.inner.state, label)
+    }
+
+    /// Next 64 raw bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// A uniform draw in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.inner.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform draw in `[lo, hi)`. Returns `lo` when the range is empty.
+    pub fn uniform_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            return lo;
+        }
+        lo + self.next_f64() * (hi - lo)
+    }
+
+    /// A uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn uniform_usize(&mut self, n: usize) -> usize {
+        assert!(n > 0, "uniform_usize requires n > 0");
+        // Lemire-style widening multiply; bias negligible for simulation use.
+        ((self.inner.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+
+    /// A Bernoulli draw with success probability `p` (clamped to `[0, 1]`).
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Fisher–Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.uniform_usize(i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Picks a uniformly random element; `None` on an empty slice.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.uniform_usize(slice.len())])
+        }
+    }
+}
+
+impl RngCore for RngStream {
+    fn next_u32(&mut self) -> u32 {
+        (self.inner.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.inner.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_label_same_stream() {
+        let mut a = RngStream::new(7, "x");
+        let mut b = RngStream::new(7, "x");
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_labels_diverge() {
+        let mut a = RngStream::new(7, "x");
+        let mut b = RngStream::new(7, "y");
+        let eq = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(eq, 0);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = RngStream::new(1, "x");
+        let mut b = RngStream::new(2, "x");
+        let eq = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(eq, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = RngStream::new(3, "u");
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniform_usize_covers_range() {
+        let mut r = RngStream::new(3, "n");
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[r.uniform_usize(10)] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn uniform_f64_respects_bounds() {
+        let mut r = RngStream::new(9, "b");
+        for _ in 0..1_000 {
+            let x = r.uniform_f64(2.0, 5.0);
+            assert!((2.0..5.0).contains(&x));
+        }
+        assert_eq!(r.uniform_f64(5.0, 2.0), 5.0);
+    }
+
+    #[test]
+    fn bernoulli_frequency_plausible() {
+        let mut r = RngStream::new(11, "coin");
+        let hits = (0..100_000).filter(|_| r.bernoulli(0.3)).count();
+        let freq = hits as f64 / 100_000.0;
+        assert!((freq - 0.3).abs() < 0.01, "freq = {freq}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = RngStream::new(5, "s");
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_on_empty_is_none() {
+        let mut r = RngStream::new(5, "c");
+        let empty: [u8; 0] = [];
+        assert!(r.choose(&empty).is_none());
+    }
+
+    #[test]
+    fn derive_creates_independent_child() {
+        let parent = RngStream::new(1, "cluster");
+        let mut c1 = parent.derive("machine-0");
+        let mut c2 = parent.derive("machine-1");
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn fill_bytes_fills_odd_lengths() {
+        let mut r = RngStream::new(1, "bytes");
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|b| *b != 0));
+    }
+}

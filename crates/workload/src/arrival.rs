@@ -1,0 +1,314 @@
+//! Arrival processes.
+//!
+//! Grid and cloud workloads are *bursty* over short timescales (paper C7,
+//! citing Li \[113\]) and exhibit diurnal patterns over long ones. This module
+//! provides Poisson, Markov-modulated Poisson (MMPP-2), and time-varying
+//! (diurnal + flash-crowd) arrival processes, all deterministic under a
+//! seeded [`RngStream`].
+
+use mcs_simcore::dist::{Dist, Sample};
+use mcs_simcore::rng::RngStream;
+use mcs_simcore::time::{SimDuration, SimTime};
+
+/// A source of arrival instants.
+pub trait ArrivalProcess {
+    /// The next arrival strictly after `now`, or `None` if the process has
+    /// ended.
+    fn next_after(&mut self, now: SimTime, rng: &mut RngStream) -> Option<SimTime>;
+}
+
+/// Homogeneous Poisson arrivals at `rate` per second.
+#[derive(Debug, Clone)]
+pub struct Poisson {
+    rate: f64,
+}
+
+impl Poisson {
+    /// A Poisson process with the given rate (arrivals/second).
+    ///
+    /// # Panics
+    /// Panics if `rate` is not strictly positive.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate > 0.0, "Poisson rate must be positive");
+        Poisson { rate }
+    }
+}
+
+impl ArrivalProcess for Poisson {
+    fn next_after(&mut self, now: SimTime, rng: &mut RngStream) -> Option<SimTime> {
+        let gap = Dist::Exponential { rate: self.rate }.sample(rng);
+        now.checked_add(SimDuration::from_secs_f64(gap))
+    }
+}
+
+/// Two-state Markov-modulated Poisson process: a *calm* state with low rate
+/// and a *burst* state with high rate, switching with exponential sojourns.
+/// The standard model for the short-term burstiness of grid traces.
+#[derive(Debug, Clone)]
+pub struct Mmpp2 {
+    calm_rate: f64,
+    burst_rate: f64,
+    calm_mean_sojourn: f64,
+    burst_mean_sojourn: f64,
+    in_burst: bool,
+    state_until: SimTime,
+}
+
+impl Mmpp2 {
+    /// Creates an MMPP-2 starting in the calm state.
+    ///
+    /// # Panics
+    /// Panics unless all rates and sojourn means are strictly positive.
+    pub fn new(
+        calm_rate: f64,
+        burst_rate: f64,
+        calm_mean_sojourn: f64,
+        burst_mean_sojourn: f64,
+    ) -> Self {
+        assert!(calm_rate > 0.0 && burst_rate > 0.0, "rates must be positive");
+        assert!(
+            calm_mean_sojourn > 0.0 && burst_mean_sojourn > 0.0,
+            "sojourn means must be positive"
+        );
+        Mmpp2 {
+            calm_rate,
+            burst_rate,
+            calm_mean_sojourn,
+            burst_mean_sojourn,
+            in_burst: false,
+            state_until: SimTime::ZERO,
+        }
+    }
+
+    fn current_rate(&self) -> f64 {
+        if self.in_burst {
+            self.burst_rate
+        } else {
+            self.calm_rate
+        }
+    }
+
+    fn advance_state(&mut self, now: SimTime, rng: &mut RngStream) {
+        while now >= self.state_until {
+            let mean = if self.in_burst { self.burst_mean_sojourn } else { self.calm_mean_sojourn };
+            let sojourn = Dist::exponential_mean(mean).sample(rng);
+            self.state_until += SimDuration::from_secs_f64(sojourn.max(1e-9));
+            if now >= self.state_until {
+                self.in_burst = !self.in_burst;
+            }
+        }
+    }
+}
+
+impl ArrivalProcess for Mmpp2 {
+    fn next_after(&mut self, now: SimTime, rng: &mut RngStream) -> Option<SimTime> {
+        // Thinning-free approach: sample within the current state; if the
+        // candidate falls past the state boundary, re-sample from there.
+        // The iteration bound only trips for pathological parameters
+        // (millions of state flips between consecutive arrivals); hitting
+        // it ends the stream rather than looping forever.
+        let mut t = now;
+        for _ in 0..1_000_000 {
+            self.advance_state(t, rng);
+            let gap = Dist::Exponential { rate: self.current_rate() }.sample(rng);
+            let candidate = t.checked_add(SimDuration::from_secs_f64(gap))?;
+            if candidate <= self.state_until {
+                return Some(candidate);
+            }
+            // Jump to the state boundary and flip state.
+            t = self.state_until;
+            self.in_burst = !self.in_burst;
+            let mean = if self.in_burst { self.burst_mean_sojourn } else { self.calm_mean_sojourn };
+            let sojourn = Dist::exponential_mean(mean).sample(rng);
+            self.state_until = t + SimDuration::from_secs_f64(sojourn.max(1e-9));
+        }
+        None
+    }
+}
+
+/// Non-homogeneous Poisson with a diurnal (sinusoidal) rate profile and an
+/// optional flash crowd: the service-workload pattern of §6.3 (gaming) and
+/// §6.5 (serverless).
+#[derive(Debug, Clone)]
+pub struct Diurnal {
+    /// Mean arrival rate, per second.
+    pub base_rate: f64,
+    /// Fraction of the base rate the sinusoid swings (0 = flat).
+    pub amplitude: f64,
+    /// Period of one "day".
+    pub period: SimDuration,
+    /// Optional flash crowd: (start, duration, rate multiplier).
+    pub flash: Option<(SimTime, SimDuration, f64)>,
+}
+
+impl Diurnal {
+    /// The instantaneous rate at `t`, per second.
+    pub fn rate_at(&self, t: SimTime) -> f64 {
+        let phase = (t.as_secs_f64() / self.period.as_secs_f64()) * std::f64::consts::TAU;
+        let mut rate = self.base_rate * (1.0 + self.amplitude.clamp(0.0, 1.0) * phase.sin());
+        if let Some((start, dur, mult)) = self.flash {
+            if t >= start && t < start + dur {
+                rate *= mult;
+            }
+        }
+        rate.max(1e-12)
+    }
+
+    /// The maximum rate the process can reach (for thinning).
+    fn rate_bound(&self) -> f64 {
+        let peak = self.base_rate * (1.0 + self.amplitude.clamp(0.0, 1.0));
+        match self.flash {
+            Some((_, _, mult)) => peak * mult.max(1.0),
+            None => peak,
+        }
+    }
+}
+
+impl ArrivalProcess for Diurnal {
+    fn next_after(&mut self, now: SimTime, rng: &mut RngStream) -> Option<SimTime> {
+        // Ogata thinning against the rate bound.
+        let bound = self.rate_bound();
+        let mut t = now;
+        for _ in 0..100_000 {
+            let gap = Dist::Exponential { rate: bound }.sample(rng);
+            t = t.checked_add(SimDuration::from_secs_f64(gap))?;
+            if rng.next_f64() < self.rate_at(t) / bound {
+                return Some(t);
+            }
+        }
+        None
+    }
+}
+
+/// Collects the arrivals of any process within `[start, end)`, capped at
+/// `max` events.
+pub fn arrivals_between(
+    process: &mut dyn ArrivalProcess,
+    start: SimTime,
+    end: SimTime,
+    max: usize,
+    rng: &mut RngStream,
+) -> Vec<SimTime> {
+    let mut out = Vec::new();
+    let mut now = start;
+    while out.len() < max {
+        match process.next_after(now, rng) {
+            Some(t) if t < end => {
+                out.push(t);
+                now = t;
+            }
+            _ => break,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_rate_is_respected() {
+        let mut p = Poisson::new(10.0);
+        let mut rng = RngStream::new(1, "poisson");
+        let arr = arrivals_between(
+            &mut p,
+            SimTime::ZERO,
+            SimTime::from_secs(1_000),
+            usize::MAX,
+            &mut rng,
+        );
+        let rate = arr.len() as f64 / 1_000.0;
+        assert!((rate - 10.0).abs() < 0.5, "rate = {rate}");
+    }
+
+    #[test]
+    fn poisson_is_monotone() {
+        let mut p = Poisson::new(5.0);
+        let mut rng = RngStream::new(2, "poisson");
+        let arr =
+            arrivals_between(&mut p, SimTime::ZERO, SimTime::from_secs(100), usize::MAX, &mut rng);
+        for w in arr.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn poisson_rejects_zero_rate() {
+        let _ = Poisson::new(0.0);
+    }
+
+    #[test]
+    fn mmpp_is_burstier_than_poisson() {
+        // Equal average rates; MMPP should have a higher coefficient of
+        // variation of inter-arrival times.
+        let mut rng = RngStream::new(3, "mmpp");
+        let mut mmpp = Mmpp2::new(1.0, 50.0, 100.0, 10.0);
+        let horizon = SimTime::from_secs(20_000);
+        let bursty = arrivals_between(&mut mmpp, SimTime::ZERO, horizon, usize::MAX, &mut rng);
+        let mean_rate = bursty.len() as f64 / horizon.as_secs_f64();
+        let mut poisson = Poisson::new(mean_rate);
+        let mut rng2 = RngStream::new(3, "poisson-ref");
+        let plain = arrivals_between(&mut poisson, SimTime::ZERO, horizon, usize::MAX, &mut rng2);
+
+        let cov = |arr: &[SimTime]| {
+            let gaps: Vec<f64> =
+                arr.windows(2).map(|w| (w[1] - w[0]).as_secs_f64()).collect();
+            let mut st = mcs_simcore::metrics::OnlineStats::new();
+            for g in gaps {
+                st.record(g);
+            }
+            st.cov()
+        };
+        let cov_bursty = cov(&bursty);
+        let cov_plain = cov(&plain);
+        assert!(
+            cov_bursty > cov_plain * 1.5,
+            "bursty CoV {cov_bursty} should exceed Poisson CoV {cov_plain}"
+        );
+    }
+
+    #[test]
+    fn diurnal_rate_profile() {
+        let d = Diurnal {
+            base_rate: 100.0,
+            amplitude: 0.5,
+            period: SimDuration::from_hours(24),
+            flash: Some((SimTime::from_secs(3600), SimDuration::from_secs(600), 5.0)),
+        };
+        // Quarter period = peak of the sinusoid.
+        let peak = d.rate_at(SimTime::from_secs(6 * 3600));
+        assert!((peak - 150.0).abs() < 1.0, "peak = {peak}");
+        // Inside the flash window the rate is multiplied.
+        let flash = d.rate_at(SimTime::from_secs(3700));
+        assert!(flash > 300.0, "flash = {flash}");
+    }
+
+    #[test]
+    fn diurnal_thinning_tracks_profile() {
+        let mut d = Diurnal {
+            base_rate: 20.0,
+            amplitude: 0.9,
+            period: SimDuration::from_secs(1_000),
+            flash: None,
+        };
+        let mut rng = RngStream::new(4, "diurnal");
+        let arr = arrivals_between(
+            &mut d,
+            SimTime::ZERO,
+            SimTime::from_secs(1_000),
+            usize::MAX,
+            &mut rng,
+        );
+        // Count arrivals in the peak quarter vs the trough quarter.
+        let in_range = |arr: &[SimTime], lo: u64, hi: u64| {
+            arr.iter()
+                .filter(|t| **t >= SimTime::from_secs(lo) && **t < SimTime::from_secs(hi))
+                .count()
+        };
+        let peak = in_range(&arr, 125, 375); // around sin peak at t=250
+        let trough = in_range(&arr, 625, 875); // around sin trough at t=750
+        assert!(peak > trough * 2, "peak {peak} vs trough {trough}");
+    }
+}

@@ -1,0 +1,39 @@
+//! # mcs-workload — workload models, generators, and traces
+//!
+//! The workload substrate of the MCS workspace: tasks, jobs, validated DAG
+//! workflows, bursty/diurnal arrival processes, GWA-style traces, and
+//! per-domain workload generators (grid batch, e-science workflows,
+//! deadline transactions).
+//!
+//! The paper's challenges C3 (vicissitude: workload mixes changing
+//! arbitrarily over time) and C7 (drastically changing workloads over short
+//! and long periods) are exercised by combining these generators.
+//!
+//! ## Example
+//! ```
+//! use mcs_workload::generator::{BatchWorkloadConfig, BatchWorkloadGenerator};
+//! use mcs_simcore::prelude::*;
+//!
+//! let mut generator = BatchWorkloadGenerator::new(BatchWorkloadConfig::default());
+//! let mut rng = RngStream::new(42, "example");
+//! let jobs = generator.generate(SimTime::from_secs(3_600), 100, &mut rng);
+//! assert!(jobs.iter().all(|j| j.submit < SimTime::from_secs(3_600)));
+//! ```
+
+pub mod arrival;
+pub mod generator;
+pub mod task;
+pub mod trace;
+pub mod workflow;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::arrival::{ArrivalProcess, Diurnal, Mmpp2, Poisson};
+    pub use crate::generator::{
+        BatchWorkloadConfig, BatchWorkloadGenerator, TransactionWorkloadGenerator,
+        WorkflowWorkloadConfig, WorkflowWorkloadGenerator,
+    };
+    pub use crate::task::{Job, JobId, JobKind, Task, TaskCompletion, TaskId, UserId};
+    pub use crate::trace::{Trace, TraceRecord, TraceStats};
+    pub use crate::workflow::{Workflow, WorkflowError, WorkflowShapes};
+}

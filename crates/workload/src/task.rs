@@ -1,0 +1,235 @@
+//! Tasks and jobs: the units of work that flow through ecosystems.
+//!
+//! The paper's workload vocabulary (C3, C7, §6.2) spans bags-of-tasks,
+//! workflows, services, and fine-grained functions; all are expressed as
+//! [`Job`]s containing [`Task`]s with explicit resource requirements and
+//! (optionally) dependencies.
+
+use mcs_infra::resource::ResourceVector;
+use mcs_simcore::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies a task within a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskId(pub u64);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Identifies a job (a user-visible submission) within a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "j{}", self.0)
+    }
+}
+
+/// Identifies a submitting user; the social-awareness analyses (C5) group
+/// tasks by user.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct UserId(pub u32);
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+/// The workload family a job belongs to (paper Fig. 1 / §6 use cases).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum JobKind {
+    /// Independent tasks submitted together (grid computing staple).
+    BagOfTasks,
+    /// A DAG of dependent tasks (e-science, §6.2).
+    Workflow,
+    /// Long-running interactive service (web application).
+    Service,
+    /// Data-analytics job (MapReduce/Pregel, Fig. 1).
+    Analytics,
+    /// Fine-grained serverless function invocations (§6.5).
+    Function,
+    /// Online-gaming session load (§6.3).
+    Gaming,
+    /// Transaction processing with deadlines (§6.4, banking).
+    Transaction,
+}
+
+/// One schedulable unit of work.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    /// Task id, unique within the workload.
+    pub id: TaskId,
+    /// The owning job.
+    pub job: JobId,
+    /// Work volume in core-seconds at reference core speed: a task running
+    /// alone on `req.cpu_cores` reference cores takes
+    /// `demand / req.cpu_cores` seconds.
+    pub demand_core_seconds: f64,
+    /// Resources the task must be granted to run.
+    pub req: ResourceVector,
+    /// Tasks (by id) that must finish before this one may start.
+    pub dependencies: Vec<TaskId>,
+    /// Optional completion deadline relative to job submission (banking and
+    /// interactive SLOs, §6.4).
+    pub deadline: Option<SimDuration>,
+}
+
+impl Task {
+    /// A dependency-free task.
+    pub fn independent(id: TaskId, job: JobId, demand_core_seconds: f64, req: ResourceVector) -> Self {
+        Task { id, job, demand_core_seconds, req, dependencies: Vec::new(), deadline: None }
+    }
+
+    /// Service time on `cores` reference-speed cores with a machine speed-up
+    /// factor (see `Machine::speedup_for`).
+    pub fn service_time(&self, speedup: f64) -> SimDuration {
+        let cores = self.req.cpu_cores.max(1e-9);
+        SimDuration::from_secs_f64(self.demand_core_seconds / (cores * speedup.max(1e-9)))
+    }
+}
+
+/// A user-visible submission: one or more tasks plus metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Job id, unique within the workload.
+    pub id: JobId,
+    /// Submitting user.
+    pub user: UserId,
+    /// Workload family.
+    pub kind: JobKind,
+    /// Instant the job enters the system.
+    pub submit: SimTime,
+    /// The job's tasks. For workflows, dependency edges stay inside the job.
+    pub tasks: Vec<Task>,
+}
+
+impl Job {
+    /// Total work volume across tasks, core-seconds.
+    pub fn total_demand(&self) -> f64 {
+        self.tasks.iter().map(|t| t.demand_core_seconds).sum()
+    }
+
+    /// The maximum single-task resource request, dimension-wise.
+    pub fn peak_request(&self) -> ResourceVector {
+        self.tasks.iter().fold(ResourceVector::ZERO, |acc, t| ResourceVector {
+            cpu_cores: acc.cpu_cores.max(t.req.cpu_cores),
+            memory_gb: acc.memory_gb.max(t.req.memory_gb),
+            accelerators: acc.accelerators.max(t.req.accelerators),
+            storage_gb: acc.storage_gb.max(t.req.storage_gb),
+            network_gbps: acc.network_gbps.max(t.req.network_gbps),
+        })
+    }
+
+    /// True when no task depends on another (a bag of tasks).
+    pub fn is_dependency_free(&self) -> bool {
+        self.tasks.iter().all(|t| t.dependencies.is_empty())
+    }
+}
+
+/// Per-task completion record, the raw material of workload metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskCompletion {
+    /// Which task finished.
+    pub task: TaskId,
+    /// The owning job.
+    pub job: JobId,
+    /// When the job entered the system.
+    pub submit: SimTime,
+    /// When the task started executing.
+    pub start: SimTime,
+    /// When the task finished.
+    pub finish: SimTime,
+}
+
+impl TaskCompletion {
+    /// Queue wait: start − submit.
+    pub fn wait_time(&self) -> SimDuration {
+        self.start.saturating_since(self.submit)
+    }
+
+    /// Execution time: finish − start.
+    pub fn run_time(&self) -> SimDuration {
+        self.finish.saturating_since(self.start)
+    }
+
+    /// Sojourn/response time: finish − submit.
+    pub fn response_time(&self) -> SimDuration {
+        self.finish.saturating_since(self.submit)
+    }
+
+    /// Bounded slowdown with a 1-second floor on run time, the standard
+    /// parallel-workloads metric.
+    pub fn bounded_slowdown(&self) -> f64 {
+        let run = self.run_time().as_secs_f64().max(1.0);
+        (self.wait_time().as_secs_f64() + run) / run
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(demand: f64, cores: f64) -> Task {
+        Task::independent(TaskId(0), JobId(0), demand, ResourceVector::cores(cores))
+    }
+
+    #[test]
+    fn service_time_scales_with_cores_and_speedup() {
+        let t = task(100.0, 4.0);
+        assert_eq!(t.service_time(1.0), SimDuration::from_secs(25));
+        assert_eq!(t.service_time(2.0), SimDuration::from_secs_f64(12.5));
+    }
+
+    #[test]
+    fn job_aggregates() {
+        let job = Job {
+            id: JobId(1),
+            user: UserId(0),
+            kind: JobKind::BagOfTasks,
+            submit: SimTime::ZERO,
+            tasks: vec![
+                Task::independent(TaskId(0), JobId(1), 10.0, ResourceVector::new(1.0, 8.0)),
+                Task::independent(TaskId(1), JobId(1), 30.0, ResourceVector::new(4.0, 2.0)),
+            ],
+        };
+        assert_eq!(job.total_demand(), 40.0);
+        let peak = job.peak_request();
+        assert_eq!(peak.cpu_cores, 4.0);
+        assert_eq!(peak.memory_gb, 8.0);
+        assert!(job.is_dependency_free());
+    }
+
+    #[test]
+    fn completion_metrics() {
+        let c = TaskCompletion {
+            task: TaskId(0),
+            job: JobId(0),
+            submit: SimTime::from_secs(10),
+            start: SimTime::from_secs(40),
+            finish: SimTime::from_secs(100),
+        };
+        assert_eq!(c.wait_time(), SimDuration::from_secs(30));
+        assert_eq!(c.run_time(), SimDuration::from_secs(60));
+        assert_eq!(c.response_time(), SimDuration::from_secs(90));
+        assert!((c.bounded_slowdown() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded_slowdown_floors_tiny_tasks() {
+        let c = TaskCompletion {
+            task: TaskId(0),
+            job: JobId(0),
+            submit: SimTime::ZERO,
+            start: SimTime::from_secs(10),
+            finish: SimTime::from_secs(10) + SimDuration::from_millis(1),
+        };
+        // Run time 1 ms floors to 1 s: slowdown = (10 + 1) / 1 = 11.
+        assert!((c.bounded_slowdown() - 11.0).abs() < 0.01);
+    }
+}

@@ -1,0 +1,420 @@
+//! Workflow (DAG) construction and analysis.
+//!
+//! Scientific workflows — BLAST, Epigenomics, LIGO, Montage (paper §6.2) —
+//! are DAGs of tasks. This module provides a validated DAG builder, critical-
+//! path analysis, and generators for the canonical workflow shapes used in
+//! the characterization literature the paper cites (\[114\]).
+
+use crate::task::{Job, JobId, JobKind, Task, TaskId, UserId};
+use mcs_infra::resource::ResourceVector;
+use mcs_simcore::rng::RngStream;
+use mcs_simcore::time::SimTime;
+use std::collections::HashMap;
+
+/// Errors from workflow validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkflowError {
+    /// A dependency references a task id not present in the workflow.
+    UnknownDependency {
+        /// The task declaring the dependency.
+        task: TaskId,
+        /// The missing dependency.
+        missing: TaskId,
+    },
+    /// The dependency graph contains a cycle.
+    Cycle,
+    /// The workflow has no tasks.
+    Empty,
+}
+
+impl std::fmt::Display for WorkflowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkflowError::UnknownDependency { task, missing } => {
+                write!(f, "task {task} depends on unknown task {missing}")
+            }
+            WorkflowError::Cycle => write!(f, "dependency graph contains a cycle"),
+            WorkflowError::Empty => write!(f, "workflow has no tasks"),
+        }
+    }
+}
+
+impl std::error::Error for WorkflowError {}
+
+/// A validated workflow job: guaranteed acyclic with resolved dependencies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workflow {
+    job: Job,
+    topo_order: Vec<usize>,
+}
+
+impl Workflow {
+    /// Validates `job`'s dependency graph (existence + acyclicity).
+    ///
+    /// # Errors
+    /// Returns [`WorkflowError`] when the job is empty, references unknown
+    /// tasks, or contains a dependency cycle.
+    pub fn validate(job: Job) -> Result<Workflow, WorkflowError> {
+        if job.tasks.is_empty() {
+            return Err(WorkflowError::Empty);
+        }
+        let index: HashMap<TaskId, usize> =
+            job.tasks.iter().enumerate().map(|(i, t)| (t.id, i)).collect();
+        for t in &job.tasks {
+            for dep in &t.dependencies {
+                if !index.contains_key(dep) {
+                    return Err(WorkflowError::UnknownDependency { task: t.id, missing: *dep });
+                }
+            }
+        }
+        // Kahn's algorithm for topological order / cycle detection.
+        let n = job.tasks.len();
+        let mut indegree = vec![0usize; n];
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, t) in job.tasks.iter().enumerate() {
+            for dep in &t.dependencies {
+                let d = index[dep];
+                children[d].push(i);
+                indegree[i] += 1;
+            }
+        }
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut topo = Vec::with_capacity(n);
+        while let Some(i) = ready.pop() {
+            topo.push(i);
+            for &c in &children[i] {
+                indegree[c] -= 1;
+                if indegree[c] == 0 {
+                    ready.push(c);
+                }
+            }
+        }
+        if topo.len() != n {
+            return Err(WorkflowError::Cycle);
+        }
+        Ok(Workflow { job, topo_order: topo })
+    }
+
+    /// The underlying job.
+    pub fn job(&self) -> &Job {
+        &self.job
+    }
+
+    /// Consumes the workflow, returning the job.
+    pub fn into_job(self) -> Job {
+        self.job
+    }
+
+    /// Task indices in a valid topological order.
+    pub fn topological_order(&self) -> &[usize] {
+        &self.topo_order
+    }
+
+    /// Length of the critical path in ideal seconds (each task on its own
+    /// requested cores at reference speed): the lower bound on makespan with
+    /// infinite resources.
+    pub fn critical_path_seconds(&self) -> f64 {
+        let index: HashMap<TaskId, usize> =
+            self.job.tasks.iter().enumerate().map(|(i, t)| (t.id, i)).collect();
+        let mut finish = vec![0.0f64; self.job.tasks.len()];
+        for &i in &self.topo_order {
+            let t = &self.job.tasks[i];
+            let start = t
+                .dependencies
+                .iter()
+                .map(|d| finish[index[d]])
+                .fold(0.0f64, f64::max);
+            finish[i] = start + t.service_time(1.0).as_secs_f64();
+        }
+        finish.iter().fold(0.0f64, |a, &b| a.max(b))
+    }
+
+    /// The number of dependency levels (chain length in tasks).
+    pub fn depth(&self) -> usize {
+        let index: HashMap<TaskId, usize> =
+            self.job.tasks.iter().enumerate().map(|(i, t)| (t.id, i)).collect();
+        let mut level = vec![1usize; self.job.tasks.len()];
+        for &i in &self.topo_order {
+            let t = &self.job.tasks[i];
+            let parent = t.dependencies.iter().map(|d| level[index[d]]).max().unwrap_or(0);
+            level[i] = parent + 1;
+        }
+        level.into_iter().max().unwrap_or(0)
+    }
+
+    /// The widest level (maximum exploitable parallelism).
+    pub fn max_width(&self) -> usize {
+        let index: HashMap<TaskId, usize> =
+            self.job.tasks.iter().enumerate().map(|(i, t)| (t.id, i)).collect();
+        let mut level = vec![0usize; self.job.tasks.len()];
+        for &i in &self.topo_order {
+            let t = &self.job.tasks[i];
+            level[i] = t.dependencies.iter().map(|d| level[index[d]] + 1).max().unwrap_or(0);
+        }
+        let mut width: HashMap<usize, usize> = HashMap::new();
+        for l in level {
+            *width.entry(l).or_insert(0) += 1;
+        }
+        width.into_values().max().unwrap_or(0)
+    }
+}
+
+/// Generators for the canonical workflow shapes of the characterization
+/// literature (chain, fork-join, and a Montage-like diamond ensemble).
+#[derive(Debug, Clone)]
+pub struct WorkflowShapes {
+    next_task: u64,
+}
+
+impl Default for WorkflowShapes {
+    fn default() -> Self {
+        WorkflowShapes::new()
+    }
+}
+
+impl WorkflowShapes {
+    /// A generator with a fresh task-id counter.
+    pub fn new() -> Self {
+        WorkflowShapes { next_task: 0 }
+    }
+
+    fn fresh(&mut self) -> TaskId {
+        let id = TaskId(self.next_task);
+        self.next_task += 1;
+        id
+    }
+
+    fn mk_task(
+        &mut self,
+        job: JobId,
+        demand: f64,
+        req: ResourceVector,
+        deps: Vec<TaskId>,
+    ) -> Task {
+        Task {
+            id: self.fresh(),
+            job,
+            demand_core_seconds: demand,
+            req,
+            dependencies: deps,
+            deadline: None,
+        }
+    }
+
+    /// A linear pipeline of `len` tasks.
+    ///
+    /// # Panics
+    /// Panics if `len == 0`.
+    pub fn chain(
+        &mut self,
+        job: JobId,
+        user: UserId,
+        submit: SimTime,
+        len: usize,
+        demand: f64,
+        req: ResourceVector,
+    ) -> Workflow {
+        assert!(len > 0);
+        let mut tasks = Vec::with_capacity(len);
+        let mut prev: Option<TaskId> = None;
+        for _ in 0..len {
+            let deps = prev.into_iter().collect();
+            let t = self.mk_task(job, demand, req, deps);
+            prev = Some(t.id);
+            tasks.push(t);
+        }
+        Workflow::validate(Job { id: job, user, kind: JobKind::Workflow, submit, tasks })
+            .expect("chain is a valid DAG")
+    }
+
+    /// Fork-join: one source, `width` parallel tasks, one sink.
+    ///
+    /// # Panics
+    /// Panics if `width == 0`.
+    pub fn fork_join(
+        &mut self,
+        job: JobId,
+        user: UserId,
+        submit: SimTime,
+        width: usize,
+        demand: f64,
+        req: ResourceVector,
+    ) -> Workflow {
+        assert!(width > 0);
+        let mut tasks = Vec::with_capacity(width + 2);
+        let src = self.mk_task(job, demand, req, vec![]);
+        let src_id = src.id;
+        tasks.push(src);
+        let mut mids = Vec::with_capacity(width);
+        for _ in 0..width {
+            let t = self.mk_task(job, demand, req, vec![src_id]);
+            mids.push(t.id);
+            tasks.push(t);
+        }
+        let sink = self.mk_task(job, demand, req, mids);
+        tasks.push(sink);
+        Workflow::validate(Job { id: job, user, kind: JobKind::Workflow, submit, tasks })
+            .expect("fork-join is a valid DAG")
+    }
+
+    /// A Montage-like multi-stage ensemble: `width` ingest tasks, pairwise
+    /// combination stage, then a reduction chain — the diamond-ish structure
+    /// of astronomy mosaicking workflows. Demands are drawn from `rng` in
+    /// `[0.5, 1.5] × demand` to give realistic imbalance.
+    #[allow(clippy::too_many_arguments)]
+    pub fn montage_like(
+        &mut self,
+        job: JobId,
+        user: UserId,
+        submit: SimTime,
+        width: usize,
+        demand: f64,
+        req: ResourceVector,
+        rng: &mut RngStream,
+    ) -> Workflow {
+        let width = width.max(2);
+        let mut tasks = Vec::new();
+        let mut ingest = Vec::with_capacity(width);
+        for _ in 0..width {
+            let d = demand * rng.uniform_f64(0.5, 1.5);
+            let t = self.mk_task(job, d, req, vec![]);
+            ingest.push(t.id);
+            tasks.push(t);
+        }
+        // Combination stage: each adjacent pair feeds one combiner.
+        let mut combiners = Vec::new();
+        for pair in ingest.windows(2) {
+            let d = demand * rng.uniform_f64(0.5, 1.5);
+            let t = self.mk_task(job, d, req, pair.to_vec());
+            combiners.push(t.id);
+            tasks.push(t);
+        }
+        // Reduction chain to a single output.
+        let mut prev: Option<TaskId> = None;
+        for c in combiners {
+            let mut deps = vec![c];
+            if let Some(p) = prev {
+                deps.push(p);
+            }
+            let t = self.mk_task(job, demand * 0.25, req, deps);
+            prev = Some(t.id);
+            tasks.push(t);
+        }
+        Workflow::validate(Job { id: job, user, kind: JobKind::Workflow, submit, tasks })
+            .expect("montage-like is a valid DAG")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req() -> ResourceVector {
+        ResourceVector::cores(1.0)
+    }
+
+    #[test]
+    fn chain_properties() {
+        let mut shapes = WorkflowShapes::new();
+        let wf = shapes.chain(JobId(0), UserId(0), SimTime::ZERO, 5, 10.0, req());
+        assert_eq!(wf.job().tasks.len(), 5);
+        assert_eq!(wf.depth(), 5);
+        assert_eq!(wf.max_width(), 1);
+        assert!((wf.critical_path_seconds() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fork_join_properties() {
+        let mut shapes = WorkflowShapes::new();
+        let wf = shapes.fork_join(JobId(0), UserId(0), SimTime::ZERO, 8, 10.0, req());
+        assert_eq!(wf.job().tasks.len(), 10);
+        assert_eq!(wf.depth(), 3);
+        assert_eq!(wf.max_width(), 8);
+        assert!((wf.critical_path_seconds() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn montage_like_is_valid_dag() {
+        let mut shapes = WorkflowShapes::new();
+        let mut rng = RngStream::new(1, "wf");
+        let wf =
+            shapes.montage_like(JobId(0), UserId(0), SimTime::ZERO, 6, 20.0, req(), &mut rng);
+        assert!(wf.job().tasks.len() > 10);
+        assert!(wf.depth() >= 3);
+        assert!(wf.critical_path_seconds() > 0.0);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mk = |id: u64, deps: Vec<u64>| Task {
+            id: TaskId(id),
+            job: JobId(0),
+            demand_core_seconds: 1.0,
+            req: req(),
+            dependencies: deps.into_iter().map(TaskId).collect(),
+            deadline: None,
+        };
+        let job = Job {
+            id: JobId(0),
+            user: UserId(0),
+            kind: JobKind::Workflow,
+            submit: SimTime::ZERO,
+            tasks: vec![mk(0, vec![1]), mk(1, vec![0])],
+        };
+        assert_eq!(Workflow::validate(job).unwrap_err(), WorkflowError::Cycle);
+    }
+
+    #[test]
+    fn unknown_dependency_detected() {
+        let t = Task {
+            id: TaskId(0),
+            job: JobId(0),
+            demand_core_seconds: 1.0,
+            req: req(),
+            dependencies: vec![TaskId(42)],
+            deadline: None,
+        };
+        let job = Job {
+            id: JobId(0),
+            user: UserId(0),
+            kind: JobKind::Workflow,
+            submit: SimTime::ZERO,
+            tasks: vec![t],
+        };
+        match Workflow::validate(job).unwrap_err() {
+            WorkflowError::UnknownDependency { missing, .. } => assert_eq!(missing, TaskId(42)),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_workflow_rejected() {
+        let job = Job {
+            id: JobId(0),
+            user: UserId(0),
+            kind: JobKind::Workflow,
+            submit: SimTime::ZERO,
+            tasks: vec![],
+        };
+        assert_eq!(Workflow::validate(job).unwrap_err(), WorkflowError::Empty);
+    }
+
+    #[test]
+    fn topological_order_respects_dependencies() {
+        let mut shapes = WorkflowShapes::new();
+        let mut rng = RngStream::new(2, "wf");
+        let wf =
+            shapes.montage_like(JobId(0), UserId(0), SimTime::ZERO, 5, 10.0, req(), &mut rng);
+        let pos: HashMap<TaskId, usize> = wf
+            .topological_order()
+            .iter()
+            .enumerate()
+            .map(|(rank, &idx)| (wf.job().tasks[idx].id, rank))
+            .collect();
+        for t in &wf.job().tasks {
+            for d in &t.dependencies {
+                assert!(pos[d] < pos[&t.id], "dependency {d} after {t:?}");
+            }
+        }
+    }
+}

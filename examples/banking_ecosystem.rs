@@ -1,0 +1,136 @@
+//! The future of banking (§6.4): deadline-bound transaction clearing under
+//! PSD2-style SLAs, across a multi-owner ecosystem with failures.
+//!
+//! Run with: `cargo run --example banking_ecosystem`
+
+use mcs::prelude::*;
+
+fn main() {
+    println!("== banking ecosystem: PSD2-style clearing ==");
+
+    // The ecosystem: the bank's core, a fintech payment provider, and a
+    // cloud region — three owners, one collective responsibility (§2.1).
+    let eco = Ecosystem::new("retail-banking")
+        .with_system(SystemNode::new(
+            "core-ledger",
+            "the-bank",
+            "clearing",
+            NfrProfile::new()
+                .with(NfrKind::Availability, 0.999)
+                .with(NfrKind::LatencyP95, 0.8)
+                .with(NfrKind::Security, 0.95),
+        ))
+        .with_system(SystemNode::new(
+            "fintech-pay",
+            "fintech-co",
+            "clearing",
+            NfrProfile::new()
+                .with(NfrKind::Availability, 0.99)
+                .with(NfrKind::LatencyP95, 0.2)
+                .with(NfrKind::Security, 0.85),
+        ))
+        .with_ecosystem(
+            Ecosystem::new("cloud-region").with_system(SystemNode::new(
+                "cloud-clearing",
+                "hyperscaler",
+                "clearing",
+                NfrProfile::new()
+                    .with(NfrKind::Availability, 0.995)
+                    .with(NfrKind::LatencyP95, 0.3)
+                    .with(NfrKind::Security, 0.9),
+            )),
+        )
+        .with_collective(CollectiveFunction {
+            name: "resilient-clearing".into(),
+            requires: "clearing".into(),
+            quorum_fraction: 0.6,
+        });
+    println!(
+        "ecosystem: {} systems, depth {}, owners {:?}",
+        eco.system_count(),
+        eco.depth(),
+        eco.owners(),
+    );
+    println!(
+        "collective 'resilient-clearing' available: {:?}",
+        eco.collective_available("resilient-clearing"),
+    );
+    let collective = eco.collective_profile("clearing").unwrap();
+    println!(
+        "collective clearing profile: availability {:.6}, p95 {:.2}s, security {:.2}",
+        collective.get(NfrKind::Availability).unwrap(),
+        collective.get(NfrKind::LatencyP95).unwrap(),
+        collective.get(NfrKind::Security).unwrap(),
+    );
+
+    // The workload: transactions with hard clearing deadlines.
+    let horizon = SimTime::from_secs(2 * 3600);
+    let mut generator = TransactionWorkloadGenerator::new(60.0, 2.0);
+    let mut rng = RngStream::new(13, "banking");
+    let mut jobs = generator.generate(horizon, 600_000, &mut rng);
+    // Two customer classes: instant payments (2 s) and batch clearing (10 min).
+    for (i, job) in jobs.iter_mut().enumerate() {
+        if i % 2 == 1 {
+            job.tasks[0].deadline = Some(SimDuration::from_mins(10));
+        }
+    }
+    println!(
+        "workload: {} transactions over {:.1} h, deadlines 2 s / 10 min",
+        jobs.len(),
+        jobs.last().map(|j| j.submit.as_secs_f64() / 3600.0).unwrap_or(0.0),
+    );
+
+    // Clearing cluster with failures; EDF vs FCFS under load.
+    let cluster = || {
+        Cluster::homogeneous(
+            ClusterId(0),
+            "clearing",
+            MachineSpec::commodity("std-4", 4.0, 16.0),
+            2,
+        )
+    };
+    // A 20-minute outage of one clearing node at 10:00 (half the capacity
+    // gone while transactions keep arriving).
+    let outages = vec![Outage {
+        machine: 0,
+        fail_at: SimTime::from_secs(3_600),
+        repair_at: SimTime::from_secs(4_800),
+    }];
+    for queue in [QueuePolicy::Fcfs, QueuePolicy::EarliestDeadline] {
+        let config = SchedulerConfig { queue, backfill: false, ..Default::default() };
+        let mut sched =
+            ClusterScheduler::new(cluster(), config, 13).with_outages(outages.clone());
+        let out = sched.run(jobs.clone(), horizon + SimDuration::from_hours(1));
+        let misses_pct = 100.0 * out.deadline_misses as f64 / out.completions.len().max(1) as f64;
+        println!(
+            "queue[{:>4}]: {} cleared, deadline misses {:.2}%, p-mean response {:.3}s",
+            queue.name(),
+            out.completions.len(),
+            misses_pct,
+            out.mean_response_secs(),
+        );
+    }
+
+    // The SLA verdict on the measured profile.
+    let sla = Sla {
+        name: "psd2-clearing".into(),
+        slos: vec![
+            Slo {
+                name: "availability ≥ 99.9%".into(),
+                target: NfrTarget::new(NfrKind::Availability, 0.999),
+                penalty: 10_000.0,
+            },
+            Slo {
+                name: "p95 clearing < 1 s".into(),
+                target: NfrTarget::new(NfrKind::LatencyP95, 1.0),
+                penalty: 5_000.0,
+            },
+        ],
+        penalty_cap: 12_000.0,
+    };
+    let report = sla.evaluate(&collective);
+    println!(
+        "SLA '{}': compliant = {}, violations = {}, penalty = {:.0}",
+        sla.name, report.compliant, report.violations, report.penalty,
+    );
+}

@@ -1,0 +1,69 @@
+//! Quickstart: build a cluster, generate a grid workload, schedule it, and
+//! compose non-functional guarantees — the MCS platform in sixty lines.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use mcs::prelude::*;
+
+fn main() {
+    // 1. Infrastructure: a small heterogeneous cluster (C4).
+    let mut cluster = Cluster::new(ClusterId(0), "quickstart");
+    for _ in 0..6 {
+        cluster.add_machine(MachineSpec::commodity("std-8", 8.0, 32.0));
+    }
+    for _ in 0..2 {
+        cluster.add_machine(MachineSpec::gpu("gpu-8", 8.0, 64.0, 2.0));
+    }
+    println!("cluster: {} machines, capacity {}", cluster.len(), cluster.capacity());
+
+    // 2. Workload: bursty bag-of-tasks arrivals (C7).
+    let mut generator = BatchWorkloadGenerator::new(BatchWorkloadConfig {
+        arrival_rate: 0.05,
+        accelerator_fraction: 0.1,
+        ..Default::default()
+    });
+    let mut rng = RngStream::new(42, "quickstart");
+    let jobs = generator.generate(SimTime::from_secs(4 * 3600), 200, &mut rng);
+    println!("workload: {} jobs over 4 simulated hours", jobs.len());
+
+    // 3. Schedule with EASY backfilling and best-fit allocation (P4).
+    let mut scheduler = ClusterScheduler::new(cluster, SchedulerConfig::default(), 42);
+    let outcome = scheduler.run(jobs, SimTime::from_secs(7 * 86_400));
+    println!(
+        "scheduled: {} done, {} rejected, makespan {:.1} h, mean slowdown {:.2}, mean utilization {:.1}%",
+        outcome.completions.len(),
+        outcome.rejected,
+        outcome.makespan.as_secs_f64() / 3600.0,
+        outcome.mean_slowdown(),
+        outcome.mean_utilization * 100.0,
+    );
+
+    // 4. Non-functional requirements compose (P3): replicating a service
+    // turns two nines into four, without re-measuring anything.
+    let single = NfrProfile::new()
+        .with(NfrKind::Availability, 0.99)
+        .with(NfrKind::LatencyP95, 0.020)
+        .with(NfrKind::CostPerHour, 2.0);
+    let replicated = single.compose_parallel(&single);
+    println!(
+        "NFR calculus: availability {:.4} -> {:.6}, cost {:.0}/h -> {:.0}/h",
+        single.get(NfrKind::Availability).unwrap(),
+        replicated.get(NfrKind::Availability).unwrap(),
+        single.get(NfrKind::CostPerHour).unwrap(),
+        replicated.get(NfrKind::CostPerHour).unwrap(),
+    );
+
+    // 5. Ecosystem navigation (C9): pick components against targets, and
+    // get the decision explained.
+    let catalog = Catalog::new()
+        .with("redis-like", "cache", NfrProfile::new().with(NfrKind::LatencyP95, 0.001).with(NfrKind::CostPerHour, 2.0))
+        .with("disk-cache", "cache", NfrProfile::new().with(NfrKind::LatencyP95, 0.01).with(NfrKind::CostPerHour, 0.3))
+        .with("pg-like", "database", NfrProfile::new().with(NfrKind::LatencyP95, 0.02).with(NfrKind::CostPerHour, 3.0));
+    let selection = navigate_best_effort(
+        &catalog,
+        &["cache", "database"],
+        &[NfrTarget::new(NfrKind::LatencyP95, 0.05)],
+    )
+    .expect("pipeline has providers");
+    println!("navigation: {}", selection.explanation);
+}

@@ -1,0 +1,119 @@
+//! Integration tests for the extension modules: memory scavenging (C7),
+//! operational transparency (C13), meta-gaming (Fig. 4), and the Roofline
+//! model (§3.5).
+
+use mcs::prelude::*;
+
+#[test]
+fn scavenging_widens_the_feasible_region() {
+    // A cluster whose machines individually cannot host a 40 GiB job.
+    let mut cluster = Cluster::homogeneous(
+        ClusterId(0),
+        "scv",
+        MachineSpec::commodity("std-8", 8.0, 32.0),
+        4,
+    );
+    let req = mcs::infra::resource::ResourceVector::new(2.0, 40.0);
+    assert!(!cluster.machines().iter().any(|m| req.fits_in(&m.capacity())));
+    let plan = plan_scavenge(&cluster, &req, &ScavengeConfig::default())
+        .expect("scavenging must admit the job");
+    assert!(plan.slowdown > 1.0 && plan.slowdown < 1.15);
+    assert!(apply_scavenge(&mut cluster, &req, &plan));
+    // Borrowed memory is really held on the donors.
+    let used: f64 = cluster.machines().iter().map(|m| m.allocated().memory_gb).sum();
+    assert!((used - 40.0).abs() < 1e-9);
+    release_scavenge(&mut cluster, &req, &plan);
+    assert!(cluster.available().memory_gb > 127.9);
+}
+
+#[test]
+fn transparency_reports_built_from_measured_pipeline() {
+    // Failure analysis + SLA evaluation feed one stakeholder report (C13).
+    let machines = 16usize;
+    let horizon = SimTime::from_secs(30 * 86_400);
+    let outages = IndependentFailures::with_mtbf(300.0 * 3600.0).generate(
+        machines,
+        horizon,
+        &mut RngStream::new(9, "transparency"),
+    );
+    let availability = analyze(&outages, machines, horizon);
+    let degraded = longest_degradation(&outages, machines, horizon, 2);
+    let sla = Sla {
+        name: "weekly".into(),
+        slos: vec![Slo {
+            name: "availability".into(),
+            target: NfrTarget::new(NfrKind::Availability, 0.999),
+            penalty: 250.0,
+        }],
+        penalty_cap: 1_000.0,
+    };
+    let measured = NfrProfile::new().with(NfrKind::Availability, availability.availability);
+    let report = OperationalReport {
+        window_hours: horizon.as_secs_f64() / 3600.0,
+        availability: availability.availability,
+        incidents: availability.outages,
+        longest_incident_mins: degraded.as_secs_f64() / 60.0,
+        energy_kwh: 100.0,
+        cost: 42.0,
+        sla: Some(sla.evaluate(&measured)),
+    };
+    for audience in [Audience::Operator, Audience::Customer, Audience::Public] {
+        let text = report.render(audience);
+        assert!(text.contains('%'), "{audience:?} report lacks availability: {text}");
+    }
+    // Operator sees cost; public does not.
+    assert!(report.render(Audience::Operator).contains("cost"));
+    assert!(!report.render(Audience::Public).contains("cost"));
+}
+
+#[test]
+fn metagame_streams_feed_the_elasticity_story() {
+    let mut rng = RngStream::new(11, "meta-int");
+    let tournament = Tournament::seeded(6, &mut rng);
+    let outcome = tournament.play(100.0, &mut rng);
+    assert_eq!(outcome.matches.len(), 63);
+    let (static_cost, elastic_cost) = stream_capacity_plan(&outcome, 500);
+    assert!(elastic_cost <= static_cost);
+    assert!(static_cost > 0);
+}
+
+#[test]
+fn roofline_ranks_machines_like_their_specs() {
+    let cpu = Roofline { peak_gflops: 500.0, mem_bandwidth_gbs: 100.0 };
+    let gpu = Roofline { peak_gflops: 10_000.0, mem_bandwidth_gbs: 900.0 };
+    // A bandwidth-bound kernel gains only the bandwidth ratio ...
+    let streaming = 0.5;
+    let s_gain = gpu.attainable_gflops(streaming) / cpu.attainable_gflops(streaming);
+    assert!((s_gain - 9.0).abs() < 1e-9);
+    // ... while a compute-bound kernel gains the FLOP ratio.
+    let dense = 64.0;
+    let d_gain = gpu.attainable_gflops(dense) / cpu.attainable_gflops(dense);
+    assert!((d_gain - 20.0).abs() < 1e-9);
+}
+
+#[test]
+fn distribution_means_match_theory() {
+    use mcs::simcore::dist::{Dist, Sample};
+    let cases = vec![
+        Dist::Uniform { lo: 1.0, hi: 5.0 },
+        Dist::Exponential { rate: 0.5 },
+        Dist::Normal { mean: 7.0, std_dev: 2.0 },
+        Dist::LogNormal { mu: 1.0, sigma: 0.5 },
+        Dist::Weibull { shape: 1.2, scale: 3.0 },
+        Dist::Pareto { x_min: 2.0, alpha: 4.0 },
+        Dist::Gamma { shape: 3.0, scale: 1.5 },
+        Dist::Zipf { n: 20, s: 1.1 },
+        Dist::HyperExponential { p: 0.4, rate1: 2.0, rate2: 0.2 },
+    ];
+    for dist in cases {
+        let theory = dist.mean().expect("finite mean");
+        let mut rng = RngStream::new(99, "dist-mean");
+        let n = 200_000;
+        let empirical: f64 =
+            (0..n).map(|_| dist.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!(
+            (empirical - theory).abs() / theory.abs().max(1e-9) < 0.05,
+            "{dist:?}: empirical {empirical} vs theory {theory}"
+        );
+    }
+}

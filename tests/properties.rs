@@ -1,0 +1,205 @@
+//! Property-based tests (proptest) on the core invariants of the workspace.
+
+use mcs::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    /// The scheduler conserves tasks: completed + rejected + unfinished
+    /// equals submitted, for arbitrary workloads.
+    #[test]
+    fn scheduler_conserves_tasks(
+        seed in 0u64..500,
+        n_jobs in 1usize..40,
+        cores in 1u32..4,
+    ) {
+        let cluster = Cluster::homogeneous(
+            ClusterId(0), "p", MachineSpec::commodity("m", 4.0, 16.0), cores,
+        );
+        let mut rng = RngStream::new(seed, "prop-sched");
+        let jobs: Vec<Job> = (0..n_jobs).map(|i| {
+            let id = JobId(i as u64);
+            let tasks = (0..1 + rng.uniform_usize(3)).map(|k| {
+                Task::independent(
+                    TaskId((i * 10 + k) as u64),
+                    id,
+                    rng.uniform_f64(1.0, 500.0),
+                    mcs::infra::resource::ResourceVector::new(
+                        1.0 + rng.uniform_usize(6) as f64, // may exceed capacity
+                        rng.uniform_f64(0.5, 8.0),
+                    ),
+                )
+            }).collect();
+            Job { id, user: UserId(0), kind: JobKind::BagOfTasks,
+                  submit: SimTime::from_secs(rng.uniform_usize(3_600) as u64), tasks }
+        }).collect();
+        let submitted: usize = jobs.iter().map(|j| j.tasks.len()).sum();
+        let mut sched = ClusterScheduler::new(cluster, SchedulerConfig::default(), seed);
+        let out = sched.run(jobs, SimTime::from_secs(30 * 86_400));
+        prop_assert_eq!(out.completions.len() + out.rejected + out.unfinished, submitted);
+        prop_assert_eq!(out.unfinished, 0);
+        // Start/finish sanity.
+        for c in &out.completions {
+            prop_assert!(c.start >= c.submit);
+            prop_assert!(c.finish > c.start);
+        }
+    }
+
+    /// Resource vectors: fits_in is consistent with checked_sub.
+    #[test]
+    fn resource_fits_iff_checked_sub(
+        a in prop::array::uniform4(0.0f64..64.0),
+        b in prop::array::uniform4(0.0f64..64.0),
+    ) {
+        use mcs::infra::resource::ResourceVector;
+        let want = ResourceVector::new(a[0], a[1]).with_storage_gb(a[2]).with_network_gbps(a[3]);
+        let have = ResourceVector::new(b[0], b[1]).with_storage_gb(b[2]).with_network_gbps(b[3]);
+        prop_assert_eq!(want.fits_in(&have), have.checked_sub(&want).is_some());
+    }
+
+    /// NFR serial composition is associative for every kind.
+    #[test]
+    fn nfr_serial_composition_associative(
+        x in 0.01f64..10.0,
+        y in 0.01f64..10.0,
+        z in 0.01f64..10.0,
+        av1 in 0.5f64..1.0,
+        av2 in 0.5f64..1.0,
+        av3 in 0.5f64..1.0,
+    ) {
+        let p = |lat: f64, avail: f64| NfrProfile::new()
+            .with(NfrKind::LatencyP95, lat)
+            .with(NfrKind::Availability, avail)
+            .with(NfrKind::Throughput, lat * 100.0);
+        let (a, b, c) = (p(x, av1), p(y, av2), p(z, av3));
+        let left = a.compose_serial(&b).compose_serial(&c);
+        let right = a.compose_serial(&b.compose_serial(&c));
+        for kind in NfrKind::ALL {
+            match (left.get(kind), right.get(kind)) {
+                (Some(l), Some(r)) => prop_assert!((l - r).abs() < 1e-9),
+                (None, None) => {}
+                other => prop_assert!(false, "asymmetric kinds {other:?}"),
+            }
+        }
+    }
+
+    /// Parallel composition never lowers availability.
+    #[test]
+    fn replication_never_hurts_availability(a in 0.0f64..1.0, b in 0.0f64..1.0) {
+        let pa = NfrProfile::new().with(NfrKind::Availability, a);
+        let pb = NfrProfile::new().with(NfrKind::Availability, b);
+        let c = pa.compose_parallel(&pb).get(NfrKind::Availability).unwrap();
+        prop_assert!(c >= a - 1e-12);
+        prop_assert!(c >= b - 1e-12);
+        prop_assert!(c <= 1.0 + 1e-12);
+    }
+
+    /// Elasticity metrics are bounded and perfect tracking scores 1.
+    #[test]
+    fn elasticity_metrics_bounded(demand in prop::collection::vec(0.0f64..100.0, 1..100)) {
+        let m = ElasticityMetrics::compute(&demand, &demand).unwrap();
+        prop_assert_eq!(m.timeshare_under, 0.0);
+        prop_assert_eq!(m.timeshare_over, 0.0);
+        prop_assert!((m.score() - 1.0).abs() < 1e-12);
+        // Against an arbitrary supply (shifted), everything stays bounded.
+        let supply: Vec<f64> = demand.iter().map(|d| (d - 5.0).max(0.0)).collect();
+        let m2 = ElasticityMetrics::compute(&demand, &supply).unwrap();
+        prop_assert!((0.0..=1.0).contains(&m2.timeshare_under));
+        prop_assert!((0.0..=1.0).contains(&m2.timeshare_over));
+        prop_assert!((0.0..=1.0).contains(&m2.instability));
+        prop_assert!(unserved_fraction(&demand, &supply) <= 1.0 + 1e-12);
+    }
+
+    /// Workflow validation accepts every generated DAG and its topological
+    /// order respects dependencies.
+    #[test]
+    fn generated_workflows_are_valid(seed in 0u64..200, width in 2usize..10) {
+        let mut shapes = WorkflowShapes::new();
+        let mut rng = RngStream::new(seed, "prop-wf");
+        let wf = shapes.montage_like(
+            JobId(0), UserId(0), SimTime::ZERO, width, 10.0,
+            mcs::infra::resource::ResourceVector::cores(1.0), &mut rng,
+        );
+        let pos: std::collections::HashMap<TaskId, usize> = wf
+            .topological_order().iter().enumerate()
+            .map(|(rank, &idx)| (wf.job().tasks[idx].id, rank))
+            .collect();
+        for t in &wf.job().tasks {
+            for d in &t.dependencies {
+                prop_assert!(pos[d] < pos[&t.id]);
+            }
+        }
+        prop_assert!(wf.critical_path_seconds() > 0.0);
+    }
+
+    /// Trace JSON-lines round-trips preserve record counts and fields.
+    #[test]
+    fn trace_roundtrip(seed in 0u64..200, n in 1usize..50) {
+        let mut generator = BatchWorkloadGenerator::new(BatchWorkloadConfig::default());
+        let mut rng = RngStream::new(seed, "prop-trace");
+        let trace = generator.generate_trace(SimTime::from_secs(100_000), n, &mut rng);
+        let bytes = trace.to_jsonl().unwrap();
+        let back = Trace::from_jsonl(&bytes).unwrap();
+        prop_assert_eq!(trace.len(), back.len());
+        for (a, b) in trace.records().iter().zip(back.records()) {
+            prop_assert_eq!(a.job_id, b.job_id);
+            prop_assert_eq!(a.user, b.user);
+            prop_assert!((a.runtime_secs - b.runtime_secs).abs() < 1e-9);
+        }
+    }
+
+    /// Graph invariants: undirected() is symmetric; WCC labels are
+    /// component minima; BFS depths grow by at most 1 along edges.
+    #[test]
+    fn graph_invariants(seed in 0u64..100) {
+        let mut rng = RngStream::new(seed, "prop-graph");
+        let g = erdos_renyi(80, 160, &mut rng);
+        let u = g.undirected();
+        for v in u.vertices() {
+            for &t in u.neighbors(v) {
+                prop_assert!(u.neighbors(t).binary_search(&v).is_ok());
+            }
+        }
+        let labels = wcc(&g, &BspEngine::serial());
+        for v in g.vertices() {
+            prop_assert!(labels[v as usize] <= v);
+        }
+        let depth = bfs(&g, 0, &BspEngine::serial());
+        for v in g.vertices() {
+            if depth[v as usize] >= 0 {
+                for &t in g.neighbors(v) {
+                    prop_assert!(depth[t as usize] >= 0);
+                    prop_assert!(depth[t as usize] <= depth[v as usize] + 1);
+                }
+            }
+        }
+    }
+
+    /// Outage analysis: availability is in [0, 1] and decreases with more
+    /// outages.
+    #[test]
+    fn availability_bounded(seed in 0u64..100, machines in 1usize..50) {
+        let horizon = SimTime::from_secs(30 * 86_400);
+        let model = IndependentFailures::with_mtbf(200.0 * 3600.0);
+        let mut rng = RngStream::new(seed, "prop-fail");
+        let outages = model.generate(machines, horizon, &mut rng);
+        let report = analyze(&outages, machines, horizon);
+        prop_assert!((0.0..=1.0).contains(&report.availability));
+        prop_assert!(report.peak_concurrent_failures <= machines);
+        prop_assert!(report.mean_concurrent_failures <= machines as f64);
+    }
+
+    /// M/M/c predictions are internally consistent (Little's Law) and
+    /// monotone in the number of servers.
+    #[test]
+    fn mmc_consistency(lambda in 0.1f64..20.0, mu in 0.5f64..5.0) {
+        let c_min = (lambda / mu).ceil() as u32 + 1;
+        if let Some(p) = mmc(lambda, mu, c_min) {
+            prop_assert!((littles_law(lambda, p.mean_response_secs) - p.mean_in_system).abs() < 1e-9);
+            prop_assert!((0.0..1.0).contains(&p.utilization));
+            prop_assert!((0.0..=1.0).contains(&p.wait_probability));
+            if let Some(p2) = mmc(lambda, mu, c_min + 4) {
+                prop_assert!(p2.mean_wait_secs <= p.mean_wait_secs + 1e-12);
+            }
+        }
+    }
+}
