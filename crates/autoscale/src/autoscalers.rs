@@ -7,10 +7,9 @@
 //! instance count. General-purpose autoscalers: React, Adapt, Hist, Reg,
 //! ConPaaS-style EWMA prediction; plus the static baseline.
 
-use serde::{Deserialize, Serialize};
 
 /// What an autoscaler observes at a scaling decision.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AutoscaleObservation {
     /// Demand (instances needed) per past interval, oldest first; the last
     /// element is the most recent completed interval.

@@ -6,10 +6,9 @@
 //! supply series `s(t)` (instances provisioned), these metrics quantify how
 //! well the supply tracked the demand.
 
-use serde::{Deserialize, Serialize};
 
 /// The SPEC-style elasticity report for one (demand, supply) pair.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ElasticityMetrics {
     /// Mean under-provisioned instances while under-provisioned
     /// (accuracy_U, in instances; 0 is perfect).

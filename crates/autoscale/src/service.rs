@@ -10,10 +10,9 @@
 use crate::autoscalers::{AutoscaleObservation, Autoscaler};
 use crate::elasticity::{unserved_fraction, ElasticityMetrics};
 use mcs_simcore::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Parameters of the elastic service.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServiceConfig {
     /// Requests per second one instance can serve at its SLO.
     pub per_instance_rps: f64,
@@ -44,7 +43,7 @@ impl Default for ServiceConfig {
 }
 
 /// The measured outcome of one autoscaled run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServiceOutcome {
     /// Instances needed per interval.
     pub demand: Vec<f64>,

@@ -2,9 +2,8 @@
 //! portfolio vs fixed policy, locality-aware vs blind map scheduling,
 //! keep-alive horizon, and correlated vs independent failure analysis.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use mcs::prelude::*;
-use std::hint::black_box;
+use mcs_bench::harness::{black_box, Harness};
 
 fn scheduler_jobs() -> Vec<Job> {
     let mut generator = BatchWorkloadGenerator::new(BatchWorkloadConfig {
@@ -19,130 +18,91 @@ fn cluster() -> Cluster {
     Cluster::homogeneous(ClusterId(0), "abl", MachineSpec::commodity("std-8", 8.0, 32.0), 16)
 }
 
-/// Ablation 1: the runtime cost of portfolio scheduling vs a fixed policy.
-fn bench_ablation_portfolio(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::new("ablations");
+
+    // Ablation 1: the runtime cost of portfolio scheduling vs a fixed policy.
     let jobs = scheduler_jobs();
     let horizon = SimTime::from_secs(30 * 86_400);
-    let mut group = c.benchmark_group("ablation_portfolio");
-    group.bench_function("fixed_policy", |b| {
-        b.iter_batched(
-            || ClusterScheduler::new(cluster(), SchedulerConfig::default(), 1),
-            |mut sched| black_box(sched.run(jobs.clone(), horizon)),
-            BatchSize::SmallInput,
-        )
+    h.bench("portfolio/fixed_policy", |b| {
+        b.iter(|| {
+            let mut sched = ClusterScheduler::new(cluster(), SchedulerConfig::default(), 1);
+            black_box(sched.run(jobs.clone(), horizon))
+        })
     });
-    group.bench_function("portfolio_30min_ticks", |b| {
-        b.iter_batched(
-            || {
-                (
-                    ClusterScheduler::new(cluster(), SchedulerConfig::default(), 1),
-                    PortfolioSelector::new(default_portfolio(), Objective::MeanResponse, 1),
-                )
-            },
-            |(mut sched, mut selector)| {
-                black_box(sched.run_adaptive(
-                    jobs.clone(),
-                    horizon,
-                    &mut selector,
-                    SimDuration::from_mins(30),
-                ))
-            },
-            BatchSize::SmallInput,
-        )
+    h.bench("portfolio/portfolio_30min_ticks", |b| {
+        b.iter(|| {
+            let mut sched = ClusterScheduler::new(cluster(), SchedulerConfig::default(), 1);
+            let mut selector =
+                PortfolioSelector::new(default_portfolio(), Objective::MeanResponse, 1);
+            black_box(sched.run_adaptive(
+                jobs.clone(),
+                horizon,
+                &mut selector,
+                SimDuration::from_mins(30),
+            ))
+        })
     });
-    group.finish();
-}
 
-/// Ablation 2: locality-aware vs blind map-phase scheduling.
-fn bench_ablation_locality(c: &mut Criterion) {
+    // Ablation 2: locality-aware vs blind map-phase scheduling.
     let mut store = BlockStore::new(16, 4, 3, 2);
     let file = store.put("input", 128 * 128, 128).clone();
-    let mut group = c.benchmark_group("ablation_locality");
-    for (name, aware) in [("locality_aware", true), ("locality_blind", false)] {
-        group.bench_function(name, |b| {
-            let config = MapPhaseConfig { locality_aware: aware, ..Default::default() };
-            b.iter_batched(
-                || RngStream::new(2, "ablation-locality"),
-                |mut rng| black_box(schedule_map_phase(&store, &file, config, &mut rng)),
-                BatchSize::SmallInput,
-            )
+    for (name, aware) in [("locality/locality_aware", true), ("locality/locality_blind", false)] {
+        let config = MapPhaseConfig { locality_aware: aware, ..Default::default() };
+        h.bench(name, |b| {
+            b.iter(|| {
+                let mut rng = RngStream::new(2, "ablation-locality");
+                black_box(schedule_map_phase(&store, &file, config, &mut rng))
+            })
         });
     }
-    group.finish();
-}
 
-/// Ablation 3: FaaS keep-alive horizon sweep.
-fn bench_ablation_keepalive(c: &mut Criterion) {
+    // Ablation 3: FaaS keep-alive horizon sweep.
     let invocations = poisson_invocations("api", 0.2, SimTime::from_secs(2 * 3600), 3);
-    let mut group = c.benchmark_group("ablation_keepalive");
     for window in [0u64, 60, 600, 3_600] {
-        group.bench_function(format!("keepalive_{window}s"), |b| {
-            b.iter_batched(
-                || {
-                    let policy = if window == 0 {
-                        KeepAlivePolicy::None
-                    } else {
-                        KeepAlivePolicy::Fixed(SimDuration::from_secs(window))
-                    };
-                    let mut p = FaasPlatform::new(policy, 3);
-                    p.deploy(FunctionSpec::api_handler("api"));
-                    p
-                },
-                |mut p| black_box(p.run(invocations.clone())),
-                BatchSize::SmallInput,
-            )
+        h.bench(&format!("keepalive/keepalive_{window}s"), |b| {
+            b.iter(|| {
+                let policy = if window == 0 {
+                    KeepAlivePolicy::None
+                } else {
+                    KeepAlivePolicy::Fixed(SimDuration::from_secs(window))
+                };
+                let mut p = FaasPlatform::new(policy, 3);
+                p.deploy(FunctionSpec::api_handler("api"));
+                black_box(p.run(invocations.clone()))
+            })
         });
     }
-    group.finish();
-}
 
-/// Ablation 4: failure-model families at identical MTBF — generation plus
-/// availability analysis.
-fn bench_ablation_failures(c: &mut Criterion) {
+    // Ablation 4: failure-model families at identical MTBF — generation plus
+    // availability analysis.
     let machines = 128usize;
-    let horizon = SimTime::from_secs(30 * 86_400);
+    let fail_horizon = SimTime::from_secs(30 * 86_400);
     let mtbf = 100.0 * 3600.0;
-    let mut group = c.benchmark_group("ablation_correlated_failures");
-    group.bench_function("independent", |b| {
-        let model = IndependentFailures::with_mtbf(mtbf);
-        b.iter_batched(
-            || RngStream::new(4, "abl-ind"),
-            |mut rng| {
-                let o = model.generate(machines, horizon, &mut rng);
-                black_box(analyze(&o, machines, horizon))
-            },
-            BatchSize::SmallInput,
-        )
+    let independent = IndependentFailures::with_mtbf(mtbf);
+    h.bench("failures/independent", |b| {
+        b.iter(|| {
+            let mut rng = RngStream::new(4, "abl-ind");
+            let o = independent.generate(machines, fail_horizon, &mut rng);
+            black_box(analyze(&o, machines, fail_horizon))
+        })
     });
-    group.bench_function("space_correlated", |b| {
-        let model = SpaceCorrelatedFailures::with_mtbf(mtbf, machines, 16);
-        b.iter_batched(
-            || RngStream::new(4, "abl-space"),
-            |mut rng| {
-                let o = model.generate(machines, horizon, &mut rng);
-                black_box(analyze(&o, machines, horizon))
-            },
-            BatchSize::SmallInput,
-        )
+    let space = SpaceCorrelatedFailures::with_mtbf(mtbf, machines, 16);
+    h.bench("failures/space_correlated", |b| {
+        b.iter(|| {
+            let mut rng = RngStream::new(4, "abl-space");
+            let o = space.generate(machines, fail_horizon, &mut rng);
+            black_box(analyze(&o, machines, fail_horizon))
+        })
     });
-    group.bench_function("time_correlated", |b| {
-        let model = TimeCorrelatedFailures::with_mtbf(mtbf, machines);
-        b.iter_batched(
-            || RngStream::new(4, "abl-time"),
-            |mut rng| {
-                let o = model.generate(machines, horizon, &mut rng);
-                black_box(analyze(&o, machines, horizon))
-            },
-            BatchSize::SmallInput,
-        )
+    let time = TimeCorrelatedFailures::with_mtbf(mtbf, machines);
+    h.bench("failures/time_correlated", |b| {
+        b.iter(|| {
+            let mut rng = RngStream::new(4, "abl-time");
+            let o = time.generate(machines, fail_horizon, &mut rng);
+            black_box(analyze(&o, machines, fail_horizon))
+        })
     });
-    group.finish();
-}
 
-criterion_group! {
-    name = ablations;
-    config = Criterion::default().sample_size(10);
-    targets = bench_ablation_portfolio, bench_ablation_locality,
-              bench_ablation_keepalive, bench_ablation_failures
+    h.finish();
 }
-criterion_main!(ablations);

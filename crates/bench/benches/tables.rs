@@ -1,23 +1,21 @@
-//! Criterion benches for the table experiments: one group per table.
+//! Benches for the table experiments: one group per table, on the in-house
+//! wall-clock harness.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use mcs::prelude::*;
-use std::hint::black_box;
+use mcs_bench::harness::{black_box, Harness};
 
-/// Table 1: the formal model vs one simulated M/M/c run.
-fn bench_table1(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1_methods");
-    group.bench_function("erlang_c_analysis", |b| {
+fn main() {
+    let mut h = Harness::new("tables");
+
+    // Table 1: the formal model vs one simulated M/M/c run.
+    h.bench("table1/erlang_c_analysis", |b| {
         b.iter(|| black_box(mmc(black_box(0.7), black_box(0.1), black_box(8))))
     });
-    group.bench_function("mm1_analysis", |b| {
+    h.bench("table1/mm1_analysis", |b| {
         b.iter(|| black_box(mm1(black_box(2.0), black_box(3.0))))
     });
-    group.finish();
-}
 
-/// Table 2: the NFR calculus (P3's composition algebra).
-fn bench_table2(c: &mut Criterion) {
+    // Table 2: the NFR calculus (P3's composition algebra).
     let profile = NfrProfile::new()
         .with(NfrKind::LatencyP95, 0.01)
         .with(NfrKind::Throughput, 1_000.0)
@@ -27,8 +25,7 @@ fn bench_table2(c: &mut Criterion) {
         NfrTarget::new(NfrKind::LatencyP95, 0.1),
         NfrTarget::new(NfrKind::Availability, 0.99),
     ];
-    let mut group = c.benchmark_group("table2_principles");
-    group.bench_function("compose_serial_chain_of_10", |b| {
+    h.bench("table2/compose_serial_chain_of_10", |b| {
         b.iter(|| {
             let mut acc = profile.clone();
             for _ in 0..9 {
@@ -37,116 +34,85 @@ fn bench_table2(c: &mut Criterion) {
             black_box(acc)
         })
     });
-    group.bench_function("score_against_targets", |b| {
-        b.iter(|| black_box(profile.score(&targets)))
-    });
-    group.finish();
-}
+    h.bench("table2/score_against_targets", |b| b.iter(|| black_box(profile.score(&targets))));
 
-/// Table 3: the MAPE-K loop and emergence detection kernels.
-fn bench_table3(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table3_challenges");
-    group.bench_function("mape_1000_observations", |b| {
-        b.iter_batched(
-            || MapeLoop::new(0.3, 0.8),
-            |mut l| {
-                for i in 0..1_000 {
-                    black_box(l.observe(0.5 + 0.3 * ((i % 13) as f64 / 13.0)));
-                }
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    group.bench_function("navigation_4x4_catalog", |b| {
-        let mut catalog = Catalog::new();
-        for i in 0..4 {
-            for cap in ["cache", "db", "queue", "gateway"] {
-                catalog = catalog.with(
-                    &format!("{cap}-{i}"),
-                    cap,
-                    NfrProfile::new()
-                        .with(NfrKind::LatencyP95, 0.001 * (i + 1) as f64)
-                        .with(NfrKind::CostPerHour, 4.0 / (i + 1) as f64),
-                );
+    // Table 3: the MAPE-K loop and emergence detection kernels.
+    h.bench("table3/mape_1000_observations", |b| {
+        b.iter(|| {
+            let mut l = MapeLoop::new(0.3, 0.8);
+            for i in 0..1_000 {
+                black_box(l.observe(0.5 + 0.3 * ((i % 13) as f64 / 13.0)));
             }
+        })
+    });
+    let mut catalog = Catalog::new();
+    for i in 0..4 {
+        for cap in ["cache", "db", "queue", "gateway"] {
+            catalog = catalog.with(
+                &format!("{cap}-{i}"),
+                cap,
+                NfrProfile::new()
+                    .with(NfrKind::LatencyP95, 0.001 * (i + 1) as f64)
+                    .with(NfrKind::CostPerHour, 4.0 / (i + 1) as f64),
+            );
         }
-        let targets = [NfrTarget::new(NfrKind::LatencyP95, 0.05)];
+    }
+    let nav_targets = [NfrTarget::new(NfrKind::LatencyP95, 0.05)];
+    h.bench("table3/navigation_4x4_catalog", |b| {
         b.iter(|| {
             black_box(navigate_best_effort(
                 &catalog,
                 &["cache", "db", "queue", "gateway"],
-                &targets,
+                &nav_targets,
             ))
         })
     });
-    group.finish();
-}
 
-/// Table 4: per-use-case kernels (graph suite is the heaviest).
-fn bench_table4(c: &mut Criterion) {
+    // Table 4: per-use-case kernels (graph suite is the heaviest).
     let mut rng = RngStream::new(4, "bench-t4");
     let graph = rmat(11, 8, (0.57, 0.19, 0.19), &mut rng);
-    let mut group = c.benchmark_group("table4_use_cases");
-    group.bench_function("graphalytics_bfs", |b| {
+    h.bench("table4/graphalytics_bfs", |b| {
         b.iter(|| black_box(bfs(&graph, 0, &BspEngine::parallel(4))))
     });
-    group.bench_function("transaction_generation_10k", |b| {
-        b.iter_batched(
-            || {
-                (
-                    TransactionWorkloadGenerator::new(50.0, 2.0),
-                    RngStream::new(4, "bench-txn"),
-                )
-            },
-            |(mut generator, mut rng)| {
-                black_box(generator.generate(SimTime::from_secs(200), 10_000, &mut rng))
-            },
-            BatchSize::SmallInput,
-        )
+    h.bench("table4/transaction_generation_10k", |b| {
+        b.iter(|| {
+            let mut generator = TransactionWorkloadGenerator::new(50.0, 2.0);
+            let mut rng = RngStream::new(4, "bench-txn");
+            black_box(generator.generate(SimTime::from_secs(200), 10_000, &mut rng))
+        })
     });
-    group.finish();
-}
 
-/// Table 5: the paradigm pipeline — provisioning plan plus one run.
-fn bench_table5(c: &mut Criterion) {
+    // Table 5: the paradigm pipeline — provisioning plan plus one run.
     let mut generator = BatchWorkloadGenerator::new(BatchWorkloadConfig {
         arrival_rate: 0.05,
         ..Default::default()
     });
     let mut rng = RngStream::new(5, "bench-t5");
     let jobs = generator.generate(SimTime::from_secs(4 * 3600), 400, &mut rng);
-    c.benchmark_group("table5_paradigms").bench_function("plan_and_schedule", |b| {
-        b.iter_batched(
-            || jobs.clone(),
-            |jobs| {
-                let mut policy = BacklogDriven { drain_target_secs: 1_800.0 };
-                let plan = plan_provisioning(
-                    &jobs,
-                    8.0,
-                    2,
-                    32,
-                    SimDuration::from_mins(15),
-                    SimTime::from_secs(4 * 3600),
-                    &mut policy,
-                );
-                let cluster = Cluster::homogeneous(
-                    ClusterId(0),
-                    "b",
-                    MachineSpec::commodity("std-8", 8.0, 32.0),
-                    32,
-                );
-                let mut sched = ClusterScheduler::new(cluster, SchedulerConfig::default(), 5)
-                    .with_outages(plan.outages.clone());
-                black_box(sched.run(jobs, SimTime::from_secs(30 * 86_400)))
-            },
-            BatchSize::SmallInput,
-        )
+    h.bench("table5/plan_and_schedule", |b| {
+        b.iter(|| {
+            let jobs = jobs.clone();
+            let mut policy = BacklogDriven { drain_target_secs: 1_800.0 };
+            let plan = plan_provisioning(
+                &jobs,
+                8.0,
+                2,
+                32,
+                SimDuration::from_mins(15),
+                SimTime::from_secs(4 * 3600),
+                &mut policy,
+            );
+            let cluster = Cluster::homogeneous(
+                ClusterId(0),
+                "b",
+                MachineSpec::commodity("std-8", 8.0, 32.0),
+                32,
+            );
+            let mut sched = ClusterScheduler::new(cluster, SchedulerConfig::default(), 5)
+                .with_outages(plan.outages.clone());
+            black_box(sched.run(jobs, SimTime::from_secs(30 * 86_400)))
+        })
     });
-}
 
-criterion_group! {
-    name = tables;
-    config = Criterion::default().sample_size(10);
-    targets = bench_table1, bench_table2, bench_table3, bench_table4, bench_table5
+    h.finish();
 }
-criterion_main!(tables);

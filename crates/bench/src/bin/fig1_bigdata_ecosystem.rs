@@ -1,98 +1,3 @@
-//! Figure 1 — the big-data ecosystem: four layers, and the MapReduce vs
-//! Pregel sub-ecosystem crossover.
-//!
-//! The paper's Figure 1 is a reference architecture; the quantitative claim
-//! behind it is that applications "use components across the full stack of
-//! layers" and that the right sub-ecosystem depends on the workload. This
-//! experiment (i) breaks one analytics job into per-layer time, and (ii)
-//! sweeps PageRank iteration counts to find where Pregel overtakes
-//! iterated MapReduce.
-
-use mcs::prelude::*;
-use mcs_bench::{f, print_table};
-
 fn main() {
-    println!("# Figure 1 — big-data ecosystem stack\n");
-    let mut rng = RngStream::new(1, "fig1");
-    let graph = rmat(13, 12, (0.57, 0.19, 0.19), &mut rng);
-    let mut store = BlockStore::new(8, 4, 3, 1);
-    let file = store.put("edges", graph.edge_count() * 8, 64 << 20).clone();
-    println!(
-        "dataset: R-MAT scale 13, {} vertices, {} edges\n",
-        graph.vertex_count(),
-        graph.edge_count()
-    );
-
-    // (i) Layer breakdown: a dataflow program through HLL -> MR -> storage.
-    println!("## per-layer breakdown of one HLL analytics plan");
-    let records: Vec<Record> = (0..200_000)
-        .map(|i| Record::new(&format!("k{}", i % 512), (i % 1000) as f64))
-        .collect();
-    let plan = Plan::new()
-        .then(Op::FilterMin { min: 100.0 })
-        .then(Op::Scale { factor: 0.001 })
-        .then(Op::GroupSum);
-    println!("{}", plan.explain());
-    let engine = MapReduceEngine { threads: 4, combine: true };
-    let (out, stages) = execute(&plan, records, &engine);
-    let rows: Vec<Vec<String>> = stages
-        .iter()
-        .map(|s| {
-            vec![
-                s.op.clone(),
-                if s.shuffled { "map+shuffle+reduce" } else { "map-only" }.into(),
-                s.input_records.to_string(),
-                s.output_records.to_string(),
-                f(s.secs * 1e3, 2),
-            ]
-        })
-        .collect();
-    print_table(&["stage", "lowering", "in", "out", "ms"], &rows);
-    println!("final groups: {}\n", out.len());
-
-    // (ii) The sub-ecosystem crossover: PageRank iterations.
-    println!("## MapReduce vs Pregel sub-ecosystems (PageRank, total stack seconds)");
-    let mut rows = Vec::new();
-    for iters in [1usize, 2, 5, 10, 20] {
-        let (_, t_mr) = pagerank_mapreduce(
-            &store,
-            &file,
-            &graph,
-            iters,
-            &MapReduceEngine { threads: 4, combine: false },
-        );
-        let (_, t_pregel) =
-            pagerank_pregel(&store, &file, &graph, iters, &BspEngine::parallel(4));
-        let winner = if t_mr.total_secs() < t_pregel.total_secs() { "mapreduce" } else { "pregel" };
-        rows.push(vec![
-            iters.to_string(),
-            f(t_mr.storage_secs, 2),
-            f(t_mr.compute_secs, 2),
-            f(t_mr.total_secs(), 2),
-            f(t_pregel.storage_secs, 2),
-            f(t_pregel.compute_secs, 2),
-            f(t_pregel.total_secs(), 2),
-            winner.into(),
-        ]);
-    }
-    print_table(
-        &["iters", "mr-io", "mr-cpu", "mr-total", "pregel-io", "pregel-cpu", "pregel-total", "winner"],
-        &rows,
-    );
-
-    // One-shot aggregation stays MapReduce territory.
-    let (_, hist) = degree_histogram_mapreduce(
-        &store,
-        &file,
-        &graph,
-        &MapReduceEngine { threads: 4, combine: true },
-    );
-    println!(
-        "\none-shot degree histogram on MapReduce: {:.2}s total ({} round)",
-        hist.total_secs(),
-        hist.rounds
-    );
-    println!(
-        "shape check: Pregel pays storage once; MapReduce pays it per iteration, so the\ncrossover arrives within a few iterations — the Figure 1 sub-ecosystem story."
-    );
+    mcs_bench::run_cli(&mcs_bench::experiments::Fig1BigdataEcosystem);
 }

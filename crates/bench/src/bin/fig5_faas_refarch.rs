@@ -1,88 +1,3 @@
-//! Figure 5 — the FaaS reference architecture, measured: keep-alive
-//! economics in the Function Management Layer and composition-depth
-//! overhead in the Function Composition Layer.
-
-use mcs::prelude::*;
-use mcs_bench::{f, print_table};
-
-fn deploy(platform: &mut FaasPlatform) {
-    platform.deploy(FunctionSpec::api_handler("api"));
-    platform.deploy(FunctionSpec::data_processor("proc"));
-}
-
 fn main() {
-    println!("# Figure 5 — FaaS reference architecture\n");
-
-    // Function Management Layer: keep-alive sweep (the paper's isolation vs
-    // performance trade-off made concrete as cold-starts vs provider cost).
-    println!("## Function Management Layer: keep-alive sweep (proc @ 0.05/s, 8 h)");
-    let mut rows = Vec::new();
-    for window_secs in [0u64, 30, 120, 600, 1800, 7200] {
-        let policy = if window_secs == 0 {
-            KeepAlivePolicy::None
-        } else {
-            KeepAlivePolicy::Fixed(SimDuration::from_secs(window_secs))
-        };
-        let mut platform = FaasPlatform::new(policy, 7);
-        deploy(&mut platform);
-        let invocations = poisson_invocations("proc", 0.05, SimTime::from_secs(8 * 3600), 7);
-        let report = platform.run(invocations);
-        rows.push(vec![
-            window_secs.to_string(),
-            f(report.cold_fraction, 3),
-            f(report.latency.as_ref().map(|l| l.p50).unwrap_or(0.0), 2),
-            f(report.latency.as_ref().map(|l| l.p95).unwrap_or(0.0), 2),
-            f(report.billed_gb_secs, 0),
-            f(report.provider_gb_secs, 0),
-            report.peak_instances.to_string(),
-        ]);
-    }
-    print_table(
-        &["keepalive-s", "cold-frac", "p50-s", "p95-s", "billed-GBs", "provider-GBs", "peak-inst"],
-        &rows,
-    );
-
-    // Burst behaviour: concurrency forces instance fan-out.
-    println!("\n## burst fan-out (N simultaneous invocations)");
-    let mut rows = Vec::new();
-    for burst in [1usize, 4, 16, 64] {
-        let mut platform =
-            FaasPlatform::new(KeepAlivePolicy::Fixed(SimDuration::from_mins(5)), 7);
-        deploy(&mut platform);
-        let invocations: Vec<Invocation> = (0..burst)
-            .map(|_| Invocation { function: "api".into(), at: SimTime::from_secs(1) })
-            .collect();
-        let report = platform.run(invocations);
-        rows.push(vec![
-            burst.to_string(),
-            report.peak_instances.to_string(),
-            f(report.cold_fraction, 2),
-        ]);
-    }
-    print_table(&["burst", "peak-instances", "cold-frac"], &rows);
-
-    // Function Composition Layer: overhead vs workflow depth.
-    println!("\n## Function Composition Layer: latency vs depth (warm)");
-    let mut rows = Vec::new();
-    for depth in [1usize, 2, 4, 8, 16] {
-        let mut platform =
-            FaasPlatform::new(KeepAlivePolicy::Fixed(SimDuration::from_mins(10)), 7);
-        deploy(&mut platform);
-        let names: Vec<&str> = std::iter::repeat_n("api", depth).collect();
-        let workflow = Composition { step_overhead_secs: 0.015, ..Composition::chain("wf", &names) };
-        // Warm it, then measure.
-        let _ = execute_composition(&mut platform, &workflow, SimTime::ZERO);
-        let warm = execute_composition(&mut platform, &workflow, SimTime::from_secs(60));
-        rows.push(vec![
-            depth.to_string(),
-            f(warm.latency_secs, 3),
-            f(warm.exec_secs, 3),
-            f(warm.overhead_secs, 3),
-            f(100.0 * warm.overhead_secs / warm.latency_secs.max(1e-12), 1),
-        ]);
-    }
-    print_table(&["depth", "latency-s", "exec-s", "overhead-s", "overhead-%"], &rows);
-    println!(
-        "\nshape check: longer keep-alive trades provider GB-s for cold-start fraction;\nbursts fan out instances 1:1; composition overhead grows linearly with depth."
-    );
+    mcs_bench::run_cli(&mcs_bench::experiments::Fig5FaasRefarch);
 }

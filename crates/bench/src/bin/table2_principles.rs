@@ -1,254 +1,3 @@
-//! Table 2 — the ten core principles of MCS, each systems principle backed
-//! by a measurement (P1–P5), and the peopleware/methodology principles
-//! (P6–P10) demonstrated by the platform's own properties.
-
-use mcs::prelude::*;
-use mcs_bench::{f, print_table};
-
 fn main() {
-    println!("# Table 2 — the ten principles, quantified\n");
-    let mut rows: Vec<Vec<String>> = Vec::new();
-
-    // P1: ecosystems beat isolated systems — federation with offloading vs
-    // isolated overloaded home cluster.
-    {
-        let cluster = || {
-            Cluster::homogeneous(ClusterId(0), "p1", MachineSpec::commodity("std-8", 8.0, 32.0), 4)
-        };
-        let jobs: Vec<Job> = (0..60)
-            .map(|i| Job {
-                id: JobId(i),
-                user: UserId(0),
-                kind: JobKind::BagOfTasks,
-                submit: SimTime::from_secs(i * 30),
-                tasks: vec![Task::independent(
-                    TaskId(i),
-                    JobId(i),
-                    2_000.0,
-                    mcs::infra::resource::ResourceVector::new(4.0, 8.0),
-                )],
-            })
-            .collect();
-        let mut topology = Topology::new(2);
-        topology.connect(
-            DatacenterId(0),
-            DatacenterId(1),
-            Link { latency: SimDuration::from_millis(20), bandwidth_gbps: 10.0 },
-        );
-        let horizon = SimTime::from_secs(90 * 86_400);
-        let isolated = Federation::new(
-            vec![cluster(), cluster()],
-            vec![DatacenterId(0), DatacenterId(1)],
-            topology.clone(),
-            SchedulerConfig::default(),
-            RoutingPolicy::HomeOnly,
-            1,
-        )
-        .run(jobs.clone(), horizon);
-        let ecosystem = Federation::new(
-            vec![cluster(), cluster()],
-            vec![DatacenterId(0), DatacenterId(1)],
-            topology,
-            SchedulerConfig::default(),
-            RoutingPolicy::LocalFirstOffload { threshold_secs: 300.0 },
-            1,
-        )
-        .run(jobs, horizon);
-        rows.push(vec![
-            "P1 age of ecosystems".into(),
-            "mean response, isolated vs federated (s)".into(),
-            f(isolated.mean_response_secs(), 0),
-            f(ecosystem.mean_response_secs(), 0),
-        ]);
-    }
-
-    // P2: software-defined control — an elastic lease plan reshapes the
-    // same hardware without touching it.
-    {
-        let jobs = mcs_bench::batch_day(2, 800);
-        let mut policy = BacklogDriven { drain_target_secs: 1_800.0 };
-        let plan = plan_provisioning(
-            &jobs,
-            8.0,
-            2,
-            32,
-            SimDuration::from_mins(15),
-            SimTime::from_secs(86_400),
-            &mut policy,
-        );
-        let static_hours = 32.0 * 24.0;
-        rows.push(vec![
-            "P2 software-defined".into(),
-            "machine-hours, static vs software-defined lease".into(),
-            f(static_hours, 0),
-            f(plan.machine_hours, 0),
-        ]);
-    }
-
-    // P3: NFRs compose — replication turns 2 nines into 4 without
-    // re-measuring.
-    {
-        let single = NfrProfile::new().with(NfrKind::Availability, 0.99);
-        let triple = single.compose_parallel(&single).compose_parallel(&single);
-        rows.push(vec![
-            "P3 first-class NFRs".into(),
-            "availability, single vs composed 3x replica".into(),
-            f(single.get(NfrKind::Availability).unwrap(), 6),
-            f(triple.get(NfrKind::Availability).unwrap(), 6),
-        ]);
-    }
-
-    // P4: RM&S + self-awareness — autoscaler vs static minimum on a
-    // diurnal service.
-    {
-        let rate = |t: SimTime| {
-            300.0 + 250.0 * (t.as_secs_f64() / 86_400.0 * std::f64::consts::TAU).sin()
-        };
-        let horizon = SimTime::from_secs(2 * 86_400);
-        let mut static_min = StaticAutoscaler(2);
-        let baseline = simulate_service(&rate, horizon, ServiceConfig::default(), &mut static_min);
-        let mut react = React::default();
-        let adaptive = simulate_service(&rate, horizon, ServiceConfig::default(), &mut react);
-        rows.push(vec![
-            "P4 RM&S + self-awareness".into(),
-            "unserved demand fraction, static vs autoscaled".into(),
-            f(baseline.unserved_fraction, 3),
-            f(adaptive.unserved_fraction, 3),
-        ]);
-    }
-
-    // P5: super-distribution — recursive providers strengthen the
-    // collective guarantee with every nesting level.
-    {
-        let leaf = |i: u32| {
-            SystemNode::new(
-                &format!("s{i}"),
-                &format!("org{i}"),
-                "serve",
-                NfrProfile::new().with(NfrKind::Availability, 0.95),
-            )
-        };
-        let mut eco = Ecosystem::new("l0").with_system(leaf(0));
-        let mut depth_rows = Vec::new();
-        for d in 1..=3 {
-            eco = Ecosystem::new(&format!("l{d}")).with_ecosystem(eco).with_system(leaf(d));
-            let a = eco.collective_profile("serve").unwrap().get(NfrKind::Availability).unwrap();
-            depth_rows.push((eco.depth(), a));
-        }
-        let first = depth_rows.first().unwrap();
-        let last = depth_rows.last().unwrap();
-        rows.push(vec![
-            "P5 super-distribution".into(),
-            format!("collective availability at depth {} vs {}", first.0, last.0),
-            f(first.1, 6),
-            f(last.1, 6),
-        ]);
-    }
-
-    // P6 teachability: navigation explains itself.
-    {
-        let catalog = Catalog::new()
-            .with("a", "store", NfrProfile::new().with(NfrKind::LatencyP95, 0.01))
-            .with("b", "store", NfrProfile::new().with(NfrKind::LatencyP95, 0.10));
-        let sel = navigate_best_effort(
-            &catalog,
-            &["store"],
-            &[NfrTarget::new(NfrKind::LatencyP95, 0.05)],
-        )
-        .unwrap();
-        rows.push(vec![
-            "P6 right to understand".into(),
-            "navigation produces a human-readable explanation".into(),
-            "n/a".into(),
-            format!("{} chars", sel.explanation.len()),
-        ]);
-    }
-
-    // P7 professional checks: admission control rejects infeasible work
-    // instead of silently wedging the ecosystem.
-    {
-        let cluster =
-            Cluster::homogeneous(ClusterId(0), "p7", MachineSpec::commodity("std-4", 4.0, 16.0), 2);
-        let job = Job {
-            id: JobId(0),
-            user: UserId(0),
-            kind: JobKind::BagOfTasks,
-            submit: SimTime::ZERO,
-            tasks: vec![Task::independent(
-                TaskId(0),
-                JobId(0),
-                10.0,
-                mcs::infra::resource::ResourceVector::new(64.0, 1.0),
-            )],
-        };
-        let out = ClusterScheduler::new(cluster, SchedulerConfig::default(), 1)
-            .run(vec![job], SimTime::from_secs(1_000));
-        rows.push(vec![
-            "P7 professional privilege".into(),
-            "infeasible requests rejected (not wedged)".into(),
-            "0".into(),
-            out.rejected.to_string(),
-        ]);
-    }
-
-    // P8 reproducibility: identical seeds, identical outcomes.
-    {
-        let run = || {
-            let mut generator = BatchWorkloadGenerator::new(BatchWorkloadConfig::default());
-            let mut rng = RngStream::new(99, "p8");
-            generator.generate(SimTime::from_secs(3_600), 50, &mut rng)
-        };
-        rows.push(vec![
-            "P8 science & culture".into(),
-            "bit-identical reruns at equal seed".into(),
-            "required".into(),
-            (run() == run()).to_string(),
-        ]);
-    }
-
-    // P9 evolution & emergence: the emergence detector fires on dispersion
-    // bursts and lock-in changes winners.
-    {
-        let mut detector = EmergenceDetector::new(32, 3.0);
-        for _ in 0..16 {
-            detector.observe_dispersion(1.0);
-        }
-        let fired = detector.observe_dispersion(25.0);
-        let techs = vec![
-            Technology { name: "better".into(), fitness: 1.2 },
-            Technology { name: "worse".into(), fitness: 1.0 },
-        ];
-        let upset =
-            upset_probability(&techs, Regime::NonDarwinian { lock_in: 2.0 }, 2_000, 30, 9);
-        rows.push(vec![
-            "P9 evolution & emergence".into(),
-            "emergence detected / lock-in upset prob".into(),
-            fired.to_string(),
-            f(upset, 2),
-        ]);
-    }
-
-    // P10 ethics: operations are transparent — the SLA report names every
-    // violated objective.
-    {
-        let sla = Sla {
-            name: "p10".into(),
-            slos: vec![Slo {
-                name: "availability".into(),
-                target: NfrTarget::new(NfrKind::Availability, 0.999),
-                penalty: 1.0,
-            }],
-            penalty_cap: 1.0,
-        };
-        let report = sla.evaluate(&NfrProfile::new().with(NfrKind::Availability, 0.95));
-        rows.push(vec![
-            "P10 ethics & transparency".into(),
-            "violations reported by name with penalty".into(),
-            report.violations.to_string(),
-            f(report.penalty, 0),
-        ]);
-    }
-
-    print_table(&["principle", "demonstration", "baseline", "mcs"], &rows);
-    println!("\nshape check: every systems principle shows a measurable gap over its baseline;\nthe peopleware/methodology principles hold as platform properties.");
+    mcs_bench::run_cli(&mcs_bench::experiments::Table2Principles);
 }

@@ -1,0 +1,60 @@
+//! Every figure and table of the paper as an [`Experiment`]
+//! (`mcs::experiment::Experiment`): the binaries in `src/bin/` are thin
+//! wrappers over these types, and [`all`] is the registry that downstream
+//! tooling (tests, sweeps) iterates.
+
+use mcs::experiment::Experiment;
+
+mod fig1;
+mod fig2;
+mod fig3;
+mod fig4;
+mod fig5;
+mod table1;
+mod table2;
+mod table3;
+mod table4;
+mod table5;
+
+pub use fig1::Fig1BigdataEcosystem;
+pub use fig2::Fig2EvolutionTimeline;
+pub use fig3::Fig3DatacenterRefarch;
+pub use fig4::Fig4GamingEcosystem;
+pub use fig5::Fig5FaasRefarch;
+pub use table1::Table1Methods;
+pub use table2::Table2Principles;
+pub use table3::Table3Challenges;
+pub use table4::Table4UseCases;
+pub use table5::Table5Paradigms;
+
+/// The full registry: one entry per paper artifact, in paper order.
+pub fn all() -> Vec<Box<dyn Experiment>> {
+    vec![
+        Box::new(Fig1BigdataEcosystem),
+        Box::new(Fig2EvolutionTimeline),
+        Box::new(Fig3DatacenterRefarch),
+        Box::new(Fig4GamingEcosystem),
+        Box::new(Fig5FaasRefarch),
+        Box::new(Table1Methods),
+        Box::new(Table2Principles),
+        Box::new(Table3Challenges),
+        Box::new(Table4UseCases),
+        Box::new(Table5Paradigms),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_stable() {
+        let names: Vec<&str> = all().iter().map(|e| e.name()).collect();
+        let mut deduped = names.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(deduped.len(), names.len(), "duplicate experiment name");
+        assert!(names.contains(&"table5_paradigms"));
+        assert_eq!(names.len(), 10);
+    }
+}

@@ -1,0 +1,164 @@
+//! In-house wall-clock benchmark harness.
+//!
+//! Replaces the external criterion dependency with the smallest useful
+//! surface: each `benches/*.rs` file builds a [`Harness`], registers named
+//! benchmarks, and prints a timing table. Statistics are deliberately
+//! plain — warmup, then repeated timed samples, reporting min / median /
+//! mean — because the benches here guide relative comparisons (ablations,
+//! era-to-era deltas), not microarchitectural claims.
+//!
+//! Environment knobs:
+//! - `MCS_BENCH_SAMPLES` — sample count per benchmark (default 12)
+//! - `MCS_BENCH_WARMUP_MS` — minimum warmup time in ms (default 200)
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Timing statistics for one benchmark, in seconds.
+#[derive(Debug, Clone)]
+pub struct Stats {
+    pub name: String,
+    pub samples: usize,
+    pub min: f64,
+    pub median: f64,
+    pub mean: f64,
+    pub max: f64,
+}
+
+fn samples_per_bench() -> usize {
+    std::env::var("MCS_BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(12)
+}
+
+fn warmup_budget() -> Duration {
+    let ms = std::env::var("MCS_BENCH_WARMUP_MS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200u64);
+    Duration::from_millis(ms)
+}
+
+/// Passed to each benchmark closure; [`Bencher::iter`] times the hot path.
+pub struct Bencher {
+    samples: Vec<f64>,
+    target_samples: usize,
+    warmup: Duration,
+}
+
+impl Bencher {
+    /// Warms `f` up, then times `target_samples` calls of it. The return
+    /// value is routed through [`black_box`] so the work is not optimised
+    /// away.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        let warmup_start = Instant::now();
+        let mut warmed = 0u32;
+        while warmed < 1 || warmup_start.elapsed() < self.warmup {
+            black_box(f());
+            warmed += 1;
+            if warmed >= 1_000 {
+                break;
+            }
+        }
+        for _ in 0..self.target_samples {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+/// A named group of benchmarks printed as one table.
+pub struct Harness {
+    group: String,
+    results: Vec<Stats>,
+}
+
+impl Harness {
+    pub fn new(group: &str) -> Self {
+        Harness { group: group.to_owned(), results: Vec::new() }
+    }
+
+    /// Registers and immediately runs one benchmark.
+    pub fn bench<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            target_samples: samples_per_bench(),
+            warmup: warmup_budget(),
+        };
+        f(&mut bencher);
+        let mut xs = bencher.samples;
+        assert!(!xs.is_empty(), "benchmark {name:?} never called Bencher::iter");
+        xs.sort_by(|a, b| a.total_cmp(b));
+        let stats = Stats {
+            name: name.to_owned(),
+            samples: xs.len(),
+            min: xs[0],
+            median: xs[xs.len() / 2],
+            mean: xs.iter().sum::<f64>() / xs.len() as f64,
+            max: xs[xs.len() - 1],
+        };
+        eprintln!(
+            "  {:<44} min {:>10}  median {:>10}  mean {:>10}",
+            stats.name,
+            format_secs(stats.min),
+            format_secs(stats.median),
+            format_secs(stats.mean),
+        );
+        self.results.push(stats);
+        self
+    }
+
+    /// Prints the final table for the group and returns the stats.
+    pub fn finish(&self) -> &[Stats] {
+        eprintln!(
+            "{}: {} benchmark(s), {} sample(s) each",
+            self.group,
+            self.results.len(),
+            samples_per_bench(),
+        );
+        &self.results
+    }
+}
+
+/// Renders a duration in seconds with an adaptive unit.
+pub fn format_secs(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.1} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_collects_requested_samples() {
+        std::env::set_var("MCS_BENCH_SAMPLES", "3");
+        std::env::set_var("MCS_BENCH_WARMUP_MS", "0");
+        let mut h = Harness::new("test");
+        h.bench("square", |b| b.iter(|| black_box(7u64) * 7));
+        let stats = &h.finish()[0];
+        assert_eq!(stats.samples, 3);
+        assert!(stats.min <= stats.median && stats.median <= stats.max);
+        std::env::remove_var("MCS_BENCH_SAMPLES");
+        std::env::remove_var("MCS_BENCH_WARMUP_MS");
+    }
+
+    #[test]
+    fn format_secs_picks_unit() {
+        assert!(format_secs(5e-9).ends_with("ns"));
+        assert!(format_secs(5e-5).ends_with("µs"));
+        assert!(format_secs(5e-3).ends_with("ms"));
+        assert!(format_secs(2.0).ends_with(" s"));
+    }
+}

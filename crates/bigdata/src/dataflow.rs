@@ -5,10 +5,9 @@
 //! central observation about Figure 1).
 
 use crate::mapreduce::{JobMetrics, MapReduceEngine};
-use serde::{Deserialize, Serialize};
 
 /// A record of the analytics domain: a key and a numeric value.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Record {
     /// Grouping key.
     pub key: String,
@@ -24,7 +23,7 @@ impl Record {
 }
 
 /// One operator of the dataflow plan.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Op {
     /// Keep records with `value >= min`.
     FilterMin {
@@ -64,7 +63,7 @@ impl Op {
 }
 
 /// A dataflow plan: a linear chain of operators.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Plan {
     ops: Vec<Op>,
 }
@@ -102,7 +101,7 @@ impl Plan {
 }
 
 /// Timing of one executed stage.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StageReport {
     /// Operator name.
     pub op: String,

@@ -7,10 +7,9 @@
 
 use crate::storage::{BlockStore, NodeId, StoredFile};
 use mcs_simcore::rng::RngStream;
-use serde::{Deserialize, Serialize};
 
 /// Where a map task read its input from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LocalityClass {
     /// Input block on the executing node.
     NodeLocal,
@@ -21,7 +20,7 @@ pub enum LocalityClass {
 }
 
 /// The outcome of scheduling one map phase.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MapPhaseOutcome {
     /// Makespan of the map phase, seconds.
     pub makespan_secs: f64,
@@ -32,7 +31,7 @@ pub struct MapPhaseOutcome {
 }
 
 /// Map-phase scheduling parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MapPhaseConfig {
     /// Map slots per node.
     pub slots_per_node: usize,

@@ -1,7 +1,7 @@
 //! The MapReduce execution engine of the Figure 1 stack.
 //!
 //! A real, multi-threaded, deterministic MapReduce over in-memory records:
-//! the map phase fans input chunks across crossbeam scoped threads, the
+//! the map phase fans input chunks across std scoped threads, the
 //! shuffle groups by key into ordered runs, and the reduce phase processes
 //! key ranges in parallel. Output order is always sorted by key, so results
 //! are bit-identical regardless of thread count.
@@ -81,12 +81,12 @@ impl MapReduceEngine {
         let mut per_thread: Vec<Vec<(K, V)>> = if inputs.is_empty() {
             Vec::new()
         } else {
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 let map_fn = &map_fn;
                 let handles: Vec<_> = inputs
                     .chunks(chunk)
                     .map(|part| {
-                        scope.spawn(move |_| {
+                        scope.spawn(move || {
                             let mut out = Vec::new();
                             for record in part {
                                 map_fn(record, &mut out);
@@ -97,7 +97,6 @@ impl MapReduceEngine {
                     .collect();
                 handles.into_iter().map(|h| h.join().expect("mapper panicked")).collect()
             })
-            .expect("map scope failed")
         };
         metrics.map_secs = t0.elapsed().as_secs_f64();
 
@@ -119,12 +118,12 @@ impl MapReduceEngine {
         let results: Vec<(K, R)> = if entries.is_empty() {
             Vec::new()
         } else {
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 let reduce_fn = &reduce_fn;
                 let handles: Vec<_> = entries
                     .chunks(rchunk)
                     .map(|part| {
-                        scope.spawn(move |_| {
+                        scope.spawn(move || {
                             part.iter()
                                 .map(|(k, vs)| (k.clone(), reduce_fn(k, vs)))
                                 .collect::<Vec<_>>()
@@ -136,7 +135,6 @@ impl MapReduceEngine {
                     .flat_map(|h| h.join().expect("reducer panicked"))
                     .collect()
             })
-            .expect("reduce scope failed")
         };
         metrics.reduce_secs = t2.elapsed().as_secs_f64();
         (results, metrics)
@@ -160,12 +158,12 @@ impl MapReduceEngine {
         let out: Vec<O> = if inputs.is_empty() {
             Vec::new()
         } else {
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 let f = &f;
                 let handles: Vec<_> = inputs
                     .chunks(chunk)
                     .map(|part| {
-                        scope.spawn(move |_| {
+                        scope.spawn(move || {
                             let mut out = Vec::new();
                             for record in part {
                                 f(record, &mut out);
@@ -179,7 +177,6 @@ impl MapReduceEngine {
                     .flat_map(|h| h.join().expect("mapper panicked"))
                     .collect()
             })
-            .expect("map-only scope failed")
         };
         let metrics = JobMetrics { map_secs: t0.elapsed().as_secs_f64(), ..Default::default() };
         (out, metrics)

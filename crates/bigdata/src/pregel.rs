@@ -11,11 +11,10 @@ use crate::storage::{BlockStore, StoredFile};
 use mcs_graph::algorithms::pagerank::DAMPING;
 use mcs_graph::bsp::BspEngine;
 use mcs_graph::graph::Graph;
-use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// Per-layer timing of one analytics run over the stack.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StackTiming {
     /// Simulated storage-read seconds (blocks / aggregate scan bandwidth).
     pub storage_secs: f64,

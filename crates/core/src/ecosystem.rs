@@ -10,14 +10,13 @@
 //! collaboration of a significant fraction of the ecosystem constituents").
 
 use crate::nfr::NfrProfile;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// A capability name (e.g. `"object-storage"`, `"pagerank"`).
 pub type Capability = String;
 
 /// A leaf system: one autonomously operated component.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SystemNode {
     /// System name.
     pub name: String,
@@ -48,7 +47,7 @@ impl SystemNode {
 }
 
 /// A constituent: a leaf system or a nested ecosystem.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Constituent {
     /// A leaf system.
     System(SystemNode),
@@ -57,7 +56,7 @@ pub enum Constituent {
 }
 
 /// A collective function: only available when enough providers collaborate.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CollectiveFunction {
     /// The function's name.
     pub name: String,
@@ -68,7 +67,7 @@ pub struct CollectiveFunction {
 }
 
 /// A computer ecosystem (the paper's §2.1 definition).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Ecosystem {
     /// Ecosystem name.
     pub name: String,

@@ -11,10 +11,9 @@
 //! adoption-timeline series and measure lock-in sensitivity.
 
 use mcs_simcore::rng::RngStream;
-use serde::{Deserialize, Serialize};
 
 /// A competing technology in one generation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Technology {
     /// Technology name.
     pub name: String,
@@ -23,7 +22,7 @@ pub struct Technology {
 }
 
 /// The adoption regime.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Regime {
     /// Darwinian: adopters pick proportionally to intrinsic fitness only.
     Darwinian,
@@ -36,7 +35,7 @@ pub enum Regime {
 }
 
 /// The result of one adoption race.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AdoptionOutcome {
     /// Adoption share per technology per step: `series[tech][step]`.
     pub series: Vec<Vec<f64>>,
@@ -132,7 +131,7 @@ pub fn upset_probability(
 }
 
 /// The evolution mechanisms of §3.2, applied to a component inventory.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Mechanism {
     /// Combine two components into a larger assembly.
     Combine {

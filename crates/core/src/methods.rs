@@ -8,10 +8,9 @@
 //! simulator: measurement, simulation, and analysis agreeing on the same
 //! system is the paper's methodological triangle made executable.
 
-use serde::{Deserialize, Serialize};
 
 /// The analytical prediction for a queueing station.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QueueingPrediction {
     /// Offered load ρ = λ/(cμ), in `[0, 1)` for stability.
     pub utilization: f64,
@@ -85,7 +84,7 @@ pub fn littles_law(throughput: f64, mean_response_secs: f64) -> f64 {
 /// The Roofline model (Williams et al. \[67\], cited in §3.5 as an effective
 /// performance-prediction framework "using only modest numbers of
 /// parameters").
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Roofline {
     /// Peak compute throughput, GFLOP/s.
     pub peak_gflops: f64,

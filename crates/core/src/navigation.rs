@@ -9,10 +9,9 @@
 //! choices).
 
 use crate::nfr::{NfrProfile, NfrTarget};
-use serde::{Deserialize, Serialize};
 
 /// A catalog entry: one selectable component.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CatalogEntry {
     /// Component name.
     pub name: String,
@@ -23,7 +22,7 @@ pub struct CatalogEntry {
 }
 
 /// The component catalog.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Catalog {
     entries: Vec<CatalogEntry>,
 }
@@ -61,7 +60,7 @@ impl Catalog {
 }
 
 /// Why navigation failed.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NavigationError {
     /// No catalog entry provides a required capability.
     NoProvider {
@@ -88,7 +87,7 @@ impl std::fmt::Display for NavigationError {
 impl std::error::Error for NavigationError {}
 
 /// A selected pipeline with its predicted profile and explanation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Selection {
     /// Chosen component names, one per requested capability, in order.
     pub components: Vec<String>,

@@ -7,12 +7,11 @@
 //! measured profiles, a composition algebra over serial and parallel
 //! assembly, and time-varying targets (C3's temporal fine-grained NFRs).
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// The NFR vocabulary (the paper's P3 list, plus cost).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum NfrKind {
     /// 95th-percentile response latency, seconds (lower is better).
     LatencyP95,
@@ -69,7 +68,7 @@ impl fmt::Display for NfrKind {
 }
 
 /// One requirement: a bound on a kind, with a weight for trade-offs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NfrTarget {
     /// Which property.
     pub kind: NfrKind,
@@ -108,7 +107,7 @@ impl NfrTarget {
 }
 
 /// A measured (or advertised) non-functional profile of a component.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct NfrProfile {
     values: BTreeMap<NfrKind, f64>,
 }
@@ -215,7 +214,7 @@ fn combine(kind: NfrKind, a: f64, b: f64, assembly: Assembly) -> f64 {
 
 /// A time-varying requirement set: C3's *temporal fine-grained NFRs* —
 /// "expressing NFRs that change over time possibly dynamically".
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct NfrSchedule {
     /// `(from_second, targets)` entries, sorted by activation time.
     phases: Vec<(f64, Vec<NfrTarget>)>,

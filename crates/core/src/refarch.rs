@@ -6,11 +6,10 @@
 //! checking — the "highlighted components cover the minimum set of layers
 //! necessary for execution" analysis of Figure 1.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// One layer of a reference architecture.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Layer {
     /// Layer name.
     pub name: String,
@@ -21,7 +20,7 @@ pub struct Layer {
 }
 
 /// A reference architecture: ordered layers, top (user-facing) first.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ReferenceArchitecture {
     /// Architecture name.
     pub name: String,

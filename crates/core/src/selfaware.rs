@@ -7,11 +7,10 @@
 //! anomaly detector, and a dispersion-based emergence detector (P9:
 //! "constantly monitoring for evolutionary and emergent behavior").
 
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// What the analyzer concluded about the latest observation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Analysis {
     /// Within expectations.
     Nominal,
@@ -24,7 +23,7 @@ pub enum Analysis {
 }
 
 /// A planned adaptation action.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Action {
     /// Do nothing.
     Hold,
@@ -38,7 +37,7 @@ pub enum Action {
 }
 
 /// The knowledge base of the loop: bounded observation history.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Knowledge {
     window: VecDeque<f64>,
     capacity: usize,
@@ -89,7 +88,7 @@ impl Knowledge {
 }
 
 /// A MAPE-K loop controlling a scalar metric toward a target band.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MapeLoop {
     /// Lower edge of the acceptable band.
     pub low: f64,
@@ -171,7 +170,7 @@ impl MapeLoop {
 /// metric grows far beyond its historical level — the statistical signature
 /// of emergent, correlated behaviour (flash crowds, cascades, thundering
 /// herds) as opposed to independent noise.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EmergenceDetector {
     baseline: Knowledge,
     /// Dispersion growth factor that triggers detection.

@@ -7,10 +7,9 @@
 //! case (§6.4, PSD2 deadlines) exercises.
 
 use crate::nfr::{NfrProfile, NfrTarget};
-use serde::{Deserialize, Serialize};
 
 /// One objective inside an agreement.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Slo {
     /// Human-readable name ("p95 latency under 100 ms").
     pub name: String,
@@ -21,7 +20,7 @@ pub struct Slo {
 }
 
 /// A service-level agreement: objectives plus a service credit cap.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Sla {
     /// Agreement name.
     pub name: String,
@@ -32,7 +31,7 @@ pub struct Sla {
 }
 
 /// One objective's evaluation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SloOutcome {
     /// The objective's name.
     pub name: String,
@@ -45,7 +44,7 @@ pub struct SloOutcome {
 }
 
 /// The agreement-level evaluation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SlaReport {
     /// Per-objective outcomes.
     pub outcomes: Vec<SloOutcome>,
@@ -56,6 +55,9 @@ pub struct SlaReport {
     /// True when every objective was met.
     pub compliant: bool,
 }
+
+mcs_simcore::impl_json!(struct SloOutcome { name, measured, met, margin });
+mcs_simcore::impl_json!(struct SlaReport { outcomes, violations, penalty, compliant });
 
 impl Sla {
     /// Evaluates the agreement against a measured profile.

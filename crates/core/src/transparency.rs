@@ -8,12 +8,11 @@
 //! one structure with a plain-language rendering per stakeholder audience.
 
 use crate::sla::SlaReport;
-use serde::{Deserialize, Serialize};
 
 /// Who the explanation is for; wording and selection change per audience
 /// (the C13 requirement to address "stakeholders with different levels of
 /// sophistication").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Audience {
     /// Site reliability / operations engineers: everything, precise.
     Operator,
@@ -24,7 +23,7 @@ pub enum Audience {
 }
 
 /// One reporting window's operational facts.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OperationalReport {
     /// Reporting window length, hours.
     pub window_hours: f64,
@@ -42,6 +41,11 @@ pub struct OperationalReport {
     /// The SLA evaluation of the window, if an SLA is in force.
     pub sla: Option<SlaReport>,
 }
+
+mcs_simcore::impl_json!(enum Audience { Operator, Customer, Public });
+mcs_simcore::impl_json!(struct OperationalReport {
+    window_hours, availability, incidents, longest_incident_mins, energy_kwh, cost, sla,
+});
 
 impl OperationalReport {
     /// Renders the report for an audience.
@@ -164,10 +168,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let r = report(true);
-        let json = serde_json::to_string(&r).unwrap();
-        let back: OperationalReport = serde_json::from_str(&json).unwrap();
+        let json = mcs_simcore::codec::to_string(&r);
+        let back: OperationalReport = mcs_simcore::codec::from_str(&json).unwrap();
         assert_eq!(r, back);
     }
 }

@@ -9,10 +9,9 @@
 
 use crate::platform::{FaasPlatform, InvocationResult};
 use mcs_simcore::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// One stage of a composition.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Stage {
     /// Invoke a single function.
     Call(String),
@@ -21,7 +20,7 @@ pub enum Stage {
 }
 
 /// A function workflow: stages executed in order.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Composition {
     /// Workflow name.
     pub name: String,
@@ -49,7 +48,7 @@ impl Composition {
 }
 
 /// The result of one workflow execution.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CompositionResult {
     /// Workflow name.
     pub name: String,

@@ -7,11 +7,10 @@ use mcs_simcore::dist::{Dist, Sample};
 use mcs_simcore::metrics::Summary;
 use mcs_simcore::rng::RngStream;
 use mcs_simcore::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// A deployed cloud function.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FunctionSpec {
     /// Unique function name.
     pub name: String,
@@ -50,7 +49,7 @@ impl FunctionSpec {
 }
 
 /// How long an idle instance is kept warm before reclamation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum KeepAlivePolicy {
     /// Reclaim immediately (every invocation is cold — the no-pool baseline).
     None,
@@ -68,7 +67,7 @@ impl KeepAlivePolicy {
 }
 
 /// One function invocation request.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Invocation {
     /// Which function to run.
     pub function: String,
@@ -77,7 +76,7 @@ pub struct Invocation {
 }
 
 /// The result of one invocation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InvocationResult {
     /// Which function ran.
     pub function: String,
@@ -94,7 +93,7 @@ pub struct InvocationResult {
 }
 
 /// Platform-level metrics of one run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlatformReport {
     /// All invocation results, in completion order per function.
     pub invocations: Vec<InvocationResult>,

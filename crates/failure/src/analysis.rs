@@ -8,7 +8,6 @@
 use crate::model::Outage;
 use mcs_simcore::metrics::Summary;
 use mcs_simcore::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Merges overlapping outages of the same machine into disjoint intervals.
 pub fn merge_per_machine(outages: &[Outage], machines: usize) -> Vec<Vec<(SimTime, SimTime)>> {
@@ -33,7 +32,7 @@ pub fn merge_per_machine(outages: &[Outage], machines: usize) -> Vec<Vec<(SimTim
 }
 
 /// Fleet-level availability report.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AvailabilityReport {
     /// Machines modelled.
     pub machines: usize,

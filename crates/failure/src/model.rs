@@ -12,11 +12,10 @@
 use mcs_simcore::dist::{Dist, Sample};
 use mcs_simcore::rng::RngStream;
 use mcs_simcore::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// One machine outage: the machine fails at `fail_at` and is repaired at
 /// `repair_at`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Outage {
     /// Index of the affected machine in the modelled population.
     pub machine: usize,

@@ -10,10 +10,9 @@
 
 use mcs_simcore::dist::{Dist, Sample};
 use mcs_simcore::rng::RngStream;
-use serde::{Deserialize, Serialize};
 
 /// A single-elimination tournament over `2^rounds` players.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Tournament {
     /// Player ids, seeded in bracket order; length is a power of two.
     pub players: Vec<u32>,
@@ -22,7 +21,7 @@ pub struct Tournament {
 }
 
 /// One played match.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PlayedMatch {
     /// Bracket round, 0 = first round.
     pub round: u32,
@@ -37,7 +36,7 @@ pub struct PlayedMatch {
 }
 
 /// The outcome of a tournament: matches in play order plus audience totals.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TournamentOutcome {
     /// All matches, first round first.
     pub matches: Vec<PlayedMatch>,

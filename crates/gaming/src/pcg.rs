@@ -9,11 +9,10 @@
 //! boards, scramble depth otherwise).
 
 use mcs_simcore::rng::RngStream;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// A sliding-puzzle instance on an `n × n` board; `0` is the blank.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PuzzleInstance {
     /// Board side length.
     pub side: u8,

@@ -10,11 +10,10 @@
 use mcs_graph::algorithms::cdlp_serial;
 use mcs_graph::graph::Graph;
 use mcs_simcore::rng::RngStream;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// A match record: which players played together.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MatchRecord {
     /// Player ids in the match.
     pub players: Vec<u32>,
@@ -23,7 +22,7 @@ pub struct MatchRecord {
 }
 
 /// The latent population used to generate match logs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PopulationModel {
     /// Number of players.
     pub players: u32,
@@ -57,7 +56,7 @@ impl Default for PopulationModel {
 }
 
 /// A generated match log plus the latent truth (for evaluation only).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MatchLog {
     /// The matches, in play order.
     pub matches: Vec<MatchRecord>,

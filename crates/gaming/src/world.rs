@@ -11,12 +11,11 @@ use mcs_simcore::metrics::TimeWeighted;
 use mcs_simcore::rng::RngStream;
 use mcs_simcore::time::{SimDuration, SimTime};
 use mcs_workload::arrival::{ArrivalProcess, Diurnal};
-use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Deployment model of the virtual world.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ZoneProvisioning {
     /// A fixed number of zone instances (self-hosted studio hardware).
     Static {
@@ -40,7 +39,7 @@ pub enum ZoneProvisioning {
 }
 
 /// Parameters of the player population.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlayerModel {
     /// Mean arrival rate, players/second.
     pub base_rate: f64,
@@ -67,7 +66,7 @@ impl Default for PlayerModel {
 }
 
 /// What one virtual-world run measured.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorldOutcome {
     /// Players who joined successfully.
     pub admitted: u64,

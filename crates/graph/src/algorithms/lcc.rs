@@ -21,17 +21,16 @@ pub fn lcc_parallel(graph: &Graph, threads: usize) -> Vec<f64> {
     let threads = threads.max(1).min(n);
     let chunk = n.div_ceil(threads);
     let mut out = vec![0.0f64; n];
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (tid, slot) in out.chunks_mut(chunk).enumerate() {
             let u_ref = &u;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (i, value) in slot.iter_mut().enumerate() {
                     *value = lcc_of(u_ref, (tid * chunk + i) as VertexId);
                 }
             });
         }
-    })
-    .expect("lcc scope failed");
+    });
     out
 }
 

@@ -6,7 +6,7 @@
 //! vote-to-halt (a vertex is computed only when it has messages, after
 //! superstep 0), plus a global f64 aggregator.
 //!
-//! Execution is parallel (crossbeam scoped threads over vertex chunks) yet
+//! Execution is parallel (std scoped threads over vertex chunks) yet
 //! deterministic: chunk boundaries are fixed, and per-vertex inboxes are
 //! assembled by scanning thread outboxes in thread order.
 
@@ -116,13 +116,13 @@ impl BspEngine {
         while superstep < self.max_supersteps {
             // Compute phase: each thread owns a chunk of vertices.
             let outboxes: Vec<ThreadOutbox<P::Message>> =
-                crossbeam::thread::scope(|scope| {
+                std::thread::scope(|scope| {
                     let mut handles = Vec::with_capacity(threads);
                     for (tid, (state_chunk, inbox_chunk)) in
                         states.chunks_mut(chunk).zip(inbox.chunks(chunk)).enumerate()
                     {
                         let graph_ref = &*graph;
-                        handles.push(scope.spawn(move |_| {
+                        handles.push(scope.spawn(move || {
                             let mut buf = Vec::new();
                             let mut agg = 0.0f64;
                             for (i, st) in state_chunk.iter_mut().enumerate() {
@@ -146,8 +146,7 @@ impl BspEngine {
                         }));
                     }
                     handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-                })
-                .expect("bsp scope failed");
+                });
 
             // Deliver phase: scan outboxes in thread order (deterministic).
             for slot in &mut inbox {

@@ -5,13 +5,12 @@
 //! immutable directed graph with optional edge weights, plus the undirected
 //! view most analytics algorithms need.
 
-use serde::{Deserialize, Serialize};
 
 /// Vertex identifier (dense, `0..vertex_count`).
 pub type VertexId = u32;
 
 /// An immutable directed graph in CSR form, with parallel weight storage.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Graph {
     offsets: Vec<u64>,
     targets: Vec<VertexId>,

@@ -9,11 +9,10 @@
 use crate::algorithms::{bfs, cdlp, lcc_parallel, pagerank, sssp, wcc};
 use crate::bsp::BspEngine;
 use crate::graph::Graph;
-use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// The six benchmark algorithms.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Algorithm {
     /// Breadth-first search.
     Bfs,
@@ -54,7 +53,7 @@ impl Algorithm {
 }
 
 /// One benchmark measurement row.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BenchmarkRow {
     /// Which algorithm ran.
     pub algorithm: Algorithm,

@@ -3,11 +3,10 @@
 
 use crate::machine::{Machine, MachineId, MachineSpec, MachineState};
 use crate::resource::ResourceVector;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifies a cluster within a [`Datacenter`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ClusterId(pub u32);
 
 impl fmt::Display for ClusterId {
@@ -17,7 +16,7 @@ impl fmt::Display for ClusterId {
 }
 
 /// A homogeneous-or-not group of machines managed as one scheduling domain.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Cluster {
     id: ClusterId,
     name: String,
@@ -130,7 +129,7 @@ impl Cluster {
 }
 
 /// Geographic location, for geo-distributed federation latency (C10).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GeoLocation {
     /// Degrees latitude, positive north.
     pub lat_deg: f64,
@@ -152,7 +151,7 @@ impl GeoLocation {
 }
 
 /// Identifies a datacenter within a federation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DatacenterId(pub u32);
 
 impl fmt::Display for DatacenterId {
@@ -163,7 +162,7 @@ impl fmt::Display for DatacenterId {
 
 /// A datacenter: clusters at one site, from hyperscale to edge
 /// micro-datacenter (paper §6.1).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Datacenter {
     id: DatacenterId,
     name: String,

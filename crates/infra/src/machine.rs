@@ -2,11 +2,10 @@
 
 use crate::power::PowerModel;
 use crate::resource::{AcceleratorKind, ResourceVector};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifies a machine within a [`Cluster`](crate::cluster::Cluster).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MachineId(pub u32);
 
 impl fmt::Display for MachineId {
@@ -17,7 +16,7 @@ impl fmt::Display for MachineId {
 
 /// The hardware description of a machine model (C4: heterogeneous machine
 /// types — different core counts, speeds, memory tiers, accelerators).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MachineSpec {
     /// Human-readable model name (e.g. `"std-16"`, `"gpu-8"`).
     pub model: String,
@@ -66,7 +65,7 @@ impl MachineSpec {
 }
 
 /// Whether the machine is powered and reachable.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MachineState {
     /// Serving allocations.
     Up,
@@ -77,7 +76,7 @@ pub enum MachineState {
 }
 
 /// A concrete machine: a spec plus live allocation state.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Machine {
     id: MachineId,
     spec: MachineSpec,

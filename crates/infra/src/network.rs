@@ -7,11 +7,10 @@
 
 use crate::cluster::{DatacenterId, GeoLocation};
 use mcs_simcore::time::SimDuration;
-use serde::{Deserialize, Serialize};
 use std::collections::BinaryHeap;
 
 /// A directed link between two sites.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Link {
     /// One-way propagation latency.
     pub latency: SimDuration,
@@ -32,7 +31,7 @@ impl Link {
 
 /// A network of datacenters with latency/bandwidth links and
 /// shortest-latency routing.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Topology {
     /// adjacency\[a\] = list of (b, link)
     adjacency: Vec<Vec<(u32, Link)>>,

@@ -5,10 +5,9 @@
 //! them measurable in every simulation.
 
 use mcs_simcore::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Maps utilization to instantaneous power draw.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum PowerModel {
     /// The classic linear model: `idle + (max - idle) * utilization`.
     Linear {
@@ -48,7 +47,7 @@ impl PowerModel {
 }
 
 /// Integrates power over virtual time into energy (kWh).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EnergyMeter {
     last_at: SimTime,
     watts: f64,
@@ -80,7 +79,7 @@ impl EnergyMeter {
 }
 
 /// Converts machine-time and energy into money.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
     /// Price of one kWh.
     pub per_kwh: f64,

@@ -5,12 +5,11 @@
 //! network. [`ResourceVector`] is the common currency: requests, capacities,
 //! and allocations are all vectors, compared dimension-wise.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub, SubAssign};
 
 /// Accelerator families from the paper's heterogeneity discussion (C4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AcceleratorKind {
     /// General-purpose GPUs (machine learning, graph processing).
     Gpu,
@@ -45,7 +44,7 @@ impl fmt::Display for AcceleratorKind {
 /// let rest = capacity.checked_sub(&req).unwrap();
 /// assert_eq!(rest.cpu_cores, 12.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ResourceVector {
     /// CPU cores (fractional allowed).
     pub cpu_cores: f64,
@@ -58,6 +57,10 @@ pub struct ResourceVector {
     /// Network bandwidth in Gbit/s.
     pub network_gbps: f64,
 }
+
+mcs_simcore::impl_json!(struct ResourceVector {
+    cpu_cores, memory_gb, accelerators, storage_gb, network_gbps,
+});
 
 impl ResourceVector {
     /// The zero vector.

@@ -10,10 +10,9 @@ use mcs_infra::cluster::Cluster;
 use mcs_infra::machine::MachineId;
 use mcs_infra::resource::ResourceVector;
 use mcs_simcore::rng::RngStream;
-use serde::{Deserialize, Serialize};
 
 /// The machine-selection policies available to the scheduler.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AllocationPolicy {
     /// First machine (by id) that fits.
     FirstFit,

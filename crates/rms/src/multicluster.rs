@@ -10,10 +10,9 @@ use mcs_infra::cluster::{Cluster, DatacenterId};
 use mcs_infra::network::Topology;
 use mcs_simcore::time::SimTime;
 use mcs_workload::task::Job;
-use serde::{Deserialize, Serialize};
 
 /// How jobs are routed across the federation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum RoutingPolicy {
     /// Cycle through clusters regardless of load.
     RoundRobin,
@@ -44,7 +43,7 @@ impl RoutingPolicy {
 }
 
 /// The outcome of a federated run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FederationOutcome {
     /// Per-cluster scheduling outcomes, in cluster order.
     pub per_cluster: Vec<ScheduleOutcome>,

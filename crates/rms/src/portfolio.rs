@@ -17,10 +17,9 @@ use crate::scheduler::{
 use mcs_infra::cluster::{Cluster, ClusterId};
 use mcs_simcore::time::SimTime;
 use mcs_workload::task::{Job, JobId, JobKind, Task, TaskId, UserId};
-use serde::{Deserialize, Serialize};
 
 /// What the portfolio optimizes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Objective {
     /// Minimize predicted makespan of the queued work.
     Makespan,

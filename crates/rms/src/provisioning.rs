@@ -11,10 +11,9 @@
 use mcs_failure::model::Outage;
 use mcs_simcore::time::{SimDuration, SimTime};
 use mcs_workload::task::Job;
-use serde::{Deserialize, Serialize};
 
 /// What a provisioning policy observes at each epoch boundary.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProvisioningObservation {
     /// Estimated outstanding work, core-seconds.
     pub backlog_core_seconds: f64,
@@ -71,7 +70,7 @@ impl ProvisioningPolicy for BacklogDriven {
 
 /// A provisioning plan: per-epoch lease counts plus the outage schedule that
 /// encodes the unleased machines.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProvisioningPlan {
     /// Lease count per epoch.
     pub leases: Vec<usize>,

@@ -10,10 +10,9 @@
 use mcs_infra::cluster::Cluster;
 use mcs_infra::machine::MachineId;
 use mcs_infra::resource::ResourceVector;
-use serde::{Deserialize, Serialize};
 
 /// Parameters of the scavenging fabric.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScavengeConfig {
     /// Largest fraction of a task's memory that may live remotely.
     pub max_remote_fraction: f64,
@@ -37,7 +36,7 @@ impl Default for ScavengeConfig {
 }
 
 /// A scavenging placement: host machine plus remote-memory donors.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScavengePlacement {
     /// The machine running the task (provides CPU and local memory).
     pub host: MachineId,

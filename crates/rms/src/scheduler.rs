@@ -16,12 +16,11 @@ use mcs_simcore::metrics::TimeWeighted;
 use mcs_simcore::rng::RngStream;
 use mcs_simcore::time::{SimDuration, SimTime};
 use mcs_workload::task::{Job, TaskCompletion, TaskId};
-use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 
 /// Queue-ordering disciplines.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum QueuePolicy {
     /// First come, first served (by job submit time).
     Fcfs,
@@ -54,7 +53,7 @@ impl QueuePolicy {
 }
 
 /// Scheduler configuration: one point in the policy space.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SchedulerConfig {
     /// Queue discipline.
     pub queue: QueuePolicy,
@@ -80,7 +79,7 @@ impl Default for SchedulerConfig {
 }
 
 /// What the scheduler measured over one run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScheduleOutcome {
     /// Per-task completion records.
     pub completions: Vec<TaskCompletion>,

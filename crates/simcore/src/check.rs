@@ -1,0 +1,179 @@
+//! A seeded property-testing mini-harness, the in-house `proptest`
+//! replacement.
+//!
+//! A property is a closure from a deterministic [`RngStream`] to
+//! `Result<(), String>`; the harness runs it over many derived cases and, on
+//! the first failure, panics with the case number and the exact seed needed
+//! to replay it. Inputs are drawn with the `RngStream` helpers
+//! (`uniform_usize`, `uniform_f64`, …), so every run is reproducible from
+//! one experiment seed — no shrinking is needed to re-examine a failure,
+//! just the printed replay seed.
+//!
+//! # Examples
+//! ```
+//! use mcs_simcore::check::Check;
+//! use mcs_simcore::prop_assert;
+//!
+//! Check::new("addition_commutes").cases(64).run(|rng| {
+//!     let a = rng.uniform_f64(-1e6, 1e6);
+//!     let b = rng.uniform_f64(-1e6, 1e6);
+//!     prop_assert!((a + b - (b + a)).abs() < 1e-12, "{a} + {b}");
+//!     Ok(())
+//! });
+//! ```
+
+use crate::rng::RngStream;
+
+/// Default number of cases per property.
+const DEFAULT_CASES: usize = 128;
+
+/// Default harness seed; override per property with [`Check::seed`] or
+/// globally with the `MCS_CHECK_SEED` environment variable.
+const DEFAULT_SEED: u64 = 0x4D43_5343_4845_434B; // "MCSCHECK"
+
+/// A configured property run.
+#[derive(Debug, Clone)]
+pub struct Check {
+    name: &'static str,
+    cases: usize,
+    seed: u64,
+}
+
+impl Check {
+    /// A property named `name` with default case count and seed.
+    pub fn new(name: &'static str) -> Self {
+        let seed = std::env::var("MCS_CHECK_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(DEFAULT_SEED);
+        Check { name, cases: DEFAULT_CASES, seed }
+    }
+
+    /// Sets the number of cases to run.
+    pub fn cases(mut self, cases: usize) -> Self {
+        self.cases = cases.max(1);
+        self
+    }
+
+    /// Pins the harness seed (overrides `MCS_CHECK_SEED`).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Runs the property over every case.
+    ///
+    /// # Panics
+    /// Panics on the first failing case, printing the property name, the
+    /// case index, and the replay seed.
+    pub fn run(self, property: impl Fn(&mut RngStream) -> Result<(), String>) {
+        for case in 0..self.cases {
+            let case_seed = self.seed.wrapping_add(case as u64);
+            let mut rng = RngStream::new(case_seed, self.name);
+            if let Err(message) = property(&mut rng) {
+                panic!(
+                    "property `{}` failed at case {}/{}: {}\n\
+                     replay with: Check::new(\"{}\").cases(1).seed({})",
+                    self.name, case, self.cases, message, self.name, case_seed,
+                );
+            }
+        }
+    }
+}
+
+/// Fails the enclosing property when the condition does not hold.
+///
+/// Expands to an early `return Err(..)`, so it may only be used inside a
+/// closure passed to [`Check::run`] (or any function returning
+/// `Result<(), String>`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($arg:tt)+) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} — {} ({}:{})",
+                stringify!($cond),
+                format!($($arg)+),
+                file!(),
+                line!()
+            ));
+        }
+    };
+}
+
+/// Fails the enclosing property when the two expressions are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return Err(format!(
+                "assertion failed: {} == {} — left {:?}, right {:?} ({}:{})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let counter = std::cell::Cell::new(0usize);
+        Check::new("count").cases(17).run(|_| {
+            counter.set(counter.get() + 1);
+            Ok(())
+        });
+        assert_eq!(counter.get(), 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always_fails` failed at case 0")]
+    fn failing_property_panics_with_context() {
+        Check::new("always_fails").cases(4).run(|_| Err("boom".into()));
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_seed() {
+        let collect = |seed: u64| {
+            let out = std::cell::RefCell::new(Vec::new());
+            Check::new("det").cases(8).seed(seed).run(|rng| {
+                out.borrow_mut().push(rng.next_u64());
+                Ok(())
+            });
+            out.into_inner()
+        };
+        assert_eq!(collect(1), collect(1));
+        assert_ne!(collect(1), collect(2));
+    }
+
+    #[test]
+    fn prop_assert_macros_format_messages() {
+        fn inner() -> Result<(), String> {
+            prop_assert!(1 + 1 == 2);
+            prop_assert_eq!(2 + 2, 4);
+            prop_assert!(false, "value was {}", 42);
+            Ok(())
+        }
+        let msg = inner().unwrap_err();
+        assert!(msg.contains("value was 42"), "{msg}");
+    }
+}

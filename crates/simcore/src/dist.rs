@@ -7,7 +7,6 @@
 //! [`crate::rng::RngStream`] so experiments stay deterministic.
 
 use crate::rng::RngStream;
-use serde::{Deserialize, Serialize};
 
 /// A univariate distribution over `f64` that can be sampled deterministically.
 pub trait Sample {
@@ -29,7 +28,7 @@ pub trait Sample {
 /// let x = d.sample(&mut rng);
 /// assert!(x >= 0.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Dist {
     /// Always returns `value`.
     Constant { value: f64 },
@@ -56,6 +55,20 @@ pub enum Dist {
     /// workloads better than a single exponential.
     HyperExponential { p: f64, rate1: f64, rate2: f64 },
 }
+
+crate::impl_json!(enum Dist {
+    Constant { value },
+    Uniform { lo, hi },
+    Exponential { rate },
+    Normal { mean, std_dev },
+    LogNormal { mu, sigma },
+    Weibull { shape, scale },
+    Pareto { x_min, alpha },
+    Gamma { shape, scale },
+    Zipf { n, s },
+    DiscreteUniform { n },
+    HyperExponential { p, rate1, rate2 },
+});
 
 impl Dist {
     /// A constant distribution, the degenerate case used for planned demand.
@@ -319,10 +332,16 @@ mod tests {
     }
 
     #[test]
-    fn dist_serde_round_trip() {
-        let d = Dist::Weibull { shape: 1.5, scale: 2.0 };
-        let json = serde_json::to_string(&d).unwrap();
-        let back: Dist = serde_json::from_str(&json).unwrap();
-        assert_eq!(d, back);
+    fn dist_json_round_trip() {
+        use crate::codec::{from_str, to_string};
+        for d in [
+            Dist::Weibull { shape: 1.5, scale: 2.0 },
+            Dist::Zipf { n: 10, s: 1.2 },
+            Dist::HyperExponential { p: 0.3, rate1: 10.0, rate2: 0.5 },
+        ] {
+            let json = to_string(&d);
+            let back: Dist = from_str(&json).unwrap();
+            assert_eq!(d, back, "{json}");
+        }
     }
 }

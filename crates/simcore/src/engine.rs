@@ -37,6 +37,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::fmt;
 
+use crate::error::McsError;
 use crate::rng::RngStream;
 use crate::time::{SimDuration, SimTime};
 
@@ -194,12 +195,31 @@ impl<M> Simulation<M> {
     /// Schedules `msg` for `target` at absolute instant `at`.
     ///
     /// # Panics
-    /// Panics if `at` is in the simulated past or `target` is unknown.
+    /// Panics if `at` is in the simulated past or `target` is unknown; use
+    /// [`Simulation::try_schedule`] for a fallible version.
     pub fn schedule(&mut self, at: SimTime, target: ActorId, msg: M) {
-        assert!(at >= self.now, "cannot schedule into the past");
-        assert!(target.0 < self.actors.len(), "unknown actor {target}");
+        self.try_schedule(at, target, msg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible scheduling: rejects past instants and unknown actors with
+    /// [`McsError::Sim`] instead of panicking.
+    ///
+    /// # Errors
+    /// Returns [`McsError::Sim`] when `at` precedes the current virtual time
+    /// or `target` was never registered.
+    pub fn try_schedule(&mut self, at: SimTime, target: ActorId, msg: M) -> Result<(), McsError> {
+        if at < self.now {
+            return Err(McsError::Sim(format!(
+                "cannot schedule into the past ({at} < {})",
+                self.now
+            )));
+        }
+        if target.0 >= self.actors.len() {
+            return Err(McsError::Sim(format!("unknown actor {target}")));
+        }
         self.queue.push(Scheduled { at, seq: self.seq, target, msg });
         self.seq += 1;
+        Ok(())
     }
 
     /// Schedules `msg` for `target` after `delay` from now.
@@ -431,6 +451,23 @@ mod tests {
         let id = sim.add_actor(Bad);
         sim.schedule(SimTime::from_secs(1), id, Msg::Fwd);
         sim.run();
+    }
+
+    #[test]
+    fn try_schedule_rejects_bad_requests() {
+        let mut sim: Simulation<Msg> = Simulation::new(1);
+        let id = sim.add_actor(Stopper);
+        assert!(sim.try_schedule(SimTime::from_secs(1), id, Msg::Fwd).is_ok());
+        let unknown = ActorId(99);
+        assert!(matches!(
+            sim.try_schedule(SimTime::from_secs(1), unknown, Msg::Fwd),
+            Err(crate::error::McsError::Sim(_))
+        ));
+        sim.run();
+        assert!(matches!(
+            sim.try_schedule(SimTime::ZERO, id, Msg::Fwd),
+            Err(crate::error::McsError::Sim(_))
+        ));
     }
 
     #[test]

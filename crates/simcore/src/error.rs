@@ -1,0 +1,80 @@
+//! The workspace-wide error type.
+//!
+//! Every fallible public entry point across the MCS crates — codec decoding,
+//! trace parsing, simulation setup — returns [`McsError`] so callers handle
+//! one error vocabulary instead of a per-crate zoo.
+
+use core::fmt;
+
+/// The unified error type of the MCS workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum McsError {
+    /// JSON text failed to parse; `offset` is the byte position of the
+    /// problem in the input.
+    Json {
+        /// Byte offset of the malformed input.
+        offset: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A parsed JSON value did not have the shape a decoder expected.
+    Decode {
+        /// The shape the decoder wanted (e.g. `"u64"`, `"field `cpus`"`).
+        expected: String,
+        /// A short rendering of what was actually found.
+        found: String,
+    },
+    /// A line of a trace file failed to parse.
+    Trace {
+        /// 1-based line number within the trace.
+        line: usize,
+        /// What went wrong on that line.
+        message: String,
+    },
+    /// A configuration value was rejected during setup.
+    Config(String),
+    /// A simulation setup or scheduling request was invalid.
+    Sim(String),
+}
+
+impl McsError {
+    /// Convenience constructor for decode-shape errors.
+    pub fn decode(expected: impl Into<String>, found: impl Into<String>) -> McsError {
+        McsError::Decode { expected: expected.into(), found: found.into() }
+    }
+}
+
+impl fmt::Display for McsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            McsError::Json { offset, message } => {
+                write!(f, "malformed JSON at byte {offset}: {message}")
+            }
+            McsError::Decode { expected, found } => {
+                write!(f, "expected {expected}, found {found}")
+            }
+            McsError::Trace { line, message } => {
+                write!(f, "trace line {line}: {message}")
+            }
+            McsError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            McsError::Sim(msg) => write!(f, "simulation error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for McsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_payload() {
+        let e = McsError::Json { offset: 12, message: "unexpected `}`".into() };
+        assert!(e.to_string().contains("byte 12"));
+        let e = McsError::decode("u64", "string \"x\"");
+        assert!(e.to_string().contains("expected u64"));
+        let e = McsError::Trace { line: 3, message: "bad record".into() };
+        assert!(e.to_string().contains("line 3"));
+    }
+}

@@ -32,17 +32,23 @@
 //! assert_eq!(sim.now(), SimTime::ZERO + SimDuration::from_millis(900));
 //! ```
 
+pub mod check;
+pub mod codec;
 pub mod dist;
 pub mod engine;
+pub mod error;
 pub mod metrics;
 pub mod rng;
 pub mod time;
 
 /// Convenience re-exports of the types used by nearly every simulation.
 pub mod prelude {
+    pub use crate::check::Check;
+    pub use crate::codec::{FromJson, Json, ToJson};
     pub use crate::dist::{Dist, Sample};
     pub use crate::engine::{Actor, ActorId, Context, Simulation};
+    pub use crate::error::McsError;
     pub use crate::metrics::{OnlineStats, Summary, TimeWeighted};
-    pub use crate::rng::RngStream;
+    pub use crate::rng::{RngCore, RngStream};
     pub use crate::time::{SimDuration, SimTime};
 }

@@ -5,8 +5,8 @@
 //! observation as the entry point of MCS methodology; these are the
 //! instruments the rest of the workspace records into.
 
+use crate::error::McsError;
 use crate::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Streaming mean/variance/min/max via Welford's algorithm.
 ///
@@ -18,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(s.mean(), 2.0);
 /// assert_eq!(s.count(), 3);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct OnlineStats {
     count: u64,
     mean: f64,
@@ -26,6 +26,8 @@ pub struct OnlineStats {
     min: f64,
     max: f64,
 }
+
+crate::impl_json!(struct OnlineStats { count, mean, m2, min, max });
 
 impl OnlineStats {
     /// An empty accumulator.
@@ -123,7 +125,7 @@ pub fn quantile(samples: &[f64], q: f64) -> Option<f64> {
 
 /// A complete distribution summary of a sample set, as reported in the
 /// experiment tables (mean, p50, p95, p99, max, …).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Summary {
     /// Number of samples.
     pub count: u64,
@@ -142,6 +144,8 @@ pub struct Summary {
     /// Maximum.
     pub max: f64,
 }
+
+crate::impl_json!(struct Summary { count, mean, std_dev, min, p50, p95, p99, max });
 
 impl Summary {
     /// Summarizes a sample set; `None` when empty.
@@ -167,7 +171,7 @@ impl Summary {
 }
 
 /// Fixed-width histogram over `[lo, hi)` with overflow/underflow buckets.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     lo: f64,
     hi: f64,
@@ -176,15 +180,30 @@ pub struct Histogram {
     overflow: u64,
 }
 
+crate::impl_json!(struct Histogram { lo, hi, buckets, underflow, overflow });
+
 impl Histogram {
     /// Creates a histogram over `[lo, hi)` with `buckets` equal-width bins.
     ///
     /// # Panics
     /// Panics if `hi <= lo` or `buckets == 0`.
     pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
-        assert!(hi > lo, "histogram range must be non-empty");
-        assert!(buckets > 0, "histogram needs at least one bucket");
-        Histogram { lo, hi, buckets: vec![0; buckets], underflow: 0, overflow: 0 }
+        Histogram::try_new(lo, hi, buckets).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor: rejects an empty range or zero buckets with
+    /// [`McsError::Config`] instead of panicking.
+    ///
+    /// # Errors
+    /// Returns [`McsError::Config`] when `hi <= lo` or `buckets == 0`.
+    pub fn try_new(lo: f64, hi: f64, buckets: usize) -> Result<Self, McsError> {
+        if hi <= lo {
+            return Err(McsError::Config("histogram range must be non-empty".into()));
+        }
+        if buckets == 0 {
+            return Err(McsError::Config("histogram needs at least one bucket".into()));
+        }
+        Ok(Histogram { lo, hi, buckets: vec![0; buckets], underflow: 0, overflow: 0 })
     }
 
     /// Records one observation.
@@ -224,7 +243,7 @@ impl Histogram {
 
 /// A step function of virtual time: tracks a level (e.g. queue length, busy
 /// machines) and integrates it for time-weighted averages and peak analysis.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TimeWeighted {
     last_at: SimTime,
     level: f64,
@@ -234,6 +253,10 @@ pub struct TimeWeighted {
     samples: Vec<(SimTime, f64)>,
     keep_samples: bool,
 }
+
+crate::impl_json!(struct TimeWeighted {
+    last_at, level, weighted_sum, observed, peak, samples, keep_samples,
+});
 
 impl TimeWeighted {
     /// Starts tracking at `t0` with the given initial level.
@@ -396,6 +419,39 @@ mod tests {
     #[should_panic(expected = "histogram range must be non-empty")]
     fn histogram_rejects_empty_range() {
         let _ = Histogram::new(1.0, 1.0, 4);
+    }
+
+    #[test]
+    fn histogram_try_new_reports_config_errors() {
+        assert!(matches!(Histogram::try_new(1.0, 1.0, 4), Err(McsError::Config(_))));
+        assert!(matches!(Histogram::try_new(0.0, 1.0, 0), Err(McsError::Config(_))));
+        assert!(Histogram::try_new(0.0, 1.0, 4).is_ok());
+    }
+
+    #[test]
+    fn metrics_json_round_trips() {
+        use crate::codec::{from_str, to_string};
+        let mut s = OnlineStats::new();
+        for x in [1.0, 2.0, 4.0] {
+            s.record(x);
+        }
+        let back: OnlineStats = from_str(&to_string(&s)).unwrap();
+        assert_eq!(back, s);
+
+        let summary = Summary::of(&[1.0, 2.0, 3.0]).unwrap();
+        let back: Summary = from_str(&to_string(&summary)).unwrap();
+        assert_eq!(back, summary);
+
+        let mut h = Histogram::new(0.0, 10.0, 4);
+        h.record(3.0);
+        h.record(42.0);
+        let back: Histogram = from_str(&to_string(&h)).unwrap();
+        assert_eq!(back, h);
+
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 1.0).with_samples();
+        tw.set(SimTime::from_secs(2), 3.0);
+        let back: TimeWeighted = from_str(&to_string(&tw)).unwrap();
+        assert_eq!(back, tw);
     }
 
     #[test]

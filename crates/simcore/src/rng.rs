@@ -6,7 +6,28 @@
 //! principle P8): the same seed always yields bit-identical experiments, and
 //! adding a new component does not perturb the streams of existing ones.
 
-use rand::RngCore;
+/// The in-house core generator interface (replacing `rand::RngCore`).
+///
+/// Every MCS generator — [`SplitMix64`], [`Xoshiro256PlusPlus`], and the
+/// stream-split [`RngStream`] — implements this trait, so samplers and
+/// shuffles can be written against any of them.
+pub trait RngCore {
+    /// Next 32 raw bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Next 64 raw bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with raw bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
 
 /// SplitMix64: a tiny, high-quality 64-bit PRNG used both as a generator and
 /// as the seed-derivation function for stream splitting.
@@ -31,6 +52,58 @@ impl SplitMix64 {
     }
 }
 
+impl RngCore for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        SplitMix64::next_u64(self)
+    }
+}
+
+/// xoshiro256++: a fast all-purpose 256-bit generator (Blackman & Vigna),
+/// seeded from one `u64` through SplitMix64 as its authors recommend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl Xoshiro256PlusPlus {
+    /// Creates a generator whose 256-bit state is expanded from `seed`.
+    pub fn new(seed: u64) -> Self {
+        let mut mixer = SplitMix64::new(seed);
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = mixer.next_u64();
+        }
+        // An all-zero state is the one fixed point; SplitMix64 cannot emit
+        // four consecutive zeros, but guard anyway.
+        if s == [0; 4] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Xoshiro256PlusPlus { s }
+    }
+
+    /// Next 64 raw bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl RngCore for Xoshiro256PlusPlus {
+    fn next_u64(&mut self) -> u64 {
+        Xoshiro256PlusPlus::next_u64(self)
+    }
+}
+
 /// FNV-1a hash of a label, used to fold stream names into seeds.
 fn fnv1a(label: &str) -> u64 {
     let mut h: u64 = 0xCBF2_9CE4_8422_2325;
@@ -43,8 +116,8 @@ fn fnv1a(label: &str) -> u64 {
 
 /// A named, independent random stream derived from an experiment seed.
 ///
-/// Implements [`rand::RngCore`], so it works with `rand`'s `Rng` extension
-/// trait and with the distribution types in [`crate::dist`].
+/// Implements the in-house [`RngCore`] trait and works with the
+/// distribution types in [`crate::dist`].
 ///
 /// # Examples
 /// ```
@@ -131,24 +204,8 @@ impl RngStream {
 }
 
 impl RngCore for RngStream {
-    fn next_u32(&mut self) -> u32 {
-        (self.inner.next_u64() >> 32) as u32
-    }
-
     fn next_u64(&mut self) -> u64 {
         self.inner.next_u64()
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        for chunk in dest.chunks_mut(8) {
-            let bytes = self.inner.next_u64().to_le_bytes();
-            chunk.copy_from_slice(&bytes[..chunk.len()]);
-        }
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.fill_bytes(dest);
-        Ok(())
     }
 }
 
@@ -248,6 +305,45 @@ mod tests {
         let mut r = RngStream::new(1, "bytes");
         let mut buf = [0u8; 13];
         r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|b| *b != 0));
+    }
+
+    #[test]
+    fn xoshiro_reference_values() {
+        // First outputs of xoshiro256++ from the state {1, 2, 3, 4}, per the
+        // reference implementation.
+        let mut x = Xoshiro256PlusPlus { s: [1, 2, 3, 4] };
+        let expected: [u64; 4] =
+            [41943041, 58720359, 3588806011781223, 3591011842654386];
+        for e in expected {
+            assert_eq!(x.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn xoshiro_seeding_is_deterministic_and_sensitive() {
+        let mut a = Xoshiro256PlusPlus::new(7);
+        let mut b = Xoshiro256PlusPlus::new(7);
+        let mut c = Xoshiro256PlusPlus::new(8);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let eq = (0..32).filter(|_| a.next_u64() == c.next_u64()).count();
+        assert_eq!(eq, 0);
+    }
+
+    #[test]
+    fn rng_core_defaults_apply_to_all_generators() {
+        fn first_u32<R: RngCore>(mut r: R) -> u32 {
+            r.next_u32()
+        }
+        // All three generators satisfy the one trait.
+        let _ = first_u32(SplitMix64::new(1));
+        let _ = first_u32(Xoshiro256PlusPlus::new(1));
+        let _ = first_u32(RngStream::new(1, "trait"));
+        let mut buf = [0u8; 9];
+        let mut x = Xoshiro256PlusPlus::new(3);
+        RngCore::fill_bytes(&mut x, &mut buf);
         assert!(buf.iter().any(|b| *b != 0));
     }
 }

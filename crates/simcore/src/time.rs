@@ -6,19 +6,18 @@
 
 use core::fmt;
 use core::ops::{Add, AddAssign, Div, Mul, Sub};
-use serde::{Deserialize, Serialize};
 
 /// An instant on the simulated timeline, in nanoseconds since simulation start.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, in nanoseconds.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
+
+// Encoded transparently as raw nanoseconds, which the codec keeps exact.
+crate::impl_json!(newtype SimTime(u64));
+crate::impl_json!(newtype SimDuration(u64));
 
 const NANOS_PER_MICRO: u64 = 1_000;
 const NANOS_PER_MILLI: u64 = 1_000_000;

@@ -7,11 +7,10 @@
 
 use mcs_infra::resource::ResourceVector;
 use mcs_simcore::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifies a task within a workload.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TaskId(pub u64);
 
 impl fmt::Display for TaskId {
@@ -21,7 +20,7 @@ impl fmt::Display for TaskId {
 }
 
 /// Identifies a job (a user-visible submission) within a workload.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct JobId(pub u64);
 
 impl fmt::Display for JobId {
@@ -32,7 +31,7 @@ impl fmt::Display for JobId {
 
 /// Identifies a submitting user; the social-awareness analyses (C5) group
 /// tasks by user.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct UserId(pub u32);
 
 impl fmt::Display for UserId {
@@ -42,7 +41,7 @@ impl fmt::Display for UserId {
 }
 
 /// The workload family a job belongs to (paper Fig. 1 / §6 use cases).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum JobKind {
     /// Independent tasks submitted together (grid computing staple).
     BagOfTasks,
@@ -60,8 +59,15 @@ pub enum JobKind {
     Transaction,
 }
 
+mcs_simcore::impl_json!(newtype TaskId(u64));
+mcs_simcore::impl_json!(newtype JobId(u64));
+mcs_simcore::impl_json!(newtype UserId(u32));
+mcs_simcore::impl_json!(enum JobKind {
+    BagOfTasks, Workflow, Service, Analytics, Function, Gaming, Transaction,
+});
+
 /// One schedulable unit of work.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Task {
     /// Task id, unique within the workload.
     pub id: TaskId,
@@ -95,7 +101,7 @@ impl Task {
 }
 
 /// A user-visible submission: one or more tasks plus metadata.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Job {
     /// Job id, unique within the workload.
     pub id: JobId,
@@ -133,7 +139,7 @@ impl Job {
 }
 
 /// Per-task completion record, the raw material of workload metrics.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TaskCompletion {
     /// Which task finished.
     pub task: TaskId,

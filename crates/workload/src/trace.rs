@@ -6,15 +6,15 @@
 //! trace-level statistics.
 
 use crate::task::{Job, JobId, JobKind, Task, TaskId, UserId};
-use bytes::{BufMut, BytesMut};
 use mcs_infra::resource::ResourceVector;
+use mcs_simcore::codec::{self, ByteWriter};
+use mcs_simcore::error::McsError;
 use mcs_simcore::metrics::Summary;
 use mcs_simcore::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// One trace row: a job observation in GWA style (submit time, runtime,
 /// processor count, user).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceRecord {
     /// Job identifier.
     pub job_id: u64,
@@ -31,6 +31,10 @@ pub struct TraceRecord {
     /// Workload family tag.
     pub kind: JobKind,
 }
+
+mcs_simcore::impl_json!(struct TraceRecord {
+    job_id, submit_secs, runtime_secs, cpus, memory_gb, user, kind,
+});
 
 impl TraceRecord {
     /// Converts the record into a single-task [`Job`].
@@ -49,10 +53,12 @@ impl TraceRecord {
 }
 
 /// An ordered collection of trace records.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Trace {
     records: Vec<TraceRecord>,
 }
+
+mcs_simcore::impl_json!(struct Trace { records });
 
 impl Trace {
     /// An empty trace.
@@ -92,32 +98,40 @@ impl Trace {
         self.records.is_empty()
     }
 
-    /// Serializes to JSON-lines (one record per line).
+    /// Serializes to JSON-lines (one record per line). Encoding is
+    /// deterministic, so identical traces yield identical bytes.
     ///
     /// # Errors
-    /// Returns a serde error if a record fails to serialize.
-    pub fn to_jsonl(&self) -> Result<Vec<u8>, serde_json::Error> {
-        let mut buf = BytesMut::new();
+    /// Infallible today (kept fallible for format evolution).
+    pub fn to_jsonl(&self) -> Result<Vec<u8>, McsError> {
+        let mut buf = ByteWriter::with_capacity(self.records.len() * 96);
         for r in &self.records {
-            let line = serde_json::to_vec(r)?;
-            buf.put_slice(&line);
+            buf.put_str(&codec::to_string(r));
             buf.put_u8(b'\n');
         }
-        Ok(buf.to_vec())
+        Ok(buf.into_vec())
     }
 
     /// Parses JSON-lines produced by [`Trace::to_jsonl`] (blank lines are
     /// skipped).
     ///
     /// # Errors
-    /// Returns a serde error on the first malformed line.
-    pub fn from_jsonl(bytes: &[u8]) -> Result<Trace, serde_json::Error> {
+    /// Returns [`McsError::Trace`] naming the first malformed line.
+    pub fn from_jsonl(bytes: &[u8]) -> Result<Trace, McsError> {
         let mut records = Vec::new();
-        for line in bytes.split(|b| *b == b'\n') {
+        for (idx, line) in bytes.split(|b| *b == b'\n').enumerate() {
             if line.iter().all(|b| b.is_ascii_whitespace()) {
                 continue;
             }
-            records.push(serde_json::from_slice(line)?);
+            let text = std::str::from_utf8(line).map_err(|e| McsError::Trace {
+                line: idx + 1,
+                message: format!("not UTF-8: {e}"),
+            })?;
+            let record = codec::from_str::<TraceRecord>(text).map_err(|e| McsError::Trace {
+                line: idx + 1,
+                message: e.to_string(),
+            })?;
+            records.push(record);
         }
         Ok(Trace { records })
     }
@@ -161,7 +175,7 @@ impl Trace {
 }
 
 /// Aggregate statistics of a trace.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceStats {
     /// Number of jobs.
     pub jobs: usize,
@@ -178,6 +192,10 @@ pub struct TraceStats {
     /// Total consumed core-seconds.
     pub total_core_seconds: f64,
 }
+
+mcs_simcore::impl_json!(struct TraceStats {
+    jobs, users, span_secs, runtime, cpus, interarrival, total_core_seconds,
+});
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Hermetic verification: the workspace must build, test, and lint cleanly
+# with no network access — proving the zero-dependency policy holds.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "verify: OK (offline build + tests + clippy)"

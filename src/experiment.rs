@@ -1,0 +1,253 @@
+//! The unified experiment facade: every figure and table of the paper is an
+//! [`Experiment`] producing a structured [`Report`].
+//!
+//! The paper's methodology (Table 1, C15/C16) asks for experiments that are
+//! *reproducible instruments*: one seed in, one artifact out. The trait
+//! makes that contract first-class — `run(seed)` must be a pure function of
+//! its seed for every simulated quantity — and the [`Report`] it returns is
+//! both renderable for humans ([`Report::render`]) and serializable to JSON
+//! ([`Report::to_json_string`]) so reruns can be compared byte-for-byte.
+//!
+//! # Examples
+//! ```
+//! use mcs::experiment::{Experiment, Report, Section};
+//!
+//! struct Coin;
+//! impl Experiment for Coin {
+//!     fn name(&self) -> &'static str { "coin" }
+//!     fn run(&self, seed: u64) -> Report {
+//!         let mut rng = mcs::simcore::rng::RngStream::new(seed, "coin");
+//!         Report::new("coin", "A fair coin")
+//!             .with_section(Section::new("flips").line(format!("{}", rng.next_u64() % 2)))
+//!     }
+//! }
+//! let a = Coin.run(7).to_json_string();
+//! let b = Coin.run(7).to_json_string();
+//! assert_eq!(a, b);
+//! ```
+
+use mcs_simcore::codec;
+
+/// An aligned table: a header row plus data rows of equal arity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows; each must have the same arity as `headers`.
+    pub rows: Vec<Vec<String>>,
+}
+
+mcs_simcore::impl_json!(struct Table { headers, rows });
+
+impl Table {
+    /// Builds a table from borrowed headers and owned rows.
+    pub fn new(headers: &[&str], rows: Vec<Vec<String>>) -> Self {
+        Table { headers: headers.iter().map(|h| (*h).to_owned()).collect(), rows }
+    }
+
+    /// Renders with right-aligned, width-padded columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let mut line = |cells: Vec<String>| {
+            let mut s = String::new();
+            for (w, c) in widths.iter().zip(cells) {
+                let pad = w.saturating_sub(c.chars().count());
+                s.push_str(&" ".repeat(pad));
+                s.push_str(&c);
+                s.push_str("  ");
+            }
+            out.push_str(s.trim_end());
+            out.push('\n');
+        };
+        line(self.headers.clone());
+        line(widths.iter().map(|w| "-".repeat(*w)).collect());
+        for row in &self.rows {
+            line(row.clone());
+        }
+        out
+    }
+}
+
+/// One ordered element of a section: free text or a table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Item {
+    /// A paragraph / free-form line.
+    Line {
+        /// The text (may contain embedded newlines).
+        text: String,
+    },
+    /// An aligned table.
+    Table {
+        /// The table.
+        table: Table,
+    },
+}
+
+mcs_simcore::impl_json!(enum Item {
+    Line { text },
+    Table { table },
+});
+
+/// A titled block of report content.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Section {
+    /// Section heading (rendered as `## title`); empty for preamble text.
+    pub title: String,
+    /// Lines and tables, in order.
+    pub items: Vec<Item>,
+}
+
+mcs_simcore::impl_json!(struct Section { title, items });
+
+impl Section {
+    /// An empty section with a heading.
+    pub fn new(title: impl Into<String>) -> Self {
+        Section { title: title.into(), items: Vec::new() }
+    }
+
+    /// Appends a free-form line.
+    pub fn line(mut self, text: impl Into<String>) -> Self {
+        self.items.push(Item::Line { text: text.into() });
+        self
+    }
+
+    /// Appends an aligned table.
+    pub fn table(mut self, headers: &[&str], rows: Vec<Vec<String>>) -> Self {
+        self.items.push(Item::Table { table: Table::new(headers, rows) });
+        self
+    }
+}
+
+/// The artifact an [`Experiment`] produces: a named, sectioned document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// Machine name, matching [`Experiment::name`].
+    pub name: String,
+    /// Human title (rendered as `# title`).
+    pub title: String,
+    /// The seed the experiment ran with.
+    pub seed: u64,
+    /// Content blocks in order.
+    pub sections: Vec<Section>,
+}
+
+mcs_simcore::impl_json!(struct Report { name, title, seed, sections });
+
+impl Report {
+    /// An empty report (seed 0; set by [`Experiment`] runners via
+    /// [`Report::with_seed`]).
+    pub fn new(name: impl Into<String>, title: impl Into<String>) -> Self {
+        Report { name: name.into(), title: title.into(), seed: 0, sections: Vec::new() }
+    }
+
+    /// Records the seed the experiment ran with.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Appends a section.
+    pub fn with_section(mut self, section: Section) -> Self {
+        self.sections.push(section);
+        self
+    }
+
+    /// Renders the whole report as the text the experiment binaries print.
+    pub fn render(&self) -> String {
+        let mut out = format!("# {}\n", self.title);
+        for section in &self.sections {
+            out.push('\n');
+            if !section.title.is_empty() {
+                out.push_str(&format!("## {}\n", section.title));
+            }
+            for item in &section.items {
+                match item {
+                    Item::Line { text } => {
+                        out.push_str(text);
+                        out.push('\n');
+                    }
+                    Item::Table { table } => out.push_str(&table.render()),
+                }
+            }
+        }
+        out
+    }
+
+    /// Deterministic JSON encoding of the full report (insertion-ordered
+    /// keys, exact integers), suitable for byte-for-byte comparison of
+    /// same-seed reruns.
+    pub fn to_json_string(&self) -> String {
+        codec::to_string(self)
+    }
+}
+
+/// A reproducible experiment: one paper artifact regenerated from one seed.
+///
+/// Implementations must derive every random quantity from `seed` (through
+/// [`mcs_simcore::rng::RngStream`]), so two calls with equal seeds return
+/// reports whose simulated columns are identical. Wall-clock measurements
+/// (throughput columns) are exempt and documented per experiment.
+pub trait Experiment {
+    /// Stable machine name (e.g. `"table5_paradigms"`), unique across the
+    /// registry.
+    fn name(&self) -> &'static str;
+
+    /// Runs the experiment and returns its report.
+    fn run(&self, seed: u64) -> Report;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report::new("demo", "Demo report")
+            .with_seed(9)
+            .with_section(Section::new("").line("preamble"))
+            .with_section(
+                Section::new("numbers")
+                    .table(&["k", "v"], vec![vec!["a".into(), "1".into()]])
+                    .line("done"),
+            )
+    }
+
+    #[test]
+    fn render_contains_title_sections_and_cells() {
+        let text = sample().render();
+        assert!(text.starts_with("# Demo report\n"));
+        assert!(text.contains("## numbers"));
+        assert!(text.contains("preamble"));
+        assert!(text.contains('a'));
+        assert!(text.contains("done"));
+    }
+
+    #[test]
+    fn table_alignment_pads_to_widest_cell() {
+        let t = Table::new(&["col", "x"], vec![vec!["a".into(), "wide-cell".into()]]);
+        let rendered = t.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].contains("---"));
+        assert!(lines[2].ends_with("wide-cell"));
+    }
+
+    #[test]
+    fn json_round_trip_preserves_report() {
+        use mcs_simcore::codec::from_str;
+        let r = sample();
+        let json = r.to_json_string();
+        let back: Report = from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn equal_reports_encode_identically() {
+        assert_eq!(sample().to_json_string(), sample().to_json_string());
+    }
+}

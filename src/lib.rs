@@ -39,6 +39,8 @@
 //! assert_eq!(outcome.unfinished, 0);
 //! ```
 
+pub mod experiment;
+
 pub use mcs_autoscale as autoscale;
 pub use mcs_bigdata as bigdata;
 pub use mcs_core as core;
@@ -53,6 +55,7 @@ pub use mcs_workload as workload;
 
 /// One-stop prelude combining every subsystem prelude.
 pub mod prelude {
+    pub use crate::experiment::{Experiment, Report, Section};
     pub use mcs_autoscale::prelude::*;
     pub use mcs_bigdata::prelude::*;
     pub use mcs_core::prelude::*;

@@ -1,37 +1,51 @@
-//! Property-based tests (proptest) on the core invariants of the workspace.
+//! Property-based tests on the core invariants of the workspace, run on the
+//! in-house seeded harness ([`mcs::simcore::check::Check`]). Each property
+//! draws its inputs from the per-case `RngStream`, so a failure prints the
+//! exact seed needed to replay it.
 
 use mcs::prelude::*;
-use proptest::prelude::*;
+use mcs_simcore::{prop_assert, prop_assert_eq};
 
-proptest! {
-    /// The scheduler conserves tasks: completed + rejected + unfinished
-    /// equals submitted, for arbitrary workloads.
-    #[test]
-    fn scheduler_conserves_tasks(
-        seed in 0u64..500,
-        n_jobs in 1usize..40,
-        cores in 1u32..4,
-    ) {
+/// The scheduler conserves tasks: completed + rejected + unfinished equals
+/// submitted, for arbitrary workloads.
+#[test]
+fn scheduler_conserves_tasks() {
+    Check::new("scheduler_conserves_tasks").cases(48).run(|rng| {
+        let seed = rng.uniform_usize(500) as u64;
+        let n_jobs = 1 + rng.uniform_usize(39);
+        let cores = 1 + rng.uniform_usize(3) as u32;
         let cluster = Cluster::homogeneous(
-            ClusterId(0), "p", MachineSpec::commodity("m", 4.0, 16.0), cores,
+            ClusterId(0),
+            "p",
+            MachineSpec::commodity("m", 4.0, 16.0),
+            cores,
         );
-        let mut rng = RngStream::new(seed, "prop-sched");
-        let jobs: Vec<Job> = (0..n_jobs).map(|i| {
-            let id = JobId(i as u64);
-            let tasks = (0..1 + rng.uniform_usize(3)).map(|k| {
-                Task::independent(
-                    TaskId((i * 10 + k) as u64),
+        let mut wl_rng = RngStream::new(seed, "prop-sched");
+        let jobs: Vec<Job> = (0..n_jobs)
+            .map(|i| {
+                let id = JobId(i as u64);
+                let tasks = (0..1 + wl_rng.uniform_usize(3))
+                    .map(|k| {
+                        Task::independent(
+                            TaskId((i * 10 + k) as u64),
+                            id,
+                            wl_rng.uniform_f64(1.0, 500.0),
+                            mcs::infra::resource::ResourceVector::new(
+                                1.0 + wl_rng.uniform_usize(6) as f64, // may exceed capacity
+                                wl_rng.uniform_f64(0.5, 8.0),
+                            ),
+                        )
+                    })
+                    .collect();
+                Job {
                     id,
-                    rng.uniform_f64(1.0, 500.0),
-                    mcs::infra::resource::ResourceVector::new(
-                        1.0 + rng.uniform_usize(6) as f64, // may exceed capacity
-                        rng.uniform_f64(0.5, 8.0),
-                    ),
-                )
-            }).collect();
-            Job { id, user: UserId(0), kind: JobKind::BagOfTasks,
-                  submit: SimTime::from_secs(rng.uniform_usize(3_600) as u64), tasks }
-        }).collect();
+                    user: UserId(0),
+                    kind: JobKind::BagOfTasks,
+                    submit: SimTime::from_secs(wl_rng.uniform_usize(3_600) as u64),
+                    tasks,
+                }
+            })
+            .collect();
         let submitted: usize = jobs.iter().map(|j| j.tasks.len()).sum();
         let mut sched = ClusterScheduler::new(cluster, SchedulerConfig::default(), seed);
         let out = sched.run(jobs, SimTime::from_secs(30 * 86_400));
@@ -42,34 +56,48 @@ proptest! {
             prop_assert!(c.start >= c.submit);
             prop_assert!(c.finish > c.start);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Resource vectors: fits_in is consistent with checked_sub.
-    #[test]
-    fn resource_fits_iff_checked_sub(
-        a in prop::array::uniform4(0.0f64..64.0),
-        b in prop::array::uniform4(0.0f64..64.0),
-    ) {
-        use mcs::infra::resource::ResourceVector;
+/// Resource vectors: fits_in is consistent with checked_sub.
+#[test]
+fn resource_fits_iff_checked_sub() {
+    use mcs::infra::resource::ResourceVector;
+    Check::new("resource_fits_iff_checked_sub").cases(256).run(|rng| {
+        let mut draw = |scale: f64| -> [f64; 4] {
+            [
+                rng.uniform_f64(0.0, scale),
+                rng.uniform_f64(0.0, scale),
+                rng.uniform_f64(0.0, scale),
+                rng.uniform_f64(0.0, scale),
+            ]
+        };
+        let a = draw(64.0);
+        let b = draw(64.0);
         let want = ResourceVector::new(a[0], a[1]).with_storage_gb(a[2]).with_network_gbps(a[3]);
         let have = ResourceVector::new(b[0], b[1]).with_storage_gb(b[2]).with_network_gbps(b[3]);
         prop_assert_eq!(want.fits_in(&have), have.checked_sub(&want).is_some());
-    }
+        Ok(())
+    });
+}
 
-    /// NFR serial composition is associative for every kind.
-    #[test]
-    fn nfr_serial_composition_associative(
-        x in 0.01f64..10.0,
-        y in 0.01f64..10.0,
-        z in 0.01f64..10.0,
-        av1 in 0.5f64..1.0,
-        av2 in 0.5f64..1.0,
-        av3 in 0.5f64..1.0,
-    ) {
-        let p = |lat: f64, avail: f64| NfrProfile::new()
-            .with(NfrKind::LatencyP95, lat)
-            .with(NfrKind::Availability, avail)
-            .with(NfrKind::Throughput, lat * 100.0);
+/// NFR serial composition is associative for every kind.
+#[test]
+fn nfr_serial_composition_associative() {
+    Check::new("nfr_serial_composition_associative").cases(256).run(|rng| {
+        let x = rng.uniform_f64(0.01, 10.0);
+        let y = rng.uniform_f64(0.01, 10.0);
+        let z = rng.uniform_f64(0.01, 10.0);
+        let av1 = rng.uniform_f64(0.5, 1.0);
+        let av2 = rng.uniform_f64(0.5, 1.0);
+        let av3 = rng.uniform_f64(0.5, 1.0);
+        let p = |lat: f64, avail: f64| {
+            NfrProfile::new()
+                .with(NfrKind::LatencyP95, lat)
+                .with(NfrKind::Availability, avail)
+                .with(NfrKind::Throughput, lat * 100.0)
+        };
         let (a, b, c) = (p(x, av1), p(y, av2), p(z, av3));
         let left = a.compose_serial(&b).compose_serial(&c);
         let right = a.compose_serial(&b.compose_serial(&c));
@@ -80,22 +108,32 @@ proptest! {
                 other => prop_assert!(false, "asymmetric kinds {other:?}"),
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Parallel composition never lowers availability.
-    #[test]
-    fn replication_never_hurts_availability(a in 0.0f64..1.0, b in 0.0f64..1.0) {
+/// Parallel composition never lowers availability.
+#[test]
+fn replication_never_hurts_availability() {
+    Check::new("replication_never_hurts_availability").cases(256).run(|rng| {
+        let a = rng.uniform_f64(0.0, 1.0);
+        let b = rng.uniform_f64(0.0, 1.0);
         let pa = NfrProfile::new().with(NfrKind::Availability, a);
         let pb = NfrProfile::new().with(NfrKind::Availability, b);
         let c = pa.compose_parallel(&pb).get(NfrKind::Availability).unwrap();
         prop_assert!(c >= a - 1e-12);
         prop_assert!(c >= b - 1e-12);
         prop_assert!(c <= 1.0 + 1e-12);
-    }
+        Ok(())
+    });
+}
 
-    /// Elasticity metrics are bounded and perfect tracking scores 1.
-    #[test]
-    fn elasticity_metrics_bounded(demand in prop::collection::vec(0.0f64..100.0, 1..100)) {
+/// Elasticity metrics are bounded and perfect tracking scores 1.
+#[test]
+fn elasticity_metrics_bounded() {
+    Check::new("elasticity_metrics_bounded").cases(128).run(|rng| {
+        let len = 1 + rng.uniform_usize(99);
+        let demand: Vec<f64> = (0..len).map(|_| rng.uniform_f64(0.0, 100.0)).collect();
         let m = ElasticityMetrics::compute(&demand, &demand).unwrap();
         prop_assert_eq!(m.timeshare_under, 0.0);
         prop_assert_eq!(m.timeshare_over, 0.0);
@@ -107,20 +145,32 @@ proptest! {
         prop_assert!((0.0..=1.0).contains(&m2.timeshare_over));
         prop_assert!((0.0..=1.0).contains(&m2.instability));
         prop_assert!(unserved_fraction(&demand, &supply) <= 1.0 + 1e-12);
-    }
+        Ok(())
+    });
+}
 
-    /// Workflow validation accepts every generated DAG and its topological
-    /// order respects dependencies.
-    #[test]
-    fn generated_workflows_are_valid(seed in 0u64..200, width in 2usize..10) {
+/// Workflow validation accepts every generated DAG and its topological order
+/// respects dependencies.
+#[test]
+fn generated_workflows_are_valid() {
+    Check::new("generated_workflows_are_valid").cases(64).run(|rng| {
+        let seed = rng.uniform_usize(200) as u64;
+        let width = 2 + rng.uniform_usize(8);
         let mut shapes = WorkflowShapes::new();
-        let mut rng = RngStream::new(seed, "prop-wf");
+        let mut wf_rng = RngStream::new(seed, "prop-wf");
         let wf = shapes.montage_like(
-            JobId(0), UserId(0), SimTime::ZERO, width, 10.0,
-            mcs::infra::resource::ResourceVector::cores(1.0), &mut rng,
+            JobId(0),
+            UserId(0),
+            SimTime::ZERO,
+            width,
+            10.0,
+            mcs::infra::resource::ResourceVector::cores(1.0),
+            &mut wf_rng,
         );
         let pos: std::collections::HashMap<TaskId, usize> = wf
-            .topological_order().iter().enumerate()
+            .topological_order()
+            .iter()
+            .enumerate()
             .map(|(rank, &idx)| (wf.job().tasks[idx].id, rank))
             .collect();
         for t in &wf.job().tasks {
@@ -129,30 +179,39 @@ proptest! {
             }
         }
         prop_assert!(wf.critical_path_seconds() > 0.0);
-    }
+        Ok(())
+    });
+}
 
-    /// Trace JSON-lines round-trips preserve record counts and fields.
-    #[test]
-    fn trace_roundtrip(seed in 0u64..200, n in 1usize..50) {
+/// Trace JSON-lines round-trips preserve record counts and fields.
+#[test]
+fn trace_roundtrip() {
+    Check::new("trace_roundtrip").cases(64).run(|rng| {
+        let seed = rng.uniform_usize(200) as u64;
+        let n = 1 + rng.uniform_usize(49);
         let mut generator = BatchWorkloadGenerator::new(BatchWorkloadConfig::default());
-        let mut rng = RngStream::new(seed, "prop-trace");
-        let trace = generator.generate_trace(SimTime::from_secs(100_000), n, &mut rng);
-        let bytes = trace.to_jsonl().unwrap();
-        let back = Trace::from_jsonl(&bytes).unwrap();
+        let mut tr_rng = RngStream::new(seed, "prop-trace");
+        let trace = generator.generate_trace(SimTime::from_secs(100_000), n, &mut tr_rng);
+        let bytes = trace.to_jsonl().map_err(|e| e.to_string())?;
+        let back = Trace::from_jsonl(&bytes).map_err(|e| e.to_string())?;
         prop_assert_eq!(trace.len(), back.len());
         for (a, b) in trace.records().iter().zip(back.records()) {
             prop_assert_eq!(a.job_id, b.job_id);
             prop_assert_eq!(a.user, b.user);
             prop_assert!((a.runtime_secs - b.runtime_secs).abs() < 1e-9);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Graph invariants: undirected() is symmetric; WCC labels are
-    /// component minima; BFS depths grow by at most 1 along edges.
-    #[test]
-    fn graph_invariants(seed in 0u64..100) {
-        let mut rng = RngStream::new(seed, "prop-graph");
-        let g = erdos_renyi(80, 160, &mut rng);
+/// Graph invariants: undirected() is symmetric; WCC labels are component
+/// minima; BFS depths grow by at most 1 along edges.
+#[test]
+fn graph_invariants() {
+    Check::new("graph_invariants").cases(32).run(|rng| {
+        let seed = rng.uniform_usize(100) as u64;
+        let mut g_rng = RngStream::new(seed, "prop-graph");
+        let g = erdos_renyi(80, 160, &mut g_rng);
         let u = g.undirected();
         for v in u.vertices() {
             for &t in u.neighbors(v) {
@@ -172,34 +231,47 @@ proptest! {
                 }
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Outage analysis: availability is in [0, 1] and decreases with more
-    /// outages.
-    #[test]
-    fn availability_bounded(seed in 0u64..100, machines in 1usize..50) {
+/// Outage analysis: availability is in [0, 1] and decreases with more
+/// outages.
+#[test]
+fn availability_bounded() {
+    Check::new("availability_bounded").cases(48).run(|rng| {
+        let seed = rng.uniform_usize(100) as u64;
+        let machines = 1 + rng.uniform_usize(49);
         let horizon = SimTime::from_secs(30 * 86_400);
         let model = IndependentFailures::with_mtbf(200.0 * 3600.0);
-        let mut rng = RngStream::new(seed, "prop-fail");
-        let outages = model.generate(machines, horizon, &mut rng);
+        let mut f_rng = RngStream::new(seed, "prop-fail");
+        let outages = model.generate(machines, horizon, &mut f_rng);
         let report = analyze(&outages, machines, horizon);
         prop_assert!((0.0..=1.0).contains(&report.availability));
         prop_assert!(report.peak_concurrent_failures <= machines);
         prop_assert!(report.mean_concurrent_failures <= machines as f64);
-    }
+        Ok(())
+    });
+}
 
-    /// M/M/c predictions are internally consistent (Little's Law) and
-    /// monotone in the number of servers.
-    #[test]
-    fn mmc_consistency(lambda in 0.1f64..20.0, mu in 0.5f64..5.0) {
+/// M/M/c predictions are internally consistent (Little's Law) and monotone
+/// in the number of servers.
+#[test]
+fn mmc_consistency() {
+    Check::new("mmc_consistency").cases(256).run(|rng| {
+        let lambda = rng.uniform_f64(0.1, 20.0);
+        let mu = rng.uniform_f64(0.5, 5.0);
         let c_min = (lambda / mu).ceil() as u32 + 1;
         if let Some(p) = mmc(lambda, mu, c_min) {
-            prop_assert!((littles_law(lambda, p.mean_response_secs) - p.mean_in_system).abs() < 1e-9);
+            prop_assert!(
+                (littles_law(lambda, p.mean_response_secs) - p.mean_in_system).abs() < 1e-9
+            );
             prop_assert!((0.0..1.0).contains(&p.utilization));
             prop_assert!((0.0..=1.0).contains(&p.wait_probability));
             if let Some(p2) = mmc(lambda, mu, c_min + 4) {
                 prop_assert!(p2.mean_wait_secs <= p.mean_wait_secs + 1e-12);
             }
         }
-    }
+        Ok(())
+    });
 }
