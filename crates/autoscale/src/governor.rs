@@ -1,0 +1,233 @@
+//! The autoscaling governor for composed simulations.
+//!
+//! Where [`crate::service::ServiceActor`] simulates a closed world (it
+//! invents its own demand from a rate function), the [`GovernorActor`]
+//! governs *another* actor in the same simulation: it receives
+//! [`GovernorMsg::Observe`] messages carrying the governed subsystem's
+//! measured demand and supply, consults an [`Autoscaler`], and applies
+//! capacity deltas back through a caller-provided callback — scale-ups
+//! after the configured provisioning delay, scale-downs immediately. This
+//! is the wiring the composed "ecosystem" scenario uses to autoscale the
+//! FaaS platform.
+
+use crate::autoscalers::{AutoscaleObservation, Autoscaler};
+use crate::service::ServiceConfig;
+use mcs_simcore::codec::Json;
+use mcs_simcore::engine::{Actor, Context, MessageEnvelope};
+use mcs_simcore::trace::payload;
+
+/// The governor's message vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GovernorMsg {
+    /// A periodic measurement of the governed subsystem.
+    Observe {
+        /// Instances needed over the last interval.
+        demand: f64,
+        /// Instances currently active.
+        supply: usize,
+    },
+    /// Self-scheduled: instances requested one provisioning delay ago are
+    /// ready.
+    Provisioned(usize),
+}
+
+/// Governs another actor's capacity through an [`Autoscaler`].
+///
+/// The `apply` callback receives a signed instance delta: negative for
+/// immediate scale-down, positive when provisioned instances arrive. It
+/// runs inside the simulation, so it may send messages (typically to the
+/// governed actor).
+/// Callback applying a capacity delta to the governed actor.
+pub type CapacityDelta<'a, M> = Box<dyn FnMut(&mut Context<'_, M>, i64) + 'a>;
+
+pub struct GovernorActor<'a, M> {
+    autoscaler: &'a mut dyn Autoscaler,
+    config: ServiceConfig,
+    history: Vec<f64>,
+    interval_index: usize,
+    intervals_per_day: usize,
+    in_flight: usize,
+    decisions: usize,
+    apply: CapacityDelta<'a, M>,
+}
+
+impl<'a, M> GovernorActor<'a, M> {
+    /// Builds a governor applying capacity deltas through `apply`.
+    ///
+    /// # Panics
+    /// Panics when the scaling interval of `config` is zero.
+    pub fn new(
+        autoscaler: &'a mut dyn Autoscaler,
+        config: ServiceConfig,
+        apply: impl FnMut(&mut Context<'_, M>, i64) + 'a,
+    ) -> Self {
+        assert!(!config.scaling_interval.is_zero(), "scaling interval must be positive");
+        let interval_secs = config.scaling_interval.as_secs_f64();
+        let intervals_per_day = ((24.0 * 3600.0) / interval_secs).round().max(1.0) as usize;
+        GovernorActor {
+            autoscaler,
+            config,
+            history: Vec::new(),
+            interval_index: 0,
+            intervals_per_day,
+            in_flight: 0,
+            decisions: 0,
+            apply: Box::new(apply),
+        }
+    }
+
+    /// Number of scaling decisions taken so far.
+    pub fn decisions(&self) -> usize {
+        self.decisions
+    }
+
+    fn observe(&mut self, ctx: &mut Context<'_, M>, demand: f64, supply: usize)
+    where
+        M: MessageEnvelope<GovernorMsg>,
+    {
+        self.history.push(demand);
+        let obs = AutoscaleObservation {
+            demand_history: self.history.clone(),
+            supply,
+            interval_index: self.interval_index,
+            intervals_per_day: self.intervals_per_day,
+        };
+        self.interval_index += 1;
+        self.decisions += 1;
+        let target = self
+            .autoscaler
+            .decide(&obs)
+            .clamp(self.config.min_instances, self.config.max_instances);
+        ctx.emit(
+            "autoscale",
+            "decision",
+            payload(vec![
+                ("demand", Json::Float(demand)),
+                ("supply", Json::UInt(supply as u64)),
+                ("target", Json::UInt(target as u64)),
+            ]),
+        );
+        if target > supply + self.in_flight {
+            let extra = target - supply - self.in_flight;
+            self.in_flight += extra;
+            let delay =
+                self.config.scaling_interval * self.config.provisioning_delay_intervals as u64;
+            ctx.send_self(delay, M::wrap(GovernorMsg::Provisioned(extra)));
+        } else if target < supply {
+            // Scale-down is immediate.
+            let floor = self.config.min_instances.max(target);
+            (self.apply)(ctx, floor as i64 - supply as i64);
+        }
+    }
+
+    fn provisioned(&mut self, ctx: &mut Context<'_, M>, n: usize) {
+        self.in_flight = self.in_flight.saturating_sub(n);
+        ctx.emit(
+            "autoscale",
+            "provisioned",
+            payload(vec![("instances", Json::UInt(n as u64))]),
+        );
+        (self.apply)(ctx, n as i64);
+    }
+}
+
+impl<M: MessageEnvelope<GovernorMsg>> Actor<M> for GovernorActor<'_, M> {
+    fn handle(&mut self, ctx: &mut Context<'_, M>, msg: M) {
+        let Some(msg) = msg.unwrap() else { return };
+        match msg {
+            GovernorMsg::Observe { demand, supply } => self.observe(ctx, demand, supply),
+            GovernorMsg::Provisioned(n) => self.provisioned(ctx, n),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_simcore::engine::Simulation;
+    use mcs_simcore::time::{SimDuration, SimTime};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    struct Fixed(usize);
+    impl Autoscaler for Fixed {
+        fn decide(&mut self, _obs: &AutoscaleObservation) -> usize {
+            self.0
+        }
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+    }
+
+    fn config() -> ServiceConfig {
+        ServiceConfig {
+            scaling_interval: SimDuration::from_secs(60),
+            provisioning_delay_intervals: 2,
+            min_instances: 1,
+            max_instances: 100,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn scale_up_arrives_after_provisioning_delay() {
+        let deltas: Rc<RefCell<Vec<(SimTime, i64)>>> = Rc::new(RefCell::new(Vec::new()));
+        let sink = Rc::clone(&deltas);
+        let mut scaler = Fixed(5);
+        let mut gov = GovernorActor::new(&mut scaler, config(), move |ctx, d| {
+            sink.borrow_mut().push((ctx.now(), d));
+        });
+        let mut sim: Simulation<'_, GovernorMsg> = Simulation::new(0);
+        let id = sim.add_actor(&mut gov);
+        sim.schedule(SimTime::ZERO, id, GovernorMsg::Observe { demand: 5.0, supply: 1 });
+        sim.run();
+        // +4 instances, 2 intervals (120 s) later.
+        assert_eq!(*deltas.borrow(), vec![(SimTime::from_secs(120), 4)]);
+        drop(sim);
+        assert_eq!(gov.decisions(), 1);
+    }
+
+    #[test]
+    fn scale_down_is_immediate_and_floored() {
+        let deltas: Rc<RefCell<Vec<(SimTime, i64)>>> = Rc::new(RefCell::new(Vec::new()));
+        let sink = Rc::clone(&deltas);
+        let mut scaler = Fixed(0);
+        let mut cfg = config();
+        cfg.min_instances = 2;
+        let mut gov = GovernorActor::new(&mut scaler, cfg, move |ctx, d| {
+            sink.borrow_mut().push((ctx.now(), d));
+        });
+        let mut sim: Simulation<'_, GovernorMsg> = Simulation::new(0);
+        let id = sim.add_actor(&mut gov);
+        sim.schedule(
+            SimTime::from_secs(60),
+            id,
+            GovernorMsg::Observe { demand: 0.0, supply: 10 },
+        );
+        sim.run();
+        // Down to the min_instances floor (2), immediately.
+        assert_eq!(*deltas.borrow(), vec![(SimTime::from_secs(60), -8)]);
+    }
+
+    #[test]
+    fn in_flight_instances_are_not_rerequested() {
+        let deltas: Rc<RefCell<Vec<i64>>> = Rc::new(RefCell::new(Vec::new()));
+        let sink = Rc::clone(&deltas);
+        let mut scaler = Fixed(5);
+        let mut gov = GovernorActor::new(&mut scaler, config(), move |_ctx, d| {
+            sink.borrow_mut().push(d);
+        });
+        let mut sim: Simulation<'_, GovernorMsg> = Simulation::new(0);
+        let id = sim.add_actor(&mut gov);
+        // Two observations before the first provisioning completes: the
+        // second must not double-request.
+        sim.schedule(SimTime::ZERO, id, GovernorMsg::Observe { demand: 5.0, supply: 1 });
+        sim.schedule(
+            SimTime::from_secs(60),
+            id,
+            GovernorMsg::Observe { demand: 5.0, supply: 1 },
+        );
+        sim.run();
+        assert_eq!(*deltas.borrow(), vec![4]);
+    }
+}

@@ -21,6 +21,7 @@
 
 pub mod autoscalers;
 pub mod elasticity;
+pub mod governor;
 pub mod service;
 
 /// Convenience re-exports.
@@ -30,5 +31,8 @@ pub mod prelude {
         StaticAutoscaler,
     };
     pub use crate::elasticity::{unserved_fraction, ElasticityMetrics};
-    pub use crate::service::{simulate_service, ServiceConfig, ServiceOutcome};
+    pub use crate::governor::{GovernorActor, GovernorMsg};
+    pub use crate::service::{
+        simulate_service, ServiceActor, ServiceConfig, ServiceMsg, ServiceOutcome,
+    };
 }

@@ -5,6 +5,7 @@
 
 use mcs::experiment::Experiment;
 
+mod ecosystem;
 mod fig1;
 mod fig2;
 mod fig3;
@@ -16,6 +17,7 @@ mod table3;
 mod table4;
 mod table5;
 
+pub use ecosystem::EcosystemComposed;
 pub use fig1::Fig1BigdataEcosystem;
 pub use fig2::Fig2EvolutionTimeline;
 pub use fig3::Fig3DatacenterRefarch;
@@ -40,6 +42,7 @@ pub fn all() -> Vec<Box<dyn Experiment>> {
         Box::new(Table3Challenges),
         Box::new(Table4UseCases),
         Box::new(Table5Paradigms),
+        Box::new(EcosystemComposed),
     ]
 }
 
@@ -55,6 +58,7 @@ mod tests {
         deduped.dedup();
         assert_eq!(deduped.len(), names.len(), "duplicate experiment name");
         assert!(names.contains(&"table5_paradigms"));
-        assert_eq!(names.len(), 10);
+        assert!(names.contains(&"ecosystem_composed"));
+        assert_eq!(names.len(), 11);
     }
 }

@@ -40,6 +40,7 @@ pub mod methods;
 pub mod navigation;
 pub mod nfr;
 pub mod refarch;
+pub mod scenario;
 pub mod selfaware;
 pub mod sla;
 pub mod transparency;
@@ -62,6 +63,7 @@ pub mod prelude {
         all_refarchs, bigdata_refarch, datacenter_refarch, faas_refarch, gaming_refarch,
         Layer, ReferenceArchitecture,
     };
+    pub use crate::scenario::{EcosystemMsg, Scenario, ScenarioConfig, ScenarioOutcome};
     pub use crate::selfaware::{Action, Analysis, EmergenceDetector, Knowledge, MapeLoop};
     pub use crate::sla::{Sla, SlaReport, Slo, SloOutcome};
     pub use crate::transparency::{Audience, OperationalReport};

@@ -1,0 +1,445 @@
+//! Composed ecosystem scenarios: every subsystem in one simulation.
+//!
+//! The paper's central claim is that clouds, grids, schedulers, and
+//! serverless platforms are not isolated systems but one *ecosystem* whose
+//! interesting behaviour is emergent (§2.1, P5). This module is that claim
+//! made executable: a [`Scenario`] wires the batch scheduler (`mcs-rms`),
+//! the autoscaling governor (`mcs-autoscale`), the FaaS platform
+//! (`mcs-faas`), a correlated-failure injector (`mcs-failure`), and a
+//! workload arrival source (`mcs-workload`) into a *single*
+//! [`Simulation`] over one unified message type, [`EcosystemMsg`].
+//!
+//! Every component keeps its own seeded RNG stream (derived from the
+//! scenario seed with a distinct label), so the composition is
+//! deterministic: two runs with the same [`ScenarioConfig`] produce
+//! byte-identical event traces. All cross-component coupling is visible on
+//! the shared [`TraceBus`], which [`ScenarioOutcome`] returns for analysis.
+
+use mcs_autoscale::autoscalers::{Autoscaler, React};
+use mcs_autoscale::governor::{GovernorActor, GovernorMsg};
+use mcs_autoscale::service::ServiceConfig;
+use mcs_faas::actor::{FaasActor, FaasMsg};
+use mcs_faas::platform::{FaasPlatform, FunctionSpec, KeepAlivePolicy, PlatformReport};
+use mcs_failure::inject::{FailureEvent, FailureInjector, InjectorMsg};
+use mcs_failure::model::{FailureModel, SpaceCorrelatedFailures};
+use mcs_infra::prelude::{Cluster, ClusterId, MachineSpec};
+use mcs_rms::portfolio::{default_portfolio, Objective, PortfolioSelector};
+use mcs_rms::scheduler::{ClusterScheduler, RmsMsg, ScheduleOutcome, SchedulerConfig};
+use mcs_simcore::engine::{ActorId, MessageEnvelope, Simulation};
+use mcs_simcore::rng::RngStream;
+use mcs_simcore::time::{SimDuration, SimTime};
+use mcs_simcore::trace::TraceBus;
+use mcs_workload::actor::{ArrivalActor, ArrivalMsg};
+use mcs_workload::arrival::Poisson;
+use mcs_workload::generator::{BatchWorkloadConfig, BatchWorkloadGenerator};
+
+/// The unified message type of a composed ecosystem simulation: one variant
+/// per participating subsystem, each wrapping that subsystem's own message
+/// vocabulary unchanged.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EcosystemMsg {
+    /// Workload arrival source.
+    Arrival(ArrivalMsg),
+    /// Batch cluster scheduler.
+    Rms(RmsMsg),
+    /// Autoscaling governor.
+    Governor(GovernorMsg),
+    /// FaaS platform.
+    Faas(FaasMsg),
+    /// Failure injector.
+    Injector(InjectorMsg),
+}
+
+macro_rules! impl_envelope {
+    ($variant:ident, $inner:ty) => {
+        impl MessageEnvelope<$inner> for EcosystemMsg {
+            fn wrap(inner: $inner) -> Self {
+                EcosystemMsg::$variant(inner)
+            }
+            fn unwrap(self) -> Option<$inner> {
+                match self {
+                    EcosystemMsg::$variant(inner) => Some(inner),
+                    _ => None,
+                }
+            }
+        }
+    };
+}
+
+impl_envelope!(Arrival, ArrivalMsg);
+impl_envelope!(Rms, RmsMsg);
+impl_envelope!(Governor, GovernorMsg);
+impl_envelope!(Faas, FaasMsg);
+impl_envelope!(Injector, InjectorMsg);
+
+/// Parameters of a composed ecosystem run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioConfig {
+    /// Master seed; every component derives its own labelled stream.
+    pub seed: u64,
+    /// Virtual-time horizon of the run.
+    pub horizon: SimTime,
+    /// Machines in the batch cluster (also the failure-model population).
+    pub machines: usize,
+    /// Batch jobs submitted over the horizon.
+    pub batch_jobs: usize,
+    /// FaaS invocation arrival rate, per second.
+    pub arrival_rate: f64,
+    /// Hard cap on FaaS arrivals (guards pathological configurations).
+    pub max_arrivals: usize,
+    /// Keep-alive window of the FaaS warm pool.
+    pub keep_alive: SimDuration,
+    /// Initial FaaS concurrent-instance capacity.
+    pub initial_capacity: usize,
+    /// Autoscaling cadence and bounds (the governor's configuration).
+    pub service: ServiceConfig,
+    /// Cadence of portfolio-scheduler policy ticks.
+    pub policy_interval: SimDuration,
+    /// Per-machine mean time between failures, seconds.
+    pub mtbf_secs: f64,
+    /// Machines per failure-correlation domain (rack/power segment).
+    pub failure_domain: usize,
+    /// Fraction of the idle FaaS warm pool killed per machine failure.
+    pub kill_fraction: f64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            seed: 42,
+            horizon: SimTime::from_secs(4 * 3600),
+            machines: 32,
+            batch_jobs: 60,
+            arrival_rate: 0.5,
+            max_arrivals: 100_000,
+            keep_alive: SimDuration::from_secs(600),
+            initial_capacity: 4,
+            service: ServiceConfig {
+                scaling_interval: SimDuration::from_secs(300),
+                provisioning_delay_intervals: 1,
+                min_instances: 1,
+                max_instances: 64,
+                ..ServiceConfig::default()
+            },
+            policy_interval: SimDuration::from_secs(1800),
+            mtbf_secs: 6.0 * 3600.0,
+            failure_domain: 8,
+            kill_fraction: 0.5,
+        }
+    }
+}
+
+/// What a composed run measured, per subsystem and across them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioOutcome {
+    /// The batch scheduler's outcome.
+    pub schedule: ScheduleOutcome,
+    /// The FaaS platform's report.
+    pub faas: PlatformReport,
+    /// FaaS arrivals delivered by the workload source.
+    pub arrivals: usize,
+    /// Invocations admitted by the capacity cap.
+    pub invoked: u64,
+    /// Invocations rejected by the capacity cap.
+    pub rejected: u64,
+    /// FaaS capacity at the end of the run.
+    pub final_capacity: usize,
+    /// Outages in the generated schedule.
+    pub outages_generated: usize,
+    /// Outages that actually struck before the horizon.
+    pub outages_delivered: usize,
+    /// Scaling decisions the governor took.
+    pub governor_decisions: usize,
+    /// Engine messages delivered across all actors.
+    pub events_handled: u64,
+    /// The cross-cutting event trace of the whole run.
+    pub trace: TraceBus,
+}
+
+/// Builds and runs a composed ecosystem simulation.
+///
+/// ```
+/// use mcs_core::scenario::{Scenario, ScenarioConfig};
+/// use mcs_simcore::time::SimTime;
+///
+/// let config = ScenarioConfig {
+///     horizon: SimTime::from_secs(1800),
+///     machines: 8,
+///     batch_jobs: 10,
+///     ..ScenarioConfig::default()
+/// };
+/// let outcome = Scenario::new(config).run();
+/// assert!(outcome.arrivals > 0 && outcome.events_handled > 0);
+/// ```
+pub struct Scenario {
+    config: ScenarioConfig,
+    autoscaler: Box<dyn Autoscaler>,
+    functions: Vec<FunctionSpec>,
+}
+
+impl Scenario {
+    /// A scenario with the given configuration, a `React` autoscaler, and a
+    /// two-function FaaS deployment (an API handler and a data processor).
+    pub fn new(config: ScenarioConfig) -> Self {
+        Scenario {
+            config,
+            autoscaler: Box::new(React::default()),
+            functions: vec![
+                FunctionSpec::api_handler("api"),
+                FunctionSpec::data_processor("etl"),
+            ],
+        }
+    }
+
+    /// Replaces the autoscaler governing the FaaS platform.
+    #[must_use]
+    pub fn with_autoscaler(mut self, autoscaler: Box<dyn Autoscaler>) -> Self {
+        self.autoscaler = autoscaler;
+        self
+    }
+
+    /// Replaces the FaaS deployment (invocations round-robin across specs).
+    ///
+    /// # Panics
+    /// Panics when `functions` is empty.
+    #[must_use]
+    pub fn with_functions(mut self, functions: Vec<FunctionSpec>) -> Self {
+        assert!(!functions.is_empty(), "scenario needs at least one function");
+        self.functions = functions;
+        self
+    }
+
+    /// Runs the composed simulation to its horizon and returns the outcome.
+    pub fn run(mut self) -> ScenarioOutcome {
+        let cfg = self.config.clone();
+
+        // Per-component RNG streams, all derived from the master seed.
+        let mut workload_rng = RngStream::new(cfg.seed, "workload");
+        let mut failure_rng = RngStream::new(cfg.seed, "failures");
+        let arrival_rng = RngStream::new(cfg.seed, "arrivals");
+
+        // Subsystem state (owned here; actors borrow it below).
+        let cluster = Cluster::homogeneous(
+            ClusterId(0),
+            "batch",
+            MachineSpec::commodity("std-8", 8.0, 32.0),
+            cfg.machines as u32,
+        );
+        let jobs = BatchWorkloadGenerator::new(BatchWorkloadConfig::default()).generate(
+            cfg.horizon,
+            cfg.batch_jobs,
+            &mut workload_rng,
+        );
+        let outages = SpaceCorrelatedFailures::with_mtbf(
+            cfg.mtbf_secs,
+            cfg.machines,
+            cfg.failure_domain,
+        )
+        .generate(cfg.machines, cfg.horizon, &mut failure_rng);
+        let outages_generated = outages.len();
+
+        let mut platform = FaasPlatform::new(KeepAlivePolicy::Fixed(cfg.keep_alive), cfg.seed);
+        for spec in &self.functions {
+            platform.deploy(spec.clone());
+        }
+        let function_names: Vec<String> =
+            self.functions.iter().map(|f| f.name.clone()).collect();
+
+        let mut scheduler =
+            ClusterScheduler::new(cluster, SchedulerConfig::default(), cfg.seed);
+        let mut selector =
+            PortfolioSelector::new(default_portfolio(), Objective::Makespan, cfg.seed);
+
+        // Actor ids are assigned in registration order; fix that order here
+        // so the cross-actor callbacks can address their peers up front.
+        let arrival_id = ActorId::from_index(0);
+        let scheduler_id = ActorId::from_index(1);
+        let governor_id = ActorId::from_index(2);
+        let faas_id = ActorId::from_index(3);
+        let injector_id = ActorId::from_index(4);
+
+        let mut process = Poisson::new(cfg.arrival_rate);
+        let mut arrival = ArrivalActor::new(
+            &mut process,
+            arrival_rng,
+            cfg.horizon,
+            cfg.max_arrivals,
+            move |ctx, index| {
+                let function = function_names[index % function_names.len()].clone();
+                ctx.send(
+                    faas_id,
+                    SimDuration::ZERO,
+                    EcosystemMsg::Faas(FaasMsg::Invoke { function }),
+                );
+            },
+        );
+
+        let mut scheduler_actor = scheduler
+            .actor(jobs, cfg.horizon)
+            .with_selector(&mut selector, cfg.policy_interval);
+
+        let mut governor =
+            GovernorActor::new(self.autoscaler.as_mut(), cfg.service, move |ctx, delta| {
+                ctx.send(
+                    faas_id,
+                    SimDuration::ZERO,
+                    EcosystemMsg::Faas(FaasMsg::Scale(delta)),
+                );
+            });
+
+        let mut faas_actor = FaasActor::new(&mut platform)
+            .with_capacity(cfg.initial_capacity)
+            .with_observer(cfg.service.scaling_interval, move |ctx, demand, supply| {
+                ctx.send(
+                    governor_id,
+                    SimDuration::ZERO,
+                    EcosystemMsg::Governor(GovernorMsg::Observe { demand, supply }),
+                );
+            });
+
+        let kill_fraction = cfg.kill_fraction;
+        let mut injector = FailureInjector::new(outages, move |ctx, event| match event {
+            FailureEvent::Fail(o) => {
+                ctx.send(
+                    scheduler_id,
+                    SimDuration::ZERO,
+                    EcosystemMsg::Rms(RmsMsg::MachineFail(o.machine as u32)),
+                );
+                ctx.send(
+                    faas_id,
+                    SimDuration::ZERO,
+                    EcosystemMsg::Faas(FaasMsg::KillWarm { fraction: kill_fraction }),
+                );
+            }
+            FailureEvent::Repair(o) => {
+                ctx.send(
+                    scheduler_id,
+                    SimDuration::ZERO,
+                    EcosystemMsg::Rms(RmsMsg::MachineRepair(o.machine as u32)),
+                );
+            }
+        })
+        .with_horizon(cfg.horizon);
+
+        let mut sim: Simulation<'_, EcosystemMsg> = Simulation::new(cfg.seed);
+        sim.set_horizon(cfg.horizon);
+        let ids = (
+            sim.add_actor(&mut arrival),
+            sim.add_actor(&mut scheduler_actor),
+            sim.add_actor(&mut governor),
+            sim.add_actor(&mut faas_actor),
+            sim.add_actor(&mut injector),
+        );
+        debug_assert_eq!(
+            ids,
+            (arrival_id, scheduler_id, governor_id, faas_id, injector_id),
+            "actor registration order must match the precomputed ids"
+        );
+        sim.schedule(SimTime::ZERO, ids.0, EcosystemMsg::Arrival(ArrivalMsg::Start));
+        sim.schedule(SimTime::ZERO, ids.1, EcosystemMsg::Rms(RmsMsg::Start));
+        sim.schedule(SimTime::ZERO, ids.4, EcosystemMsg::Injector(InjectorMsg::Start));
+        sim.schedule(
+            SimTime::ZERO + cfg.service.scaling_interval,
+            ids.3,
+            EcosystemMsg::Faas(FaasMsg::Report),
+        );
+        sim.run();
+
+        let events_handled = sim.events_handled();
+        let trace = sim.take_trace();
+        drop(sim);
+
+        let arrivals = arrival.count();
+        let invoked = faas_actor.invoked();
+        let rejected = faas_actor.rejected();
+        let final_capacity = faas_actor.capacity().unwrap_or(0);
+        let outages_delivered = injector.delivered();
+        let governor_decisions = governor.decisions();
+        let schedule = scheduler_actor.outcome();
+        drop(arrival);
+        drop(faas_actor);
+        drop(governor);
+        drop(injector);
+        drop(scheduler_actor);
+        let faas = platform.finish();
+
+        ScenarioOutcome {
+            schedule,
+            faas,
+            arrivals,
+            invoked,
+            rejected,
+            final_capacity,
+            outages_generated,
+            outages_delivered,
+            governor_decisions,
+            events_handled,
+            trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> ScenarioConfig {
+        ScenarioConfig {
+            seed: 7,
+            horizon: SimTime::from_secs(3600),
+            machines: 16,
+            batch_jobs: 20,
+            arrival_rate: 0.4,
+            mtbf_secs: 1.5 * 3600.0,
+            ..ScenarioConfig::default()
+        }
+    }
+
+    #[test]
+    fn composed_run_is_deterministic() {
+        let a = Scenario::new(small_config()).run();
+        let b = Scenario::new(small_config()).run();
+        assert_eq!(a.trace.to_json_string(), b.trace.to_json_string());
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.faas, b.faas);
+        assert_eq!(
+            (a.arrivals, a.invoked, a.rejected, a.events_handled),
+            (b.arrivals, b.invoked, b.rejected, b.events_handled)
+        );
+    }
+
+    #[test]
+    fn every_subsystem_emits_onto_the_shared_trace() {
+        let out = Scenario::new(small_config()).run();
+        let components = out.trace.components();
+        for expected in ["autoscale", "faas", "failure", "rms", "workload"] {
+            assert!(
+                components.iter().any(|c| c == expected),
+                "missing component {expected} in {components:?}"
+            );
+        }
+        assert!(out.arrivals > 0);
+        assert!(out.invoked > 0);
+        assert!(out.outages_delivered > 0, "MTBF too long for the horizon?");
+        assert!(out.governor_decisions > 0);
+        assert!(!out.schedule.completions.is_empty());
+    }
+
+    #[test]
+    fn failures_reach_both_scheduler_and_faas() {
+        let out = Scenario::new(small_config()).run();
+        let fails = out.trace.count("failure", "outage");
+        assert_eq!(fails, out.outages_delivered);
+        assert_eq!(out.trace.count("faas", "kill_warm"), fails);
+        assert_eq!(out.trace.count("rms", "machine_fail"), fails);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = Scenario::new(small_config()).run();
+        let mut cfg = small_config();
+        cfg.seed = 8;
+        let b = Scenario::new(cfg).run();
+        assert_ne!(a.trace.to_json_string(), b.trace.to_json_string());
+    }
+}

@@ -27,11 +27,13 @@
 //! assert!(report.cold_fraction < 0.2);
 //! ```
 
+pub mod actor;
 pub mod composition;
 pub mod platform;
 
 /// Convenience re-exports.
 pub mod prelude {
+    pub use crate::actor::{FaasActor, FaasMsg, FaasObserver};
     pub use crate::composition::{
         execute_composition, Composition, CompositionResult, Stage,
     };

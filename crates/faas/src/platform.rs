@@ -3,7 +3,9 @@
 //! routing, and fine-grained billing (§6.5: "billed at a very fine
 //! resource-granularity").
 
+use crate::actor::{FaasActor, FaasMsg};
 use mcs_simcore::dist::{Dist, Sample};
+use mcs_simcore::engine::Simulation;
 use mcs_simcore::metrics::Summary;
 use mcs_simcore::rng::RngStream;
 use mcs_simcore::time::{SimDuration, SimTime};
@@ -131,6 +133,7 @@ pub struct FaasPlatform {
     billed: f64,
     provider: f64,
     lifetime_events: Vec<(SimTime, i64)>,
+    seed: u64,
 }
 
 impl FaasPlatform {
@@ -146,6 +149,7 @@ impl FaasPlatform {
             billed: 0.0,
             provider: 0.0,
             lifetime_events: Vec::new(),
+            seed,
         }
     }
 
@@ -229,24 +233,117 @@ impl FaasPlatform {
         result
     }
 
-    /// Runs a chronologically sorted invocation stream, then finalizes the
-    /// platform (drains pools, closes billing) and returns the report.
+    /// Runs a chronologically sorted invocation stream through the
+    /// discrete-event engine, then finalizes the platform (drains pools,
+    /// closes billing) and returns the report.
+    ///
+    /// This is a thin wrapper: it registers a single [`FaasActor`] in a
+    /// [`Simulation`], schedules one [`FaasMsg::Invoke`] per invocation, and
+    /// runs to quiescence.
     ///
     /// # Panics
     /// Panics when an invocation names an unknown function.
     pub fn run(&mut self, mut invocations: Vec<Invocation>) -> PlatformReport {
         invocations.sort_by_key(|i| i.at);
+        let seed = self.seed;
+        let mut actor = FaasActor::new(self);
+        let mut sim: Simulation<'_, FaasMsg> = Simulation::new(seed);
+        let id = sim.add_actor(&mut actor);
         for inv in invocations {
-            self.invoke(&inv.function, inv.at);
+            sim.schedule(inv.at, id, FaasMsg::Invoke { function: inv.function });
         }
+        sim.run();
+        drop(sim);
+        drop(actor);
         self.finish()
+    }
+
+    /// Instances currently executing an invocation at instant `at`.
+    pub fn busy_instances(&self, at: SimTime) -> usize {
+        self.pools.values().flatten().filter(|i| i.free_at > at).count()
+    }
+
+    /// Instances idle (warm, not executing) at instant `at`, including any
+    /// whose keep-alive window has lapsed but which have not yet been
+    /// reclaimed by the lazy expiry in [`FaasPlatform::invoke`].
+    pub fn idle_instances(&self, at: SimTime) -> usize {
+        self.pools.values().flatten().filter(|i| i.free_at <= at).count()
+    }
+
+    /// Reclaims expired idle instances across every pool, charging each to
+    /// its keep-alive expiry instant. Called before [`FaasPlatform::kill_idle`]
+    /// so a failure never "kills" an instance that had already lapsed.
+    pub fn expire_idle(&mut self, at: SimTime) {
+        let window = self.keep_alive.window();
+        let mut names: Vec<&String> = self.pools.keys().collect();
+        names.sort_unstable();
+        let names: Vec<String> = names.into_iter().cloned().collect();
+        for name in names {
+            let spec_gb = self.functions[&name].memory_gb;
+            let pool = self.pools.get_mut(&name).expect("pool exists");
+            let (provider, events) = (&mut self.provider, &mut self.lifetime_events);
+            pool.retain(|i| {
+                let expired = i.free_at <= at && (at - i.free_at) > window;
+                if expired {
+                    let end = i.free_at + window;
+                    *provider += spec_gb * (end - i.started_at).as_secs_f64();
+                    events.push((i.started_at, 1));
+                    events.push((end, -1));
+                }
+                !expired
+            });
+        }
+    }
+
+    /// Kills up to `count` idle warm instances at instant `at` — least
+    /// recently used first, ties broken by function name — and returns how
+    /// many were killed. Models a correlated failure striking the warm pool:
+    /// killed instances stop accruing provider cost at `at`, and subsequent
+    /// invocations of those functions cold-start again.
+    pub fn kill_idle(&mut self, at: SimTime, count: usize) -> usize {
+        self.expire_idle(at);
+        let mut candidates: Vec<(SimTime, String, usize)> = Vec::new();
+        for (name, pool) in &self.pools {
+            for (idx, inst) in pool.iter().enumerate() {
+                if inst.free_at <= at {
+                    candidates.push((inst.last_used, name.clone(), idx));
+                }
+            }
+        }
+        candidates.sort();
+        candidates.truncate(count);
+        let killed = candidates.len();
+        // Remove per pool in descending index order so indices stay valid
+        // and survivor order (hence future LIFO routing) is preserved.
+        let mut by_pool: HashMap<String, Vec<usize>> = HashMap::new();
+        for (_, name, idx) in candidates {
+            by_pool.entry(name).or_default().push(idx);
+        }
+        let mut names: Vec<String> = by_pool.keys().cloned().collect();
+        names.sort_unstable();
+        for name in names {
+            let spec_gb = self.functions[&name].memory_gb;
+            let mut idxs = by_pool.remove(&name).expect("victims exist");
+            idxs.sort_unstable_by(|a, b| b.cmp(a));
+            let pool = self.pools.get_mut(&name).expect("pool exists");
+            for idx in idxs {
+                let inst = pool.remove(idx);
+                self.provider += spec_gb * (at - inst.started_at).as_secs_f64();
+                self.lifetime_events.push((inst.started_at, 1));
+                self.lifetime_events.push((at, -1));
+            }
+        }
+        killed
     }
 
     /// Finalizes the platform: closes every live instance at its keep-alive
     /// expiry, computes totals, and resets pools and logs for reuse.
     pub fn finish(&mut self) -> PlatformReport {
         let window = self.keep_alive.window();
-        for (name, pool) in self.pools.drain() {
+        let mut names: Vec<String> = self.pools.keys().cloned().collect();
+        names.sort_unstable();
+        for name in names {
+            let pool = self.pools.remove(&name).expect("pool exists");
             let spec = &self.functions[&name];
             for i in pool {
                 let end = i.free_at + window;

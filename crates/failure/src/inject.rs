@@ -1,0 +1,220 @@
+//! Replays an outage schedule into a live discrete-event simulation.
+//!
+//! The models in [`crate::model`] generate outage *schedules* up front; the
+//! [`FailureInjector`] actor turns such a schedule into engine messages, so
+//! failures and repairs interleave with scheduler, autoscaler, and platform
+//! events in one [`Simulation`](mcs_simcore::engine::Simulation). A
+//! caller-provided `deliver` callback fans each event out to the affected
+//! subsystems (e.g. a `MachineFail` to the scheduler, a warm-pool kill to
+//! the FaaS platform).
+//!
+//! The injector keeps a cursor into the pre-sorted schedule and arms only
+//! the *next* outage, so a year-long schedule costs one pending event, not
+//! thousands.
+
+use crate::model::Outage;
+use mcs_simcore::codec::Json;
+use mcs_simcore::engine::{Actor, Context, MessageEnvelope};
+use mcs_simcore::time::SimTime;
+use mcs_simcore::trace::payload;
+
+/// The injector's message vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectorMsg {
+    /// Kick-off: arm the first outage.
+    Start,
+    /// The outage under the cursor strikes now.
+    Fail,
+    /// The outage at this schedule index is repaired now.
+    Repair(usize),
+}
+
+/// One failure-domain event delivered to the scenario callback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureEvent {
+    /// The machine of this outage just failed.
+    Fail(Outage),
+    /// The machine of this outage just came back.
+    Repair(Outage),
+}
+
+/// Callback receiving each [`FailureEvent`] as it fires.
+pub type FailureSink<'a, M> = Box<dyn FnMut(&mut Context<'_, M>, FailureEvent) + 'a>;
+
+/// Replays a sorted outage schedule as engine messages.
+pub struct FailureInjector<'a, M> {
+    outages: Vec<Outage>,
+    cursor: usize,
+    horizon: Option<SimTime>,
+    delivered: usize,
+    deliver: FailureSink<'a, M>,
+}
+
+impl<'a, M: MessageEnvelope<InjectorMsg>> FailureInjector<'a, M> {
+    /// Builds an injector over `outages` (sorted internally by
+    /// `(fail_at, machine)`, the order the models already emit).
+    pub fn new(
+        mut outages: Vec<Outage>,
+        deliver: impl FnMut(&mut Context<'_, M>, FailureEvent) + 'a,
+    ) -> Self {
+        outages.sort_by_key(|o| (o.fail_at, o.machine));
+        FailureInjector {
+            outages,
+            cursor: 0,
+            horizon: None,
+            delivered: 0,
+            deliver: Box::new(deliver),
+        }
+    }
+
+    /// Ignores outages failing at or after `horizon` and clamps repair
+    /// instants to it.
+    #[must_use]
+    pub fn with_horizon(mut self, horizon: SimTime) -> Self {
+        self.horizon = Some(horizon);
+        self
+    }
+
+    /// Outage failures delivered so far.
+    pub fn delivered(&self) -> usize {
+        self.delivered
+    }
+
+    fn arm_next(&mut self, ctx: &mut Context<'_, M>) {
+        if let Some(o) = self.outages.get(self.cursor) {
+            if self.horizon.is_some_and(|h| o.fail_at >= h) {
+                // The schedule is sorted: everything from here on is late too.
+                self.cursor = self.outages.len();
+            } else {
+                ctx.send_at(ctx.self_id(), o.fail_at, M::wrap(InjectorMsg::Fail));
+            }
+        }
+    }
+
+    fn fail(&mut self, ctx: &mut Context<'_, M>) {
+        let idx = self.cursor;
+        let o = self.outages[idx];
+        self.cursor += 1;
+        self.delivered += 1;
+        ctx.emit(
+            "failure",
+            "outage",
+            payload(vec![
+                ("machine", Json::UInt(o.machine as u64)),
+                ("downtime_secs", Json::Float(o.duration().as_secs_f64())),
+            ]),
+        );
+        (self.deliver)(ctx, FailureEvent::Fail(o));
+        let repair_at = match self.horizon {
+            Some(h) => o.repair_at.min(h),
+            None => o.repair_at,
+        };
+        ctx.send_at(ctx.self_id(), repair_at, M::wrap(InjectorMsg::Repair(idx)));
+        self.arm_next(ctx);
+    }
+
+    fn repair(&mut self, ctx: &mut Context<'_, M>, idx: usize) {
+        let o = self.outages[idx];
+        ctx.emit(
+            "failure",
+            "repair",
+            payload(vec![("machine", Json::UInt(o.machine as u64))]),
+        );
+        (self.deliver)(ctx, FailureEvent::Repair(o));
+    }
+}
+
+impl<M: MessageEnvelope<InjectorMsg>> Actor<M> for FailureInjector<'_, M> {
+    fn handle(&mut self, ctx: &mut Context<'_, M>, msg: M) {
+        let Some(msg) = msg.unwrap() else { return };
+        match msg {
+            InjectorMsg::Start => self.arm_next(ctx),
+            InjectorMsg::Fail => self.fail(ctx),
+            InjectorMsg::Repair(idx) => self.repair(ctx, idx),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_simcore::engine::Simulation;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn outage(machine: usize, fail: u64, repair: u64) -> Outage {
+        Outage {
+            machine,
+            fail_at: SimTime::from_secs(fail),
+            repair_at: SimTime::from_secs(repair),
+        }
+    }
+
+    fn run_injector(
+        outages: Vec<Outage>,
+        horizon: Option<SimTime>,
+    ) -> (Vec<(SimTime, FailureEvent)>, usize, usize, usize) {
+        let log: Rc<RefCell<Vec<(SimTime, FailureEvent)>>> = Rc::new(RefCell::new(Vec::new()));
+        let sink = Rc::clone(&log);
+        let mut inj: FailureInjector<'_, InjectorMsg> =
+            FailureInjector::new(outages, move |ctx, ev| {
+                sink.borrow_mut().push((ctx.now(), ev));
+            });
+        if let Some(h) = horizon {
+            inj = inj.with_horizon(h);
+        }
+        let mut sim: Simulation<'_, InjectorMsg> = Simulation::new(0);
+        let id = sim.add_actor(&mut inj);
+        sim.schedule(SimTime::ZERO, id, InjectorMsg::Start);
+        sim.run();
+        let fails = sim.trace().count("failure", "outage");
+        let repairs = sim.trace().count("failure", "repair");
+        drop(sim);
+        let events = log.borrow().clone();
+        (events, inj.delivered(), fails, repairs)
+    }
+
+    #[test]
+    fn delivers_fails_and_repairs_in_time_order() {
+        let (events, delivered, fails, repairs) =
+            run_injector(vec![outage(0, 10, 50), outage(1, 20, 30)], None);
+        assert_eq!(delivered, 2);
+        assert_eq!((fails, repairs), (2, 2));
+        let kinds: Vec<(u64, bool)> = events
+            .iter()
+            .map(|(t, ev)| (t.as_secs_f64() as u64, matches!(ev, FailureEvent::Fail(_))))
+            .collect();
+        assert_eq!(kinds, vec![(10, true), (20, true), (30, false), (50, false)]);
+    }
+
+    #[test]
+    fn burst_at_same_instant_delivers_in_machine_order() {
+        let (events, ..) =
+            run_injector(vec![outage(7, 10, 40), outage(3, 10, 20), outage(5, 10, 30)], None);
+        let fail_machines: Vec<usize> = events
+            .iter()
+            .filter_map(|(_, ev)| match ev {
+                FailureEvent::Fail(o) => Some(o.machine),
+                FailureEvent::Repair(_) => None,
+            })
+            .collect();
+        assert_eq!(fail_machines, vec![3, 5, 7]);
+    }
+
+    #[test]
+    fn horizon_skips_late_outages_and_clamps_repairs() {
+        let (events, delivered, ..) = run_injector(
+            vec![outage(0, 10, 500), outage(1, 200, 300)],
+            Some(SimTime::from_secs(100)),
+        );
+        assert_eq!(delivered, 1, "outage at 200 s is past the 100 s horizon");
+        let repair_times: Vec<u64> = events
+            .iter()
+            .filter_map(|(t, ev)| match ev {
+                FailureEvent::Repair(_) => Some(t.as_secs_f64() as u64),
+                FailureEvent::Fail(_) => None,
+            })
+            .collect();
+        assert_eq!(repair_times, vec![100], "repair clamped to the horizon");
+    }
+}

@@ -20,11 +20,13 @@
 //! ```
 
 pub mod analysis;
+pub mod inject;
 pub mod model;
 
 /// Convenience re-exports.
 pub mod prelude {
     pub use crate::analysis::{analyze, longest_degradation, merge_per_machine, AvailabilityReport};
+    pub use crate::inject::{FailureEvent, FailureInjector, InjectorMsg};
     pub use crate::model::{
         FailureModel, IndependentFailures, Outage, SpaceCorrelatedFailures,
         TimeCorrelatedFailures,

@@ -52,7 +52,7 @@ pub mod prelude {
         ProvisioningPolicy, StaticProvisioning,
     };
     pub use crate::scheduler::{
-        ClusterScheduler, PolicySelector, QueuePolicy, ScheduleOutcome, SchedulerConfig,
-        SchedulerView,
+        ClusterScheduler, PolicySelector, QueuePolicy, RmsMsg, ScheduleOutcome, SchedulerActor,
+        SchedulerConfig, SchedulerView,
     };
 }

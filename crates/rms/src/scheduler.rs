@@ -6,18 +6,29 @@
 //! `AllocationPolicy`, optionally
 //! backfilled (EASY-style, with clairvoyant runtimes), and may be killed and
 //! requeued by injected machine failures.
+//!
+//! The scheduler is an engine actor: [`SchedulerActor`] implements
+//! [`Actor`] over any message type enveloping [`RmsMsg`], so the same code
+//! drives both the single-actor wrappers ([`ClusterScheduler::run`],
+//! [`ClusterScheduler::run_adaptive`]) and composed multi-subsystem
+//! scenarios (`mcs_core::scenario`), where machine failures arrive as
+//! messages from a failure-injector actor instead of a self-scheduled
+//! outage cursor. Every state change is emitted onto the simulation's
+//! trace bus under component `"rms"`.
 
 use crate::allocation::AllocationPolicy;
 use mcs_failure::model::Outage;
 use mcs_infra::cluster::Cluster;
 use mcs_infra::machine::MachineId;
 use mcs_infra::resource::ResourceVector;
+use mcs_simcore::codec::Json;
+use mcs_simcore::engine::{Actor, Context, MessageEnvelope, Simulation};
 use mcs_simcore::metrics::TimeWeighted;
 use mcs_simcore::rng::RngStream;
 use mcs_simcore::time::{SimDuration, SimTime};
+use mcs_simcore::trace::payload;
 use mcs_workload::task::{Job, TaskCompletion, TaskId};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{HashMap, HashSet};
 
 /// Queue-ordering disciplines.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -139,13 +150,34 @@ struct RunningTask {
     ends: SimTime,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-enum Event {
+/// The scheduler's message vocabulary on the simulation engine.
+///
+/// `Start`, `TaskFinish`, `PolicyTick`, and `NextOutage` are self-scheduled;
+/// `JobArrival` comes from `Start` (single-actor runs) or a workload actor,
+/// and `MachineFail` / `MachineRepair` from the outage cursor (single-actor
+/// runs) or a failure-injector actor (composed scenarios).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RmsMsg {
+    /// Bootstraps a run: schedules arrivals, outages, and policy ticks.
+    Start,
+    /// Job `jobs[idx]` submits; its dependency-free tasks join the queue.
     JobArrival(usize),
-    TaskFinish { task_idx: usize, generation: u32 },
+    /// A placed task's (clairvoyant) runtime elapsed. Stale if `generation`
+    /// no longer matches (the task was killed and requeued meanwhile).
+    TaskFinish {
+        /// Index into the flattened task table.
+        task_idx: usize,
+        /// Placement generation the finish belongs to.
+        generation: u32,
+    },
+    /// Machine `m` fails; running tasks there are killed and requeued.
     MachineFail(u32),
+    /// Machine `m` comes back.
     MachineRepair(u32),
+    /// Consult the [`PolicySelector`] and adopt its configuration.
     PolicyTick,
+    /// Apply the next entry of the sorted outage schedule.
+    NextOutage,
 }
 
 /// A read-only snapshot handed to a [`PolicySelector`] at each decision tick.
@@ -216,12 +248,19 @@ pub struct ClusterScheduler {
     config: SchedulerConfig,
     rng: RngStream,
     outages: Vec<Outage>,
+    seed: u64,
 }
 
 impl ClusterScheduler {
     /// Creates a scheduler over a cluster.
     pub fn new(cluster: Cluster, config: SchedulerConfig, seed: u64) -> Self {
-        ClusterScheduler { cluster, config, rng: RngStream::new(seed, "scheduler"), outages: Vec::new() }
+        ClusterScheduler {
+            cluster,
+            config,
+            rng: RngStream::new(seed, "scheduler"),
+            outages: Vec::new(),
+            seed,
+        }
     }
 
     /// Injects an outage schedule (machines indexed within the cluster).
@@ -235,10 +274,33 @@ impl ClusterScheduler {
         &self.cluster
     }
 
+    /// Builds the engine actor for this scheduler over one workload, for
+    /// embedding in a composed [`Simulation`] (see `mcs_core::scenario`).
+    /// The actor borrows the scheduler; extract results with
+    /// [`SchedulerActor::outcome`] after the simulation is dropped.
+    pub fn actor(&mut self, jobs: Vec<Job>, horizon: SimTime) -> SchedulerActor<'_> {
+        SchedulerActor::new(&mut self.cluster, &mut self.config, &mut self.rng, jobs, horizon)
+    }
+
     /// Runs the workload to completion or until `horizon`, whichever comes
     /// first, and returns the measured outcome.
+    ///
+    /// A thin wrapper: builds a single-actor [`Simulation`] around
+    /// [`SchedulerActor`] (with the outage schedule self-applied) and runs
+    /// it to quiescence.
     pub fn run(&mut self, jobs: Vec<Job>, horizon: SimTime) -> ScheduleOutcome {
-        self.run_inner(jobs, horizon, None)
+        let seed = self.seed;
+        let outages = self.outages.clone();
+        let mut actor = SchedulerActor::new(
+            &mut self.cluster,
+            &mut self.config,
+            &mut self.rng,
+            jobs,
+            horizon,
+        )
+        .with_outages(outages);
+        run_single(seed, horizon, &mut actor);
+        actor.outcome()
     }
 
     /// Like [`ClusterScheduler::run`], but consults `selector` every
@@ -251,27 +313,84 @@ impl ClusterScheduler {
         selector: &mut dyn PolicySelector,
         interval: SimDuration,
     ) -> ScheduleOutcome {
-        self.run_inner(jobs, horizon, Some((selector, interval)))
+        let seed = self.seed;
+        let outages = self.outages.clone();
+        let mut actor = SchedulerActor::new(
+            &mut self.cluster,
+            &mut self.config,
+            &mut self.rng,
+            jobs,
+            horizon,
+        )
+        .with_outages(outages)
+        .with_selector(selector, interval);
+        run_single(seed, horizon, &mut actor);
+        actor.outcome()
     }
+}
 
-    fn run_inner(
-        &mut self,
+/// Drives one borrowed actor through a dedicated single-actor simulation.
+fn run_single(seed: u64, horizon: SimTime, actor: &mut SchedulerActor<'_>) {
+    let mut sim: Simulation<'_, RmsMsg> = Simulation::new(seed);
+    sim.set_horizon(horizon);
+    let id = sim.add_actor(actor);
+    sim.schedule(SimTime::ZERO, id, RmsMsg::Start);
+    sim.run();
+}
+
+/// The scheduler as a simulation actor.
+///
+/// Generic over any envelope of [`RmsMsg`], so it runs unchanged inside the
+/// single-actor wrappers and inside composed scenarios. Borrows the
+/// cluster, configuration, and RNG stream from its [`ClusterScheduler`] so
+/// the owner observes post-run state (adopted policy, machine health).
+pub struct SchedulerActor<'a> {
+    cluster: &'a mut Cluster,
+    config: &'a mut SchedulerConfig,
+    rng: &'a mut RngStream,
+    jobs: Vec<Job>,
+    horizon: SimTime,
+    selector: Option<(&'a mut dyn PolicySelector, SimDuration)>,
+    // Outage schedule, pre-sorted by start time; `next_outage` is the cursor
+    // so each `NextOutage` event applies one entry and arms the next,
+    // keeping the event queue small regardless of schedule length.
+    outages: Vec<Outage>,
+    next_outage: usize,
+    flat: Vec<FlatTask>,
+    index: HashMap<TaskId, usize>,
+    queue: Vec<PendingTask>,
+    queue_dirty: bool,
+    running: HashMap<usize, RunningTask>,
+    on_machine: HashMap<u32, HashSet<usize>>,
+    generation: Vec<u32>,
+    completions: Vec<TaskCompletion>,
+    failure_requeues: usize,
+    deadline_misses: usize,
+    rejected: HashSet<usize>,
+    core_capacity: f64,
+    used_cores: f64,
+    util: TimeWeighted,
+    qlen: TimeWeighted,
+    last_finish: SimTime,
+}
+
+impl<'a> SchedulerActor<'a> {
+    /// Builds the actor: flattens tasks, indexes dependencies, and decides
+    /// admission per task (no machine can ever host an oversized request).
+    pub fn new(
+        cluster: &'a mut Cluster,
+        config: &'a mut SchedulerConfig,
+        rng: &'a mut RngStream,
         jobs: Vec<Job>,
         horizon: SimTime,
-        mut adaptive: Option<(&mut dyn PolicySelector, SimDuration)>,
-    ) -> ScheduleOutcome {
-        // Flatten tasks, index dependencies.
+    ) -> Self {
         let mut flat: Vec<FlatTask> = Vec::new();
         let mut index: HashMap<TaskId, usize> = HashMap::new();
         for (j, job) in jobs.iter().enumerate() {
             for t in &job.tasks {
                 let idx = flat.len();
                 index.insert(t.id, idx);
-                // Admission control, decided once per task: no machine in
-                // this cluster can ever host a request larger than its
-                // total capacity (machine capacity is static).
-                let feasible =
-                    self.cluster.machines().iter().any(|m| t.req.fits_in(&m.capacity()));
+                let feasible = cluster.machines().iter().any(|m| t.req.fits_in(&m.capacity()));
                 flat.push(FlatTask {
                     id: t.id,
                     job_idx: j,
@@ -296,224 +415,291 @@ impl ClusterScheduler {
                 }
             }
         }
-
-        let mut events: BinaryHeap<Reverse<(SimTime, u64, Event)>> = BinaryHeap::new();
-        let mut seq: u64 = 0;
-        let push = |h: &mut BinaryHeap<Reverse<(SimTime, u64, Event)>>,
-                        seq: &mut u64,
-                        at: SimTime,
-                        ev: Event| {
-            h.push(Reverse((at, *seq, ev)));
-            *seq += 1;
-        };
-        for (j, job) in jobs.iter().enumerate() {
-            push(&mut events, &mut seq, job.submit, Event::JobArrival(j));
-        }
-        for o in &self.outages {
-            if o.fail_at < horizon {
-                push(&mut events, &mut seq, o.fail_at, Event::MachineFail(o.machine as u32));
-                push(&mut events, &mut seq, o.repair_at.min(horizon), Event::MachineRepair(o.machine as u32));
-            }
-        }
-        if let Some((_, interval)) = &adaptive {
-            push(&mut events, &mut seq, SimTime::ZERO + *interval, Event::PolicyTick);
-        }
-
-        let mut queue: Vec<PendingTask> = Vec::new();
-        let mut queue_dirty = false;
-        let mut running: HashMap<usize, RunningTask> = HashMap::new();
-        let mut on_machine: HashMap<u32, HashSet<usize>> = HashMap::new();
-        let mut generation: Vec<u32> = vec![0; flat.len()];
-        let mut completions: Vec<TaskCompletion> = Vec::new();
-        let mut failure_requeues = 0usize;
-        let mut deadline_misses = 0usize;
-        let mut rejected_tasks: HashSet<usize> = HashSet::new();
-
-        let core_capacity = self.cluster.capacity().cpu_cores.max(1e-9);
-        let mut util = TimeWeighted::new(SimTime::ZERO, 0.0);
-        let mut used_cores = 0.0f64;
-        let mut qlen = TimeWeighted::new(SimTime::ZERO, 0.0);
-        let mut last_finish = SimTime::ZERO;
-
-        while let Some(Reverse((at, _, ev))) = events.pop() {
-            if at > horizon {
-                break;
-            }
-            let now = at;
-            match ev {
-                Event::JobArrival(j) => {
-                    for t in &jobs[j].tasks {
-                        let ti = index[&t.id];
-                        if flat[ti].deps_left == 0 {
-                            if flat[ti].feasible {
-                                queue.push(PendingTask { task_idx: ti, ready_at: now });
-                                queue_dirty = true;
-                            } else {
-                                rejected_tasks.insert(ti);
-                            }
-                        }
-                    }
-                }
-                Event::TaskFinish { task_idx, generation: g } => {
-                    if generation[task_idx] != g {
-                        continue; // stale: the task was killed and requeued
-                    }
-                    let Some(rt) = running.remove(&task_idx) else { continue };
-                    on_machine.entry(rt.machine.0).or_default().remove(&task_idx);
-                    self.cluster.machine_mut(rt.machine).release(&rt.req);
-                    used_cores -= rt.req.cpu_cores;
-                    util.set(now, used_cores / core_capacity);
-                    let ft = &mut flat[task_idx];
-                    ft.done = true;
-                    ft.demand_left = 0.0;
-                    last_finish = last_finish.max(now);
-                    let comp = TaskCompletion {
-                        task: ft.id,
-                        job: jobs[ft.job_idx].id,
-                        submit: ft.submit,
-                        start: rt.started,
-                        finish: now,
-                    };
-                    if let Some(dl) = ft.deadline {
-                        if comp.response_time() > dl {
-                            deadline_misses += 1;
-                        }
-                    }
-                    completions.push(comp);
-                    let children = flat[task_idx].children.clone();
-                    for c in children {
-                        flat[c].deps_left -= 1;
-                        if flat[c].deps_left == 0 && !flat[c].done {
-                            if flat[c].feasible {
-                                queue.push(PendingTask { task_idx: c, ready_at: now });
-                                queue_dirty = true;
-                            } else {
-                                rejected_tasks.insert(c);
-                            }
-                        }
-                    }
-                }
-                Event::MachineFail(m) => {
-                    let mid = MachineId(m);
-                    if (mid.0 as usize) < self.cluster.len() {
-                        self.cluster.machine_mut(mid).fail();
-                        // Kill and requeue everything that was running there.
-                        if let Some(victims) = on_machine.remove(&m) {
-                            for ti in victims {
-                                if let Some(rt) = running.remove(&ti) {
-                                    used_cores -= rt.req.cpu_cores;
-                                    failure_requeues += 1;
-                                    generation[ti] += 1;
-                                    // Keep checkpointed progress.
-                                    let progressed = (now - rt.started).as_secs_f64()
-                                        * rt.req.cpu_cores
-                                        * self.config.checkpoint_factor;
-                                    flat[ti].demand_left =
-                                        (flat[ti].demand_left - progressed).max(0.01);
-                                    queue.push(PendingTask { task_idx: ti, ready_at: now });
-                                    queue_dirty = true;
-                                }
-                            }
-                            util.set(now, used_cores / core_capacity);
-                        }
-                    }
-                }
-                Event::MachineRepair(m) => {
-                    let mid = MachineId(m);
-                    if (mid.0 as usize) < self.cluster.len() {
-                        self.cluster.machine_mut(mid).repair();
-                    }
-                }
-                Event::PolicyTick => {
-                    if let Some((selector, interval)) = &mut adaptive {
-                        let view = SchedulerView {
-                            now,
-                            queued: queue
-                                .iter()
-                                .map(|p| (flat[p.task_idx].demand_left, flat[p.task_idx].req))
-                                .collect(),
-                            cluster: &self.cluster,
-                            running: running.len(),
-                            current: self.config,
-                        };
-                        let new_config = selector.select(&view);
-                        if new_config != self.config {
-                            self.config = new_config;
-                            queue_dirty = true;
-                        }
-                        let next = now + *interval;
-                        if next <= horizon {
-                            events.push(Reverse((next, seq, Event::PolicyTick)));
-                            seq += 1;
-                        }
-                    }
-                }
-            }
-
-            // Dispatch pass.
-            self.dispatch(
-                now,
-                &mut queue,
-                &mut queue_dirty,
-                &mut flat,
-                &mut running,
-                &mut on_machine,
-                &mut generation,
-                &mut events,
-                &mut seq,
-                &mut used_cores,
-                core_capacity,
-                &mut util,
-            );
-            qlen.set(now, queue.len() as f64);
-        }
-
-        let end = last_finish;
-        let unfinished = flat
-            .iter()
-            .enumerate()
-            .filter(|(i, t)| !t.done && !rejected_tasks.contains(i))
-            .count();
-        ScheduleOutcome {
-            makespan: end.saturating_since(SimTime::ZERO),
-            mean_utilization: util.average_until(end.max(SimTime::from_nanos(1))),
-            mean_queue_length: qlen.average_until(end.max(SimTime::from_nanos(1))),
-            peak_queue_length: qlen.peak(),
-            deadline_misses,
-            failure_requeues,
-            rejected: rejected_tasks.len(),
-            unfinished,
-            completions,
+        let generation = vec![0; flat.len()];
+        let core_capacity = cluster.capacity().cpu_cores.max(1e-9);
+        SchedulerActor {
+            cluster,
+            config,
+            rng,
+            jobs,
+            horizon,
+            selector: None,
+            outages: Vec::new(),
+            next_outage: 0,
+            flat,
+            index,
+            queue: Vec::new(),
+            queue_dirty: false,
+            running: HashMap::new(),
+            on_machine: HashMap::new(),
+            generation,
+            completions: Vec::new(),
+            failure_requeues: 0,
+            deadline_misses: 0,
+            rejected: HashSet::new(),
+            core_capacity,
+            used_cores: 0.0,
+            util: TimeWeighted::new(SimTime::ZERO, 0.0),
+            qlen: TimeWeighted::new(SimTime::ZERO, 0.0),
+            last_finish: SimTime::ZERO,
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
-    #[allow(clippy::too_many_arguments)]
-    fn dispatch(
-        &mut self,
-        now: SimTime,
-        queue: &mut Vec<PendingTask>,
-        queue_dirty: &mut bool,
-        flat: &mut [FlatTask],
-        running: &mut HashMap<usize, RunningTask>,
-        on_machine: &mut HashMap<u32, HashSet<usize>>,
-        generation: &mut [u32],
-        events: &mut BinaryHeap<Reverse<(SimTime, u64, Event)>>,
-        seq: &mut u64,
-        used_cores: &mut f64,
-        core_capacity: f64,
-        util: &mut TimeWeighted,
-    ) {
-        if *queue_dirty {
-            self.sort_queue(queue, flat);
-            *queue_dirty = false;
+    /// Self-applies an outage schedule (sorted by start time internally).
+    /// Composed scenarios leave this empty and route failures through a
+    /// failure-injector actor instead.
+    pub fn with_outages(mut self, mut outages: Vec<Outage>) -> Self {
+        outages.sort_by_key(|o| (o.fail_at, o.machine));
+        self.outages = outages;
+        self
+    }
+
+    /// Consults `selector` every `interval` of virtual time.
+    pub fn with_selector(
+        mut self,
+        selector: &'a mut dyn PolicySelector,
+        interval: SimDuration,
+    ) -> Self {
+        self.selector = Some((selector, interval));
+        self
+    }
+
+    /// The measured outcome; call after the simulation has run (consumes
+    /// the completion log).
+    pub fn outcome(&mut self) -> ScheduleOutcome {
+        let end = self.last_finish;
+        let unfinished = self
+            .flat
+            .iter()
+            .enumerate()
+            .filter(|(i, t)| !t.done && !self.rejected.contains(i))
+            .count();
+        ScheduleOutcome {
+            makespan: end.saturating_since(SimTime::ZERO),
+            mean_utilization: self.util.average_until(end.max(SimTime::from_nanos(1))),
+            mean_queue_length: self.qlen.average_until(end.max(SimTime::from_nanos(1))),
+            peak_queue_length: self.qlen.peak(),
+            deadline_misses: self.deadline_misses,
+            failure_requeues: self.failure_requeues,
+            rejected: self.rejected.len(),
+            unfinished,
+            completions: std::mem::take(&mut self.completions),
         }
+    }
+
+    fn on_start<M: MessageEnvelope<RmsMsg>>(&mut self, ctx: &mut Context<'_, M>) {
+        for (j, job) in self.jobs.iter().enumerate() {
+            ctx.send_at(ctx.self_id(), job.submit, M::wrap(RmsMsg::JobArrival(j)));
+        }
+        self.arm_next_outage(ctx);
+        if let Some((_, interval)) = &self.selector {
+            let first = SimTime::ZERO + *interval;
+            if first <= self.horizon {
+                ctx.send_at(ctx.self_id(), first, M::wrap(RmsMsg::PolicyTick));
+            }
+        }
+    }
+
+    /// Schedules the outage at the cursor, if any starts before the horizon.
+    fn arm_next_outage<M: MessageEnvelope<RmsMsg>>(&mut self, ctx: &mut Context<'_, M>) {
+        if let Some(o) = self.outages.get(self.next_outage) {
+            if o.fail_at < self.horizon {
+                ctx.send_at(ctx.self_id(), o.fail_at, M::wrap(RmsMsg::NextOutage));
+            }
+        }
+    }
+
+    fn on_next_outage<M: MessageEnvelope<RmsMsg>>(&mut self, ctx: &mut Context<'_, M>) {
+        let o = self.outages[self.next_outage];
+        self.next_outage += 1;
+        self.machine_fail(ctx, o.machine as u32);
+        ctx.send_at(
+            ctx.self_id(),
+            o.repair_at.min(self.horizon),
+            M::wrap(RmsMsg::MachineRepair(o.machine as u32)),
+        );
+        self.arm_next_outage(ctx);
+    }
+
+    fn on_job_arrival<M: MessageEnvelope<RmsMsg>>(&mut self, ctx: &mut Context<'_, M>, j: usize) {
+        let now = ctx.now();
+        ctx.emit("rms", "job_arrival", payload(vec![("job", Json::UInt(j as u64))]));
+        let task_ids: Vec<TaskId> = self.jobs[j].tasks.iter().map(|t| t.id).collect();
+        for tid in task_ids {
+            let ti = self.index[&tid];
+            if self.flat[ti].deps_left == 0 {
+                self.make_ready(ctx, ti, now);
+            }
+        }
+    }
+
+    /// Queues a dependency-free task, or rejects it if infeasible.
+    fn make_ready<M: MessageEnvelope<RmsMsg>>(
+        &mut self,
+        ctx: &mut Context<'_, M>,
+        ti: usize,
+        now: SimTime,
+    ) {
+        if self.flat[ti].feasible {
+            self.queue.push(PendingTask { task_idx: ti, ready_at: now });
+            self.queue_dirty = true;
+        } else {
+            self.rejected.insert(ti);
+            ctx.emit(
+                "rms",
+                "task_reject",
+                payload(vec![("task", Json::UInt(self.flat[ti].id.0))]),
+            );
+        }
+    }
+
+    fn on_task_finish<M: MessageEnvelope<RmsMsg>>(
+        &mut self,
+        ctx: &mut Context<'_, M>,
+        task_idx: usize,
+        g: u32,
+    ) {
+        if self.generation[task_idx] != g {
+            return; // stale: the task was killed and requeued
+        }
+        let Some(rt) = self.running.remove(&task_idx) else { return };
+        let now = ctx.now();
+        self.on_machine.entry(rt.machine.0).or_default().remove(&task_idx);
+        self.cluster.machine_mut(rt.machine).release(&rt.req);
+        self.used_cores -= rt.req.cpu_cores;
+        self.util.set(now, self.used_cores / self.core_capacity);
+        let ft = &mut self.flat[task_idx];
+        ft.done = true;
+        ft.demand_left = 0.0;
+        self.last_finish = self.last_finish.max(now);
+        let comp = TaskCompletion {
+            task: ft.id,
+            job: self.jobs[ft.job_idx].id,
+            submit: ft.submit,
+            start: rt.started,
+            finish: now,
+        };
+        let mut missed = false;
+        if let Some(dl) = ft.deadline {
+            if comp.response_time() > dl {
+                self.deadline_misses += 1;
+                missed = true;
+            }
+        }
+        ctx.emit(
+            "rms",
+            "task_finish",
+            payload(vec![
+                ("task", Json::UInt(comp.task.0)),
+                ("wait_secs", Json::Float((comp.start - comp.submit).as_secs_f64())),
+                ("response_secs", Json::Float(comp.response_time().as_secs_f64())),
+                ("missed_deadline", Json::Bool(missed)),
+            ]),
+        );
+        self.completions.push(comp);
+        let children = self.flat[task_idx].children.clone();
+        for c in children {
+            self.flat[c].deps_left -= 1;
+            if self.flat[c].deps_left == 0 && !self.flat[c].done {
+                self.make_ready(ctx, c, now);
+            }
+        }
+    }
+
+    fn machine_fail<M: MessageEnvelope<RmsMsg>>(&mut self, ctx: &mut Context<'_, M>, m: u32) {
+        let mid = MachineId(m);
+        if (mid.0 as usize) >= self.cluster.len() {
+            return;
+        }
+        let now = ctx.now();
+        self.cluster.machine_mut(mid).fail();
+        // Kill and requeue everything that was running there.
+        let mut requeued = 0u64;
+        if let Some(victims) = self.on_machine.remove(&m) {
+            for ti in victims {
+                if let Some(rt) = self.running.remove(&ti) {
+                    self.used_cores -= rt.req.cpu_cores;
+                    self.failure_requeues += 1;
+                    requeued += 1;
+                    self.generation[ti] += 1;
+                    // Keep checkpointed progress.
+                    let progressed = (now - rt.started).as_secs_f64()
+                        * rt.req.cpu_cores
+                        * self.config.checkpoint_factor;
+                    self.flat[ti].demand_left = (self.flat[ti].demand_left - progressed).max(0.01);
+                    self.queue.push(PendingTask { task_idx: ti, ready_at: now });
+                    self.queue_dirty = true;
+                }
+            }
+            self.util.set(now, self.used_cores / self.core_capacity);
+        }
+        ctx.emit(
+            "rms",
+            "machine_fail",
+            payload(vec![
+                ("machine", Json::UInt(u64::from(m))),
+                ("requeued", Json::UInt(requeued)),
+            ]),
+        );
+    }
+
+    fn machine_repair<M: MessageEnvelope<RmsMsg>>(&mut self, ctx: &mut Context<'_, M>, m: u32) {
+        let mid = MachineId(m);
+        if (mid.0 as usize) < self.cluster.len() {
+            self.cluster.machine_mut(mid).repair();
+            ctx.emit(
+                "rms",
+                "machine_repair",
+                payload(vec![("machine", Json::UInt(u64::from(m)))]),
+            );
+        }
+    }
+
+    fn on_policy_tick<M: MessageEnvelope<RmsMsg>>(&mut self, ctx: &mut Context<'_, M>) {
+        let now = ctx.now();
+        let Some((selector, interval)) = &mut self.selector else { return };
+        let view = SchedulerView {
+            now,
+            queued: self
+                .queue
+                .iter()
+                .map(|p| (self.flat[p.task_idx].demand_left, self.flat[p.task_idx].req))
+                .collect(),
+            cluster: self.cluster,
+            running: self.running.len(),
+            current: *self.config,
+        };
+        let new_config = selector.select(&view);
+        if new_config != *self.config {
+            *self.config = new_config;
+            self.queue_dirty = true;
+        }
+        ctx.emit(
+            "rms",
+            "policy_tick",
+            payload(vec![
+                ("queue_policy", Json::Str(self.config.queue.name().to_owned())),
+                ("queued", Json::UInt(self.queue.len() as u64)),
+            ]),
+        );
+        let next = now + *interval;
+        if next <= self.horizon {
+            ctx.send_at(ctx.self_id(), next, M::wrap(RmsMsg::PolicyTick));
+        }
+    }
+
+    fn dispatch<M: MessageEnvelope<RmsMsg>>(&mut self, ctx: &mut Context<'_, M>) {
+        if self.queue_dirty {
+            self.sort_queue();
+            self.queue_dirty = false;
+        }
+        let now = ctx.now();
         let mut i = 0;
         let mut head_blocked = false;
         let mut shadow: Option<SimTime> = None;
-        while i < queue.len() {
-            let ti = queue[i].task_idx;
-            let req = flat[ti].req;
+        while i < self.queue.len() {
+            let ti = self.queue[i].task_idx;
+            let req = self.flat[ti].req;
             if head_blocked {
                 if !self.config.backfill {
                     break;
@@ -521,29 +707,22 @@ impl ClusterScheduler {
                 // EASY backfill: only tasks that (clairvoyantly) finish before
                 // the head's earliest possible start may jump the queue.
                 let Some(shadow_t) = shadow else { break };
-                let placed = self.try_place(
-                    now, ti, flat, running, on_machine, generation, events, seq,
-                    Some(shadow_t),
-                );
-                if placed {
-                    *used_cores += req.cpu_cores;
-                    util.set(now, *used_cores / core_capacity);
-                    queue.remove(i);
+                if self.try_place(ctx, ti, Some(shadow_t)) {
+                    self.used_cores += req.cpu_cores;
+                    self.util.set(now, self.used_cores / self.core_capacity);
+                    self.queue.remove(i);
                 } else {
                     i += 1;
                 }
                 continue;
             }
-            let placed = self.try_place(
-                now, ti, flat, running, on_machine, generation, events, seq, None,
-            );
-            if placed {
-                *used_cores += req.cpu_cores;
-                util.set(now, *used_cores / core_capacity);
-                queue.remove(i);
+            if self.try_place(ctx, ti, None) {
+                self.used_cores += req.cpu_cores;
+                self.util.set(now, self.used_cores / self.core_capacity);
+                self.queue.remove(i);
             } else {
                 head_blocked = true;
-                shadow = self.shadow_time(now, &req, running);
+                shadow = self.shadow_time(now, &req);
                 i += 1;
             }
         }
@@ -552,19 +731,14 @@ impl ClusterScheduler {
     /// Earliest instant at which `req` could start, assuming running tasks
     /// end as predicted and nothing new arrives: replay releases in end
     /// order on a copy of the availability state.
-    fn shadow_time(
-        &self,
-        now: SimTime,
-        req: &ResourceVector,
-        running: &HashMap<usize, RunningTask>,
-    ) -> Option<SimTime> {
+    fn shadow_time(&self, now: SimTime, req: &ResourceVector) -> Option<SimTime> {
         let mut avail: Vec<ResourceVector> =
             self.cluster.machines().iter().map(|m| m.available()).collect();
         if avail.iter().any(|a| req.fits_in(a)) {
             return Some(now);
         }
         let mut frees: Vec<(&RunningTask, usize)> =
-            running.values().map(|rt| (rt, rt.machine.0 as usize)).collect();
+            self.running.values().map(|rt| (rt, rt.machine.0 as usize)).collect();
         frees.sort_by_key(|(rt, _)| rt.ends);
         for (rt, m) in frees {
             avail[m] += rt.req;
@@ -575,28 +749,21 @@ impl ClusterScheduler {
         None
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn try_place(
+    fn try_place<M: MessageEnvelope<RmsMsg>>(
         &mut self,
-        now: SimTime,
+        ctx: &mut Context<'_, M>,
         ti: usize,
-        flat: &mut [FlatTask],
-        running: &mut HashMap<usize, RunningTask>,
-        on_machine: &mut HashMap<u32, HashSet<usize>>,
-        generation: &mut [u32],
-        events: &mut BinaryHeap<Reverse<(SimTime, u64, Event)>>,
-        seq: &mut u64,
         must_finish_by: Option<SimTime>,
     ) -> bool {
-        let req = flat[ti].req;
-        let Some(mid) = self.config.allocation.select(&self.cluster, &req, &mut self.rng)
-        else {
+        let now = ctx.now();
+        let req = self.flat[ti].req;
+        let Some(mid) = self.config.allocation.select(self.cluster, &req, self.rng) else {
             return false;
         };
         let machine = self.cluster.machine(mid);
         let speedup = machine.speedup_for(&req);
         let runtime = SimDuration::from_secs_f64(
-            flat[ti].demand_left / (req.cpu_cores.max(1e-9) * speedup.max(1e-9)),
+            self.flat[ti].demand_left / (req.cpu_cores.max(1e-9) * speedup.max(1e-9)),
         );
         let ends = now + runtime;
         if let Some(limit) = must_finish_by {
@@ -609,17 +776,31 @@ impl ClusterScheduler {
         if !ok {
             return false;
         }
-        let g = generation[ti];
-        running.insert(ti, RunningTask { machine: mid, req, started: now, ends });
-        on_machine.entry(mid.0).or_default().insert(ti);
-        events.push(Reverse((ends, *seq, Event::TaskFinish { task_idx: ti, generation: g })));
-        *seq += 1;
+        let g = self.generation[ti];
+        self.running.insert(ti, RunningTask { machine: mid, req, started: now, ends });
+        self.on_machine.entry(mid.0).or_default().insert(ti);
+        ctx.send_at(
+            ctx.self_id(),
+            ends,
+            M::wrap(RmsMsg::TaskFinish { task_idx: ti, generation: g }),
+        );
+        ctx.emit(
+            "rms",
+            "task_start",
+            payload(vec![
+                ("task", Json::UInt(self.flat[ti].id.0)),
+                ("machine", Json::UInt(u64::from(mid.0))),
+            ]),
+        );
         true
     }
 
-    fn sort_queue(&self, queue: &mut [PendingTask], flat: &[FlatTask]) {
-        match self.config.queue {
-            QueuePolicy::Fcfs => queue.sort_by_key(|p| (flat[p.task_idx].submit, p.ready_at, flat[p.task_idx].id)),
+    fn sort_queue(&mut self) {
+        let Self { queue, flat, config, .. } = self;
+        match config.queue {
+            QueuePolicy::Fcfs => {
+                queue.sort_by_key(|p| (flat[p.task_idx].submit, p.ready_at, flat[p.task_idx].id))
+            }
             QueuePolicy::Sjf => queue.sort_by(|a, b| {
                 flat[a.task_idx]
                     .demand_left
@@ -636,13 +817,32 @@ impl ClusterScheduler {
             }),
             QueuePolicy::EarliestDeadline => queue.sort_by_key(|p| {
                 let f = &flat[p.task_idx];
-                let abs = f
-                    .deadline
-                    .map(|d| f.submit + d)
-                    .unwrap_or(SimTime::MAX);
+                let abs = f.deadline.map(|d| f.submit + d).unwrap_or(SimTime::MAX);
                 (abs, f.id)
             }),
         }
+    }
+}
+
+impl<M: MessageEnvelope<RmsMsg>> Actor<M> for SchedulerActor<'_> {
+    fn handle(&mut self, ctx: &mut Context<'_, M>, msg: M) {
+        let Some(msg) = msg.unwrap() else { return };
+        match msg {
+            RmsMsg::Start => self.on_start(ctx),
+            RmsMsg::JobArrival(j) => self.on_job_arrival(ctx, j),
+            RmsMsg::TaskFinish { task_idx, generation } => {
+                self.on_task_finish(ctx, task_idx, generation)
+            }
+            RmsMsg::MachineFail(m) => self.machine_fail(ctx, m),
+            RmsMsg::MachineRepair(m) => self.machine_repair(ctx, m),
+            RmsMsg::PolicyTick => self.on_policy_tick(ctx),
+            RmsMsg::NextOutage => self.on_next_outage(ctx),
+        }
+        // A dispatch pass after every event, mirroring the queue-length
+        // gauge at the same instant.
+        self.dispatch(ctx);
+        let now = ctx.now();
+        self.qlen.set(now, self.queue.len() as f64);
     }
 }
 
@@ -861,5 +1061,34 @@ mod tests {
             .run(vec![bag(0, 0, &[(1_000_000.0, 1.0)])], SimTime::from_secs(10));
         assert_eq!(out.unfinished, 1);
         assert!(out.completions.is_empty());
+    }
+
+    #[test]
+    fn scheduler_emits_lifecycle_trace() {
+        // Drive the actor through an explicit Simulation to observe the bus.
+        let mut cl = cluster(1, 4.0);
+        let mut cfg = SchedulerConfig::default();
+        let mut rng = RngStream::new(1, "scheduler");
+        let horizon = SimTime::from_secs(1_000);
+        let mut actor = SchedulerActor::new(
+            &mut cl,
+            &mut cfg,
+            &mut rng,
+            vec![bag(0, 0, &[(40.0, 4.0)])],
+            horizon,
+        );
+        let mut sim: Simulation<'_, RmsMsg> = Simulation::new(1);
+        sim.set_horizon(horizon);
+        let id = sim.add_actor(&mut actor);
+        sim.schedule(SimTime::ZERO, id, RmsMsg::Start);
+        sim.run();
+        assert_eq!(sim.trace().count("rms", "job_arrival"), 1);
+        assert_eq!(sim.trace().count("rms", "task_start"), 1);
+        assert_eq!(sim.trace().count("rms", "task_finish"), 1);
+        let finish = sim.trace().select("rms", "task_finish")[0];
+        assert_eq!(finish.at, SimTime::from_secs(10));
+        assert_eq!(finish.field_f64("response_secs"), Some(10.0));
+        drop(sim);
+        assert_eq!(actor.outcome().completions.len(), 1);
     }
 }

@@ -7,6 +7,18 @@
 //! number breaks ties), which — together with the per-component RNG streams
 //! of [`crate::rng`] — makes every run bit-for-bit reproducible.
 //!
+//! Every subsystem simulation in the workspace drives this engine: the RMS
+//! scheduler, the autoscaled service, the FaaS platform, and the failure
+//! injector each define a message enum and an [`Actor`] impl, and composed
+//! scenarios (see `mcs-core`) run several of them in one [`Simulation`].
+//! While handling messages, actors emit structured records into the
+//! simulation's [`TraceBus`] via [`Context::emit`]; the bus is the single
+//! observable artifact of a run.
+//!
+//! Scheduling calls return an [`EventToken`]; pending events can be revoked
+//! with [`Context::cancel`] / [`Simulation::cancel`], which timer-driven
+//! actors (autoscalers, repair processes) use to retract obsolete wake-ups.
+//!
 //! # Examples
 //! ```
 //! use mcs_simcore::engine::{Actor, Context, Simulation};
@@ -34,18 +46,30 @@
 //! ```
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashSet};
 use std::fmt;
 
+use crate::codec::Json;
 use crate::error::McsError;
 use crate::rng::RngStream;
 use crate::time::{SimDuration, SimTime};
+use crate::trace::TraceBus;
 
 /// Identifies an actor registered with a [`Simulation`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ActorId(usize);
 
 impl ActorId {
+    /// The id an actor will receive if it is the `index`-th registration
+    /// (0-based) of its simulation.
+    ///
+    /// Needed when actors must know each other's ids before any of them is
+    /// registered (mutually-referencing scenario wiring); pair with a
+    /// `debug_assert_eq!` against the id [`Simulation::add_actor`] returns.
+    pub fn from_index(index: usize) -> Self {
+        ActorId(index)
+    }
+
     /// The raw index of the actor in registration order.
     pub fn index(self) -> usize {
         self.0
@@ -58,10 +82,57 @@ impl fmt::Display for ActorId {
     }
 }
 
+/// A handle to one scheduled event, returned by every scheduling call.
+///
+/// Passing it to [`Context::cancel`] or [`Simulation::cancel`] revokes the
+/// event if it has not been delivered yet; cancelling an already-delivered
+/// (or already-cancelled) event is a no-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventToken(u64);
+
 /// A simulation participant: receives messages at virtual instants.
 pub trait Actor<M> {
     /// Handles one message delivered at `ctx.now()`.
     fn handle(&mut self, ctx: &mut Context<'_, M>, msg: M);
+}
+
+/// Mutable borrows participate directly, so callers can register
+/// `&mut actor`, run the simulation, and inspect the actor afterwards.
+impl<M, A: Actor<M> + ?Sized> Actor<M> for &mut A {
+    fn handle(&mut self, ctx: &mut Context<'_, M>, msg: M) {
+        (**self).handle(ctx, msg)
+    }
+}
+
+impl<M, A: Actor<M> + ?Sized> Actor<M> for Box<A> {
+    fn handle(&mut self, ctx: &mut Context<'_, M>, msg: M) {
+        (**self).handle(ctx, msg)
+    }
+}
+
+/// Embeds a subsystem's message enum into a composed simulation's message
+/// type, so one `Actor` impl serves both the subsystem's own single-actor
+/// wrapper (where `Self == Inner`) and any scenario that unions several
+/// subsystem enums.
+///
+/// Laws: `M::wrap(x).unwrap() == Some(x)`, and `unwrap` returns `None`
+/// exactly for variants belonging to other subsystems.
+pub trait MessageEnvelope<Inner>: Sized {
+    /// Wraps a subsystem message into the envelope type.
+    fn wrap(inner: Inner) -> Self;
+    /// Extracts the subsystem message, or `None` if the envelope carries a
+    /// different subsystem's message.
+    fn unwrap(self) -> Option<Inner>;
+}
+
+/// Every message type trivially envelopes itself.
+impl<T> MessageEnvelope<T> for T {
+    fn wrap(inner: T) -> T {
+        inner
+    }
+    fn unwrap(self) -> Option<T> {
+        Some(self)
+    }
 }
 
 struct Scheduled<M> {
@@ -96,7 +167,10 @@ impl<M> Ord for Scheduled<M> {
 pub struct Context<'a, M> {
     now: SimTime,
     self_id: ActorId,
-    outbox: &'a mut Vec<(SimTime, ActorId, M)>,
+    outbox: &'a mut Vec<(SimTime, ActorId, M, u64)>,
+    seq: &'a mut u64,
+    cancelled: &'a mut HashSet<u64>,
+    trace: &'a mut TraceBus,
     rng: &'a mut RngStream,
     stop_requested: &'a mut bool,
 }
@@ -112,24 +186,44 @@ impl<'a, M> Context<'a, M> {
         self.self_id
     }
 
+    fn push(&mut self, at: SimTime, target: ActorId, msg: M) -> EventToken {
+        let seq = *self.seq;
+        *self.seq += 1;
+        self.outbox.push((at, target, msg, seq));
+        EventToken(seq)
+    }
+
     /// Schedules `msg` for `target` after `delay`.
-    pub fn send(&mut self, target: ActorId, delay: SimDuration, msg: M) {
-        self.outbox.push((self.now + delay, target, msg));
+    pub fn send(&mut self, target: ActorId, delay: SimDuration, msg: M) -> EventToken {
+        let at = self.now + delay;
+        self.push(at, target, msg)
     }
 
     /// Schedules `msg` for the current actor after `delay`.
-    pub fn send_self(&mut self, delay: SimDuration, msg: M) {
+    pub fn send_self(&mut self, delay: SimDuration, msg: M) -> EventToken {
         let id = self.self_id;
-        self.send(id, delay, msg);
+        self.send(id, delay, msg)
     }
 
     /// Schedules `msg` for `target` at an absolute instant.
     ///
     /// # Panics
     /// Panics if `at` is in the simulated past.
-    pub fn send_at(&mut self, target: ActorId, at: SimTime, msg: M) {
+    pub fn send_at(&mut self, target: ActorId, at: SimTime, msg: M) -> EventToken {
         assert!(at >= self.now, "cannot schedule into the past");
-        self.outbox.push((at, target, msg));
+        self.push(at, target, msg)
+    }
+
+    /// Revokes a pending event; a no-op if it was already delivered or
+    /// cancelled.
+    pub fn cancel(&mut self, token: EventToken) {
+        self.cancelled.insert(token.0);
+    }
+
+    /// Emits a structured record onto the simulation's [`TraceBus`] at the
+    /// current instant.
+    pub fn emit(&mut self, component: &str, event: &str, payload: Json) {
+        self.trace.record(self.now, component, event, payload);
     }
 
     /// The simulation-wide RNG stream (actors with their own stochastic
@@ -145,28 +239,35 @@ impl<'a, M> Context<'a, M> {
 }
 
 /// A deterministic discrete-event simulation over message type `M`.
-pub struct Simulation<M> {
+///
+/// The lifetime `'a` bounds the actors: owned actors are `'static`, while
+/// `&mut actor` registrations borrow from the caller, who regains access to
+/// the actor (for outcome extraction) once the simulation is dropped.
+pub struct Simulation<'a, M> {
     now: SimTime,
     seq: u64,
     queue: BinaryHeap<Scheduled<M>>,
-    actors: Vec<Box<dyn Actor<M>>>,
+    actors: Vec<Box<dyn Actor<M> + 'a>>,
     rng: RngStream,
     events_handled: u64,
     horizon: Option<SimTime>,
+    cancelled: HashSet<u64>,
+    trace: TraceBus,
 }
 
-impl<M> fmt::Debug for Simulation<M> {
+impl<M> fmt::Debug for Simulation<'_, M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Simulation")
             .field("now", &self.now)
             .field("pending", &self.queue.len())
             .field("actors", &self.actors.len())
             .field("events_handled", &self.events_handled)
+            .field("trace_len", &self.trace.len())
             .finish()
     }
 }
 
-impl<M> Simulation<M> {
+impl<'a, M> Simulation<'a, M> {
     /// Creates an empty simulation with the given experiment seed.
     pub fn new(seed: u64) -> Self {
         Simulation {
@@ -177,11 +278,13 @@ impl<M> Simulation<M> {
             rng: RngStream::new(seed, "simulation"),
             events_handled: 0,
             horizon: None,
+            cancelled: HashSet::new(),
+            trace: TraceBus::new(),
         }
     }
 
     /// Registers an actor and returns its id.
-    pub fn add_actor<A: Actor<M> + 'static>(&mut self, actor: A) -> ActorId {
+    pub fn add_actor<A: Actor<M> + 'a>(&mut self, actor: A) -> ActorId {
         self.actors.push(Box::new(actor));
         ActorId(self.actors.len() - 1)
     }
@@ -197,7 +300,7 @@ impl<M> Simulation<M> {
     /// # Panics
     /// Panics if `at` is in the simulated past or `target` is unknown; use
     /// [`Simulation::try_schedule`] for a fallible version.
-    pub fn schedule(&mut self, at: SimTime, target: ActorId, msg: M) {
+    pub fn schedule(&mut self, at: SimTime, target: ActorId, msg: M) -> EventToken {
         self.try_schedule(at, target, msg).unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -207,7 +310,12 @@ impl<M> Simulation<M> {
     /// # Errors
     /// Returns [`McsError::Sim`] when `at` precedes the current virtual time
     /// or `target` was never registered.
-    pub fn try_schedule(&mut self, at: SimTime, target: ActorId, msg: M) -> Result<(), McsError> {
+    pub fn try_schedule(
+        &mut self,
+        at: SimTime,
+        target: ActorId,
+        msg: M,
+    ) -> Result<EventToken, McsError> {
         if at < self.now {
             return Err(McsError::Sim(format!(
                 "cannot schedule into the past ({at} < {})",
@@ -217,15 +325,22 @@ impl<M> Simulation<M> {
         if target.0 >= self.actors.len() {
             return Err(McsError::Sim(format!("unknown actor {target}")));
         }
-        self.queue.push(Scheduled { at, seq: self.seq, target, msg });
+        let seq = self.seq;
         self.seq += 1;
-        Ok(())
+        self.queue.push(Scheduled { at, seq, target, msg });
+        Ok(EventToken(seq))
     }
 
     /// Schedules `msg` for `target` after `delay` from now.
-    pub fn schedule_after(&mut self, delay: SimDuration, target: ActorId, msg: M) {
+    pub fn schedule_after(&mut self, delay: SimDuration, target: ActorId, msg: M) -> EventToken {
         let at = self.now + delay;
-        self.schedule(at, target, msg);
+        self.schedule(at, target, msg)
+    }
+
+    /// Revokes a pending event; a no-op if it was already delivered or
+    /// cancelled.
+    pub fn cancel(&mut self, token: EventToken) {
+        self.cancelled.insert(token.0);
     }
 
     /// Current virtual time.
@@ -238,15 +353,52 @@ impl<M> Simulation<M> {
         self.events_handled
     }
 
-    /// Number of events still queued.
+    /// Number of events still queued (cancelled-but-unpopped events count
+    /// until the queue reaches them).
     pub fn pending(&self) -> usize {
         self.queue.len()
     }
 
-    /// Delivers the single earliest event. Returns `false` when the queue is
-    /// empty or the horizon has been reached.
+    /// The structured record of everything actors emitted so far.
+    pub fn trace(&self) -> &TraceBus {
+        &self.trace
+    }
+
+    /// Mutable access to the bus (harnesses use it to record setup events
+    /// before the run starts).
+    pub fn trace_mut(&mut self) -> &mut TraceBus {
+        &mut self.trace
+    }
+
+    /// Takes ownership of the trace, leaving an empty bus behind.
+    pub fn take_trace(&mut self) -> TraceBus {
+        std::mem::take(&mut self.trace)
+    }
+
+    /// Drops cancelled events from the head of the queue so `peek` sees the
+    /// next live event.
+    fn discard_cancelled_head(&mut self) {
+        while let Some(head) = self.queue.peek() {
+            let seq = head.seq;
+            if self.cancelled.contains(&seq) {
+                self.queue.pop();
+                self.cancelled.remove(&seq);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Delivers the single earliest live event. Returns `false` when the
+    /// queue is empty or the horizon has been reached.
     pub fn step(&mut self) -> bool {
-        let Some(ev) = self.queue.pop() else { return false };
+        let ev = loop {
+            let Some(ev) = self.queue.pop() else { return false };
+            if self.cancelled.remove(&ev.seq) {
+                continue;
+            }
+            break ev;
+        };
         if let Some(h) = self.horizon {
             if ev.at > h {
                 self.now = h;
@@ -258,7 +410,7 @@ impl<M> Simulation<M> {
         self.now = ev.at;
         self.events_handled += 1;
 
-        let mut outbox: Vec<(SimTime, ActorId, M)> = Vec::new();
+        let mut outbox: Vec<(SimTime, ActorId, M, u64)> = Vec::new();
         let mut stop = false;
         {
             let actor = &mut self.actors[ev.target.0];
@@ -266,15 +418,17 @@ impl<M> Simulation<M> {
                 now: self.now,
                 self_id: ev.target,
                 outbox: &mut outbox,
+                seq: &mut self.seq,
+                cancelled: &mut self.cancelled,
+                trace: &mut self.trace,
                 rng: &mut self.rng,
                 stop_requested: &mut stop,
             };
             actor.handle(&mut ctx, ev.msg);
         }
-        for (at, target, msg) in outbox {
+        for (at, target, msg, seq) in outbox {
             assert!(target.0 < self.actors.len(), "unknown actor {target}");
-            self.queue.push(Scheduled { at, seq: self.seq, target, msg });
-            self.seq += 1;
+            self.queue.push(Scheduled { at, seq, target, msg });
         }
         !stop
     }
@@ -292,6 +446,35 @@ impl<M> Simulation<M> {
     pub fn run_bounded(&mut self, max_events: u64) -> u64 {
         let start = self.events_handled;
         while self.events_handled - start < max_events && self.step() {}
+        self.events_handled - start
+    }
+
+    /// Delivers every event up to and including instant `until`, then
+    /// advances virtual time to `until` (clamped to the horizon) even if no
+    /// event sits exactly there. Later events stay queued, so runs can be
+    /// interleaved with external inspection or scheduling. Returns the number
+    /// of events delivered.
+    pub fn run_until(&mut self, until: SimTime) -> u64 {
+        let start = self.events_handled;
+        loop {
+            self.discard_cancelled_head();
+            match self.queue.peek() {
+                Some(head) if head.at <= until => {
+                    if !self.step() {
+                        // Stopped by an actor or clipped by the horizon.
+                        return self.events_handled - start;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let target = match self.horizon {
+            Some(h) => until.min(h),
+            None => until,
+        };
+        if self.now < target {
+            self.now = target;
+        }
         self.events_handled - start
     }
 }
@@ -455,7 +638,7 @@ mod tests {
 
     #[test]
     fn try_schedule_rejects_bad_requests() {
-        let mut sim: Simulation<Msg> = Simulation::new(1);
+        let mut sim: Simulation<'_, Msg> = Simulation::new(1);
         let id = sim.add_actor(Stopper);
         assert!(sim.try_schedule(SimTime::from_secs(1), id, Msg::Fwd).is_ok());
         let unknown = ActorId(99);
@@ -497,5 +680,137 @@ mod tests {
         }
         assert_eq!(trace(99), trace(99));
         assert_ne!(trace(99), trace(100));
+    }
+
+    #[test]
+    fn run_until_advances_time_and_leaves_later_events() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulation::new(1);
+        let id = sim.add_actor(Recorder { log: Rc::clone(&log) });
+        sim.schedule(SimTime::from_secs(1), id, Msg::Tick(1));
+        sim.schedule(SimTime::from_secs(5), id, Msg::Tick(5));
+        sim.schedule(SimTime::from_secs(9), id, Msg::Tick(9));
+
+        // Boundary event at exactly `until` is delivered.
+        let delivered = sim.run_until(SimTime::from_secs(5));
+        assert_eq!(delivered, 2);
+        assert_eq!(sim.now(), SimTime::from_secs(5));
+        assert_eq!(sim.pending(), 1);
+
+        // No event at t = 7: time still advances there.
+        assert_eq!(sim.run_until(SimTime::from_secs(7)), 0);
+        assert_eq!(sim.now(), SimTime::from_secs(7));
+
+        sim.run_until(SimTime::from_secs(100));
+        assert_eq!(sim.pending(), 0);
+        assert_eq!(sim.now(), SimTime::from_secs(100));
+        assert_eq!(log.borrow().len(), 3);
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut sim: Simulation<'_, Msg> = Simulation::new(1);
+        let _ = sim.add_actor(Stopper);
+        sim.set_horizon(SimTime::from_secs(4));
+        sim.run_until(SimTime::from_secs(10));
+        assert_eq!(sim.now(), SimTime::from_secs(4));
+    }
+
+    #[test]
+    fn cancelled_event_is_not_delivered() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulation::new(1);
+        let id = sim.add_actor(Recorder { log: Rc::clone(&log) });
+        let keep = sim.schedule(SimTime::from_secs(1), id, Msg::Tick(1));
+        let drop_ = sim.schedule(SimTime::from_secs(2), id, Msg::Tick(2));
+        sim.schedule(SimTime::from_secs(3), id, Msg::Tick(3));
+        sim.cancel(drop_);
+        let delivered = sim.run();
+        assert_eq!(delivered, 2);
+        let ns: Vec<u32> = log.borrow().iter().map(|(_, n)| *n).collect();
+        assert_eq!(ns, vec![1, 3]);
+        // Cancelling a delivered event is a harmless no-op.
+        sim.cancel(keep);
+    }
+
+    #[test]
+    fn actor_can_cancel_its_own_pending_event() {
+        // A timer that reschedules itself and retracts the stale wake-up,
+        // the pattern autoscalers and repair processes use.
+        struct Retracting {
+            pending: Option<EventToken>,
+            fired: Rc<RefCell<u32>>,
+        }
+        impl Actor<Msg> for Retracting {
+            fn handle(&mut self, ctx: &mut Context<'_, Msg>, msg: Msg) {
+                match msg {
+                    Msg::Fwd => {
+                        // Cancel the old timer, arm a new one.
+                        if let Some(tok) = self.pending.take() {
+                            ctx.cancel(tok);
+                        }
+                        self.pending =
+                            Some(ctx.send_self(SimDuration::from_secs(10), Msg::Tick(0)));
+                    }
+                    Msg::Tick(_) => *self.fired.borrow_mut() += 1,
+                }
+            }
+        }
+        let fired = Rc::new(RefCell::new(0));
+        let mut sim = Simulation::new(1);
+        let id = sim.add_actor(Retracting { pending: None, fired: Rc::clone(&fired) });
+        // Three re-arms: only the final timer may fire.
+        sim.schedule(SimTime::ZERO, id, Msg::Fwd);
+        sim.schedule(SimTime::from_secs(1), id, Msg::Fwd);
+        sim.schedule(SimTime::from_secs(2), id, Msg::Fwd);
+        sim.run();
+        assert_eq!(*fired.borrow(), 1);
+        assert_eq!(sim.now(), SimTime::from_secs(12));
+    }
+
+    #[test]
+    fn borrowed_actor_state_outlives_simulation() {
+        let mut ticker = Ticker { period: SimDuration::from_secs(1), count: 0, limit: 5 };
+        {
+            let mut sim = Simulation::new(1);
+            let id = sim.add_actor(&mut ticker);
+            sim.schedule(SimTime::ZERO, id, Msg::Fwd);
+            sim.run();
+        }
+        assert_eq!(ticker.count, 5);
+    }
+
+    #[test]
+    fn context_emit_lands_on_trace_bus() {
+        struct Emitter;
+        impl Actor<Msg> for Emitter {
+            fn handle(&mut self, ctx: &mut Context<'_, Msg>, msg: Msg) {
+                if let Msg::Tick(n) = msg {
+                    ctx.emit(
+                        "emitter",
+                        "tick",
+                        crate::trace::payload(vec![("n", Json::UInt(u64::from(n)))]),
+                    );
+                }
+            }
+        }
+        let mut sim = Simulation::new(1);
+        let id = sim.add_actor(Emitter);
+        sim.schedule(SimTime::from_secs(1), id, Msg::Tick(7));
+        sim.schedule(SimTime::from_secs(2), id, Msg::Tick(8));
+        sim.run();
+        assert_eq!(sim.trace().count("emitter", "tick"), 2);
+        let events = sim.take_trace();
+        assert_eq!(events.events()[0].at, SimTime::from_secs(1));
+        assert_eq!(events.events()[0].field_f64("n"), Some(7.0));
+        assert!(sim.trace().is_empty());
+    }
+
+    #[test]
+    fn message_envelope_identity_round_trips() {
+        let m = Msg::Tick(3);
+        let wrapped: Msg = MessageEnvelope::<Msg>::wrap(m.clone());
+        assert_eq!(MessageEnvelope::<Msg>::unwrap(wrapped), Some(m));
+        assert_eq!(ActorId::from_index(2), ActorId(2));
     }
 }

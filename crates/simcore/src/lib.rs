@@ -40,15 +40,19 @@ pub mod error;
 pub mod metrics;
 pub mod rng;
 pub mod time;
+pub mod trace;
 
 /// Convenience re-exports of the types used by nearly every simulation.
 pub mod prelude {
     pub use crate::check::Check;
     pub use crate::codec::{FromJson, Json, ToJson};
     pub use crate::dist::{Dist, Sample};
-    pub use crate::engine::{Actor, ActorId, Context, Simulation};
+    pub use crate::engine::{
+        Actor, ActorId, Context, EventToken, MessageEnvelope, Simulation,
+    };
     pub use crate::error::McsError;
     pub use crate::metrics::{OnlineStats, Summary, TimeWeighted};
     pub use crate::rng::{RngCore, RngStream};
     pub use crate::time::{SimDuration, SimTime};
+    pub use crate::trace::{TraceBus, TraceEvent};
 }

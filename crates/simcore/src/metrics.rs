@@ -7,6 +7,7 @@
 
 use crate::error::McsError;
 use crate::time::{SimDuration, SimTime};
+use crate::trace::TraceBus;
 
 /// Streaming mean/variance/min/max via Welford's algorithm.
 ///
@@ -331,6 +332,41 @@ impl TimeWeighted {
     }
 }
 
+/// Distribution summary of a numeric payload field across the matching
+/// records of a [`TraceBus`]; `None` when no matching record carries the
+/// field.
+///
+/// This is the standard path from raw trace to report row: actors emit,
+/// the harness summarizes.
+pub fn summarize_trace(
+    bus: &TraceBus,
+    component: &str,
+    event: &str,
+    field: &str,
+) -> Option<Summary> {
+    let xs: Vec<f64> = bus.series(component, event, field).into_iter().map(|(_, x)| x).collect();
+    Summary::of(&xs)
+}
+
+/// Reconstructs a gauge tracked by matching trace records as a
+/// [`TimeWeighted`] step function starting at `initial` from `SimTime::ZERO`.
+///
+/// Each matching record's `field` value becomes the new level at its
+/// instant; records without the field are skipped.
+pub fn trace_gauge(
+    bus: &TraceBus,
+    component: &str,
+    event: &str,
+    field: &str,
+    initial: f64,
+) -> TimeWeighted {
+    let mut tw = TimeWeighted::new(SimTime::ZERO, initial);
+    for (at, level) in bus.series(component, event, field) {
+        tw.set(at, level);
+    }
+    tw
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -481,5 +517,41 @@ mod tests {
     fn time_weighted_rejects_backwards_time() {
         let mut tw = TimeWeighted::new(SimTime::from_secs(5), 0.0);
         tw.set(SimTime::from_secs(1), 1.0);
+    }
+
+    #[test]
+    fn trace_aggregation_matches_hand_computation() {
+        use crate::codec::Json;
+        use crate::trace::payload;
+        let mut bus = TraceBus::new();
+        bus.record(
+            SimTime::from_secs(1),
+            "svc",
+            "latency",
+            payload(vec![("secs", Json::Float(1.0))]),
+        );
+        bus.record(
+            SimTime::from_secs(2),
+            "svc",
+            "latency",
+            payload(vec![("secs", Json::Float(3.0))]),
+        );
+        bus.record(SimTime::from_secs(3), "svc", "other", payload(vec![]));
+
+        let s = summarize_trace(&bus, "svc", "latency", "secs").unwrap();
+        assert_eq!(s.count, 2);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!(summarize_trace(&bus, "svc", "other", "secs").is_none());
+
+        bus.record(
+            SimTime::from_secs(10),
+            "svc",
+            "level",
+            payload(vec![("n", Json::Float(4.0))]),
+        );
+        let tw = trace_gauge(&bus, "svc", "level", "n", 0.0);
+        // Level 0 for 10 s, then 4 for 10 s: average 2.
+        assert!((tw.average_until(SimTime::from_secs(20)) - 2.0).abs() < 1e-12);
+        assert_eq!(tw.peak(), 4.0);
     }
 }

@@ -1,0 +1,271 @@
+//! The cross-cutting event-trace bus.
+//!
+//! The paper's methodology (C11, C15) treats *observation* of a whole
+//! ecosystem as a first-class concern: when several subsystems share one
+//! virtual timeline, understanding the run means replaying one structured,
+//! seed-deterministic record of everything that happened. This module is
+//! that record: every actor in a [`crate::engine::Simulation`] emits
+//! `(SimTime, component, event, payload)` tuples into a [`TraceBus`] via
+//! [`crate::engine::Context::emit`], and [`crate::metrics`] aggregates the
+//! bus into summaries and time-weighted gauges.
+//!
+//! # Schema
+//! - `at` — the virtual instant of the event (nanoseconds, exact);
+//! - `component` — the emitting subsystem (`"rms"`, `"faas"`,
+//!   `"autoscale"`, `"failure"`, `"workload"`, …);
+//! - `event` — the event kind within the component (`"task_finish"`,
+//!   `"invoke"`, `"outage"`, …);
+//! - `payload` — a small JSON object of event-specific fields, built with
+//!   [`payload`].
+//!
+//! Because the engine is deterministic, the JSON encodings
+//! ([`TraceBus::to_json_string`], [`TraceBus::to_jsonl`]) are byte-identical
+//! across same-seed runs — the property the composed-ecosystem determinism
+//! gate in `scripts/verify.sh` checks.
+//!
+//! # Examples
+//! ```
+//! use mcs_simcore::trace::{payload, TraceBus};
+//! use mcs_simcore::codec::Json;
+//! use mcs_simcore::time::SimTime;
+//!
+//! let mut bus = TraceBus::new();
+//! bus.record(SimTime::from_secs(1), "faas", "invoke",
+//!            payload(vec![("latency_secs", Json::Float(0.02))]));
+//! assert_eq!(bus.count("faas", "invoke"), 1);
+//! assert_eq!(bus.events()[0].field_f64("latency_secs"), Some(0.02));
+//! ```
+
+use crate::codec::{self, Json};
+use crate::time::SimTime;
+use std::collections::BTreeMap;
+
+/// One structured record on the bus.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Virtual instant the event was emitted.
+    pub at: SimTime,
+    /// Emitting subsystem (stable short name, e.g. `"rms"`).
+    pub component: String,
+    /// Event kind within the component (e.g. `"task_finish"`).
+    pub event: String,
+    /// Event-specific fields as a JSON object (see [`payload`]).
+    pub payload: Json,
+}
+
+crate::impl_json!(struct TraceEvent { at, component, event, payload });
+
+impl TraceEvent {
+    /// Whether this record has the given component and event kind.
+    pub fn matches(&self, component: &str, event: &str) -> bool {
+        self.component == component && self.event == event
+    }
+
+    /// A numeric payload field, accepting any JSON number; `None` when the
+    /// field is absent or non-numeric.
+    pub fn field_f64(&self, key: &str) -> Option<f64> {
+        self.payload.get(key)?.as_f64().filter(|x| x.is_finite())
+    }
+
+    /// A string payload field; `None` when absent or not a string.
+    pub fn field_str(&self, key: &str) -> Option<&str> {
+        match self.payload.get(key)? {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Builds a JSON object payload from `(key, value)` pairs, preserving order.
+pub fn payload(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+/// The append-only, seed-deterministic record of one simulation run.
+///
+/// Owned by [`crate::engine::Simulation`]; actors append through
+/// [`crate::engine::Context::emit`], and the experiment harness reads it
+/// back after the run (or takes it with
+/// [`crate::engine::Simulation::take_trace`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceBus {
+    events: Vec<TraceEvent>,
+}
+
+impl TraceBus {
+    /// An empty bus.
+    pub fn new() -> Self {
+        TraceBus { events: Vec::new() }
+    }
+
+    /// Appends one record.
+    pub fn record(&mut self, at: SimTime, component: &str, event: &str, payload: Json) {
+        self.events.push(TraceEvent {
+            at,
+            component: component.to_owned(),
+            event: event.to_owned(),
+            payload,
+        });
+    }
+
+    /// All records, in emission order (which equals delivery order, so it is
+    /// identical across same-seed runs).
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the bus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Drops all records.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// The records matching one `(component, event)` pair, in order.
+    pub fn select(&self, component: &str, event: &str) -> Vec<&TraceEvent> {
+        self.events.iter().filter(|e| e.matches(component, event)).collect()
+    }
+
+    /// Number of records matching one `(component, event)` pair.
+    pub fn count(&self, component: &str, event: &str) -> usize {
+        self.events.iter().filter(|e| e.matches(component, event)).count()
+    }
+
+    /// Event counts per `(component, event)`, sorted for deterministic
+    /// report rows.
+    pub fn counts(&self) -> Vec<(String, String, u64)> {
+        let mut map: BTreeMap<(String, String), u64> = BTreeMap::new();
+        for e in &self.events {
+            *map.entry((e.component.clone(), e.event.clone())).or_insert(0) += 1;
+        }
+        map.into_iter().map(|((c, k), n)| (c, k, n)).collect()
+    }
+
+    /// The sorted distinct component names on the bus.
+    pub fn components(&self) -> Vec<String> {
+        let mut set: Vec<String> = self.events.iter().map(|e| e.component.clone()).collect();
+        set.sort_unstable();
+        set.dedup();
+        set
+    }
+
+    /// The `(instant, value)` series of a numeric payload field across
+    /// matching records (records without the field are skipped).
+    pub fn series(&self, component: &str, event: &str, field: &str) -> Vec<(SimTime, f64)> {
+        self.events
+            .iter()
+            .filter(|e| e.matches(component, event))
+            .filter_map(|e| e.field_f64(field).map(|x| (e.at, x)))
+            .collect()
+    }
+
+    /// Appends every record of `other` (used to merge buses of sequential
+    /// runs; records keep their original instants).
+    pub fn extend_from(&mut self, other: TraceBus) {
+        self.events.extend(other.events);
+    }
+
+    /// The whole bus as one deterministic JSON array.
+    pub fn to_json_string(&self) -> String {
+        codec::to_string(&self.events)
+    }
+
+    /// The bus as JSON-lines (one record per line), the format used by the
+    /// determinism diff gate.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&codec::to_string(e));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bus() -> TraceBus {
+        let mut b = TraceBus::new();
+        b.record(
+            SimTime::from_secs(1),
+            "rms",
+            "task_finish",
+            payload(vec![("wait_secs", Json::Float(2.5))]),
+        );
+        b.record(
+            SimTime::from_secs(2),
+            "faas",
+            "invoke",
+            payload(vec![("latency_secs", Json::Float(0.1)), ("cold", Json::Bool(true))]),
+        );
+        b.record(
+            SimTime::from_secs(3),
+            "rms",
+            "task_finish",
+            payload(vec![("wait_secs", Json::Float(0.5))]),
+        );
+        b
+    }
+
+    #[test]
+    fn counts_are_sorted_and_complete() {
+        let counts = bus().counts();
+        assert_eq!(
+            counts,
+            vec![
+                ("faas".into(), "invoke".into(), 1),
+                ("rms".into(), "task_finish".into(), 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn select_and_series_filter_by_kind() {
+        let b = bus();
+        assert_eq!(b.select("rms", "task_finish").len(), 2);
+        assert_eq!(b.count("faas", "invoke"), 1);
+        let series = b.series("rms", "task_finish", "wait_secs");
+        assert_eq!(series, vec![(SimTime::from_secs(1), 2.5), (SimTime::from_secs(3), 0.5)]);
+    }
+
+    #[test]
+    fn field_accessors_handle_missing_fields() {
+        let b = bus();
+        let e = &b.events()[1];
+        assert_eq!(e.field_f64("latency_secs"), Some(0.1));
+        assert_eq!(e.field_f64("nope"), None);
+        assert_eq!(e.field_str("nope"), None);
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let b = bus();
+        let json = b.to_json_string();
+        let back: Vec<TraceEvent> = codec::from_str(&json).unwrap();
+        assert_eq!(back, b.events());
+        assert_eq!(b.to_jsonl().lines().count(), b.len());
+    }
+
+    #[test]
+    fn components_sorted_unique() {
+        assert_eq!(bus().components(), vec!["faas".to_owned(), "rms".to_owned()]);
+    }
+
+    #[test]
+    fn extend_from_appends() {
+        let mut a = bus();
+        let n = a.len();
+        a.extend_from(bus());
+        assert_eq!(a.len(), 2 * n);
+    }
+}

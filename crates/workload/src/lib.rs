@@ -20,6 +20,7 @@
 //! assert!(jobs.iter().all(|j| j.submit < SimTime::from_secs(3_600)));
 //! ```
 
+pub mod actor;
 pub mod arrival;
 pub mod generator;
 pub mod task;
@@ -28,6 +29,7 @@ pub mod workflow;
 
 /// Convenience re-exports.
 pub mod prelude {
+    pub use crate::actor::{ArrivalActor, ArrivalMsg};
     pub use crate::arrival::{ArrivalProcess, Diurnal, Mmpp2, Poisson};
     pub use crate::generator::{
         BatchWorkloadConfig, BatchWorkloadGenerator, TransactionWorkloadGenerator,

@@ -8,4 +8,12 @@ cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
-echo "verify: OK (offline build + tests + clippy)"
+# Determinism gate: the composed-ecosystem experiment must render a
+# byte-identical report across two runs at the same seed.
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+./target/release/ecosystem_composed 42 > "$tmpdir/run1.txt"
+./target/release/ecosystem_composed 42 > "$tmpdir/run2.txt"
+diff "$tmpdir/run1.txt" "$tmpdir/run2.txt"
+
+echo "verify: OK (offline build + tests + clippy + same-seed ecosystem diff)"
