@@ -40,6 +40,10 @@ pub enum GovernorMsg {
 /// Callback applying a capacity delta to the governed actor.
 pub type CapacityDelta<'a, M> = Box<dyn FnMut(&mut Context<'_, M>, i64) + 'a>;
 
+/// Callback engaging (`true`) or disengaging (`false`) load shedding on the
+/// governed actor (see [`GovernorActor::with_shedding`]).
+pub type ShedSignal<'a, M> = Box<dyn FnMut(&mut Context<'_, M>, bool) + 'a>;
+
 pub struct GovernorActor<'a, M> {
     autoscaler: &'a mut dyn Autoscaler,
     config: ServiceConfig,
@@ -49,6 +53,8 @@ pub struct GovernorActor<'a, M> {
     in_flight: usize,
     decisions: usize,
     apply: CapacityDelta<'a, M>,
+    on_shed: Option<ShedSignal<'a, M>>,
+    shedding: bool,
 }
 
 impl<'a, M> GovernorActor<'a, M> {
@@ -73,12 +79,32 @@ impl<'a, M> GovernorActor<'a, M> {
             in_flight: 0,
             decisions: 0,
             apply: Box::new(apply),
+            on_shed: None,
+            shedding: false,
         }
+    }
+
+    /// Installs a load-shedding signal: when the autoscaler's raw (unclamped)
+    /// target exceeds `max_instances` — demand the service cannot provision
+    /// its way out of — the governor engages shedding on the governed actor,
+    /// and disengages it once the target falls back inside the bounds.
+    #[must_use]
+    pub fn with_shedding(
+        mut self,
+        on_shed: impl FnMut(&mut Context<'_, M>, bool) + 'a,
+    ) -> Self {
+        self.on_shed = Some(Box::new(on_shed));
+        self
     }
 
     /// Number of scaling decisions taken so far.
     pub fn decisions(&self) -> usize {
         self.decisions
+    }
+
+    /// Whether load shedding is currently engaged.
+    pub fn shedding(&self) -> bool {
+        self.shedding
     }
 
     fn observe(&mut self, ctx: &mut Context<'_, M>, demand: f64, supply: usize)
@@ -94,10 +120,8 @@ impl<'a, M> GovernorActor<'a, M> {
         };
         self.interval_index += 1;
         self.decisions += 1;
-        let target = self
-            .autoscaler
-            .decide(&obs)
-            .clamp(self.config.min_instances, self.config.max_instances);
+        let raw = self.autoscaler.decide(&obs);
+        let target = raw.clamp(self.config.min_instances, self.config.max_instances);
         ctx.emit(
             "autoscale",
             "decision",
@@ -107,6 +131,21 @@ impl<'a, M> GovernorActor<'a, M> {
                 ("target", Json::UInt(target as u64)),
             ]),
         );
+        if let Some(on_shed) = self.on_shed.as_mut() {
+            let over_capacity = raw > self.config.max_instances;
+            if over_capacity != self.shedding {
+                self.shedding = over_capacity;
+                ctx.emit(
+                    "autoscale",
+                    if over_capacity { "shed_on" } else { "shed_off" },
+                    payload(vec![
+                        ("raw_target", Json::UInt(raw as u64)),
+                        ("max_instances", Json::UInt(self.config.max_instances as u64)),
+                    ]),
+                );
+                on_shed(ctx, over_capacity);
+            }
+        }
         if target > supply + self.in_flight {
             let extra = target - supply - self.in_flight;
             self.in_flight += extra;
@@ -207,6 +246,42 @@ mod tests {
         sim.run();
         // Down to the min_instances floor (2), immediately.
         assert_eq!(*deltas.borrow(), vec![(SimTime::from_secs(60), -8)]);
+    }
+
+    #[test]
+    fn shedding_engages_over_capacity_and_disengages_after() {
+        let signals: Rc<RefCell<Vec<bool>>> = Rc::new(RefCell::new(Vec::new()));
+        let sink = Rc::clone(&signals);
+        struct Ramp(Vec<usize>);
+        impl Autoscaler for Ramp {
+            fn decide(&mut self, _obs: &AutoscaleObservation) -> usize {
+                self.0.remove(0)
+            }
+            fn name(&self) -> &'static str {
+                "ramp"
+            }
+        }
+        // max_instances is 100: 150 is over capacity, 80 and 90 are not.
+        let mut scaler = Ramp(vec![80, 150, 150, 90]);
+        let mut gov = GovernorActor::new(&mut scaler, config(), |_ctx, _d| {})
+            .with_shedding(move |_ctx, on| sink.borrow_mut().push(on));
+        let mut sim: Simulation<'_, GovernorMsg> = Simulation::new(0);
+        let id = sim.add_actor(&mut gov);
+        for t in 0..4 {
+            sim.schedule(
+                SimTime::from_secs(t * 60),
+                id,
+                GovernorMsg::Observe { demand: 1.0, supply: 100 },
+            );
+        }
+        sim.run();
+        // One engage at the first over-capacity tick (no repeat while it
+        // persists), one disengage when the target returns in bounds.
+        assert_eq!(*signals.borrow(), vec![true, false]);
+        assert_eq!(sim.trace().count("autoscale", "shed_on"), 1);
+        assert_eq!(sim.trace().count("autoscale", "shed_off"), 1);
+        drop(sim);
+        assert!(!gov.shedding());
     }
 
     #[test]

@@ -7,6 +7,7 @@ use mcs::experiment::Experiment;
 
 mod ecosystem;
 mod fig1;
+mod resilience;
 mod fig2;
 mod fig3;
 mod fig4;
@@ -23,6 +24,7 @@ pub use fig2::Fig2EvolutionTimeline;
 pub use fig3::Fig3DatacenterRefarch;
 pub use fig4::Fig4GamingEcosystem;
 pub use fig5::Fig5FaasRefarch;
+pub use resilience::ResilienceAblation;
 pub use table1::Table1Methods;
 pub use table2::Table2Principles;
 pub use table3::Table3Challenges;
@@ -43,6 +45,7 @@ pub fn all() -> Vec<Box<dyn Experiment>> {
         Box::new(Table4UseCases),
         Box::new(Table5Paradigms),
         Box::new(EcosystemComposed),
+        Box::new(ResilienceAblation),
     ]
 }
 
@@ -59,6 +62,7 @@ mod tests {
         assert_eq!(deduped.len(), names.len(), "duplicate experiment name");
         assert!(names.contains(&"table5_paradigms"));
         assert!(names.contains(&"ecosystem_composed"));
-        assert_eq!(names.len(), 11);
+        assert!(names.contains(&"resilience_ablation"));
+        assert_eq!(names.len(), 12);
     }
 }

@@ -16,6 +16,7 @@
 //! | `table4_use_cases` | Table 4 — the six use-case domains |
 //! | `table5_paradigms` | Table 5 — cluster/grid/cloud/MCS operating models |
 //! | `ecosystem_composed` | Composed ecosystem — failures vs autoscaled FaaS vs portfolio batch (one engine run) |
+//! | `resilience_ablation` | Resilience ablation — baseline vs retry/breaker/shedder/restart vs all-on under mixed faults |
 //!
 //! Each binary is a thin wrapper over an [`experiments`] type implementing
 //! [`mcs::experiment::Experiment`]; [`run_cli`] handles seed selection and

@@ -18,10 +18,11 @@
 use mcs_autoscale::autoscalers::{Autoscaler, React};
 use mcs_autoscale::governor::{GovernorActor, GovernorMsg};
 use mcs_autoscale::service::ServiceConfig;
-use mcs_faas::actor::{FaasActor, FaasMsg};
+use mcs_faas::actor::{CongestionConfig, FaasActor, FaasFault, FaasMsg};
 use mcs_faas::platform::{FaasPlatform, FunctionSpec, KeepAlivePolicy, PlatformReport};
 use mcs_failure::inject::{FailureEvent, FailureInjector, InjectorMsg};
-use mcs_failure::model::{FailureModel, SpaceCorrelatedFailures};
+use mcs_failure::model::{FailureModel, FaultKind, FaultMix, SpaceCorrelatedFailures};
+use mcs_simcore::resilience::ResilienceConfig;
 use mcs_infra::prelude::{Cluster, ClusterId, MachineSpec};
 use mcs_rms::portfolio::{default_portfolio, Objective, PortfolioSelector};
 use mcs_rms::scheduler::{ClusterScheduler, RmsMsg, ScheduleOutcome, SchedulerConfig};
@@ -101,6 +102,21 @@ pub struct ScenarioConfig {
     pub failure_domain: usize,
     /// Fraction of the idle FaaS warm pool killed per machine failure.
     pub kill_fraction: f64,
+    /// Resilience mechanisms of the run. The default ([`ResilienceConfig::none`])
+    /// reproduces the legacy fail-and-suffer behaviour exactly.
+    pub resilience: ResilienceConfig,
+    /// Fault-kind mix of the failure schedule. Crash faults strike the batch
+    /// cluster and the warm pool; slowdown/gray/partition windows strike the
+    /// FaaS service. Defaults to crash-only (the legacy vocabulary).
+    pub fault_mix: FaultMix,
+    /// Optional FaaS congestion model (latency degrades over a utilization
+    /// knee). `None` keeps the legacy congestion-free service.
+    pub congestion: Option<CongestionConfig>,
+    /// Overrides the duration of non-crash (service-level) fault windows.
+    /// Machine repairs take minutes, but the blips that slowdown/gray/
+    /// partition faults model are typically much shorter; `None` keeps the
+    /// outage's own repair instant.
+    pub service_fault_secs: Option<f64>,
 }
 
 impl Default for ScenarioConfig {
@@ -125,6 +141,10 @@ impl Default for ScenarioConfig {
             mtbf_secs: 6.0 * 3600.0,
             failure_domain: 8,
             kill_fraction: 0.5,
+            resilience: ResilienceConfig::none(),
+            fault_mix: FaultMix::crash_only(),
+            congestion: None,
+            service_fault_secs: None,
         }
     }
 }
@@ -142,6 +162,13 @@ pub struct ScenarioOutcome {
     pub invoked: u64,
     /// Invocations rejected by the capacity cap.
     pub rejected: u64,
+    /// Invocations that ended in failure (partition, gray, timeout, open
+    /// breaker); zero in crash-only runs.
+    pub invocations_failed: u64,
+    /// Requests dropped by engaged load shedding.
+    pub shed: u64,
+    /// Retries scheduled by the FaaS retry policy.
+    pub retries_scheduled: u64,
     /// FaaS capacity at the end of the run.
     pub final_capacity: usize,
     /// Outages in the generated schedule.
@@ -237,6 +264,8 @@ impl Scenario {
         )
         .generate(cfg.machines, cfg.horizon, &mut failure_rng);
         let outages_generated = outages.len();
+        let mut mix_rng = RngStream::new(cfg.seed, "fault-mix");
+        let faults = cfg.fault_mix.assign(outages, &mut mix_rng);
 
         let mut platform = FaasPlatform::new(KeepAlivePolicy::Fixed(cfg.keep_alive), cfg.seed);
         for spec in &self.functions {
@@ -277,6 +306,9 @@ impl Scenario {
         let mut scheduler_actor = scheduler
             .actor(jobs, cfg.horizon)
             .with_selector(&mut selector, cfg.policy_interval);
+        if let Some(restart) = cfg.resilience.restart {
+            scheduler_actor = scheduler_actor.with_restart(restart);
+        }
 
         let mut governor =
             GovernorActor::new(self.autoscaler.as_mut(), cfg.service, move |ctx, delta| {
@@ -286,9 +318,19 @@ impl Scenario {
                     EcosystemMsg::Faas(FaasMsg::Scale(delta)),
                 );
             });
+        if cfg.resilience.shedder.is_some() {
+            governor = governor.with_shedding(move |ctx, on| {
+                ctx.send(
+                    faas_id,
+                    SimDuration::ZERO,
+                    EcosystemMsg::Faas(FaasMsg::SetShedding(on)),
+                );
+            });
+        }
 
         let mut faas_actor = FaasActor::new(&mut platform)
             .with_capacity(cfg.initial_capacity)
+            .with_resilience(cfg.resilience)
             .with_observer(cfg.service.scaling_interval, move |ctx, demand, supply| {
                 ctx.send(
                     governor_id,
@@ -296,28 +338,67 @@ impl Scenario {
                     EcosystemMsg::Governor(GovernorMsg::Observe { demand, supply }),
                 );
             });
+        if let Some(congestion) = cfg.congestion {
+            faas_actor = faas_actor.with_congestion(congestion);
+        }
 
+        // Crash faults strike the batch cluster and the warm pool; the other
+        // kinds open service-level fault windows on the FaaS platform.
         let kill_fraction = cfg.kill_fraction;
-        let mut injector = FailureInjector::new(outages, move |ctx, event| match event {
-            FailureEvent::Fail(o) => {
-                ctx.send(
-                    scheduler_id,
-                    SimDuration::ZERO,
-                    EcosystemMsg::Rms(RmsMsg::MachineFail(o.machine as u32)),
-                );
-                ctx.send(
-                    faas_id,
-                    SimDuration::ZERO,
-                    EcosystemMsg::Faas(FaasMsg::KillWarm { fraction: kill_fraction }),
-                );
+        let service_fault_secs = cfg.service_fault_secs;
+        let service_fault = |kind: FaultKind| -> Option<FaasFault> {
+            match kind {
+                FaultKind::Crash => None,
+                FaultKind::Slowdown { factor } => Some(FaasFault::Slowdown { factor }),
+                FaultKind::Gray { error_rate } => Some(FaasFault::Gray { error_rate }),
+                FaultKind::Partition => Some(FaasFault::Partition),
             }
-            FailureEvent::Repair(o) => {
-                ctx.send(
-                    scheduler_id,
-                    SimDuration::ZERO,
-                    EcosystemMsg::Rms(RmsMsg::MachineRepair(o.machine as u32)),
-                );
-            }
+        };
+        let mut injector = FailureInjector::with_faults(faults, move |ctx, event| match event {
+            FailureEvent::Fail(fault) => match service_fault(fault.kind) {
+                None => {
+                    ctx.send(
+                        scheduler_id,
+                        SimDuration::ZERO,
+                        EcosystemMsg::Rms(RmsMsg::MachineFail(fault.outage.machine as u32)),
+                    );
+                    ctx.send(
+                        faas_id,
+                        SimDuration::ZERO,
+                        EcosystemMsg::Faas(FaasMsg::KillWarm { fraction: kill_fraction }),
+                    );
+                }
+                Some(f) => {
+                    ctx.send(faas_id, SimDuration::ZERO, EcosystemMsg::Faas(FaasMsg::Fault(f)));
+                    if let Some(secs) = service_fault_secs {
+                        ctx.send(
+                            faas_id,
+                            SimDuration::from_secs_f64(secs),
+                            EcosystemMsg::Faas(FaasMsg::FaultClear(f)),
+                        );
+                    }
+                }
+            },
+            FailureEvent::Repair(fault) => match service_fault(fault.kind) {
+                None => {
+                    ctx.send(
+                        scheduler_id,
+                        SimDuration::ZERO,
+                        EcosystemMsg::Rms(RmsMsg::MachineRepair(fault.outage.machine as u32)),
+                    );
+                }
+                Some(f) => {
+                    // When the window length is overridden, the clear was
+                    // already scheduled at fault-strike time.
+                    if service_fault_secs.is_none() {
+                        ctx.send(
+                            faas_id,
+                            SimDuration::ZERO,
+                            EcosystemMsg::Faas(FaasMsg::FaultClear(f)),
+                        );
+                    }
+                }
+            },
         })
         .with_horizon(cfg.horizon);
 
@@ -352,6 +433,9 @@ impl Scenario {
         let arrivals = arrival.count();
         let invoked = faas_actor.invoked();
         let rejected = faas_actor.rejected();
+        let invocations_failed = faas_actor.failed();
+        let shed = faas_actor.shed();
+        let retries_scheduled = faas_actor.retries_scheduled();
         let final_capacity = faas_actor.capacity().unwrap_or(0);
         let outages_delivered = injector.delivered();
         let governor_decisions = governor.decisions();
@@ -369,6 +453,9 @@ impl Scenario {
             arrivals,
             invoked,
             rejected,
+            invocations_failed,
+            shed,
+            retries_scheduled,
             final_capacity,
             outages_generated,
             outages_delivered,
@@ -432,6 +519,53 @@ mod tests {
         assert_eq!(fails, out.outages_delivered);
         assert_eq!(out.trace.count("faas", "kill_warm"), fails);
         assert_eq!(out.trace.count("rms", "machine_fail"), fails);
+    }
+
+    #[test]
+    fn resilient_run_with_mixed_faults_is_deterministic_and_traced() {
+        let config = || {
+            let mut cfg = small_config();
+            // Harsh failure regime so every fault kind gets drawn.
+            cfg.mtbf_secs = 600.0;
+            cfg.resilience = ResilienceConfig::all_on();
+            cfg.fault_mix = FaultMix {
+                crash: 0.4,
+                slowdown: 0.2,
+                gray: 0.2,
+                partition: 0.2,
+                ..FaultMix::crash_only()
+            };
+            cfg.congestion = Some(CongestionConfig::default());
+            cfg
+        };
+        let a = Scenario::new(config()).run();
+        let b = Scenario::new(config()).run();
+        assert_eq!(a.trace.to_json_string(), b.trace.to_json_string());
+        // Non-crash fault windows reach the FaaS platform…
+        assert!(a.trace.count("faas", "fault") > 0, "no service fault windows struck");
+        // …and the resilience machinery leaves structured evidence behind.
+        assert!(
+            a.invocations_failed > 0 || a.retries_scheduled > 0,
+            "mixed faults under all-on resilience produced no failures or retries"
+        );
+        assert_eq!(
+            a.retries_scheduled,
+            a.trace.count("faas", "retry_scheduled") as u64
+        );
+        assert_eq!(
+            a.invocations_failed,
+            a.trace.count("faas", "invoke_failed") as u64
+        );
+    }
+
+    #[test]
+    fn crash_only_defaults_leave_resilience_silent() {
+        let out = Scenario::new(small_config()).run();
+        assert_eq!(out.invocations_failed, 0);
+        assert_eq!(out.shed, 0);
+        assert_eq!(out.retries_scheduled, 0);
+        assert_eq!(out.trace.count("faas", "fault"), 0);
+        assert_eq!(out.trace.count("rms", "requeue_scheduled"), 0);
     }
 
     #[test]

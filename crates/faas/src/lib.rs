@@ -33,7 +33,7 @@ pub mod platform;
 
 /// Convenience re-exports.
 pub mod prelude {
-    pub use crate::actor::{FaasActor, FaasMsg, FaasObserver};
+    pub use crate::actor::{CongestionConfig, FaasActor, FaasFault, FaasMsg, FaasObserver};
     pub use crate::composition::{
         execute_composition, Composition, CompositionResult, Stage,
     };

@@ -164,6 +164,12 @@ impl FaasPlatform {
         );
     }
 
+    /// Seed this platform was built with (components deriving their own
+    /// streams from it stay deterministic per platform seed).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// Invokes `function` at instant `at` against the live instance pools.
     ///
     /// Invocations must be issued in non-decreasing time order for the
@@ -173,6 +179,22 @@ impl FaasPlatform {
     /// Panics when the function is unknown, or when `at` precedes an
     /// earlier invocation (keep-alive accounting needs monotone time).
     pub fn invoke(&mut self, function: &str, at: SimTime) -> InvocationResult {
+        self.invoke_scaled(function, at, 1.0)
+    }
+
+    /// Like [`FaasPlatform::invoke`], but stretches the sampled execution
+    /// time by `exec_factor` (≥ 1): the mechanism behind straggler faults
+    /// and congestion, where the work itself runs slower and the instance
+    /// stays occupied (and billed) for the stretched duration.
+    ///
+    /// # Panics
+    /// Same conditions as [`FaasPlatform::invoke`].
+    pub fn invoke_scaled(
+        &mut self,
+        function: &str,
+        at: SimTime,
+        exec_factor: f64,
+    ) -> InvocationResult {
         assert!(
             at >= self.last_invoke_at,
             "invocations must be issued in non-decreasing time order"
@@ -204,7 +226,7 @@ impl FaasPlatform {
             .filter(|(_, i)| i.free_at <= at)
             .max_by_key(|(_, i)| i.last_used)
             .map(|(idx, _)| idx);
-        let exec = spec.exec_time.sample(&mut self.rng).max(1e-4);
+        let exec = spec.exec_time.sample(&mut self.rng).max(1e-4) * exec_factor.max(1.0);
         let (start_delay, cold) = match warm_idx {
             Some(_) => (spec.warm_start_secs, false),
             None => (spec.cold_start_secs, true),

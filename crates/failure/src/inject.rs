@@ -12,7 +12,7 @@
 //! the *next* outage, so a year-long schedule costs one pending event, not
 //! thousands.
 
-use crate::model::Outage;
+use crate::model::{Fault, Outage};
 use mcs_simcore::codec::Json;
 use mcs_simcore::engine::{Actor, Context, MessageEnvelope};
 use mcs_simcore::time::SimTime;
@@ -23,27 +23,27 @@ use mcs_simcore::trace::payload;
 pub enum InjectorMsg {
     /// Kick-off: arm the first outage.
     Start,
-    /// The outage under the cursor strikes now.
+    /// The fault under the cursor strikes now.
     Fail,
-    /// The outage at this schedule index is repaired now.
+    /// The fault at this schedule index is repaired now.
     Repair(usize),
 }
 
 /// One failure-domain event delivered to the scenario callback.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FailureEvent {
-    /// The machine of this outage just failed.
-    Fail(Outage),
-    /// The machine of this outage just came back.
-    Repair(Outage),
+    /// This fault's window just opened (crash, straggler, gray, partition).
+    Fail(Fault),
+    /// This fault's window just closed.
+    Repair(Fault),
 }
 
 /// Callback receiving each [`FailureEvent`] as it fires.
 pub type FailureSink<'a, M> = Box<dyn FnMut(&mut Context<'_, M>, FailureEvent) + 'a>;
 
-/// Replays a sorted outage schedule as engine messages.
+/// Replays a sorted fault schedule as engine messages.
 pub struct FailureInjector<'a, M> {
-    outages: Vec<Outage>,
+    faults: Vec<Fault>,
     cursor: usize,
     horizon: Option<SimTime>,
     delivered: usize,
@@ -51,15 +51,24 @@ pub struct FailureInjector<'a, M> {
 }
 
 impl<'a, M: MessageEnvelope<InjectorMsg>> FailureInjector<'a, M> {
-    /// Builds an injector over `outages` (sorted internally by
+    /// Builds an injector over crash-stop `outages` (sorted internally by
     /// `(fail_at, machine)`, the order the models already emit).
     pub fn new(
-        mut outages: Vec<Outage>,
+        outages: Vec<Outage>,
         deliver: impl FnMut(&mut Context<'_, M>, FailureEvent) + 'a,
     ) -> Self {
-        outages.sort_by_key(|o| (o.fail_at, o.machine));
+        Self::with_faults(outages.into_iter().map(Fault::crash).collect(), deliver)
+    }
+
+    /// Builds an injector over a mixed-kind fault schedule (e.g. from
+    /// [`FaultMix::assign`](crate::model::FaultMix::assign)).
+    pub fn with_faults(
+        mut faults: Vec<Fault>,
+        deliver: impl FnMut(&mut Context<'_, M>, FailureEvent) + 'a,
+    ) -> Self {
+        faults.sort_by_key(|f| (f.outage.fail_at, f.outage.machine));
         FailureInjector {
-            outages,
+            faults,
             cursor: 0,
             horizon: None,
             delivered: 0,
@@ -75,52 +84,56 @@ impl<'a, M: MessageEnvelope<InjectorMsg>> FailureInjector<'a, M> {
         self
     }
 
-    /// Outage failures delivered so far.
+    /// Fault onsets delivered so far.
     pub fn delivered(&self) -> usize {
         self.delivered
     }
 
     fn arm_next(&mut self, ctx: &mut Context<'_, M>) {
-        if let Some(o) = self.outages.get(self.cursor) {
-            if self.horizon.is_some_and(|h| o.fail_at >= h) {
+        if let Some(f) = self.faults.get(self.cursor) {
+            if self.horizon.is_some_and(|h| f.outage.fail_at >= h) {
                 // The schedule is sorted: everything from here on is late too.
-                self.cursor = self.outages.len();
+                self.cursor = self.faults.len();
             } else {
-                ctx.send_at(ctx.self_id(), o.fail_at, M::wrap(InjectorMsg::Fail));
+                ctx.send_at(ctx.self_id(), f.outage.fail_at, M::wrap(InjectorMsg::Fail));
             }
         }
     }
 
     fn fail(&mut self, ctx: &mut Context<'_, M>) {
         let idx = self.cursor;
-        let o = self.outages[idx];
+        let f = self.faults[idx];
         self.cursor += 1;
         self.delivered += 1;
         ctx.emit(
             "failure",
             "outage",
             payload(vec![
-                ("machine", Json::UInt(o.machine as u64)),
-                ("downtime_secs", Json::Float(o.duration().as_secs_f64())),
+                ("machine", Json::UInt(f.outage.machine as u64)),
+                ("kind", Json::Str(f.kind.name().to_owned())),
+                ("downtime_secs", Json::Float(f.outage.duration().as_secs_f64())),
             ]),
         );
-        (self.deliver)(ctx, FailureEvent::Fail(o));
+        (self.deliver)(ctx, FailureEvent::Fail(f));
         let repair_at = match self.horizon {
-            Some(h) => o.repair_at.min(h),
-            None => o.repair_at,
+            Some(h) => f.outage.repair_at.min(h),
+            None => f.outage.repair_at,
         };
         ctx.send_at(ctx.self_id(), repair_at, M::wrap(InjectorMsg::Repair(idx)));
         self.arm_next(ctx);
     }
 
     fn repair(&mut self, ctx: &mut Context<'_, M>, idx: usize) {
-        let o = self.outages[idx];
+        let f = self.faults[idx];
         ctx.emit(
             "failure",
             "repair",
-            payload(vec![("machine", Json::UInt(o.machine as u64))]),
+            payload(vec![
+                ("machine", Json::UInt(f.outage.machine as u64)),
+                ("kind", Json::Str(f.kind.name().to_owned())),
+            ]),
         );
-        (self.deliver)(ctx, FailureEvent::Repair(o));
+        (self.deliver)(ctx, FailureEvent::Repair(f));
     }
 }
 
@@ -194,7 +207,7 @@ mod tests {
         let fail_machines: Vec<usize> = events
             .iter()
             .filter_map(|(_, ev)| match ev {
-                FailureEvent::Fail(o) => Some(o.machine),
+                FailureEvent::Fail(f) => Some(f.outage.machine),
                 FailureEvent::Repair(_) => None,
             })
             .collect();
@@ -216,5 +229,89 @@ mod tests {
             })
             .collect();
         assert_eq!(repair_times, vec![100], "repair clamped to the horizon");
+    }
+
+    #[test]
+    fn mixed_fault_kinds_flow_through_the_cursor() {
+        use crate::model::{FaultKind, FaultMix};
+        use mcs_simcore::rng::RngStream;
+
+        let outages = (0..40).map(|i| outage(i, 10 + i as u64 * 5, 20 + i as u64 * 5)).collect();
+        let mix = FaultMix {
+            crash: 0.25,
+            slowdown: 0.25,
+            gray: 0.25,
+            partition: 0.25,
+            ..FaultMix::crash_only()
+        };
+        let faults = mix.assign(outages, &mut RngStream::new(11, "mix"));
+        let non_crash = faults.iter().filter(|f| f.kind != FaultKind::Crash).count();
+        assert!(non_crash > 0, "an even mix over 40 outages yields non-crash kinds");
+
+        let log: Rc<RefCell<Vec<FailureEvent>>> = Rc::new(RefCell::new(Vec::new()));
+        let sink = Rc::clone(&log);
+        let mut inj: FailureInjector<'_, InjectorMsg> =
+            FailureInjector::with_faults(faults.clone(), move |_, ev| {
+                sink.borrow_mut().push(ev);
+            });
+        let mut sim: Simulation<'_, InjectorMsg> = Simulation::new(0);
+        let id = sim.add_actor(&mut inj);
+        sim.schedule(SimTime::ZERO, id, InjectorMsg::Start);
+        sim.run();
+        drop(sim);
+        let delivered_kinds: Vec<&'static str> = log
+            .borrow()
+            .iter()
+            .filter_map(|ev| match ev {
+                FailureEvent::Fail(f) => Some(f.kind.name()),
+                FailureEvent::Repair(_) => None,
+            })
+            .collect();
+        let scheduled_kinds: Vec<&'static str> = faults.iter().map(|f| f.kind.name()).collect();
+        assert_eq!(delivered_kinds, scheduled_kinds, "kinds survive the cursor verbatim");
+    }
+
+    /// Satellite property: under an arbitrary schedule and horizon, the
+    /// injector never delivers a `Fail` at/after the horizon and every
+    /// repair instant is clamped to it.
+    #[test]
+    fn prop_horizon_bounds_all_deliveries() {
+        use mcs_simcore::check::Check;
+        use mcs_simcore::prop_assert;
+
+        Check::new("injector_horizon_bounds").cases(64).run(|rng| {
+            use mcs_simcore::time::SimDuration;
+            let at = |secs: f64| SimTime::ZERO + SimDuration::from_secs_f64(secs);
+            let n = 1 + rng.uniform_usize(30);
+            let outages: Vec<Outage> = (0..n)
+                .map(|i| {
+                    let fail = rng.uniform_f64(0.0, 1_000.0);
+                    Outage {
+                        machine: i % 8,
+                        fail_at: at(fail),
+                        repair_at: at(fail + rng.uniform_f64(0.1, 400.0)),
+                    }
+                })
+                .collect();
+            let horizon = at(rng.uniform_f64(1.0, 1_200.0));
+            let (events, ..) = run_injector(outages, Some(horizon));
+            for (t, ev) in &events {
+                match ev {
+                    FailureEvent::Fail(f) => {
+                        prop_assert!(
+                            *t < horizon && f.outage.fail_at < horizon,
+                            "Fail delivered at {t:?} with horizon {horizon:?}"
+                        );
+                    }
+                    FailureEvent::Repair(_) => {
+                        prop_assert!(
+                            *t <= horizon,
+                            "Repair delivered at {t:?} past horizon {horizon:?}"
+                        );
+                    }
+                }
+            }
+            Ok(())
+        });
     }
 }

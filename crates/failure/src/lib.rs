@@ -28,7 +28,7 @@ pub mod prelude {
     pub use crate::analysis::{analyze, longest_degradation, merge_per_machine, AvailabilityReport};
     pub use crate::inject::{FailureEvent, FailureInjector, InjectorMsg};
     pub use crate::model::{
-        FailureModel, IndependentFailures, Outage, SpaceCorrelatedFailures,
-        TimeCorrelatedFailures,
+        FailureModel, Fault, FaultKind, FaultMix, IndependentFailures, Outage,
+        SpaceCorrelatedFailures, TimeCorrelatedFailures,
     };
 }

@@ -32,6 +32,125 @@ impl Outage {
     }
 }
 
+/// What a fault *does* to its victim — the vocabulary beyond crash-stop.
+///
+/// Real failure studies (and the SimGrid line of simulators) show that
+/// crash-stop is only one corner of the fault space: machines also *limp*
+/// (stragglers), *lie* (gray failures that fail work without dying), and
+/// get *cut off* (network partitions). Each kind is delivered through the
+/// same injector cursor, so mixed-fault schedules stay one sorted list.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Classic crash-stop: the machine is down until repair.
+    Crash,
+    /// A straggler window: the victim's work runs `factor`× slower
+    /// (`factor > 1`).
+    Slowdown {
+        /// Latency multiplier while the fault is active.
+        factor: f64,
+    },
+    /// A gray failure: the machine looks alive but fails work with this
+    /// probability until repair.
+    Gray {
+        /// Probability that a unit of work fails, in `[0, 1]`.
+        error_rate: f64,
+    },
+    /// A network-partition window: requests to the victim never arrive.
+    Partition,
+}
+
+impl FaultKind {
+    /// A stable lowercase name for trace payloads.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::Crash => "crash",
+            FaultKind::Slowdown { .. } => "slowdown",
+            FaultKind::Gray { .. } => "gray",
+            FaultKind::Partition => "partition",
+        }
+    }
+}
+
+/// One scheduled fault: an [`Outage`] window plus what happens inside it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fault {
+    /// The affected machine and the `[fail_at, repair_at)` window.
+    pub outage: Outage,
+    /// What the fault does during the window.
+    pub kind: FaultKind,
+}
+
+impl Fault {
+    /// A crash-stop fault over `outage` (the legacy behaviour).
+    pub fn crash(outage: Outage) -> Self {
+        Fault { outage, kind: FaultKind::Crash }
+    }
+}
+
+/// A probability mix over fault kinds, used to lift a crash-only outage
+/// schedule into a mixed-fault schedule deterministically.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultMix {
+    /// Weight of crash-stop faults.
+    pub crash: f64,
+    /// Weight of slowdown (straggler) windows.
+    pub slowdown: f64,
+    /// Weight of gray-failure windows.
+    pub gray: f64,
+    /// Weight of partition windows.
+    pub partition: f64,
+    /// Latency multiplier of slowdown windows.
+    pub slowdown_factor: f64,
+    /// Per-unit-of-work failure probability of gray windows.
+    pub gray_error_rate: f64,
+}
+
+impl Default for FaultMix {
+    fn default() -> Self {
+        FaultMix::crash_only()
+    }
+}
+
+impl FaultMix {
+    /// Every fault is a crash (the legacy, crash-stop-only vocabulary).
+    pub fn crash_only() -> Self {
+        FaultMix {
+            crash: 1.0,
+            slowdown: 0.0,
+            gray: 0.0,
+            partition: 0.0,
+            slowdown_factor: 4.0,
+            gray_error_rate: 0.8,
+        }
+    }
+
+    /// Assigns a kind to every outage by a weighted draw from this mix
+    /// (weights are normalized; all-zero weights degrade to crash-only).
+    pub fn assign(&self, outages: Vec<Outage>, rng: &mut RngStream) -> Vec<Fault> {
+        let total = self.crash + self.slowdown + self.gray + self.partition;
+        outages
+            .into_iter()
+            .map(|outage| {
+                let kind = if total <= 0.0 {
+                    FaultKind::Crash
+                } else {
+                    let x = rng.next_f64() * total;
+                    if x < self.crash {
+                        FaultKind::Crash
+                    } else if x < self.crash + self.slowdown {
+                        FaultKind::Slowdown { factor: self.slowdown_factor.max(1.0) }
+                    } else if x < self.crash + self.slowdown + self.gray {
+                        FaultKind::Gray { error_rate: self.gray_error_rate.clamp(0.0, 1.0) }
+                    } else {
+                        FaultKind::Partition
+                    }
+                };
+                Fault { outage, kind }
+            })
+            .collect()
+    }
+}
+
 /// A generator of outage schedules over a machine population.
 pub trait FailureModel {
     /// Generates all outages for `machines` machines in `[0, horizon)`,

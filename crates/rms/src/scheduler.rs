@@ -23,7 +23,9 @@ use mcs_infra::machine::MachineId;
 use mcs_infra::resource::ResourceVector;
 use mcs_simcore::codec::Json;
 use mcs_simcore::engine::{Actor, Context, MessageEnvelope, Simulation};
+use mcs_simcore::error::McsError;
 use mcs_simcore::metrics::TimeWeighted;
+use mcs_simcore::resilience::RestartConfig;
 use mcs_simcore::rng::RngStream;
 use mcs_simcore::time::{SimDuration, SimTime};
 use mcs_simcore::trace::payload;
@@ -89,6 +91,31 @@ impl Default for SchedulerConfig {
     }
 }
 
+impl SchedulerConfig {
+    /// Validates the configuration, rejecting a `checkpoint_factor` outside
+    /// `[0, 1]` (a fraction of preserved work; anything else is nonsense).
+    pub fn validate(self) -> Result<Self, McsError> {
+        if self.checkpoint_factor.is_nan() || !(0.0..=1.0).contains(&self.checkpoint_factor) {
+            return Err(McsError::Config(format!(
+                "checkpoint_factor must be in [0, 1], got {}",
+                self.checkpoint_factor
+            )));
+        }
+        Ok(self)
+    }
+}
+
+/// Forces `checkpoint_factor` into `[0, 1]` (NaN becomes 0), the constructor
+/// counterpart of [`SchedulerConfig::validate`] for callers that prefer
+/// clamping to failing.
+fn sanitize_checkpoint(factor: f64) -> f64 {
+    if factor.is_nan() {
+        0.0
+    } else {
+        factor.clamp(0.0, 1.0)
+    }
+}
+
 /// What the scheduler measured over one run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScheduleOutcome {
@@ -109,6 +136,9 @@ pub struct ScheduleOutcome {
     /// Tasks rejected because no machine in the cluster can ever satisfy
     /// their resource request (admission control).
     pub rejected: usize,
+    /// Tasks abandoned after exhausting their checkpoint-restart budget
+    /// (only under [`SchedulerActor::with_restart`]).
+    pub abandoned: usize,
     /// Tasks still unfinished when the run ended (excluding rejected ones).
     pub unfinished: usize,
 }
@@ -178,6 +208,9 @@ pub enum RmsMsg {
     PolicyTick,
     /// Apply the next entry of the sorted outage schedule.
     NextOutage,
+    /// A checkpoint-restart backoff elapsed: the killed task re-enters the
+    /// queue now (only under [`SchedulerActor::with_restart`]).
+    Requeue(usize),
 }
 
 /// A read-only snapshot handed to a [`PolicySelector`] at each decision tick.
@@ -252,8 +285,11 @@ pub struct ClusterScheduler {
 }
 
 impl ClusterScheduler {
-    /// Creates a scheduler over a cluster.
-    pub fn new(cluster: Cluster, config: SchedulerConfig, seed: u64) -> Self {
+    /// Creates a scheduler over a cluster. Out-of-range `checkpoint_factor`
+    /// values are clamped into `[0, 1]`; use [`SchedulerConfig::validate`]
+    /// to reject them instead.
+    pub fn new(cluster: Cluster, mut config: SchedulerConfig, seed: u64) -> Self {
+        config.checkpoint_factor = sanitize_checkpoint(config.checkpoint_factor);
         ClusterScheduler {
             cluster,
             config,
@@ -367,6 +403,9 @@ pub struct SchedulerActor<'a> {
     failure_requeues: usize,
     deadline_misses: usize,
     rejected: HashSet<usize>,
+    restart: Option<RestartConfig>,
+    restart_attempts: Vec<u32>,
+    abandoned: HashSet<usize>,
     core_capacity: f64,
     used_cores: f64,
     util: TimeWeighted,
@@ -415,7 +454,9 @@ impl<'a> SchedulerActor<'a> {
                 }
             }
         }
+        config.checkpoint_factor = sanitize_checkpoint(config.checkpoint_factor);
         let generation = vec![0; flat.len()];
+        let restart_attempts = vec![0; flat.len()];
         let core_capacity = cluster.capacity().cpu_cores.max(1e-9);
         SchedulerActor {
             cluster,
@@ -437,6 +478,9 @@ impl<'a> SchedulerActor<'a> {
             failure_requeues: 0,
             deadline_misses: 0,
             rejected: HashSet::new(),
+            restart: None,
+            restart_attempts,
+            abandoned: HashSet::new(),
             core_capacity,
             used_cores: 0.0,
             util: TimeWeighted::new(SimTime::ZERO, 0.0),
@@ -451,6 +495,17 @@ impl<'a> SchedulerActor<'a> {
     pub fn with_outages(mut self, mut outages: Vec<Outage>) -> Self {
         outages.sort_by_key(|o| (o.fail_at, o.machine));
         self.outages = outages;
+        self
+    }
+
+    /// Enables checkpoint-restart with backoff: a task killed by a machine
+    /// failure re-enters the queue only after the policy's backoff delay
+    /// (instead of instantly), keeps `restart.checkpoint_factor` of its
+    /// progress, and is abandoned once the attempt budget is spent.
+    #[must_use]
+    pub fn with_restart(mut self, restart: RestartConfig) -> Self {
+        self.config.checkpoint_factor = sanitize_checkpoint(restart.checkpoint_factor);
+        self.restart = Some(restart);
         self
     }
 
@@ -482,6 +537,7 @@ impl<'a> SchedulerActor<'a> {
             deadline_misses: self.deadline_misses,
             failure_requeues: self.failure_requeues,
             rejected: self.rejected.len(),
+            abandoned: self.abandoned.len(),
             unfinished,
             completions: std::mem::take(&mut self.completions),
         }
@@ -615,20 +671,62 @@ impl<'a> SchedulerActor<'a> {
         self.cluster.machine_mut(mid).fail();
         // Kill and requeue everything that was running there.
         let mut requeued = 0u64;
+        let mut lost_core_secs = 0.0_f64;
         if let Some(victims) = self.on_machine.remove(&m) {
+            // Fixed kill order: backoff draws must not depend on hash order.
+            let mut victims: Vec<usize> = victims.into_iter().collect();
+            victims.sort_unstable();
             for ti in victims {
                 if let Some(rt) = self.running.remove(&ti) {
                     self.used_cores -= rt.req.cpu_cores;
                     self.failure_requeues += 1;
                     requeued += 1;
                     self.generation[ti] += 1;
-                    // Keep checkpointed progress.
-                    let progressed = (now - rt.started).as_secs_f64()
-                        * rt.req.cpu_cores
-                        * self.config.checkpoint_factor;
+                    // Keep checkpointed progress; the rest is wasted work.
+                    let elapsed_core_secs = (now - rt.started).as_secs_f64() * rt.req.cpu_cores;
+                    let progressed = elapsed_core_secs * self.config.checkpoint_factor;
+                    lost_core_secs += elapsed_core_secs - progressed;
                     self.flat[ti].demand_left = (self.flat[ti].demand_left - progressed).max(0.01);
-                    self.queue.push(PendingTask { task_idx: ti, ready_at: now });
-                    self.queue_dirty = true;
+                    match self.restart {
+                        None => {
+                            // Legacy behaviour: requeue instantly.
+                            self.queue.push(PendingTask { task_idx: ti, ready_at: now });
+                            self.queue_dirty = true;
+                        }
+                        Some(rc) => {
+                            self.restart_attempts[ti] += 1;
+                            let attempt = self.restart_attempts[ti];
+                            match rc.backoff.delay_after(attempt, self.rng) {
+                                Some(delay) => {
+                                    ctx.emit(
+                                        "rms",
+                                        "requeue_scheduled",
+                                        payload(vec![
+                                            ("task", Json::UInt(self.flat[ti].id.0)),
+                                            ("attempt", Json::UInt(u64::from(attempt))),
+                                            ("delay_secs", Json::Float(delay.as_secs_f64())),
+                                        ]),
+                                    );
+                                    ctx.send_at(
+                                        ctx.self_id(),
+                                        now + delay,
+                                        M::wrap(RmsMsg::Requeue(ti)),
+                                    );
+                                }
+                                None => {
+                                    self.abandoned.insert(ti);
+                                    ctx.emit(
+                                        "rms",
+                                        "task_abandoned",
+                                        payload(vec![
+                                            ("task", Json::UInt(self.flat[ti].id.0)),
+                                            ("attempts", Json::UInt(u64::from(attempt))),
+                                        ]),
+                                    );
+                                }
+                            }
+                        }
+                    }
                 }
             }
             self.util.set(now, self.used_cores / self.core_capacity);
@@ -639,8 +737,28 @@ impl<'a> SchedulerActor<'a> {
             payload(vec![
                 ("machine", Json::UInt(u64::from(m))),
                 ("requeued", Json::UInt(requeued)),
+                ("lost_core_secs", Json::Float(lost_core_secs)),
             ]),
         );
+    }
+
+    /// Delivers a checkpoint-restart: the task re-enters the queue with its
+    /// checkpointed remaining demand.
+    fn on_requeue<M: MessageEnvelope<RmsMsg>>(&mut self, ctx: &mut Context<'_, M>, ti: usize) {
+        let now = ctx.now();
+        if self.flat[ti].done || self.abandoned.contains(&ti) {
+            return;
+        }
+        ctx.emit(
+            "rms",
+            "checkpoint_restore",
+            payload(vec![
+                ("task", Json::UInt(self.flat[ti].id.0)),
+                ("demand_left", Json::Float(self.flat[ti].demand_left)),
+            ]),
+        );
+        self.queue.push(PendingTask { task_idx: ti, ready_at: now });
+        self.queue_dirty = true;
     }
 
     fn machine_repair<M: MessageEnvelope<RmsMsg>>(&mut self, ctx: &mut Context<'_, M>, m: u32) {
@@ -837,6 +955,7 @@ impl<M: MessageEnvelope<RmsMsg>> Actor<M> for SchedulerActor<'_> {
             RmsMsg::MachineRepair(m) => self.machine_repair(ctx, m),
             RmsMsg::PolicyTick => self.on_policy_tick(ctx),
             RmsMsg::NextOutage => self.on_next_outage(ctx),
+            RmsMsg::Requeue(ti) => self.on_requeue(ctx, ti),
         }
         // A dispatch pass after every event, mirroring the queue-length
         // gauge at the same instant.
@@ -1023,6 +1142,114 @@ mod tests {
         let out = sched.run(vec![bag(0, 0, &[(40.0, 4.0)])], SimTime::from_secs(10_000));
         // 5 s of work done, 5 s left, resumes at 6: finishes at 11.
         assert_eq!(out.makespan, SimDuration::from_secs(11));
+    }
+
+    #[test]
+    fn checkpoint_factor_is_validated_and_clamped() {
+        // validate(): errors outside [0, 1], passes inside.
+        for bad in [-0.1, 1.5, f64::NAN] {
+            let cfg = SchedulerConfig { checkpoint_factor: bad, ..Default::default() };
+            assert!(cfg.validate().is_err(), "checkpoint_factor {bad} must be rejected");
+        }
+        for ok in [0.0, 0.5, 1.0] {
+            let cfg = SchedulerConfig { checkpoint_factor: ok, ..Default::default() };
+            assert_eq!(cfg.validate().unwrap().checkpoint_factor, ok);
+        }
+        // Constructors clamp: factor 5.0 behaves exactly like 1.0 (perfect
+        // checkpointing finishes at 11 s, see checkpointing_preserves_progress).
+        let outage = Outage {
+            machine: 0,
+            fail_at: SimTime::from_secs(5),
+            repair_at: SimTime::from_secs(6),
+        };
+        let mut sched = ClusterScheduler::new(
+            cluster(1, 4.0),
+            SchedulerConfig { checkpoint_factor: 5.0, ..Default::default() },
+            1,
+        )
+        .with_outages(vec![outage]);
+        let out = sched.run(vec![bag(0, 0, &[(40.0, 4.0)])], SimTime::from_secs(10_000));
+        assert_eq!(out.makespan, SimDuration::from_secs(11));
+    }
+
+    #[test]
+    fn restart_requeues_after_backoff_not_instantly() {
+        use mcs_simcore::resilience::{Backoff, RetryPolicy};
+
+        let outage = Outage {
+            machine: 0,
+            fail_at: SimTime::from_secs(5),
+            repair_at: SimTime::from_secs(6),
+        };
+        let restart = RestartConfig {
+            backoff: RetryPolicy {
+                backoff: Backoff::Fixed(SimDuration::from_secs(10)),
+                max_attempts: 4,
+            },
+            checkpoint_factor: 1.0,
+        };
+        let mut cl = cluster(1, 4.0);
+        let mut cfg = SchedulerConfig::default();
+        let mut rng = RngStream::new(1, "scheduler");
+        let horizon = SimTime::from_secs(10_000);
+        let mut actor =
+            SchedulerActor::new(&mut cl, &mut cfg, &mut rng, vec![bag(0, 0, &[(40.0, 4.0)])], horizon)
+                .with_outages(vec![outage])
+                .with_restart(restart);
+        let mut sim: Simulation<'_, RmsMsg> = Simulation::new(1);
+        sim.set_horizon(horizon);
+        let id = sim.add_actor(&mut actor);
+        sim.schedule(SimTime::ZERO, id, RmsMsg::Start);
+        sim.run();
+        assert_eq!(sim.trace().count("rms", "requeue_scheduled"), 1);
+        assert_eq!(sim.trace().count("rms", "checkpoint_restore"), 1);
+        drop(sim);
+        let out = actor.outcome();
+        // Killed at 5 s with 5 s of work left (perfect checkpoint); the
+        // requeue lands at 5 + 10 = 15 s, so the task finishes at 20 s —
+        // not 11 s as with the instant requeue.
+        assert_eq!(out.makespan, SimDuration::from_secs(20));
+        assert_eq!(out.failure_requeues, 1);
+        assert_eq!(out.abandoned, 0);
+    }
+
+    #[test]
+    fn restart_budget_exhaustion_abandons_the_task() {
+        use mcs_simcore::resilience::{Backoff, RetryPolicy};
+
+        // max_attempts 1: the first kill already exhausts the budget.
+        let restart = RestartConfig {
+            backoff: RetryPolicy {
+                backoff: Backoff::Fixed(SimDuration::from_secs(1)),
+                max_attempts: 1,
+            },
+            checkpoint_factor: 0.0,
+        };
+        let outage = Outage {
+            machine: 0,
+            fail_at: SimTime::from_secs(5),
+            repair_at: SimTime::from_secs(6),
+        };
+        let mut cl = cluster(1, 4.0);
+        let mut cfg = SchedulerConfig::default();
+        let mut rng = RngStream::new(1, "scheduler");
+        let horizon = SimTime::from_secs(10_000);
+        let mut actor =
+            SchedulerActor::new(&mut cl, &mut cfg, &mut rng, vec![bag(0, 0, &[(40.0, 4.0)])], horizon)
+                .with_outages(vec![outage])
+                .with_restart(restart);
+        let mut sim: Simulation<'_, RmsMsg> = Simulation::new(1);
+        sim.set_horizon(horizon);
+        let id = sim.add_actor(&mut actor);
+        sim.schedule(SimTime::ZERO, id, RmsMsg::Start);
+        sim.run();
+        assert_eq!(sim.trace().count("rms", "task_abandoned"), 1);
+        assert_eq!(sim.trace().count("rms", "requeue_scheduled"), 0);
+        drop(sim);
+        let out = actor.outcome();
+        assert_eq!(out.abandoned, 1);
+        assert_eq!(out.unfinished, 1, "the abandoned task never completes");
+        assert!(out.completions.is_empty());
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod dist;
 pub mod engine;
 pub mod error;
 pub mod metrics;
+pub mod resilience;
 pub mod rng;
 pub mod time;
 pub mod trace;
@@ -52,6 +53,10 @@ pub mod prelude {
     };
     pub use crate::error::McsError;
     pub use crate::metrics::{OnlineStats, Summary, TimeWeighted};
+    pub use crate::resilience::{
+        Backoff, BreakerConfig, BreakerState, Bulkhead, CircuitBreaker, ResilienceConfig,
+        RestartConfig, RetryPolicy, ShedderConfig, Timeout,
+    };
     pub use crate::rng::{RngCore, RngStream};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::trace::{TraceBus, TraceEvent};

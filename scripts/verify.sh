@@ -8,12 +8,15 @@ cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
-# Determinism gate: the composed-ecosystem experiment must render a
-# byte-identical report across two runs at the same seed.
+# Determinism gate: the composed-ecosystem and resilience-ablation
+# experiments must render byte-identical reports across two runs at the
+# same seed.
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
-./target/release/ecosystem_composed 42 > "$tmpdir/run1.txt"
-./target/release/ecosystem_composed 42 > "$tmpdir/run2.txt"
-diff "$tmpdir/run1.txt" "$tmpdir/run2.txt"
+for exp in ecosystem_composed resilience_ablation; do
+    "./target/release/$exp" 42 > "$tmpdir/${exp}1.txt"
+    "./target/release/$exp" 42 > "$tmpdir/${exp}2.txt"
+    diff "$tmpdir/${exp}1.txt" "$tmpdir/${exp}2.txt"
+done
 
-echo "verify: OK (offline build + tests + clippy + same-seed ecosystem diff)"
+echo "verify: OK (offline build + tests + clippy + same-seed experiment diffs)"
