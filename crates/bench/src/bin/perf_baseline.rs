@@ -1,0 +1,229 @@
+//! The tracked perf baseline of the simulation core (`BENCH_*.json`).
+//!
+//! Four wall-clock benchmarks cover the hot paths every experiment drives:
+//! raw engine dispatch, trace record + query, the composed-ecosystem
+//! scenario, and the full resilience-ablation sweep. `--json PATH` writes
+//! the machine-readable baseline (the file committed as `BENCH_4.json`),
+//! `--check PATH` re-parses a written baseline with `mcs-simcore::codec`
+//! and validates its shape — the gate `scripts/verify.sh` runs.
+//!
+//! Each benchmark carries the median measured *before* the ISSUE-4
+//! fast-path work (interned trace identity, indexed queries, parallel
+//! fan-out), so the JSON records the speedup trajectory, not just a number.
+
+use mcs::prelude::*;
+use mcs::simcore::codec::{self, Json};
+use mcs::simcore::metrics::{summarize_trace, trace_gauge};
+use mcs::simcore::trace::payload;
+use mcs::core::scenario::{Scenario, ScenarioConfig};
+use mcs_bench::experiments::resilience::run_ablation;
+use mcs_bench::harness::{black_box, format_secs, Harness, Stats};
+
+/// Median wall-clock seconds measured at the pre-ISSUE-4 baseline commit
+/// (seed state: owned-`String` trace identity, O(n) query scans, serial
+/// sweeps), on the same reference machine the committed `BENCH_4.json` was
+/// produced on. `0.0` means "not yet measured".
+const BEFORE_MEDIANS: &[(&str, f64)] = &[
+    ("engine/dispatch_200k", 12.00e-3),
+    ("trace/record_query_20k", 11.41e-3),
+    ("scenario/ecosystem_composed", 11.28e-3),
+    ("scenario/resilience_ablation_sweep", 227.51e-3),
+];
+
+fn before_median(name: &str) -> f64 {
+    BEFORE_MEDIANS.iter().find(|(n, _)| *n == name).map_or(0.0, |(_, m)| *m)
+}
+
+/// A self-rescheduling actor: the cheapest possible dispatch loop, so the
+/// bench isolates queue + delivery overhead.
+struct Ticker {
+    left: u32,
+}
+
+enum Tick {
+    Tick,
+}
+
+impl Actor<Tick> for Ticker {
+    fn handle(&mut self, ctx: &mut Context<'_, Tick>, _msg: Tick) {
+        if self.left > 0 {
+            self.left -= 1;
+            ctx.send_self(SimDuration::from_millis(1), Tick::Tick);
+        }
+    }
+}
+
+fn bench_engine_dispatch(h: &mut Harness) {
+    h.bench("engine/dispatch_200k", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(7);
+            let id = sim.add_actor(Ticker { left: 200_000 });
+            sim.schedule(SimTime::ZERO, id, Tick::Tick);
+            black_box(sim.run())
+        })
+    });
+}
+
+/// Records 20k events in the shape the subsystem actors emit (short fixed
+/// component/event names, two-field payloads), then runs the query battery
+/// the experiment reports drive: census, per-kind counts/selects/series,
+/// and the two metric aggregators.
+fn bench_trace_record_query(h: &mut Harness) {
+    const COMPONENTS: [&str; 4] = ["rms", "faas", "autoscale", "failure"];
+    const EVENTS: [&str; 3] = ["task_finish", "invoke", "outage"];
+    h.bench("trace/record_query_20k", |b| {
+        b.iter(|| {
+            let mut bus = TraceBus::new();
+            for i in 0..20_000u64 {
+                let component = COMPONENTS[(i % 4) as usize];
+                let event = EVENTS[(i % 3) as usize];
+                bus.record(
+                    SimTime::from_nanos(i * 1_000),
+                    component,
+                    event,
+                    payload(vec![
+                        ("latency_secs", Json::Float((i % 97) as f64 * 0.01)),
+                        ("index", Json::UInt(i)),
+                    ]),
+                );
+            }
+            let mut acc = 0usize;
+            acc += bus.counts().len();
+            acc += bus.components().len();
+            for component in COMPONENTS {
+                for event in EVENTS {
+                    acc += bus.count(component, event);
+                    acc += bus.select(component, event).len();
+                    acc += bus.series(component, event, "latency_secs").len();
+                }
+            }
+            for component in COMPONENTS {
+                if let Some(s) = summarize_trace(&bus, component, "invoke", "latency_secs") {
+                    acc += s.count as usize;
+                }
+            }
+            let gauge = trace_gauge(&bus, "faas", "invoke", "latency_secs", 0.0);
+            black_box((acc, gauge.peak()))
+        })
+    });
+}
+
+fn bench_composed_scenario(h: &mut Harness) {
+    h.bench("scenario/ecosystem_composed", |b| {
+        b.iter(|| {
+            let cfg = ScenarioConfig { seed: 42, ..ScenarioConfig::default() };
+            let out = Scenario::new(cfg).run();
+            black_box((out.events_handled, out.trace.len()))
+        })
+    });
+}
+
+fn bench_ablation_sweep(h: &mut Harness) {
+    h.bench("scenario/resilience_ablation_sweep", |b| {
+        b.iter(|| {
+            let rows = run_ablation(42);
+            black_box(rows.len())
+        })
+    });
+}
+
+/// The machine-readable baseline: one object per benchmark with the
+/// measured distribution, the pre-ISSUE-4 median, and the speedup.
+fn baseline_json(stats: &[Stats]) -> Json {
+    let benchmarks: Vec<Json> = stats
+        .iter()
+        .map(|s| {
+            let before = before_median(&s.name);
+            let speedup =
+                if before > 0.0 && s.median > 0.0 { before / s.median } else { 0.0 };
+            Json::Obj(vec![
+                ("name".into(), Json::Str(s.name.clone())),
+                ("samples".into(), Json::UInt(s.samples as u64)),
+                ("min_secs".into(), Json::Float(s.min)),
+                ("median_secs".into(), Json::Float(s.median)),
+                ("mean_secs".into(), Json::Float(s.mean)),
+                ("max_secs".into(), Json::Float(s.max)),
+                ("before_median_secs".into(), Json::Float(before)),
+                ("speedup".into(), Json::Float(speedup)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("issue".into(), Json::UInt(4)),
+        ("group".into(), Json::Str("perf_baseline".to_owned())),
+        ("benchmarks".into(), Json::Arr(benchmarks)),
+    ])
+}
+
+/// Re-parses a written baseline and validates its shape; the verify.sh gate.
+fn check_baseline(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    let issue: u64 = doc.field("issue").map_err(|e| e.to_string())?;
+    if issue == 0 {
+        return Err("issue number must be positive".to_owned());
+    }
+    let benchmarks = match doc.get("benchmarks") {
+        Some(Json::Arr(items)) if !items.is_empty() => items,
+        _ => return Err("missing or empty `benchmarks` array".to_owned()),
+    };
+    for b in benchmarks {
+        let name: String = b.field("name").map_err(|e| e.to_string())?;
+        for key in ["min_secs", "median_secs", "mean_secs", "max_secs"] {
+            let v: f64 = b.field(key).map_err(|e| format!("{name}: {e}"))?;
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("{name}: {key} = {v} is not a sane duration"));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let [flag, path] = args.as_slice() {
+        if flag == "--check" {
+            match check_baseline(path) {
+                Ok(()) => {
+                    println!("perf_baseline: {path} parses and has a sane shape");
+                    return;
+                }
+                Err(e) => {
+                    eprintln!("perf_baseline: invalid baseline {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+
+    let mut h = Harness::new("perf_baseline");
+    bench_engine_dispatch(&mut h);
+    bench_trace_record_query(&mut h);
+    bench_composed_scenario(&mut h);
+    bench_ablation_sweep(&mut h);
+    let stats = h.finish();
+
+    for s in stats {
+        let before = before_median(&s.name);
+        if before > 0.0 {
+            println!(
+                "{}: median {} (before {}, speedup {:.2}x)",
+                s.name,
+                format_secs(s.median),
+                format_secs(before),
+                before / s.median,
+            );
+        }
+    }
+
+    if let [flag, path] = args.as_slice() {
+        if flag == "--json" {
+            let doc = baseline_json(stats);
+            std::fs::write(path, codec::to_string(&doc) + "\n").unwrap_or_else(|e| {
+                eprintln!("perf_baseline: write {path}: {e}");
+                std::process::exit(1);
+            });
+            println!("perf_baseline: wrote {path}");
+        }
+    }
+}

@@ -7,6 +7,7 @@ use crate::f;
 use mcs::core::scenario::{Scenario, ScenarioConfig, ScenarioOutcome};
 use mcs::prelude::*;
 use mcs::simcore::metrics::{summarize_trace, trace_gauge};
+use mcs::simcore::par;
 
 /// The composed "ecosystem" run as an [`Experiment`].
 pub struct EcosystemComposed;
@@ -138,23 +139,31 @@ impl Experiment for EcosystemComposed {
                 .table(&["metric", "value", "note"], rows),
         );
 
-        // Autoscaler portfolio sweep over the identical composed scenario.
-        let mut rows = Vec::new();
+        // Autoscaler portfolio sweep over the identical composed scenario,
+        // one scaler per fan-out worker (`MCS_PAR_WORKERS` sets the width).
+        // Boxed scalers are not `Send`, so each worker rebuilds the portfolio
+        // and takes its scaler by index; rows come back in portfolio order
+        // whatever the worker count.
         let intervals_per_day =
             (86_400.0 / cfg.service.scaling_interval.as_secs_f64()).round() as usize;
-        for scaler in standard_autoscalers(intervals_per_day) {
-            let name = scaler.name();
+        let portfolio_len = standard_autoscalers(intervals_per_day).len();
+        let rows: Vec<Vec<String>> = par::run_indexed(portfolio_len, |i| {
+            let scaler = standard_autoscalers(intervals_per_day)
+                .into_iter()
+                .nth(i)
+                .expect("portfolio index in range");
+            let name = scaler.name().to_owned();
             let o = run_with(seed, scaler);
             let cap = trace_gauge(&o.trace, "faas", "scale", "capacity", 4.0);
-            rows.push(vec![
-                name.to_owned(),
+            vec![
+                name,
                 o.rejected.to_string(),
                 f(o.rejected as f64 / (o.arrivals.max(1)) as f64, 3),
                 f(cap.average_until(horizon), 2),
                 f(o.faas.provider_gb_secs, 0),
                 o.governor_decisions.to_string(),
-            ]);
-        }
+            ]
+        });
         report.with_section(
             Section::new("autoscaler portfolio under identical failure pressure")
                 .table(

@@ -7,7 +7,7 @@ use mcs::experiment::Experiment;
 
 mod ecosystem;
 mod fig1;
-mod resilience;
+pub mod resilience;
 mod fig2;
 mod fig3;
 mod fig4;

@@ -8,6 +8,7 @@
 use crate::f;
 use mcs::core::scenario::{Scenario, ScenarioConfig, ScenarioOutcome};
 use mcs::prelude::*;
+use mcs::simcore::par;
 
 /// End-to-end invocation latency budget: an invocation that lands within
 /// this many (virtual) seconds counts toward SLO attainment and goodput.
@@ -103,7 +104,7 @@ pub(crate) fn variants() -> Vec<(&'static str, ResilienceConfig)> {
 
 /// Everything one ablation row reports, computed from the trace bus alone.
 #[derive(Debug, Clone, Copy)]
-pub(crate) struct AblationMetrics {
+pub struct AblationMetrics {
     pub arrivals: usize,
     pub ok: usize,
     pub within_slo: usize,
@@ -135,7 +136,7 @@ impl AblationMetrics {
 }
 
 /// Reduces one composed run to its ablation row, straight off the bus.
-pub(crate) fn measure(out: &ScenarioOutcome, horizon_hours: f64) -> AblationMetrics {
+pub fn measure(out: &ScenarioOutcome, horizon_hours: f64) -> AblationMetrics {
     let invokes = out.trace.select("faas", "invoke");
     let within_slo = invokes
         .iter()
@@ -168,18 +169,20 @@ pub(crate) fn measure(out: &ScenarioOutcome, horizon_hours: f64) -> AblationMetr
     }
 }
 
-/// Runs the full ablation grid at one seed.
-pub(crate) fn run_ablation(seed: u64) -> Vec<(&'static str, AblationMetrics, ScenarioOutcome)> {
-    variants()
-        .into_iter()
-        .map(|(name, resilience)| {
-            let cfg = config(seed, resilience);
-            let horizon_hours = cfg.horizon.as_secs_f64() / 3600.0;
-            let out = Scenario::new(cfg).run();
-            let metrics = measure(&out, horizon_hours);
-            (name, metrics, out)
-        })
-        .collect()
+/// Runs the full ablation grid at one seed, one variant per fan-out worker
+/// (see [`par::run_scenarios`]; `MCS_PAR_WORKERS` sets the width). Rows come
+/// back in grid order whatever the worker count, and each variant owns its
+/// own `Simulation`, RNG streams, and trace bus, so the rows are identical
+/// to a serial sweep's.
+pub fn run_ablation(seed: u64) -> Vec<(&'static str, AblationMetrics, ScenarioOutcome)> {
+    let grid = variants();
+    par::run_scenarios(&grid, |(name, resilience)| {
+        let cfg = config(seed, *resilience);
+        let horizon_hours = cfg.horizon.as_secs_f64() / 3600.0;
+        let out = Scenario::new(cfg).run();
+        let metrics = measure(&out, horizon_hours);
+        (*name, metrics, out)
+    })
 }
 
 impl Experiment for ResilienceAblation {

@@ -7,13 +7,21 @@
 //! mean — because the benches here guide relative comparisons (ablations,
 //! era-to-era deltas), not microarchitectural claims.
 //!
-//! Environment knobs:
-//! - `MCS_BENCH_SAMPLES` — sample count per benchmark (default 12)
-//! - `MCS_BENCH_WARMUP_MS` — minimum warmup time in ms (default 200)
+//! Environment knobs (unparsable or out-of-range values warn on stderr and
+//! fall back to the default):
+//! - `MCS_BENCH_SAMPLES` — sample count per benchmark (default 12,
+//!   accepted range `1..=10_000`)
+//! - `MCS_BENCH_WARMUP_MS` — minimum warmup time in ms (default 200,
+//!   accepted range `0..=10_000`)
 
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// The largest sample count / warmup milliseconds the env knobs accept;
+/// anything bigger is almost certainly a typo (e.g. a duplicated digit) and
+/// would hang a CI smoke run for hours.
+const ENV_KNOB_MAX: u64 = 10_000;
 
 /// Timing statistics for one benchmark, in seconds.
 #[derive(Debug, Clone)]
@@ -26,20 +34,30 @@ pub struct Stats {
     pub max: f64,
 }
 
+/// Reads one env knob as a `u64` in `min..=ENV_KNOB_MAX`, warning on stderr
+/// and returning `default` for anything unset, unparsable, or out of range.
+fn env_knob(var: &str, min: u64, default: u64) -> u64 {
+    let Ok(raw) = std::env::var(var) else {
+        return default;
+    };
+    match raw.trim().parse::<u64>() {
+        Ok(n) if (min..=ENV_KNOB_MAX).contains(&n) => n,
+        _ => {
+            eprintln!(
+                "mcs-bench: ignoring {var}={raw:?} \
+                 (want an integer in {min}..={ENV_KNOB_MAX}); using {default}"
+            );
+            default
+        }
+    }
+}
+
 fn samples_per_bench() -> usize {
-    std::env::var("MCS_BENCH_SAMPLES")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or(12)
+    env_knob("MCS_BENCH_SAMPLES", 1, 12) as usize
 }
 
 fn warmup_budget() -> Duration {
-    let ms = std::env::var("MCS_BENCH_WARMUP_MS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(200u64);
-    Duration::from_millis(ms)
+    Duration::from_millis(env_knob("MCS_BENCH_WARMUP_MS", 0, 200))
 }
 
 /// Passed to each benchmark closure; [`Bencher::iter`] times the hot path.
@@ -141,8 +159,11 @@ pub fn format_secs(secs: f64) -> String {
 mod tests {
     use super::*;
 
+    // One test owns every env-var mutation: the test harness runs tests on
+    // parallel threads, so splitting these into separate #[test] fns would
+    // race on the shared process environment.
     #[test]
-    fn bench_collects_requested_samples() {
+    fn bench_env_knobs_are_honoured_and_hardened() {
         std::env::set_var("MCS_BENCH_SAMPLES", "3");
         std::env::set_var("MCS_BENCH_WARMUP_MS", "0");
         let mut h = Harness::new("test");
@@ -150,8 +171,25 @@ mod tests {
         let stats = &h.finish()[0];
         assert_eq!(stats.samples, 3);
         assert!(stats.min <= stats.median && stats.median <= stats.max);
+        assert_eq!(warmup_budget(), Duration::ZERO);
+
+        // Zero samples would make the median index panic; huge values would
+        // hang CI. Both fall back to the default.
+        for bad in ["0", "999999", "-3", "twelve", ""] {
+            std::env::set_var("MCS_BENCH_SAMPLES", bad);
+            assert_eq!(samples_per_bench(), 12, "MCS_BENCH_SAMPLES={bad:?}");
+        }
+        std::env::set_var("MCS_BENCH_SAMPLES", "10000");
+        assert_eq!(samples_per_bench(), 10_000);
         std::env::remove_var("MCS_BENCH_SAMPLES");
+        assert_eq!(samples_per_bench(), 12);
+
+        for bad in ["10001", "nope"] {
+            std::env::set_var("MCS_BENCH_WARMUP_MS", bad);
+            assert_eq!(warmup_budget(), Duration::from_millis(200), "MCS_BENCH_WARMUP_MS={bad:?}");
+        }
         std::env::remove_var("MCS_BENCH_WARMUP_MS");
+        assert_eq!(warmup_budget(), Duration::from_millis(200));
     }
 
     #[test]

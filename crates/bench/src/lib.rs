@@ -17,10 +17,19 @@
 //! | `table5_paradigms` | Table 5 — cluster/grid/cloud/MCS operating models |
 //! | `ecosystem_composed` | Composed ecosystem — failures vs autoscaled FaaS vs portfolio batch (one engine run) |
 //! | `resilience_ablation` | Resilience ablation — baseline vs retry/breaker/shedder/restart vs all-on under mixed faults |
+//! | `perf_baseline` | Tracked perf baseline of the simulation core (`--json`/`--check BENCH_4.json`) |
 //!
 //! Each binary is a thin wrapper over an [`experiments`] type implementing
 //! [`mcs::experiment::Experiment`]; [`run_cli`] handles seed selection and
 //! rendering, so `<experiment> [seed]` reruns any artifact at any seed.
+//! (`perf_baseline` is the exception: it wraps the wall-clock [`harness`]
+//! around the engine/trace/scenario hot paths and emits the committed
+//! `BENCH_4.json` speedup record.)
+//!
+//! The sweep-shaped experiments (`ecosystem_composed`'s autoscaler
+//! portfolio, `resilience_ablation`'s grid) fan replications out over
+//! `mcs::simcore::par` worker threads; `MCS_PAR_WORKERS` sets the width and
+//! the output is byte-identical at any setting.
 //!
 //! In-house benches (`cargo bench -p mcs-bench`) time the kernels behind
 //! each artifact plus the ablations called out in DESIGN.md, using the

@@ -253,6 +253,8 @@ pub struct Simulation<'a, M> {
     horizon: Option<SimTime>,
     cancelled: HashSet<u64>,
     trace: TraceBus,
+    /// Reused across `step` calls so dispatch does not allocate per event.
+    outbox_scratch: Vec<(SimTime, ActorId, M, u64)>,
 }
 
 impl<M> fmt::Debug for Simulation<'_, M> {
@@ -280,6 +282,7 @@ impl<'a, M> Simulation<'a, M> {
             horizon: None,
             cancelled: HashSet::new(),
             trace: TraceBus::new(),
+            outbox_scratch: Vec::new(),
         }
     }
 
@@ -304,12 +307,13 @@ impl<'a, M> Simulation<'a, M> {
         self.try_schedule(at, target, msg).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Fallible scheduling: rejects past instants and unknown actors with
-    /// [`McsError::Sim`] instead of panicking.
+    /// Fallible scheduling: rejects past instants and unknown actors
+    /// instead of panicking.
     ///
     /// # Errors
-    /// Returns [`McsError::Sim`] when `at` precedes the current virtual time
-    /// or `target` was never registered.
+    /// Returns [`McsError::SchedulePast`] when `at` precedes the current
+    /// virtual time and [`McsError::UnknownActor`] when `target` was never
+    /// registered.
     pub fn try_schedule(
         &mut self,
         at: SimTime,
@@ -317,13 +321,13 @@ impl<'a, M> Simulation<'a, M> {
         msg: M,
     ) -> Result<EventToken, McsError> {
         if at < self.now {
-            return Err(McsError::Sim(format!(
-                "cannot schedule into the past ({at} < {})",
-                self.now
-            )));
+            return Err(McsError::SchedulePast { at, now: self.now });
         }
         if target.0 >= self.actors.len() {
-            return Err(McsError::Sim(format!("unknown actor {target}")));
+            return Err(McsError::UnknownActor {
+                actor: target.0,
+                registered: self.actors.len(),
+            });
         }
         let seq = self.seq;
         self.seq += 1;
@@ -410,7 +414,8 @@ impl<'a, M> Simulation<'a, M> {
         self.now = ev.at;
         self.events_handled += 1;
 
-        let mut outbox: Vec<(SimTime, ActorId, M, u64)> = Vec::new();
+        let mut outbox = std::mem::take(&mut self.outbox_scratch);
+        debug_assert!(outbox.is_empty());
         let mut stop = false;
         {
             let actor = &mut self.actors[ev.target.0];
@@ -426,10 +431,11 @@ impl<'a, M> Simulation<'a, M> {
             };
             actor.handle(&mut ctx, ev.msg);
         }
-        for (at, target, msg, seq) in outbox {
+        for (at, target, msg, seq) in outbox.drain(..) {
             assert!(target.0 < self.actors.len(), "unknown actor {target}");
             self.queue.push(Scheduled { at, seq, target, msg });
         }
+        self.outbox_scratch = outbox;
         !stop
     }
 
@@ -642,15 +648,15 @@ mod tests {
         let id = sim.add_actor(Stopper);
         assert!(sim.try_schedule(SimTime::from_secs(1), id, Msg::Fwd).is_ok());
         let unknown = ActorId(99);
-        assert!(matches!(
-            sim.try_schedule(SimTime::from_secs(1), unknown, Msg::Fwd),
-            Err(crate::error::McsError::Sim(_))
-        ));
+        assert_eq!(
+            sim.try_schedule(SimTime::from_secs(1), unknown, Msg::Fwd).unwrap_err(),
+            crate::error::McsError::UnknownActor { actor: 99, registered: 1 }
+        );
         sim.run();
-        assert!(matches!(
-            sim.try_schedule(SimTime::ZERO, id, Msg::Fwd),
-            Err(crate::error::McsError::Sim(_))
-        ));
+        assert_eq!(
+            sim.try_schedule(SimTime::ZERO, id, Msg::Fwd).unwrap_err(),
+            crate::error::McsError::SchedulePast { at: SimTime::ZERO, now: sim.now() }
+        );
     }
 
     #[test]

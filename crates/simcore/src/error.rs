@@ -4,6 +4,7 @@
 //! trace parsing, simulation setup — returns [`McsError`] so callers handle
 //! one error vocabulary instead of a per-crate zoo.
 
+use crate::time::SimTime;
 use core::fmt;
 
 /// The unified error type of the MCS workspace.
@@ -35,6 +36,20 @@ pub enum McsError {
     Config(String),
     /// A simulation setup or scheduling request was invalid.
     Sim(String),
+    /// An event was scheduled before the simulation's current instant.
+    SchedulePast {
+        /// The requested (past) delivery instant.
+        at: SimTime,
+        /// The simulation clock when the request was made.
+        now: SimTime,
+    },
+    /// A message was addressed to an actor id that was never registered.
+    UnknownActor {
+        /// The offending actor id.
+        actor: usize,
+        /// How many actors the simulation actually has.
+        registered: usize,
+    },
 }
 
 impl McsError {
@@ -58,6 +73,16 @@ impl fmt::Display for McsError {
             }
             McsError::Config(msg) => write!(f, "invalid configuration: {msg}"),
             McsError::Sim(msg) => write!(f, "simulation error: {msg}"),
+            McsError::SchedulePast { at, now } => write!(
+                f,
+                "cannot schedule into the past: requested t={}ns but now is t={}ns",
+                at.as_nanos(),
+                now.as_nanos()
+            ),
+            McsError::UnknownActor { actor, registered } => write!(
+                f,
+                "unknown actor id {actor} (simulation has {registered} registered actors)"
+            ),
         }
     }
 }
@@ -76,5 +101,14 @@ mod tests {
         assert!(e.to_string().contains("expected u64"));
         let e = McsError::Trace { line: 3, message: "bad record".into() };
         assert!(e.to_string().contains("line 3"));
+        let e = McsError::SchedulePast {
+            at: SimTime::from_nanos(5),
+            now: SimTime::from_nanos(9),
+        };
+        assert!(e.to_string().contains("t=5ns"));
+        assert!(e.to_string().contains("t=9ns"));
+        let e = McsError::UnknownActor { actor: 7, registered: 2 };
+        assert!(e.to_string().contains("actor id 7"));
+        assert!(e.to_string().contains("2 registered"));
     }
 }

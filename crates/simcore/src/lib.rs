@@ -37,7 +37,9 @@ pub mod codec;
 pub mod dist;
 pub mod engine;
 pub mod error;
+pub mod intern;
 pub mod metrics;
+pub mod par;
 pub mod resilience;
 pub mod rng;
 pub mod time;
@@ -52,6 +54,7 @@ pub mod prelude {
         Actor, ActorId, Context, EventToken, MessageEnvelope, Simulation,
     };
     pub use crate::error::McsError;
+    pub use crate::intern::{Interner, Symbol};
     pub use crate::metrics::{OnlineStats, Summary, TimeWeighted};
     pub use crate::resilience::{
         Backoff, BreakerConfig, BreakerState, Bulkhead, CircuitBreaker, ResilienceConfig,

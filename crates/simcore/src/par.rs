@@ -1,0 +1,206 @@
+//! Deterministic parallel fan-out for seed and scenario sweeps.
+//!
+//! The paper's experiments are embarrassingly parallel at the *replication*
+//! level: a sweep runs the same simulation across many seeds or
+//! configuration variants, and each replication owns its own
+//! [`crate::engine::Simulation`], RNG stream, and trace bus — no shared
+//! mutable state. These helpers exploit that with `std::thread::scope`
+//! workers pulling indices from a shared atomic counter, and — crucially —
+//! they merge results **by input index**, not by completion order. The
+//! output of [`run_seeds`] and [`run_scenarios`] is therefore byte-identical
+//! whatever the worker count, including `workers = 1`; the determinism diff
+//! gate in `scripts/verify.sh` runs the composed-ecosystem sweeps under
+//! `MCS_PAR_WORKERS=1` and `MCS_PAR_WORKERS=4` and diffs the artifacts.
+//!
+//! # Worker-count policy
+//! [`worker_count`] honours the `MCS_PAR_WORKERS` environment variable
+//! (clamped to `1..=64`, warning on nonsense) and otherwise uses the
+//! machine's available parallelism. Fan-outs never spawn more workers than
+//! there are items.
+//!
+//! # Examples
+//! ```
+//! use mcs_simcore::par;
+//!
+//! let squares = par::run_indexed_with(4, 8, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//!
+//! let sums = par::run_seeds(&[11, 22, 33], |seed| seed + 1);
+//! assert_eq!(sums, vec![12, 23, 34]); // always in seed order
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// The hard cap on workers; beyond this a simulation sweep is memory-bound,
+/// not CPU-bound.
+pub const MAX_WORKERS: usize = 64;
+
+/// The machine's available parallelism (1 when it cannot be determined).
+fn default_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get()).min(MAX_WORKERS)
+}
+
+/// The worker count sweeps use: `MCS_PAR_WORKERS` when set to an integer in
+/// `1..=64` (out-of-range or unparsable values warn on stderr and fall back),
+/// otherwise the machine's available parallelism.
+pub fn worker_count() -> usize {
+    let Ok(raw) = std::env::var("MCS_PAR_WORKERS") else {
+        return default_workers();
+    };
+    match raw.trim().parse::<usize>() {
+        Ok(n) if (1..=MAX_WORKERS).contains(&n) => n,
+        _ => {
+            eprintln!(
+                "mcs-simcore: ignoring MCS_PAR_WORKERS={raw:?} \
+                 (want an integer in 1..={MAX_WORKERS}); using {}",
+                default_workers()
+            );
+            default_workers()
+        }
+    }
+}
+
+/// Runs `run(0..n)` across `workers` scoped threads and returns the results
+/// **in index order**, regardless of which worker finished which index when.
+///
+/// Workers claim indices from a shared atomic counter (so uneven item costs
+/// balance automatically) and ship `(index, result)` pairs over a channel;
+/// the caller's thread places each result in its slot. With `workers <= 1`
+/// or `n <= 1` no thread is spawned at all.
+///
+/// # Panics
+/// A panic inside `run` propagates to the caller when the scope joins.
+pub fn run_indexed_with<T, F>(workers: usize, n: usize, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = workers.clamp(1, MAX_WORKERS).min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(run).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    let run = &run;
+    let next = &next;
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                if tx.send((i, run(i))).is_err() {
+                    break; // receiver gone: the scope is unwinding
+                }
+            });
+        }
+        drop(tx); // the receive loop below ends when every worker is done
+
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        for (i, value) in rx {
+            slots[i] = Some(value);
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every index produced exactly one result"))
+            .collect()
+    })
+}
+
+/// [`run_indexed_with`] at the ambient [`worker_count`].
+pub fn run_indexed<T, F>(n: usize, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_indexed_with(worker_count(), n, run)
+}
+
+/// Runs one replication per seed in parallel and returns the results in
+/// **seed order**. Each call to `run` should build its own simulation (and
+/// thus its own RNG stream and trace bus) from the seed, which keeps every
+/// replication deterministic in isolation.
+pub fn run_seeds<T, F>(seeds: &[u64], run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    run_indexed(seeds.len(), |i| run(seeds[i]))
+}
+
+/// Runs one replication per scenario configuration in parallel and returns
+/// the results in **input order**. `run` borrows its configuration, so
+/// sweeps can fan out over non-`Clone` variants.
+pub fn run_scenarios<C, T, F>(configs: &[C], run: F) -> Vec<T>
+where
+    C: Sync,
+    T: Send,
+    F: Fn(&C) -> T + Sync,
+{
+    run_indexed(configs.len(), |i| run(&configs[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::RngStream;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        for workers in [1, 2, 3, 8] {
+            let out = run_indexed_with(workers, 17, |i| i * 10);
+            assert_eq!(out, (0..17).map(|i| i * 10).collect::<Vec<_>>(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn worker_count_never_exceeds_items() {
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        run_indexed_with(8, 2, |i| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            live.fetch_sub(1, Ordering::SeqCst);
+            i
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 2);
+    }
+
+    #[test]
+    fn empty_and_single_item_fanouts_run_inline() {
+        let none: Vec<u64> = run_indexed_with(4, 0, |_| unreachable!());
+        assert!(none.is_empty());
+        assert_eq!(run_indexed_with(4, 1, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn seed_fanout_is_worker_count_independent() {
+        let seeds: Vec<u64> = (0..12).map(|i| 1000 + i).collect();
+        let reference: Vec<u64> = seeds
+            .iter()
+            .map(|&s| RngStream::new(s, "replicate").next_u64())
+            .collect();
+        for workers in [1, 2, 4] {
+            let got = run_indexed_with(workers, seeds.len(), |i| {
+                RngStream::new(seeds[i], "replicate").next_u64()
+            });
+            assert_eq!(got, reference, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn scenario_fanout_borrows_configs() {
+        struct Cfg {
+            factor: u64,
+        }
+        let configs = vec![Cfg { factor: 2 }, Cfg { factor: 3 }, Cfg { factor: 5 }];
+        let out = run_scenarios(&configs, |c| c.factor * 7);
+        assert_eq!(out, vec![14, 21, 35]);
+    }
+}

@@ -18,6 +18,17 @@
 //! - `payload` — a small JSON object of event-specific fields, built with
 //!   [`payload`].
 //!
+//! # Fast path
+//! Component and event names are interned: the bus owns a per-simulation
+//! [`Interner`] and each [`TraceEvent`] stores two copyable [`Symbol`]s, so
+//! [`TraceBus::record`] allocates nothing for identity (only the payload is
+//! owned). Queries ([`TraceBus::count`], [`TraceBus::select`],
+//! [`TraceBus::series`], …) run against a lazily built
+//! `(component, event) -> indices` index instead of rescanning the whole
+//! bus; once built, the index is maintained incrementally by later records.
+//! Serialization resolves symbols back to strings, so the encodings are
+//! bit-for-bit what the un-interned bus produced.
+//!
 //! Because the engine is deterministic, the JSON encodings
 //! ([`TraceBus::to_json_string`], [`TraceBus::to_jsonl`]) are byte-identical
 //! across same-seed runs — the property the composed-ecosystem determinism
@@ -36,28 +47,32 @@
 //! assert_eq!(bus.events()[0].field_f64("latency_secs"), Some(0.02));
 //! ```
 
-use crate::codec::{self, Json};
+use crate::codec::{self, Json, ToJson};
+use crate::error::McsError;
+use crate::intern::{FastHashMap, Interner, Symbol};
 use crate::time::SimTime;
-use std::collections::BTreeMap;
+use std::cell::RefCell;
 
 /// One structured record on the bus.
+///
+/// `component` and `event` are [`Symbol`]s into the owning bus's
+/// [`Interner`]; resolve them with [`TraceBus::interner`] (or use the
+/// string-keyed query methods on [`TraceBus`], which do it for you).
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceEvent {
     /// Virtual instant the event was emitted.
     pub at: SimTime,
-    /// Emitting subsystem (stable short name, e.g. `"rms"`).
-    pub component: String,
-    /// Event kind within the component (e.g. `"task_finish"`).
-    pub event: String,
+    /// Emitting subsystem (interned stable short name, e.g. `"rms"`).
+    pub component: Symbol,
+    /// Event kind within the component (interned, e.g. `"task_finish"`).
+    pub event: Symbol,
     /// Event-specific fields as a JSON object (see [`payload`]).
     pub payload: Json,
 }
 
-crate::impl_json!(struct TraceEvent { at, component, event, payload });
-
 impl TraceEvent {
-    /// Whether this record has the given component and event kind.
-    pub fn matches(&self, component: &str, event: &str) -> bool {
+    /// Whether this record has the given component and event symbols.
+    pub fn matches(&self, component: Symbol, event: Symbol) -> bool {
         self.component == component && self.event == event
     }
 
@@ -77,9 +92,16 @@ impl TraceEvent {
 }
 
 /// Builds a JSON object payload from `(key, value)` pairs, preserving order.
-pub fn payload(fields: Vec<(&str, Json)>) -> Json {
-    Json::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+///
+/// Payload keys are the fixed per-event field names actors emit, so they are
+/// `&'static str` and carried as borrowed [`codec::JsonKey`]s — building a
+/// payload allocates for the values only, never the keys.
+pub fn payload(fields: Vec<(&'static str, Json)>) -> Json {
+    Json::Obj(fields.into_iter().map(|(k, v)| (codec::JsonKey::Borrowed(k), v)).collect())
 }
+
+/// The `(component, event) -> event indices` query index.
+type QueryIndex = FastHashMap<(Symbol, Symbol), Vec<u32>>;
 
 /// The append-only, seed-deterministic record of one simulation run.
 ///
@@ -87,25 +109,63 @@ pub fn payload(fields: Vec<(&str, Json)>) -> Json {
 /// [`crate::engine::Context::emit`], and the experiment harness reads it
 /// back after the run (or takes it with
 /// [`crate::engine::Simulation::take_trace`]).
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Default)]
 pub struct TraceBus {
     events: Vec<TraceEvent>,
+    interner: Interner,
+    /// Built on first query, maintained incrementally by later records.
+    /// Purely derived state: ignored by `Clone`/`PartialEq`.
+    index: RefCell<Option<QueryIndex>>,
+}
+
+impl Clone for TraceBus {
+    fn clone(&self) -> Self {
+        TraceBus {
+            events: self.events.clone(),
+            interner: self.interner.clone(),
+            index: RefCell::new(None),
+        }
+    }
+}
+
+impl PartialEq for TraceBus {
+    fn eq(&self, other: &Self) -> bool {
+        self.events == other.events && self.interner == other.interner
+    }
 }
 
 impl TraceBus {
     /// An empty bus.
     pub fn new() -> Self {
-        TraceBus { events: Vec::new() }
+        TraceBus::default()
     }
 
-    /// Appends one record.
+    /// Appends one record, interning `component` and `event` (allocation-free
+    /// after each name's first appearance).
     pub fn record(&mut self, at: SimTime, component: &str, event: &str, payload: Json) {
-        self.events.push(TraceEvent {
-            at,
-            component: component.to_owned(),
-            event: event.to_owned(),
-            payload,
-        });
+        let component = self.interner.intern(component);
+        let event = self.interner.intern(event);
+        self.record_interned(at, component, event, payload);
+    }
+
+    /// Appends one record with pre-interned identity — the fastest path for
+    /// emitters that hold their symbols.
+    pub fn record_interned(&mut self, at: SimTime, component: Symbol, event: Symbol, payload: Json) {
+        let idx = u32::try_from(self.events.len()).expect("trace bus overflow");
+        self.events.push(TraceEvent { at, component, event, payload });
+        if let Some(index) = self.index.get_mut().as_mut() {
+            index.entry((component, event)).or_default().push(idx);
+        }
+    }
+
+    /// Interns a name in this bus's string table (see [`Interner::intern`]).
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        self.interner.intern(name)
+    }
+
+    /// The bus's string table, for resolving [`TraceEvent`] symbols.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
     }
 
     /// All records, in emission order (which equals delivery order, so it is
@@ -124,58 +184,138 @@ impl TraceBus {
         self.events.is_empty()
     }
 
-    /// Drops all records.
+    /// Drops all records (the string table and its symbols stay valid).
     pub fn clear(&mut self) {
         self.events.clear();
+        *self.index.get_mut() = None;
+    }
+
+    /// Runs `f` over the query index, building it on first use.
+    fn with_index<R>(&self, f: impl FnOnce(&QueryIndex) -> R) -> R {
+        let mut slot = self.index.borrow_mut();
+        let index = slot.get_or_insert_with(|| {
+            let mut index = QueryIndex::default();
+            for (i, e) in self.events.iter().enumerate() {
+                index.entry((e.component, e.event)).or_default().push(i as u32);
+            }
+            index
+        });
+        f(index)
+    }
+
+    /// The event indices matching one `(component, event)` pair, in order;
+    /// empty when either name was never recorded.
+    fn indices(&self, component: &str, event: &str) -> Vec<u32> {
+        let (Some(c), Some(e)) =
+            (self.interner.lookup(component), self.interner.lookup(event))
+        else {
+            return Vec::new();
+        };
+        self.with_index(|index| index.get(&(c, e)).cloned().unwrap_or_default())
     }
 
     /// The records matching one `(component, event)` pair, in order.
     pub fn select(&self, component: &str, event: &str) -> Vec<&TraceEvent> {
-        self.events.iter().filter(|e| e.matches(component, event)).collect()
+        self.indices(component, event).into_iter().map(|i| &self.events[i as usize]).collect()
     }
 
     /// Number of records matching one `(component, event)` pair.
     pub fn count(&self, component: &str, event: &str) -> usize {
-        self.events.iter().filter(|e| e.matches(component, event)).count()
+        let (Some(c), Some(e)) =
+            (self.interner.lookup(component), self.interner.lookup(event))
+        else {
+            return 0;
+        };
+        self.with_index(|index| index.get(&(c, e)).map_or(0, Vec::len))
     }
 
     /// Event counts per `(component, event)`, sorted for deterministic
-    /// report rows.
+    /// report rows. Each name is resolved once per distinct pair, not once
+    /// per event.
     pub fn counts(&self) -> Vec<(String, String, u64)> {
-        let mut map: BTreeMap<(String, String), u64> = BTreeMap::new();
-        for e in &self.events {
-            *map.entry((e.component.clone(), e.event.clone())).or_insert(0) += 1;
-        }
-        map.into_iter().map(|((c, k), n)| (c, k, n)).collect()
+        let mut rows: Vec<(String, String, u64)> = self.with_index(|index| {
+            index
+                .iter()
+                .map(|(&(c, e), indices)| {
+                    (
+                        self.interner.resolve(c).to_owned(),
+                        self.interner.resolve(e).to_owned(),
+                        indices.len() as u64,
+                    )
+                })
+                .collect()
+        });
+        rows.sort_unstable();
+        rows
     }
 
     /// The sorted distinct component names on the bus.
     pub fn components(&self) -> Vec<String> {
-        let mut set: Vec<String> = self.events.iter().map(|e| e.component.clone()).collect();
-        set.sort_unstable();
-        set.dedup();
-        set
+        let mut symbols: Vec<Symbol> =
+            self.with_index(|index| index.keys().map(|&(c, _)| c).collect());
+        symbols.sort_unstable();
+        symbols.dedup();
+        let mut names: Vec<String> =
+            symbols.into_iter().map(|c| self.interner.resolve(c).to_owned()).collect();
+        names.sort_unstable();
+        names
     }
 
     /// The `(instant, value)` series of a numeric payload field across
     /// matching records (records without the field are skipped).
     pub fn series(&self, component: &str, event: &str, field: &str) -> Vec<(SimTime, f64)> {
-        self.events
-            .iter()
-            .filter(|e| e.matches(component, event))
-            .filter_map(|e| e.field_f64(field).map(|x| (e.at, x)))
+        self.indices(component, event)
+            .into_iter()
+            .filter_map(|i| {
+                let e = &self.events[i as usize];
+                e.field_f64(field).map(|x| (e.at, x))
+            })
             .collect()
     }
 
     /// Appends every record of `other` (used to merge buses of sequential
-    /// runs; records keep their original instants).
+    /// runs; records keep their original instants). Symbols are re-interned
+    /// into this bus's table, so merged buses stay self-contained.
     pub fn extend_from(&mut self, other: TraceBus) {
-        self.events.extend(other.events);
+        // Map other-bus symbol ids to this bus's ids once, not per event.
+        let remap: Vec<Symbol> =
+            other.interner.names().map(|name| self.interner.intern(name)).collect();
+        for e in other.events {
+            self.record_interned(
+                e.at,
+                remap[e.component.index()],
+                remap[e.event.index()],
+                e.payload,
+            );
+        }
+    }
+
+    /// Appends one event's JSON object form (symbols resolved back to
+    /// strings — the exact encoding of the pre-interning bus).
+    fn encode_event_into(&self, e: &TraceEvent, out: &mut String) {
+        out.push_str("{\"at\":");
+        e.at.to_json().encode_into(out);
+        out.push_str(",\"component\":");
+        codec::encode_str(self.interner.resolve(e.component), out);
+        out.push_str(",\"event\":");
+        codec::encode_str(self.interner.resolve(e.event), out);
+        out.push_str(",\"payload\":");
+        e.payload.encode_into(out);
+        out.push('}');
     }
 
     /// The whole bus as one deterministic JSON array.
     pub fn to_json_string(&self) -> String {
-        codec::to_string(&self.events)
+        let mut out = String::new();
+        out.push('[');
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            self.encode_event_into(e, &mut out);
+        }
+        out.push(']');
+        out
     }
 
     /// The bus as JSON-lines (one record per line), the format used by the
@@ -183,10 +323,32 @@ impl TraceBus {
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
         for e in &self.events {
-            out.push_str(&codec::to_string(e));
+            self.encode_event_into(e, &mut out);
             out.push('\n');
         }
         out
+    }
+
+    /// Rebuilds a bus from the array form [`TraceBus::to_json_string`]
+    /// writes, re-interning every name.
+    ///
+    /// # Errors
+    /// Returns [`McsError::Json`] for malformed text and
+    /// [`McsError::Decode`] when a record lacks the trace schema.
+    pub fn from_json_str(text: &str) -> Result<TraceBus, McsError> {
+        let doc = Json::parse(text)?;
+        let Json::Arr(items) = doc else {
+            return Err(McsError::decode("a trace event array", "non-array document"));
+        };
+        let mut bus = TraceBus::new();
+        for item in items {
+            let at: SimTime = item.field("at")?;
+            let component: String = item.field("component")?;
+            let event: String = item.field("event")?;
+            let payload = item.get("payload").cloned().unwrap_or(Json::Null);
+            bus.record(at, &component, &event, payload);
+        }
+        Ok(bus)
     }
 }
 
@@ -239,6 +401,29 @@ mod tests {
     }
 
     #[test]
+    fn queries_on_unknown_names_are_empty_not_panics() {
+        let b = bus();
+        assert_eq!(b.count("nope", "invoke"), 0);
+        assert_eq!(b.count("faas", "nope"), 0);
+        assert!(b.select("nope", "nope").is_empty());
+        assert!(b.series("nope", "nope", "x").is_empty());
+    }
+
+    #[test]
+    fn index_stays_correct_across_interleaved_records() {
+        let mut b = bus();
+        // Force the index to exist, then keep recording.
+        assert_eq!(b.count("faas", "invoke"), 1);
+        b.record(SimTime::from_secs(4), "faas", "invoke", payload(vec![]));
+        b.record(SimTime::from_secs(5), "new-component", "boot", payload(vec![]));
+        assert_eq!(b.count("faas", "invoke"), 2);
+        assert_eq!(b.count("new-component", "boot"), 1);
+        assert_eq!(b.select("faas", "invoke").len(), 2);
+        b.clear();
+        assert_eq!(b.count("faas", "invoke"), 0);
+    }
+
+    #[test]
     fn field_accessors_handle_missing_fields() {
         let b = bus();
         let e = &b.events()[1];
@@ -251,9 +436,30 @@ mod tests {
     fn json_round_trip_is_lossless() {
         let b = bus();
         let json = b.to_json_string();
-        let back: Vec<TraceEvent> = codec::from_str(&json).unwrap();
-        assert_eq!(back, b.events());
+        let back = TraceBus::from_json_str(&json).unwrap();
+        assert_eq!(back, b);
+        assert_eq!(back.to_json_string(), json);
         assert_eq!(b.to_jsonl().lines().count(), b.len());
+    }
+
+    #[test]
+    fn serialization_matches_the_un_interned_encoding() {
+        // The reference encoding the pre-interning bus produced via
+        // `impl_json!(struct TraceEvent { at, component, event, payload })`.
+        let b = bus();
+        let reference: Vec<Json> = b
+            .events()
+            .iter()
+            .map(|e| {
+                Json::Obj(vec![
+                    ("at".into(), e.at.to_json()),
+                    ("component".into(), Json::Str(b.interner().resolve(e.component).into())),
+                    ("event".into(), Json::Str(b.interner().resolve(e.event).into())),
+                    ("payload".into(), e.payload.clone()),
+                ])
+            })
+            .collect();
+        assert_eq!(b.to_json_string(), Json::Arr(reference).encode());
     }
 
     #[test]
@@ -262,10 +468,19 @@ mod tests {
     }
 
     #[test]
-    fn extend_from_appends() {
+    fn extend_from_appends_and_remaps_symbols() {
         let mut a = bus();
         let n = a.len();
         a.extend_from(bus());
         assert_eq!(a.len(), 2 * n);
+        assert_eq!(a.count("rms", "task_finish"), 4);
+
+        // A bus with a different intern order must merge by name, not id.
+        let mut other = TraceBus::new();
+        other.record(SimTime::from_secs(9), "zzz", "boot", payload(vec![]));
+        other.record(SimTime::from_secs(10), "rms", "task_finish", payload(vec![]));
+        a.extend_from(other);
+        assert_eq!(a.count("zzz", "boot"), 1);
+        assert_eq!(a.count("rms", "task_finish"), 5);
     }
 }

@@ -8,15 +8,29 @@ cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
-# Determinism gate: the composed-ecosystem and resilience-ablation
-# experiments must render byte-identical reports across two runs at the
-# same seed.
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
+
+# Determinism gate: the composed-ecosystem and resilience-ablation
+# experiments must render byte-identical reports across two runs at the
+# same seed — and across parallel-sweep widths, since mcs-simcore::par
+# merges fan-out results by input index, never by completion order.
 for exp in ecosystem_composed resilience_ablation; do
-    "./target/release/$exp" 42 > "$tmpdir/${exp}1.txt"
-    "./target/release/$exp" 42 > "$tmpdir/${exp}2.txt"
-    diff "$tmpdir/${exp}1.txt" "$tmpdir/${exp}2.txt"
+    MCS_PAR_WORKERS=1 "./target/release/$exp" 42 > "$tmpdir/${exp}_w1.txt"
+    MCS_PAR_WORKERS=4 "./target/release/$exp" 42 > "$tmpdir/${exp}_w4.txt"
+    MCS_PAR_WORKERS=4 "./target/release/$exp" 42 > "$tmpdir/${exp}_w4b.txt"
+    diff "$tmpdir/${exp}_w1.txt" "$tmpdir/${exp}_w4.txt"
+    diff "$tmpdir/${exp}_w4.txt" "$tmpdir/${exp}_w4b.txt"
 done
 
-echo "verify: OK (offline build + tests + clippy + same-seed experiment diffs)"
+# Perf-baseline gate: a 2-sample smoke run of the tracked benchmarks must
+# produce a JSON artifact that the in-house codec parses back with a sane
+# shape, and the committed BENCH_4.json must stay valid too.
+MCS_BENCH_SAMPLES=2 MCS_BENCH_WARMUP_MS=0 \
+    "./target/release/perf_baseline" --json "$tmpdir/bench_smoke.json"
+"./target/release/perf_baseline" --check "$tmpdir/bench_smoke.json"
+if [ -f BENCH_4.json ]; then
+    "./target/release/perf_baseline" --check BENCH_4.json
+fi
+
+echo "verify: OK (offline build + tests + clippy + par-aware determinism diffs + bench smoke)"

@@ -305,8 +305,8 @@ fn same_timestamp_mesh_delivery_is_deterministic() {
                 "mesh",
                 "recv",
                 Json::Obj(vec![
-                    ("actor".to_owned(), Json::UInt(self.index as u64)),
-                    ("ttl".to_owned(), Json::UInt(u64::from(msg.ttl))),
+                    ("actor".into(), Json::UInt(self.index as u64)),
+                    ("ttl".into(), Json::UInt(u64::from(msg.ttl))),
                 ]),
             );
             if msg.ttl > 0 {
@@ -377,6 +377,175 @@ fn composed_scenario_trace_is_deterministic() {
         prop_assert_eq!(a.schedule, b.schedule);
         prop_assert_eq!(a.faas, b.faas);
         prop_assert!(a.trace.components().iter().any(|c| c == "workload"));
+        Ok(())
+    });
+}
+
+/// Interning is invisible in the serialized artifact: a trace bus encodes
+/// byte-identically to the reference un-interned encoding (a plain JSON
+/// object per event with owned-string identity), at arbitrary seeds,
+/// vocabularies, and payload shapes.
+#[test]
+fn interned_trace_serializes_byte_identically() {
+    use mcs::simcore::trace::{payload, TraceBus};
+
+    const COMPONENTS: [&str; 5] = ["rms", "faas", "autoscale", "failure", "workload"];
+    const EVENTS: [&str; 5] = ["task_finish", "invoke", "outage", "scale", "retry_scheduled"];
+    const KEYS: [&str; 4] = ["latency_secs", "capacity", "kind", "ok"];
+
+    Check::new("interned_trace_serializes_byte_identically").cases(32).run(|rng| {
+        let n = rng.uniform_usize(120);
+        let mut bus = TraceBus::new();
+        let mut reference = Vec::with_capacity(n);
+        for i in 0..n {
+            let at = SimTime::from_nanos(i as u64 * 1_000 + rng.uniform_usize(999) as u64);
+            let component = COMPONENTS[rng.uniform_usize(COMPONENTS.len())];
+            let event = EVENTS[rng.uniform_usize(EVENTS.len())];
+            let fields: Vec<(&'static str, Json)> = KEYS
+                .iter()
+                .take(rng.uniform_usize(KEYS.len() + 1))
+                .map(|&k| {
+                    let v = match rng.uniform_usize(4) {
+                        0 => Json::Float(rng.uniform_f64(-10.0, 10.0)),
+                        1 => Json::UInt(rng.uniform_usize(1_000_000) as u64),
+                        2 => Json::Str(format!("v{}", rng.uniform_usize(50))),
+                        _ => Json::Bool(rng.uniform_usize(2) == 0),
+                    };
+                    (k, v)
+                })
+                .collect();
+            let body = payload(fields);
+            bus.record(at, component, event, body.clone());
+            reference.push(Json::Obj(vec![
+                ("at".into(), at.to_json()),
+                ("component".into(), Json::Str(component.to_owned())),
+                ("event".into(), Json::Str(event.to_owned())),
+                ("payload".into(), body),
+            ]));
+        }
+        let expected = Json::Arr(reference).encode();
+        prop_assert_eq!(bus.to_json_string(), expected.clone());
+        // And the round trip through the parser is lossless.
+        let back = TraceBus::from_json_str(&expected).map_err(|e| e.to_string())?;
+        prop_assert_eq!(back.to_json_string(), expected);
+        prop_assert_eq!(back, bus);
+        Ok(())
+    });
+}
+
+/// The lazily built `(component, event)` query index agrees with a naive
+/// full scan — including when records keep arriving after the index exists.
+#[test]
+fn indexed_trace_queries_match_naive_scans() {
+    use mcs::simcore::trace::{payload, TraceBus, TraceEvent};
+
+    const COMPONENTS: [&str; 4] = ["rms", "faas", "autoscale", "failure"];
+    const EVENTS: [&str; 3] = ["task_finish", "invoke", "outage"];
+
+    fn naive_select<'b>(bus: &'b TraceBus, component: &str, event: &str) -> Vec<&'b TraceEvent> {
+        bus.events()
+            .iter()
+            .filter(|e| {
+                bus.interner().resolve(e.component) == component
+                    && bus.interner().resolve(e.event) == event
+            })
+            .collect()
+    }
+
+    Check::new("indexed_trace_queries_match_naive_scans").cases(32).run(|rng| {
+        let mut bus = TraceBus::new();
+        let record = |bus: &mut TraceBus, rng: &mut RngStream, i: usize| {
+            bus.record(
+                SimTime::from_nanos(i as u64),
+                COMPONENTS[rng.uniform_usize(COMPONENTS.len())],
+                EVENTS[rng.uniform_usize(EVENTS.len())],
+                payload(vec![("x", Json::Float(rng.uniform_f64(0.0, 1.0)))]),
+            );
+        };
+        let first = rng.uniform_usize(200);
+        for i in 0..first {
+            record(&mut bus, rng, i);
+        }
+        // Query battery; the first call builds the index.
+        for component in COMPONENTS {
+            for event in EVENTS {
+                prop_assert_eq!(bus.count(component, event), naive_select(&bus, component, event).len());
+                prop_assert_eq!(bus.select(component, event), naive_select(&bus, component, event));
+                let series = bus.series(component, event, "x");
+                let naive: Vec<(SimTime, f64)> = naive_select(&bus, component, event)
+                    .iter()
+                    .filter_map(|e| e.field_f64("x").map(|v| (e.at, v)))
+                    .collect();
+                prop_assert_eq!(series, naive);
+            }
+        }
+        // Keep recording into the (now live) index, then re-check.
+        let extra = 1 + rng.uniform_usize(100);
+        for i in first..first + extra {
+            record(&mut bus, rng, i);
+        }
+        for component in COMPONENTS {
+            for event in EVENTS {
+                prop_assert_eq!(bus.count(component, event), naive_select(&bus, component, event).len());
+                prop_assert_eq!(bus.select(component, event), naive_select(&bus, component, event));
+            }
+        }
+        let mut total = 0usize;
+        for component in COMPONENTS {
+            for event in EVENTS {
+                total += bus.count(component, event);
+            }
+        }
+        prop_assert_eq!(total, bus.len());
+        Ok(())
+    });
+}
+
+/// Parallel seed fan-out is worker-count independent: each seed runs its own
+/// deterministic simulation, and the merged results (including serialized
+/// traces) are identical at 1, 2, and 4 workers.
+#[test]
+fn seed_fanout_is_worker_count_independent() {
+    use mcs::simcore::par;
+    use std::cell::Cell;
+
+    struct Pinger {
+        left: Cell<u32>,
+    }
+    enum Ping {
+        Ping,
+    }
+    impl Actor<Ping> for Pinger {
+        fn handle(&mut self, ctx: &mut Context<'_, Ping>, _msg: Ping) {
+            let jitter = ctx.rng().uniform_f64(0.0, 1.0);
+            ctx.emit("pinger", "ping", Json::Obj(vec![("jitter".into(), Json::Float(jitter))]));
+            let left = self.left.get();
+            if left > 0 {
+                self.left.set(left - 1);
+                ctx.send_self(SimDuration::from_millis(10), Ping::Ping);
+            }
+        }
+    }
+
+    fn replicate(seed: u64, hops: u32) -> (u64, String) {
+        let mut sim: Simulation<'_, Ping> = Simulation::new(seed);
+        let id = sim.add_actor(Pinger { left: Cell::new(hops) });
+        sim.schedule(SimTime::ZERO, id, Ping::Ping);
+        let handled = sim.run();
+        (handled, sim.take_trace().to_json_string())
+    }
+
+    Check::new("seed_fanout_is_worker_count_independent").cases(12).run(|rng| {
+        let base = rng.uniform_usize(10_000) as u64;
+        let n = 1 + rng.uniform_usize(10);
+        let hops = 1 + rng.uniform_usize(20) as u32;
+        let seeds: Vec<u64> = (0..n as u64).map(|i| base + i).collect();
+        let reference: Vec<(u64, String)> =
+            seeds.iter().map(|&s| replicate(s, hops)).collect();
+        for workers in [1, 2, 4] {
+            let got = par::run_indexed_with(workers, seeds.len(), |i| replicate(seeds[i], hops));
+            prop_assert!(got == reference, "mismatch at workers={workers}");
+        }
         Ok(())
     });
 }
