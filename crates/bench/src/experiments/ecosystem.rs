@@ -34,6 +34,7 @@ impl Experiment for EcosystemComposed {
 
         let cfg = config(seed);
         let horizon = cfg.horizon;
+        let faas_cfg = cfg.faas.clone().expect("default scenario attaches FaaS");
         let out = Scenario::new(cfg.clone()).run();
 
         // Cross-component event census, straight off the trace bus.
@@ -60,7 +61,7 @@ impl Experiment for EcosystemComposed {
             "faas",
             "scale",
             "capacity",
-            cfg.initial_capacity as f64,
+            faas_cfg.initial_capacity as f64,
         );
         let mut rows = vec![vec![
             "arrivals".to_owned(),
@@ -89,12 +90,12 @@ impl Experiment for EcosystemComposed {
         rows.push(vec![
             "mean capacity".to_owned(),
             f(capacity.average_until(horizon), 2),
-            format!("started at {}", cfg.initial_capacity),
+            format!("started at {}", faas_cfg.initial_capacity),
         ]);
         rows.push(vec![
             "governor decisions".to_owned(),
             out.governor_decisions.to_string(),
-            format!("every {} s", cfg.service.scaling_interval.as_secs_f64()),
+            format!("every {} s", faas_cfg.service.scaling_interval.as_secs_f64()),
         ]);
         report = report.with_section(
             Section::new("FaaS under autoscaling (aggregates from the trace bus)")
@@ -145,7 +146,7 @@ impl Experiment for EcosystemComposed {
         // and takes its scaler by index; rows come back in portfolio order
         // whatever the worker count.
         let intervals_per_day =
-            (86_400.0 / cfg.service.scaling_interval.as_secs_f64()).round() as usize;
+            (86_400.0 / faas_cfg.service.scaling_interval.as_secs_f64()).round() as usize;
         let portfolio_len = standard_autoscalers(intervals_per_day).len();
         let rows: Vec<Vec<String>> = par::run_indexed(portfolio_len, |i| {
             let scaler = standard_autoscalers(intervals_per_day)

@@ -7,6 +7,7 @@ use mcs::experiment::Experiment;
 
 mod ecosystem;
 mod fig1;
+mod full;
 pub mod resilience;
 mod fig2;
 mod fig3;
@@ -19,6 +20,7 @@ mod table4;
 mod table5;
 
 pub use ecosystem::EcosystemComposed;
+pub use full::EcosystemFull;
 pub use fig1::Fig1BigdataEcosystem;
 pub use fig2::Fig2EvolutionTimeline;
 pub use fig3::Fig3DatacenterRefarch;
@@ -45,6 +47,7 @@ pub fn all() -> Vec<Box<dyn Experiment>> {
         Box::new(Table4UseCases),
         Box::new(Table5Paradigms),
         Box::new(EcosystemComposed),
+        Box::new(EcosystemFull),
         Box::new(ResilienceAblation),
     ]
 }
@@ -62,7 +65,8 @@ mod tests {
         assert_eq!(deduped.len(), names.len(), "duplicate experiment name");
         assert!(names.contains(&"table5_paradigms"));
         assert!(names.contains(&"ecosystem_composed"));
+        assert!(names.contains(&"ecosystem_full"));
         assert!(names.contains(&"resilience_ablation"));
-        assert_eq!(names.len(), 12);
+        assert_eq!(names.len(), 13);
     }
 }

@@ -26,7 +26,11 @@ fn config(seed: u64, resilience: ResilienceConfig) -> ScenarioConfig {
         seed,
         horizon: SimTime::from_secs(4 * 3600),
         machines: 24,
-        batch_jobs: 120,
+        resilience,
+        ..ScenarioConfig::default()
+    }
+    .with_batch(BatchConfig { jobs: 120, ..BatchConfig::default() })
+    .with_faas(FaasConfig {
         arrival_rate: 1.2,
         initial_capacity: 8,
         service: ServiceConfig {
@@ -36,6 +40,10 @@ fn config(seed: u64, resilience: ResilienceConfig) -> ScenarioConfig {
             max_instances: 12,
             ..ServiceConfig::default()
         },
+        congestion: Some(CongestionConfig { knee: 0.8, max_penalty: 2.5 }),
+        ..FaasConfig::default()
+    })
+    .with_failures(FailureConfig {
         // Dense enough that every mechanism gets exercised, sparse enough
         // that the service has healthy stretches for retries to land in.
         mtbf_secs: 3.0 * 3600.0,
@@ -43,7 +51,6 @@ fn config(seed: u64, resilience: ResilienceConfig) -> ScenarioConfig {
         service_fault_secs: Some(45.0),
         failure_domain: 8,
         kill_fraction: 0.3,
-        resilience,
         fault_mix: FaultMix {
             crash: 0.45,
             slowdown: 0.10,
@@ -56,9 +63,7 @@ fn config(seed: u64, resilience: ResilienceConfig) -> ScenarioConfig {
             gray_error_rate: 1.0,
             ..FaultMix::crash_only()
         },
-        congestion: Some(CongestionConfig { knee: 0.8, max_penalty: 2.5 }),
-        ..ScenarioConfig::default()
-    }
+    })
 }
 
 /// The ablation grid: baseline, one variant per mechanism, the recovery trio

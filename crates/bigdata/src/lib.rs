@@ -25,6 +25,7 @@
 //! assert_eq!(counts.iter().find(|(w, _)| w == "be").unwrap().1, 2);
 //! ```
 
+pub mod actor;
 pub mod dataflow;
 pub mod locality;
 pub mod mapreduce;
@@ -33,6 +34,7 @@ pub mod storage;
 
 /// Convenience re-exports.
 pub mod prelude {
+    pub use crate::actor::{run_bigdata_standalone, BigdataConfig, BigdataMsg, DataflowActor};
     pub use crate::dataflow::{execute, Op, Plan, Record, StageReport};
     pub use crate::locality::{schedule_map_phase, LocalityClass, MapPhaseConfig, MapPhaseOutcome};
     pub use crate::mapreduce::{word_count, JobMetrics, MapReduceEngine};

@@ -43,6 +43,7 @@ pub mod refarch;
 pub mod scenario;
 pub mod selfaware;
 pub mod sla;
+pub mod subsystem;
 pub mod transparency;
 
 /// Convenience re-exports.
@@ -63,8 +64,12 @@ pub mod prelude {
         all_refarchs, bigdata_refarch, datacenter_refarch, faas_refarch, gaming_refarch,
         Layer, ReferenceArchitecture,
     };
-    pub use crate::scenario::{EcosystemMsg, Scenario, ScenarioConfig, ScenarioOutcome};
+    pub use crate::scenario::{
+        BatchConfig, EcosystemMsg, FaasConfig, FailureConfig, Scenario, ScenarioConfig,
+        ScenarioOutcome,
+    };
     pub use crate::selfaware::{Action, Analysis, EmergenceDetector, Knowledge, MapeLoop};
     pub use crate::sla::{Sla, SlaReport, Slo, SloOutcome};
+    pub use crate::subsystem::{Subsystem, SubsystemReport};
     pub use crate::transparency::{Audience, OperationalReport};
 }

@@ -5,9 +5,18 @@
 //! interesting behaviour is emergent (§2.1, P5). This module is that claim
 //! made executable: a [`Scenario`] wires the batch scheduler (`mcs-rms`),
 //! the autoscaling governor (`mcs-autoscale`), the FaaS platform
-//! (`mcs-faas`), a correlated-failure injector (`mcs-failure`), and a
-//! workload arrival source (`mcs-workload`) into a *single*
-//! [`Simulation`] over one unified message type, [`EcosystemMsg`].
+//! (`mcs-faas`), a correlated-failure injector (`mcs-failure`), a workload
+//! arrival source (`mcs-workload`), the MapReduce/dataflow stack
+//! (`mcs-bigdata`), the graph-analytics BSP engine (`mcs-graph`), and the
+//! gaming virtual world (`mcs-gaming`) into a *single* [`Simulation`] over
+//! one unified message type, [`EcosystemMsg`].
+//!
+//! Subsystems are opt-in: [`ScenarioConfig`] nests one sub-config per
+//! subsystem (`Option`-gated), so one run can host anything from a single
+//! actor (useful for standalone-vs-composed equivalence tests) to the full
+//! stack. Cross-subsystem coupling is explicit: machine failures fan out to
+//! every tenant of the shared fleet, and big-data shuffle windows exert
+//! network pressure on graph supersteps and gaming zone capacity.
 //!
 //! Every component keeps its own seeded RNG stream (derived from the
 //! scenario seed with a distinct label), so the composition is
@@ -18,21 +27,29 @@
 use mcs_autoscale::autoscalers::{Autoscaler, React};
 use mcs_autoscale::governor::{GovernorActor, GovernorMsg};
 use mcs_autoscale::service::ServiceConfig;
+use mcs_bigdata::actor::{BigdataMsg, DataflowActor};
 use mcs_faas::actor::{CongestionConfig, FaasActor, FaasFault, FaasMsg};
 use mcs_faas::platform::{FaasPlatform, FunctionSpec, KeepAlivePolicy, PlatformReport};
 use mcs_failure::inject::{FailureEvent, FailureInjector, InjectorMsg};
 use mcs_failure::model::{FailureModel, FaultKind, FaultMix, SpaceCorrelatedFailures};
-use mcs_simcore::resilience::ResilienceConfig;
+use mcs_gaming::actor::{GamingMsg, WorldActor};
+use mcs_graph::actor::{BspActor, GraphMsg};
 use mcs_infra::prelude::{Cluster, ClusterId, MachineSpec};
 use mcs_rms::portfolio::{default_portfolio, Objective, PortfolioSelector};
 use mcs_rms::scheduler::{ClusterScheduler, RmsMsg, ScheduleOutcome, SchedulerConfig};
 use mcs_simcore::engine::{ActorId, MessageEnvelope, Simulation};
+use mcs_simcore::error::McsError;
+use mcs_simcore::resilience::ResilienceConfig;
 use mcs_simcore::rng::RngStream;
 use mcs_simcore::time::{SimDuration, SimTime};
 use mcs_simcore::trace::TraceBus;
 use mcs_workload::actor::{ArrivalActor, ArrivalMsg};
 use mcs_workload::arrival::Poisson;
 use mcs_workload::generator::{BatchWorkloadConfig, BatchWorkloadGenerator};
+
+pub use mcs_bigdata::actor::BigdataConfig;
+pub use mcs_gaming::actor::GamingConfig;
+pub use mcs_graph::actor::GraphConfig;
 
 /// The unified message type of a composed ecosystem simulation: one variant
 /// per participating subsystem, each wrapping that subsystem's own message
@@ -49,6 +66,12 @@ pub enum EcosystemMsg {
     Faas(FaasMsg),
     /// Failure injector.
     Injector(InjectorMsg),
+    /// MapReduce/dataflow stack.
+    Bigdata(BigdataMsg),
+    /// Graph-analytics BSP engine.
+    Graph(GraphMsg),
+    /// Gaming virtual world.
+    Gaming(GamingMsg),
 }
 
 macro_rules! impl_envelope {
@@ -72,18 +95,30 @@ impl_envelope!(Rms, RmsMsg);
 impl_envelope!(Governor, GovernorMsg);
 impl_envelope!(Faas, FaasMsg);
 impl_envelope!(Injector, InjectorMsg);
+impl_envelope!(Bigdata, BigdataMsg);
+impl_envelope!(Graph, GraphMsg);
+impl_envelope!(Gaming, GamingMsg);
 
-/// Parameters of a composed ecosystem run.
+/// The batch-computing slice of a scenario: jobs through the RMS cluster
+/// scheduler under portfolio policy selection.
 #[derive(Debug, Clone, PartialEq)]
-pub struct ScenarioConfig {
-    /// Master seed; every component derives its own labelled stream.
-    pub seed: u64,
-    /// Virtual-time horizon of the run.
-    pub horizon: SimTime,
-    /// Machines in the batch cluster (also the failure-model population).
-    pub machines: usize,
+pub struct BatchConfig {
     /// Batch jobs submitted over the horizon.
-    pub batch_jobs: usize,
+    pub jobs: usize,
+    /// Cadence of portfolio-scheduler policy ticks.
+    pub policy_interval: SimDuration,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig { jobs: 60, policy_interval: SimDuration::from_secs(1800) }
+    }
+}
+
+/// The serverless slice of a scenario: a Poisson invocation stream into the
+/// autoscaled FaaS platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaasConfig {
     /// FaaS invocation arrival rate, per second.
     pub arrival_rate: f64,
     /// Hard cap on FaaS arrivals (guards pathological configurations).
@@ -94,38 +129,14 @@ pub struct ScenarioConfig {
     pub initial_capacity: usize,
     /// Autoscaling cadence and bounds (the governor's configuration).
     pub service: ServiceConfig,
-    /// Cadence of portfolio-scheduler policy ticks.
-    pub policy_interval: SimDuration,
-    /// Per-machine mean time between failures, seconds.
-    pub mtbf_secs: f64,
-    /// Machines per failure-correlation domain (rack/power segment).
-    pub failure_domain: usize,
-    /// Fraction of the idle FaaS warm pool killed per machine failure.
-    pub kill_fraction: f64,
-    /// Resilience mechanisms of the run. The default ([`ResilienceConfig::none`])
-    /// reproduces the legacy fail-and-suffer behaviour exactly.
-    pub resilience: ResilienceConfig,
-    /// Fault-kind mix of the failure schedule. Crash faults strike the batch
-    /// cluster and the warm pool; slowdown/gray/partition windows strike the
-    /// FaaS service. Defaults to crash-only (the legacy vocabulary).
-    pub fault_mix: FaultMix,
     /// Optional FaaS congestion model (latency degrades over a utilization
     /// knee). `None` keeps the legacy congestion-free service.
     pub congestion: Option<CongestionConfig>,
-    /// Overrides the duration of non-crash (service-level) fault windows.
-    /// Machine repairs take minutes, but the blips that slowdown/gray/
-    /// partition faults model are typically much shorter; `None` keeps the
-    /// outage's own repair instant.
-    pub service_fault_secs: Option<f64>,
 }
 
-impl Default for ScenarioConfig {
+impl Default for FaasConfig {
     fn default() -> Self {
-        ScenarioConfig {
-            seed: 42,
-            horizon: SimTime::from_secs(4 * 3600),
-            machines: 32,
-            batch_jobs: 60,
+        FaasConfig {
             arrival_rate: 0.5,
             max_arrivals: 100_000,
             keep_alive: SimDuration::from_secs(600),
@@ -137,24 +148,239 @@ impl Default for ScenarioConfig {
                 max_instances: 64,
                 ..ServiceConfig::default()
             },
-            policy_interval: SimDuration::from_secs(1800),
+            congestion: None,
+        }
+    }
+}
+
+/// The failure slice of a scenario: a space-correlated outage schedule with
+/// a configurable fault-kind mix, fanned out to every subsystem sharing the
+/// machine fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailureConfig {
+    /// Per-machine mean time between failures, seconds.
+    pub mtbf_secs: f64,
+    /// Machines per failure-correlation domain (rack/power segment).
+    pub failure_domain: usize,
+    /// Fraction of the idle FaaS warm pool killed per machine failure.
+    pub kill_fraction: f64,
+    /// Fault-kind mix of the failure schedule. Crash faults strike the batch
+    /// cluster, the warm pool, and the bigdata/graph/gaming fleets;
+    /// slowdown/gray/partition windows strike the FaaS service. Defaults to
+    /// crash-only (the legacy vocabulary).
+    pub fault_mix: FaultMix,
+    /// Overrides the duration of non-crash (service-level) fault windows.
+    /// Machine repairs take minutes, but the blips that slowdown/gray/
+    /// partition faults model are typically much shorter; `None` keeps the
+    /// outage's own repair instant.
+    pub service_fault_secs: Option<f64>,
+}
+
+impl Default for FailureConfig {
+    fn default() -> Self {
+        FailureConfig {
             mtbf_secs: 6.0 * 3600.0,
             failure_domain: 8,
             kill_fraction: 0.5,
-            resilience: ResilienceConfig::none(),
             fault_mix: FaultMix::crash_only(),
-            congestion: None,
             service_fault_secs: None,
         }
+    }
+}
+
+/// Parameters of a composed ecosystem run.
+///
+/// Subsystems are nested, `Option`-gated sub-configs: `Some` attaches the
+/// subsystem to the run, `None` leaves it out. [`ScenarioConfig::default`]
+/// reproduces the legacy five-actor composition (batch + FaaS + autoscale +
+/// workload + failures) byte-for-byte; [`ScenarioConfig::bare`] starts from
+/// an empty ecosystem for selective composition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioConfig {
+    /// Master seed; every component derives its own labelled stream.
+    pub seed: u64,
+    /// Virtual-time horizon of the run.
+    pub horizon: SimTime,
+    /// Machines in the shared fleet (batch cluster, failure-model
+    /// population, and the bigdata/graph worker pool).
+    pub machines: usize,
+    /// Resilience mechanisms of the run. The default ([`ResilienceConfig::none`])
+    /// reproduces the legacy fail-and-suffer behaviour exactly.
+    pub resilience: ResilienceConfig,
+    /// Batch computing through the RMS scheduler.
+    pub batch: Option<BatchConfig>,
+    /// Serverless platform plus its arrival stream and autoscaling governor.
+    pub faas: Option<FaasConfig>,
+    /// Correlated failures striking every subsystem on the fleet.
+    pub failure: Option<FailureConfig>,
+    /// MapReduce/dataflow stack (opt-in).
+    pub bigdata: Option<BigdataConfig>,
+    /// Graph-analytics BSP queries (opt-in).
+    pub graph: Option<GraphConfig>,
+    /// Gaming virtual world (opt-in).
+    pub gaming: Option<GamingConfig>,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            seed: 42,
+            horizon: SimTime::from_secs(4 * 3600),
+            machines: 32,
+            resilience: ResilienceConfig::none(),
+            batch: Some(BatchConfig::default()),
+            faas: Some(FaasConfig::default()),
+            failure: Some(FailureConfig::default()),
+            bigdata: None,
+            graph: None,
+            gaming: None,
+        }
+    }
+}
+
+impl ScenarioConfig {
+    /// An empty ecosystem: no subsystems attached. Compose with the
+    /// `with_*` builders; useful for single-subsystem equivalence runs.
+    pub fn bare(seed: u64, horizon: SimTime, machines: usize) -> Self {
+        ScenarioConfig {
+            seed,
+            horizon,
+            machines,
+            resilience: ResilienceConfig::none(),
+            batch: None,
+            faas: None,
+            failure: None,
+            bigdata: None,
+            graph: None,
+            gaming: None,
+        }
+    }
+
+    /// Attaches (or replaces) the batch-computing subsystem.
+    #[must_use]
+    pub fn with_batch(mut self, batch: BatchConfig) -> Self {
+        self.batch = Some(batch);
+        self
+    }
+
+    /// Attaches (or replaces) the serverless subsystem.
+    #[must_use]
+    pub fn with_faas(mut self, faas: FaasConfig) -> Self {
+        self.faas = Some(faas);
+        self
+    }
+
+    /// Attaches (or replaces) the failure schedule.
+    #[must_use]
+    pub fn with_failures(mut self, failure: FailureConfig) -> Self {
+        self.failure = Some(failure);
+        self
+    }
+
+    /// Attaches (or replaces) the MapReduce/dataflow subsystem.
+    #[must_use]
+    pub fn with_bigdata(mut self, bigdata: BigdataConfig) -> Self {
+        self.bigdata = Some(bigdata);
+        self
+    }
+
+    /// Attaches (or replaces) the graph-analytics subsystem.
+    #[must_use]
+    pub fn with_graph(mut self, graph: GraphConfig) -> Self {
+        self.graph = Some(graph);
+        self
+    }
+
+    /// Attaches (or replaces) the gaming virtual world.
+    #[must_use]
+    pub fn with_gaming(mut self, gaming: GamingConfig) -> Self {
+        self.gaming = Some(gaming);
+        self
+    }
+
+    /// Sets the resilience mechanisms of the run.
+    #[must_use]
+    pub fn with_resilience(mut self, resilience: ResilienceConfig) -> Self {
+        self.resilience = resilience;
+        self
+    }
+
+    /// Validates the configuration, returning the first offence as
+    /// [`McsError::InvalidConfig`]. Runs the checks a mid-run panic or an
+    /// infinite loop would otherwise surface: an empty fleet, non-finite or
+    /// negative rates, and a zero-sized failure-correlation domain.
+    pub fn validate(&self) -> Result<(), McsError> {
+        fn finite_positive(field: &'static str, v: f64) -> Result<(), McsError> {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(McsError::invalid_config(field, "must be finite and positive"));
+            }
+            Ok(())
+        }
+        fn finite_non_negative(field: &'static str, v: f64) -> Result<(), McsError> {
+            if !v.is_finite() || v < 0.0 {
+                return Err(McsError::invalid_config(field, "must be finite and non-negative"));
+            }
+            Ok(())
+        }
+
+        if self.machines == 0 {
+            return Err(McsError::invalid_config("machines", "fleet must not be empty"));
+        }
+        if self.horizon == SimTime::ZERO {
+            return Err(McsError::invalid_config("horizon", "must be positive"));
+        }
+        if let Some(faas) = &self.faas {
+            finite_non_negative("faas.arrival_rate", faas.arrival_rate)?;
+        }
+        if let Some(failure) = &self.failure {
+            finite_positive("failure.mtbf_secs", failure.mtbf_secs)?;
+            if failure.failure_domain == 0 {
+                return Err(McsError::invalid_config(
+                    "failure.failure_domain",
+                    "correlation domain must hold at least one machine",
+                ));
+            }
+            if !failure.kill_fraction.is_finite()
+                || !(0.0..=1.0).contains(&failure.kill_fraction)
+            {
+                return Err(McsError::invalid_config(
+                    "failure.kill_fraction",
+                    "must lie in [0, 1]",
+                ));
+            }
+            if let Some(secs) = failure.service_fault_secs {
+                finite_positive("failure.service_fault_secs", secs)?;
+            }
+        }
+        if let Some(bigdata) = &self.bigdata {
+            if bigdata.block_mb == 0 {
+                return Err(McsError::invalid_config("bigdata.block_mb", "must be positive"));
+            }
+            finite_positive("bigdata.shuffle_bandwidth_mbs", bigdata.shuffle_bandwidth_mbs)?;
+            finite_non_negative("bigdata.submit_interval_secs", bigdata.submit_interval_secs)?;
+        }
+        if let Some(graph) = &self.graph {
+            if graph.vertices == 0 {
+                return Err(McsError::invalid_config("graph.vertices", "graph must not be empty"));
+            }
+            finite_non_negative("graph.submit_interval_secs", graph.submit_interval_secs)?;
+        }
+        if let Some(gaming) = &self.gaming {
+            if gaming.zone_capacity == 0 {
+                return Err(McsError::invalid_config("gaming.zone_capacity", "must be positive"));
+            }
+            finite_non_negative("gaming.players.base_rate", gaming.players.base_rate)?;
+        }
+        Ok(())
     }
 }
 
 /// What a composed run measured, per subsystem and across them.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioOutcome {
-    /// The batch scheduler's outcome.
+    /// The batch scheduler's outcome (empty when batch is not attached).
     pub schedule: ScheduleOutcome,
-    /// The FaaS platform's report.
+    /// The FaaS platform's report (empty when FaaS is not attached).
     pub faas: PlatformReport,
     /// FaaS arrivals delivered by the workload source.
     pub arrivals: usize,
@@ -177,6 +403,18 @@ pub struct ScenarioOutcome {
     pub outages_delivered: usize,
     /// Scaling decisions the governor took.
     pub governor_decisions: usize,
+    /// MapReduce jobs that ran all their stages to completion.
+    pub bigdata_jobs: usize,
+    /// Graph-analytics queries that ran to completion.
+    pub graph_queries: usize,
+    /// Graph supersteps executed slowed (worker loss or shuffle pressure).
+    pub graph_stragglers: u64,
+    /// Players admitted into the virtual world.
+    pub gaming_admitted: u64,
+    /// Players turned away at the door.
+    pub gaming_rejected: u64,
+    /// Players dropped mid-session by zone failures.
+    pub gaming_disconnected: u64,
     /// Engine messages delivered across all actors.
     pub events_handled: u64,
     /// The cross-cutting event trace of the whole run.
@@ -186,15 +424,15 @@ pub struct ScenarioOutcome {
 /// Builds and runs a composed ecosystem simulation.
 ///
 /// ```
-/// use mcs_core::scenario::{Scenario, ScenarioConfig};
+/// use mcs_core::scenario::{BatchConfig, Scenario, ScenarioConfig};
 /// use mcs_simcore::time::SimTime;
 ///
 /// let config = ScenarioConfig {
 ///     horizon: SimTime::from_secs(1800),
 ///     machines: 8,
-///     batch_jobs: 10,
 ///     ..ScenarioConfig::default()
-/// };
+/// }
+/// .with_batch(BatchConfig { jobs: 10, ..BatchConfig::default() });
 /// let outcome = Scenario::new(config).run();
 /// assert!(outcome.arrivals > 0 && outcome.events_handled > 0);
 /// ```
@@ -207,15 +445,41 @@ pub struct Scenario {
 impl Scenario {
     /// A scenario with the given configuration, a `React` autoscaler, and a
     /// two-function FaaS deployment (an API handler and a data processor).
+    ///
+    /// # Panics
+    /// Panics when the configuration is invalid; use [`Scenario::try_new`]
+    /// to handle the error instead.
     pub fn new(config: ScenarioConfig) -> Self {
-        Scenario {
+        Scenario::try_new(config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// A scenario with the given configuration, validated at build time.
+    ///
+    /// # Errors
+    /// Returns [`McsError::InvalidConfig`] when the configuration fails
+    /// [`ScenarioConfig::validate`] (empty fleet, non-finite rates, ...).
+    pub fn try_new(config: ScenarioConfig) -> Result<Self, McsError> {
+        config.validate()?;
+        Ok(Scenario {
             config,
             autoscaler: Box::new(React::default()),
             functions: vec![
                 FunctionSpec::api_handler("api"),
                 FunctionSpec::data_processor("etl"),
             ],
-        }
+        })
+    }
+
+    /// The scenario's configuration.
+    pub fn config(&self) -> &ScenarioConfig {
+        &self.config
+    }
+
+    /// Mutable access to the configuration — the hook
+    /// [`crate::subsystem::Subsystem::attach`] implementations use to
+    /// contribute their sub-config to a scenario under construction.
+    pub fn config_mut(&mut self) -> &mut ScenarioConfig {
+        &mut self.config
     }
 
     /// Replaces the autoscaler governing the FaaS platform.
@@ -240,212 +504,420 @@ impl Scenario {
     pub fn run(mut self) -> ScenarioOutcome {
         let cfg = self.config.clone();
 
-        // Per-component RNG streams, all derived from the master seed.
+        // Per-component RNG streams, all derived from the master seed. The
+        // streams (and their draw order) are identical whether a subsystem
+        // runs standalone or composed.
         let mut workload_rng = RngStream::new(cfg.seed, "workload");
         let mut failure_rng = RngStream::new(cfg.seed, "failures");
-        let arrival_rng = RngStream::new(cfg.seed, "arrivals");
 
         // Subsystem state (owned here; actors borrow it below).
-        let cluster = Cluster::homogeneous(
-            ClusterId(0),
-            "batch",
-            MachineSpec::commodity("std-8", 8.0, 32.0),
-            cfg.machines as u32,
-        );
-        let jobs = BatchWorkloadGenerator::new(BatchWorkloadConfig::default()).generate(
-            cfg.horizon,
-            cfg.batch_jobs,
-            &mut workload_rng,
-        );
-        let outages = SpaceCorrelatedFailures::with_mtbf(
-            cfg.mtbf_secs,
-            cfg.machines,
-            cfg.failure_domain,
-        )
-        .generate(cfg.machines, cfg.horizon, &mut failure_rng);
-        let outages_generated = outages.len();
-        let mut mix_rng = RngStream::new(cfg.seed, "fault-mix");
-        let faults = cfg.fault_mix.assign(outages, &mut mix_rng);
+        let mut batch_jobs = cfg.batch.as_ref().map(|batch| {
+            BatchWorkloadGenerator::new(BatchWorkloadConfig::default()).generate(
+                cfg.horizon,
+                batch.jobs,
+                &mut workload_rng,
+            )
+        });
 
-        let mut platform = FaasPlatform::new(KeepAlivePolicy::Fixed(cfg.keep_alive), cfg.seed);
-        for spec in &self.functions {
-            platform.deploy(spec.clone());
-        }
+        let mut outages_generated = 0;
+        let faults = cfg.failure.as_ref().map(|failure| {
+            let outages = SpaceCorrelatedFailures::with_mtbf(
+                failure.mtbf_secs,
+                cfg.machines,
+                failure.failure_domain,
+            )
+            .generate(cfg.machines, cfg.horizon, &mut failure_rng);
+            outages_generated = outages.len();
+            let mut mix_rng = RngStream::new(cfg.seed, "fault-mix");
+            failure.fault_mix.assign(outages, &mut mix_rng)
+        });
+
+        let mut platform = cfg.faas.as_ref().map(|faas| {
+            let mut platform =
+                FaasPlatform::new(KeepAlivePolicy::Fixed(faas.keep_alive), cfg.seed);
+            for spec in &self.functions {
+                platform.deploy(spec.clone());
+            }
+            platform
+        });
         let function_names: Vec<String> =
             self.functions.iter().map(|f| f.name.clone()).collect();
 
-        let mut scheduler =
-            ClusterScheduler::new(cluster, SchedulerConfig::default(), cfg.seed);
-        let mut selector =
-            PortfolioSelector::new(default_portfolio(), Objective::Makespan, cfg.seed);
+        let mut scheduler = cfg.batch.as_ref().map(|_| {
+            let cluster = Cluster::homogeneous(
+                ClusterId(0),
+                "batch",
+                MachineSpec::commodity("std-8", 8.0, 32.0),
+                cfg.machines as u32,
+            );
+            ClusterScheduler::new(cluster, SchedulerConfig::default(), cfg.seed)
+        });
+        let mut selector = cfg
+            .batch
+            .as_ref()
+            .map(|_| PortfolioSelector::new(default_portfolio(), Objective::Makespan, cfg.seed));
+        let mut process = cfg.faas.as_ref().map(|faas| Poisson::new(faas.arrival_rate));
 
         // Actor ids are assigned in registration order; fix that order here
-        // so the cross-actor callbacks can address their peers up front.
-        let arrival_id = ActorId::from_index(0);
-        let scheduler_id = ActorId::from_index(1);
-        let governor_id = ActorId::from_index(2);
-        let faas_id = ActorId::from_index(3);
-        let injector_id = ActorId::from_index(4);
-
-        let mut process = Poisson::new(cfg.arrival_rate);
-        let mut arrival = ArrivalActor::new(
-            &mut process,
-            arrival_rng,
-            cfg.horizon,
-            cfg.max_arrivals,
-            move |ctx, index| {
-                let function = function_names[index % function_names.len()].clone();
-                ctx.send(
-                    faas_id,
-                    SimDuration::ZERO,
-                    EcosystemMsg::Faas(FaasMsg::Invoke { function }),
-                );
-            },
-        );
-
-        let mut scheduler_actor = scheduler
-            .actor(jobs, cfg.horizon)
-            .with_selector(&mut selector, cfg.policy_interval);
-        if let Some(restart) = cfg.resilience.restart {
-            scheduler_actor = scheduler_actor.with_restart(restart);
-        }
-
-        let mut governor =
-            GovernorActor::new(self.autoscaler.as_mut(), cfg.service, move |ctx, delta| {
-                ctx.send(
-                    faas_id,
-                    SimDuration::ZERO,
-                    EcosystemMsg::Faas(FaasMsg::Scale(delta)),
-                );
-            });
-        if cfg.resilience.shedder.is_some() {
-            governor = governor.with_shedding(move |ctx, on| {
-                ctx.send(
-                    faas_id,
-                    SimDuration::ZERO,
-                    EcosystemMsg::Faas(FaasMsg::SetShedding(on)),
-                );
-            });
-        }
-
-        let mut faas_actor = FaasActor::new(&mut platform)
-            .with_capacity(cfg.initial_capacity)
-            .with_resilience(cfg.resilience)
-            .with_observer(cfg.service.scaling_interval, move |ctx, demand, supply| {
-                ctx.send(
-                    governor_id,
-                    SimDuration::ZERO,
-                    EcosystemMsg::Governor(GovernorMsg::Observe { demand, supply }),
-                );
-            });
-        if let Some(congestion) = cfg.congestion {
-            faas_actor = faas_actor.with_congestion(congestion);
-        }
-
-        // Crash faults strike the batch cluster and the warm pool; the other
-        // kinds open service-level fault windows on the FaaS platform.
-        let kill_fraction = cfg.kill_fraction;
-        let service_fault_secs = cfg.service_fault_secs;
-        let service_fault = |kind: FaultKind| -> Option<FaasFault> {
-            match kind {
-                FaultKind::Crash => None,
-                FaultKind::Slowdown { factor } => Some(FaasFault::Slowdown { factor }),
-                FaultKind::Gray { error_rate } => Some(FaasFault::Gray { error_rate }),
-                FaultKind::Partition => Some(FaasFault::Partition),
-            }
+        // (skipping absent subsystems) so cross-actor callbacks can address
+        // their peers up front. The legacy quintet keeps ids 0..=4.
+        let mut next_index = 0usize;
+        let mut alloc = |present: bool| {
+            present.then(|| {
+                let id = ActorId::from_index(next_index);
+                next_index += 1;
+                id
+            })
         };
-        let mut injector = FailureInjector::with_faults(faults, move |ctx, event| match event {
-            FailureEvent::Fail(fault) => match service_fault(fault.kind) {
-                None => {
-                    ctx.send(
-                        scheduler_id,
-                        SimDuration::ZERO,
-                        EcosystemMsg::Rms(RmsMsg::MachineFail(fault.outage.machine as u32)),
-                    );
+        let arrival_id = alloc(cfg.faas.is_some());
+        let scheduler_id = alloc(cfg.batch.is_some());
+        let governor_id = alloc(cfg.faas.is_some());
+        let faas_id = alloc(cfg.faas.is_some());
+        let injector_id = alloc(cfg.failure.is_some());
+        let bigdata_id = alloc(cfg.bigdata.is_some());
+        let graph_id = alloc(cfg.graph.is_some());
+        let gaming_id = alloc(cfg.gaming.is_some());
+
+        let mut arrival = process.as_mut().map(|process| {
+            let faas = cfg.faas.as_ref().expect("faas config present with process");
+            let faas_id = faas_id.expect("faas id allocated");
+            let function_names = function_names.clone();
+            ArrivalActor::new(
+                process,
+                RngStream::new(cfg.seed, "arrivals"),
+                cfg.horizon,
+                faas.max_arrivals,
+                move |ctx, index| {
+                    let function = function_names[index % function_names.len()].clone();
                     ctx.send(
                         faas_id,
                         SimDuration::ZERO,
-                        EcosystemMsg::Faas(FaasMsg::KillWarm { fraction: kill_fraction }),
+                        EcosystemMsg::Faas(FaasMsg::Invoke { function }),
                     );
-                }
-                Some(f) => {
-                    ctx.send(faas_id, SimDuration::ZERO, EcosystemMsg::Faas(FaasMsg::Fault(f)));
-                    if let Some(secs) = service_fault_secs {
-                        ctx.send(
-                            faas_id,
-                            SimDuration::from_secs_f64(secs),
-                            EcosystemMsg::Faas(FaasMsg::FaultClear(f)),
-                        );
-                    }
-                }
-            },
-            FailureEvent::Repair(fault) => match service_fault(fault.kind) {
-                None => {
+                },
+            )
+        });
+
+        let mut scheduler_actor = scheduler.as_mut().map(|scheduler| {
+            let batch = cfg.batch.as_ref().expect("batch config present with scheduler");
+            let jobs = batch_jobs.take().expect("batch jobs generated");
+            let selector = selector.as_mut().expect("selector present with scheduler");
+            let mut actor = scheduler
+                .actor(jobs, cfg.horizon)
+                .with_selector(selector, batch.policy_interval);
+            if let Some(restart) = cfg.resilience.restart {
+                actor = actor.with_restart(restart);
+            }
+            actor
+        });
+
+        let autoscaler = self.autoscaler.as_mut();
+        let mut governor = cfg.faas.as_ref().map(|faas| {
+            let faas_id = faas_id.expect("faas id allocated");
+            let mut governor =
+                GovernorActor::new(autoscaler, faas.service, move |ctx, delta| {
                     ctx.send(
-                        scheduler_id,
+                        faas_id,
                         SimDuration::ZERO,
-                        EcosystemMsg::Rms(RmsMsg::MachineRepair(fault.outage.machine as u32)),
+                        EcosystemMsg::Faas(FaasMsg::Scale(delta)),
                     );
+                });
+            if cfg.resilience.shedder.is_some() {
+                governor = governor.with_shedding(move |ctx, on| {
+                    ctx.send(
+                        faas_id,
+                        SimDuration::ZERO,
+                        EcosystemMsg::Faas(FaasMsg::SetShedding(on)),
+                    );
+                });
+            }
+            governor
+        });
+
+        let mut faas_actor = platform.as_mut().map(|platform| {
+            let faas = cfg.faas.as_ref().expect("faas config present with platform");
+            let governor_id = governor_id.expect("governor id allocated");
+            let mut actor = FaasActor::new(platform)
+                .with_capacity(faas.initial_capacity)
+                .with_resilience(cfg.resilience)
+                .with_observer(faas.service.scaling_interval, move |ctx, demand, supply| {
+                    ctx.send(
+                        governor_id,
+                        SimDuration::ZERO,
+                        EcosystemMsg::Governor(GovernorMsg::Observe { demand, supply }),
+                    );
+                });
+            if let Some(congestion) = faas.congestion {
+                actor = actor.with_congestion(congestion);
+            }
+            actor
+        });
+
+        // Crash faults strike every tenant of the shared fleet — the batch
+        // cluster, the warm pool, and the bigdata/graph/gaming actors; the
+        // other kinds open service-level fault windows on the FaaS platform.
+        let mut injector = faults.map(|faults| {
+            let failure = cfg.failure.as_ref().expect("failure config present with faults");
+            let kill_fraction = failure.kill_fraction;
+            let service_fault_secs = failure.service_fault_secs;
+            let service_fault = |kind: FaultKind| -> Option<FaasFault> {
+                match kind {
+                    FaultKind::Crash => None,
+                    FaultKind::Slowdown { factor } => Some(FaasFault::Slowdown { factor }),
+                    FaultKind::Gray { error_rate } => Some(FaasFault::Gray { error_rate }),
+                    FaultKind::Partition => Some(FaasFault::Partition),
                 }
-                Some(f) => {
-                    // When the window length is overridden, the clear was
-                    // already scheduled at fault-strike time.
-                    if service_fault_secs.is_none() {
-                        ctx.send(
-                            faas_id,
-                            SimDuration::ZERO,
-                            EcosystemMsg::Faas(FaasMsg::FaultClear(f)),
-                        );
+            };
+            FailureInjector::with_faults(faults, move |ctx, event| match event {
+                FailureEvent::Fail(fault) => {
+                    let machine = fault.outage.machine as u32;
+                    match service_fault(fault.kind) {
+                        None => {
+                            if let Some(id) = scheduler_id {
+                                ctx.send(
+                                    id,
+                                    SimDuration::ZERO,
+                                    EcosystemMsg::Rms(RmsMsg::MachineFail(machine)),
+                                );
+                            }
+                            if let Some(id) = faas_id {
+                                ctx.send(
+                                    id,
+                                    SimDuration::ZERO,
+                                    EcosystemMsg::Faas(FaasMsg::KillWarm {
+                                        fraction: kill_fraction,
+                                    }),
+                                );
+                            }
+                            if let Some(id) = bigdata_id {
+                                ctx.send(
+                                    id,
+                                    SimDuration::ZERO,
+                                    EcosystemMsg::Bigdata(BigdataMsg::NodeFail(machine)),
+                                );
+                            }
+                            if let Some(id) = graph_id {
+                                ctx.send(
+                                    id,
+                                    SimDuration::ZERO,
+                                    EcosystemMsg::Graph(GraphMsg::NodeFail(machine)),
+                                );
+                            }
+                            if let Some(id) = gaming_id {
+                                ctx.send(
+                                    id,
+                                    SimDuration::ZERO,
+                                    EcosystemMsg::Gaming(GamingMsg::NodeFail(machine)),
+                                );
+                            }
+                        }
+                        Some(f) => {
+                            if let Some(id) = faas_id {
+                                ctx.send(
+                                    id,
+                                    SimDuration::ZERO,
+                                    EcosystemMsg::Faas(FaasMsg::Fault(f)),
+                                );
+                                if let Some(secs) = service_fault_secs {
+                                    ctx.send(
+                                        id,
+                                        SimDuration::from_secs_f64(secs),
+                                        EcosystemMsg::Faas(FaasMsg::FaultClear(f)),
+                                    );
+                                }
+                            }
+                        }
                     }
                 }
-            },
-        })
-        .with_horizon(cfg.horizon);
+                FailureEvent::Repair(fault) => {
+                    let machine = fault.outage.machine as u32;
+                    match service_fault(fault.kind) {
+                        None => {
+                            if let Some(id) = scheduler_id {
+                                ctx.send(
+                                    id,
+                                    SimDuration::ZERO,
+                                    EcosystemMsg::Rms(RmsMsg::MachineRepair(machine)),
+                                );
+                            }
+                            if let Some(id) = bigdata_id {
+                                ctx.send(
+                                    id,
+                                    SimDuration::ZERO,
+                                    EcosystemMsg::Bigdata(BigdataMsg::NodeRepair(machine)),
+                                );
+                            }
+                            if let Some(id) = graph_id {
+                                ctx.send(
+                                    id,
+                                    SimDuration::ZERO,
+                                    EcosystemMsg::Graph(GraphMsg::NodeRepair(machine)),
+                                );
+                            }
+                            if let Some(id) = gaming_id {
+                                ctx.send(
+                                    id,
+                                    SimDuration::ZERO,
+                                    EcosystemMsg::Gaming(GamingMsg::NodeRepair(machine)),
+                                );
+                            }
+                        }
+                        Some(f) => {
+                            // When the window length is overridden, the clear
+                            // was already scheduled at fault-strike time.
+                            if service_fault_secs.is_none() {
+                                if let Some(id) = faas_id {
+                                    ctx.send(
+                                        id,
+                                        SimDuration::ZERO,
+                                        EcosystemMsg::Faas(FaasMsg::FaultClear(f)),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            })
+            .with_horizon(cfg.horizon)
+        });
+
+        let mut bigdata_actor = cfg.bigdata.as_ref().map(|bigdata| {
+            let mut actor: DataflowActor<'_, EcosystemMsg> = DataflowActor::new(
+                bigdata.clone(),
+                cfg.machines as u32,
+                RngStream::new(cfg.seed, "bigdata"),
+            );
+            // The cross-tenant interference channel: each shuffle window
+            // opens network pressure on the co-tenant subsystems.
+            if graph_id.is_some() || gaming_id.is_some() {
+                actor = actor.with_shuffle_hook(move |ctx, _job, active| {
+                    if let Some(id) = graph_id {
+                        ctx.send(
+                            id,
+                            SimDuration::ZERO,
+                            EcosystemMsg::Graph(GraphMsg::Pressure(active)),
+                        );
+                    }
+                    if let Some(id) = gaming_id {
+                        ctx.send(
+                            id,
+                            SimDuration::ZERO,
+                            EcosystemMsg::Gaming(GamingMsg::Pressure(active)),
+                        );
+                    }
+                });
+            }
+            actor
+        });
+
+        let mut graph_actor = cfg.graph.as_ref().map(|graph| {
+            BspActor::new(graph.clone(), cfg.machines as u32, RngStream::new(cfg.seed, "graph"))
+        });
+
+        let mut gaming_actor = cfg.gaming.as_ref().map(|gaming| {
+            WorldActor::new(gaming.clone(), cfg.horizon, RngStream::new(cfg.seed, "gaming"))
+        });
 
         let mut sim: Simulation<'_, EcosystemMsg> = Simulation::new(cfg.seed);
         sim.set_horizon(cfg.horizon);
-        let ids = (
-            sim.add_actor(&mut arrival),
-            sim.add_actor(&mut scheduler_actor),
-            sim.add_actor(&mut governor),
-            sim.add_actor(&mut faas_actor),
-            sim.add_actor(&mut injector),
-        );
-        debug_assert_eq!(
-            ids,
-            (arrival_id, scheduler_id, governor_id, faas_id, injector_id),
-            "actor registration order must match the precomputed ids"
-        );
-        sim.schedule(SimTime::ZERO, ids.0, EcosystemMsg::Arrival(ArrivalMsg::Start));
-        sim.schedule(SimTime::ZERO, ids.1, EcosystemMsg::Rms(RmsMsg::Start));
-        sim.schedule(SimTime::ZERO, ids.4, EcosystemMsg::Injector(InjectorMsg::Start));
-        sim.schedule(
-            SimTime::ZERO + cfg.service.scaling_interval,
-            ids.3,
-            EcosystemMsg::Faas(FaasMsg::Report),
-        );
+        if let Some(actor) = arrival.as_mut() {
+            let id = sim.add_actor(actor);
+            debug_assert_eq!(Some(id), arrival_id, "registration order must match precomputed ids");
+            let _ = id;
+        }
+        if let Some(actor) = scheduler_actor.as_mut() {
+            let id = sim.add_actor(actor);
+            debug_assert_eq!(Some(id), scheduler_id, "registration order must match precomputed ids");
+            let _ = id;
+        }
+        if let Some(actor) = governor.as_mut() {
+            let id = sim.add_actor(actor);
+            debug_assert_eq!(Some(id), governor_id, "registration order must match precomputed ids");
+            let _ = id;
+        }
+        if let Some(actor) = faas_actor.as_mut() {
+            let id = sim.add_actor(actor);
+            debug_assert_eq!(Some(id), faas_id, "registration order must match precomputed ids");
+            let _ = id;
+        }
+        if let Some(actor) = injector.as_mut() {
+            let id = sim.add_actor(actor);
+            debug_assert_eq!(Some(id), injector_id, "registration order must match precomputed ids");
+            let _ = id;
+        }
+        if let Some(actor) = bigdata_actor.as_mut() {
+            let id = sim.add_actor(actor);
+            debug_assert_eq!(Some(id), bigdata_id, "registration order must match precomputed ids");
+            let _ = id;
+        }
+        if let Some(actor) = graph_actor.as_mut() {
+            let id = sim.add_actor(actor);
+            debug_assert_eq!(Some(id), graph_id, "registration order must match precomputed ids");
+            let _ = id;
+        }
+        if let Some(actor) = gaming_actor.as_mut() {
+            let id = sim.add_actor(actor);
+            debug_assert_eq!(Some(id), gaming_id, "registration order must match precomputed ids");
+            let _ = id;
+        }
+
+        if let Some(id) = arrival_id {
+            sim.schedule(SimTime::ZERO, id, EcosystemMsg::Arrival(ArrivalMsg::Start));
+        }
+        if let Some(id) = scheduler_id {
+            sim.schedule(SimTime::ZERO, id, EcosystemMsg::Rms(RmsMsg::Start));
+        }
+        if let Some(id) = injector_id {
+            sim.schedule(SimTime::ZERO, id, EcosystemMsg::Injector(InjectorMsg::Start));
+        }
+        if let (Some(id), Some(faas)) = (faas_id, cfg.faas.as_ref()) {
+            sim.schedule(
+                SimTime::ZERO + faas.service.scaling_interval,
+                id,
+                EcosystemMsg::Faas(FaasMsg::Report),
+            );
+        }
+        if let Some(id) = bigdata_id {
+            sim.schedule(SimTime::ZERO, id, EcosystemMsg::Bigdata(BigdataMsg::Start));
+        }
+        if let Some(id) = graph_id {
+            sim.schedule(SimTime::ZERO, id, EcosystemMsg::Graph(GraphMsg::Start));
+        }
+        if let Some(id) = gaming_id {
+            sim.schedule(SimTime::ZERO, id, EcosystemMsg::Gaming(GamingMsg::Start));
+        }
         sim.run();
 
         let events_handled = sim.events_handled();
         let trace = sim.take_trace();
         drop(sim);
 
-        let arrivals = arrival.count();
-        let invoked = faas_actor.invoked();
-        let rejected = faas_actor.rejected();
-        let invocations_failed = faas_actor.failed();
-        let shed = faas_actor.shed();
-        let retries_scheduled = faas_actor.retries_scheduled();
-        let final_capacity = faas_actor.capacity().unwrap_or(0);
-        let outages_delivered = injector.delivered();
-        let governor_decisions = governor.decisions();
-        let schedule = scheduler_actor.outcome();
+        let arrivals = arrival.as_ref().map_or(0, |a| a.count());
+        let invoked = faas_actor.as_ref().map_or(0, |a| a.invoked());
+        let rejected = faas_actor.as_ref().map_or(0, |a| a.rejected());
+        let invocations_failed = faas_actor.as_ref().map_or(0, |a| a.failed());
+        let shed = faas_actor.as_ref().map_or(0, |a| a.shed());
+        let retries_scheduled = faas_actor.as_ref().map_or(0, |a| a.retries_scheduled());
+        let final_capacity =
+            faas_actor.as_ref().and_then(|a| a.capacity()).unwrap_or(0);
+        let outages_delivered = injector.as_ref().map_or(0, |i| i.delivered());
+        let governor_decisions = governor.as_ref().map_or(0, |g| g.decisions());
+        let schedule = scheduler_actor
+            .as_mut()
+            .map(|a| a.outcome())
+            .unwrap_or_else(empty_schedule_outcome);
+        let bigdata_jobs = bigdata_actor.as_ref().map_or(0, |a| a.completed());
+        let graph_queries = graph_actor.as_ref().map_or(0, |a| a.completed());
+        let graph_stragglers = graph_actor.as_ref().map_or(0, |a| a.stragglers());
+        let gaming_admitted = gaming_actor.as_ref().map_or(0, |a| a.admitted());
+        let gaming_rejected = gaming_actor.as_ref().map_or(0, |a| a.rejected());
+        let gaming_disconnected = gaming_actor.as_ref().map_or(0, |a| a.disconnected());
         drop(arrival);
         drop(faas_actor);
         drop(governor);
         drop(injector);
         drop(scheduler_actor);
-        let faas = platform.finish();
+        let faas = platform.as_mut().map_or_else(empty_platform_report, |p| p.finish());
 
         ScenarioOutcome {
             schedule,
@@ -460,9 +932,43 @@ impl Scenario {
             outages_generated,
             outages_delivered,
             governor_decisions,
+            bigdata_jobs,
+            graph_queries,
+            graph_stragglers,
+            gaming_admitted,
+            gaming_rejected,
+            gaming_disconnected,
             events_handled,
             trace,
         }
+    }
+}
+
+/// The outcome of a run with no batch subsystem attached.
+fn empty_schedule_outcome() -> ScheduleOutcome {
+    ScheduleOutcome {
+        completions: Vec::new(),
+        makespan: SimDuration::ZERO,
+        mean_utilization: 0.0,
+        mean_queue_length: 0.0,
+        peak_queue_length: 0.0,
+        deadline_misses: 0,
+        failure_requeues: 0,
+        rejected: 0,
+        abandoned: 0,
+        unfinished: 0,
+    }
+}
+
+/// The report of a run with no FaaS subsystem attached.
+fn empty_platform_report() -> PlatformReport {
+    PlatformReport {
+        invocations: Vec::new(),
+        cold_fraction: 0.0,
+        latency: None,
+        billed_gb_secs: 0.0,
+        provider_gb_secs: 0.0,
+        peak_instances: 0,
     }
 }
 
@@ -475,11 +981,11 @@ mod tests {
             seed: 7,
             horizon: SimTime::from_secs(3600),
             machines: 16,
-            batch_jobs: 20,
-            arrival_rate: 0.4,
-            mtbf_secs: 1.5 * 3600.0,
             ..ScenarioConfig::default()
         }
+        .with_batch(BatchConfig { jobs: 20, ..BatchConfig::default() })
+        .with_faas(FaasConfig { arrival_rate: 0.4, ..FaasConfig::default() })
+        .with_failures(FailureConfig { mtbf_secs: 1.5 * 3600.0, ..FailureConfig::default() })
     }
 
     #[test]
@@ -524,19 +1030,25 @@ mod tests {
     #[test]
     fn resilient_run_with_mixed_faults_is_deterministic_and_traced() {
         let config = || {
-            let mut cfg = small_config();
             // Harsh failure regime so every fault kind gets drawn.
-            cfg.mtbf_secs = 600.0;
-            cfg.resilience = ResilienceConfig::all_on();
-            cfg.fault_mix = FaultMix {
-                crash: 0.4,
-                slowdown: 0.2,
-                gray: 0.2,
-                partition: 0.2,
-                ..FaultMix::crash_only()
-            };
-            cfg.congestion = Some(CongestionConfig::default());
-            cfg
+            small_config()
+                .with_faas(FaasConfig {
+                    arrival_rate: 0.4,
+                    congestion: Some(CongestionConfig::default()),
+                    ..FaasConfig::default()
+                })
+                .with_failures(FailureConfig {
+                    mtbf_secs: 600.0,
+                    fault_mix: FaultMix {
+                        crash: 0.4,
+                        slowdown: 0.2,
+                        gray: 0.2,
+                        partition: 0.2,
+                        ..FaultMix::crash_only()
+                    },
+                    ..FailureConfig::default()
+                })
+                .with_resilience(ResilienceConfig::all_on())
         };
         let a = Scenario::new(config()).run();
         let b = Scenario::new(config()).run();
@@ -575,5 +1087,100 @@ mod tests {
         cfg.seed = 8;
         let b = Scenario::new(cfg).run();
         assert_ne!(a.trace.to_json_string(), b.trace.to_json_string());
+    }
+
+    #[test]
+    fn full_stack_composes_every_subsystem_on_one_simulation() {
+        let out = Scenario::new(
+            small_config()
+                .with_bigdata(BigdataConfig { jobs: 2, ..BigdataConfig::default() })
+                .with_graph(GraphConfig {
+                    queries: 2,
+                    vertices: 300,
+                    edges: 1_200,
+                    ..GraphConfig::default()
+                })
+                .with_gaming(GamingConfig::default()),
+        )
+        .run();
+        let components = out.trace.components();
+        for expected in
+            ["autoscale", "bigdata", "faas", "failure", "gaming", "graph", "rms", "workload"]
+        {
+            assert!(
+                components.iter().any(|c| c == expected),
+                "missing component {expected} in {components:?}"
+            );
+        }
+        // Crash faults fan out to every fleet tenant.
+        let fails = out.trace.count("failure", "outage");
+        assert!(fails > 0);
+        assert_eq!(out.trace.count("bigdata", "node_fail"), fails);
+        assert_eq!(out.trace.count("graph", "worker_fail"), fails);
+        // Shuffle windows exert pressure on both co-tenants.
+        let shuffles = out.trace.count("bigdata", "shuffle_start");
+        assert!(shuffles > 0);
+        assert_eq!(out.trace.count("graph", "pressure"), 2 * shuffles);
+        assert_eq!(out.trace.count("gaming", "pressure"), 2 * shuffles);
+        assert!(out.gaming_admitted > 0);
+    }
+
+    #[test]
+    fn bare_config_composes_selectively() {
+        let out = Scenario::new(
+            ScenarioConfig::bare(3, SimTime::from_secs(3600), 8)
+                .with_gaming(GamingConfig::default()),
+        )
+        .run();
+        assert_eq!(out.trace.components(), vec!["gaming".to_owned()]);
+        assert_eq!(out.arrivals, 0);
+        assert!(out.gaming_admitted > 0);
+        assert!(out.schedule.completions.is_empty());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected_at_build_time() {
+        let invalid: Vec<(&str, ScenarioConfig)> = vec![
+            ("machines", ScenarioConfig { machines: 0, ..ScenarioConfig::default() }),
+            (
+                "faas.arrival_rate",
+                ScenarioConfig::default()
+                    .with_faas(FaasConfig { arrival_rate: f64::NAN, ..FaasConfig::default() }),
+            ),
+            (
+                "faas.arrival_rate",
+                ScenarioConfig::default()
+                    .with_faas(FaasConfig { arrival_rate: -1.0, ..FaasConfig::default() }),
+            ),
+            (
+                "failure.mtbf_secs",
+                ScenarioConfig::default().with_failures(FailureConfig {
+                    mtbf_secs: f64::INFINITY,
+                    ..FailureConfig::default()
+                }),
+            ),
+            (
+                "failure.failure_domain",
+                ScenarioConfig::default().with_failures(FailureConfig {
+                    failure_domain: 0,
+                    ..FailureConfig::default()
+                }),
+            ),
+            (
+                "gaming.zone_capacity",
+                ScenarioConfig::default()
+                    .with_gaming(GamingConfig { zone_capacity: 0, ..GamingConfig::default() }),
+            ),
+        ];
+        for (field, cfg) in invalid {
+            match Scenario::try_new(cfg) {
+                Err(McsError::InvalidConfig { field: f, .. }) => {
+                    assert_eq!(f, field, "wrong field reported");
+                }
+                Err(other) => panic!("expected InvalidConfig for {field}, got {other:?}"),
+                Ok(_) => panic!("expected InvalidConfig for {field}, got Ok"),
+            }
+        }
+        assert!(ScenarioConfig::default().validate().is_ok());
     }
 }

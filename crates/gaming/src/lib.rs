@@ -25,6 +25,7 @@
 //! assert!(puzzle.is_solvable());
 //! ```
 
+pub mod actor;
 pub mod metagame;
 pub mod pcg;
 pub mod social;
@@ -32,6 +33,7 @@ pub mod world;
 
 /// Convenience re-exports.
 pub mod prelude {
+    pub use crate::actor::{run_gaming_standalone, GamingConfig, GamingMsg, WorldActor};
     pub use crate::metagame::{
         stream_capacity_plan, PlayedMatch, Tournament, TournamentOutcome,
     };

@@ -12,9 +12,9 @@
 
 use crate::graph::{Graph, VertexId};
 
-/// One worker thread's superstep output: its message buffer plus its
-/// aggregator contribution.
-type ThreadOutbox<M> = (Vec<(VertexId, M)>, f64);
+/// One worker thread's superstep output: its message buffer, its aggregator
+/// contribution, and how many of its vertices were active.
+type ThreadOutbox<M> = (Vec<(VertexId, M)>, f64, u64);
 
 /// Where a vertex writes its outgoing messages and aggregator contribution.
 #[derive(Debug)]
@@ -61,6 +61,28 @@ pub trait VertexProgram: Sync {
     );
 }
 
+impl<P: VertexProgram> VertexProgram for &P {
+    type State = P::State;
+    type Message = P::Message;
+
+    fn init(&self, v: VertexId, graph: &Graph) -> Self::State {
+        (**self).init(v, graph)
+    }
+
+    fn compute(
+        &self,
+        v: VertexId,
+        state: &mut Self::State,
+        messages: &[Self::Message],
+        outbox: &mut Outbox<'_, Self::Message>,
+        graph: &Graph,
+        superstep: usize,
+        prev_aggregate: f64,
+    ) {
+        (**self).compute(v, state, messages, outbox, graph, superstep, prev_aggregate)
+    }
+}
+
 /// The BSP execution engine.
 #[derive(Debug, Clone, Copy)]
 pub struct BspEngine {
@@ -99,76 +121,157 @@ impl BspEngine {
     }
 
     /// Runs `program` on `graph` until quiescence (no messages sent) or the
-    /// superstep cap.
+    /// superstep cap. Equivalent to driving a [`BspStepper`] to completion.
     pub fn run<P: VertexProgram>(&self, graph: &Graph, program: &P) -> BspResult<P::State> {
+        let mut stepper = BspStepper::new(*self, graph, program);
+        while stepper.step().is_some() {}
+        stepper.finish()
+    }
+}
+
+/// Statistics of one executed superstep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepStats {
+    /// Zero-based index of the superstep that just ran.
+    pub superstep: usize,
+    /// Vertices whose `compute` was invoked this superstep.
+    pub active_vertices: u64,
+    /// Messages produced by this superstep (delivered in the next one).
+    pub messages_sent: u64,
+}
+
+/// A paused BSP run that executes one superstep per [`BspStepper::step`]
+/// call, so callers (e.g. a discrete-event actor charging virtual time per
+/// superstep) can interleave other work between barriers. [`BspEngine::run`]
+/// is a loop over this type.
+///
+/// The program is held *by value*; pass `&program` (every `&P` is itself a
+/// [`VertexProgram`]) to borrow instead.
+pub struct BspStepper<'g, P: VertexProgram> {
+    graph: &'g Graph,
+    program: P,
+    threads: usize,
+    chunk: usize,
+    max_supersteps: usize,
+    states: Vec<P::State>,
+    inbox: Vec<Vec<P::Message>>,
+    prev_aggregate: f64,
+    total_messages: u64,
+    superstep: usize,
+    halted: bool,
+}
+
+impl<'g, P: VertexProgram> BspStepper<'g, P> {
+    /// Initialises per-vertex state for `program` on `graph` without running
+    /// any superstep yet.
+    pub fn new(engine: BspEngine, graph: &'g Graph, program: P) -> Self {
         let n = graph.vertex_count() as usize;
-        let mut states: Vec<P::State> = graph.vertices().map(|v| program.init(v, graph)).collect();
-        if n == 0 {
-            return BspResult { states, supersteps: 0, messages: 0 };
+        let states: Vec<P::State> = graph.vertices().map(|v| program.init(v, graph)).collect();
+        let threads = engine.threads.max(1).min(n.max(1));
+        BspStepper {
+            graph,
+            program,
+            threads,
+            chunk: n.div_ceil(threads).max(1),
+            max_supersteps: engine.max_supersteps,
+            states,
+            inbox: (0..n).map(|_| Vec::new()).collect(),
+            prev_aggregate: 0.0,
+            total_messages: 0,
+            superstep: 0,
+            halted: n == 0,
         }
-        let threads = self.threads.max(1).min(n);
-        let chunk = n.div_ceil(threads);
-        let mut inbox: Vec<Vec<P::Message>> = (0..n).map(|_| Vec::new()).collect();
-        let mut prev_aggregate = 0.0f64;
-        let mut total_messages = 0u64;
-        let mut superstep = 0usize;
+    }
 
-        while superstep < self.max_supersteps {
-            // Compute phase: each thread owns a chunk of vertices.
-            let outboxes: Vec<ThreadOutbox<P::Message>> =
-                std::thread::scope(|scope| {
-                    let mut handles = Vec::with_capacity(threads);
-                    for (tid, (state_chunk, inbox_chunk)) in
-                        states.chunks_mut(chunk).zip(inbox.chunks(chunk)).enumerate()
-                    {
-                        let graph_ref = &*graph;
-                        handles.push(scope.spawn(move || {
-                            let mut buf = Vec::new();
-                            let mut agg = 0.0f64;
-                            for (i, st) in state_chunk.iter_mut().enumerate() {
-                                let v = (tid * chunk + i) as VertexId;
-                                let msgs = &inbox_chunk[i];
-                                if superstep == 0 || !msgs.is_empty() {
-                                    let mut outbox =
-                                        Outbox { buf: &mut buf, aggregate: &mut agg };
-                                    program.compute(
-                                        v,
-                                        st,
-                                        msgs,
-                                        &mut outbox,
-                                        graph_ref,
-                                        superstep,
-                                        prev_aggregate,
-                                    );
-                                }
-                            }
-                            (buf, agg)
-                        }));
+    /// True once the run has quiesced (or hit the superstep cap).
+    pub fn is_done(&self) -> bool {
+        self.halted || self.superstep >= self.max_supersteps
+    }
+
+    /// Supersteps executed so far.
+    pub fn supersteps(&self) -> usize {
+        self.superstep
+    }
+
+    /// Total messages delivered so far.
+    pub fn messages(&self) -> u64 {
+        self.total_messages
+    }
+
+    /// Executes one superstep (compute + deliver barrier); returns `None`
+    /// once the run is complete.
+    pub fn step(&mut self) -> Option<StepStats> {
+        if self.is_done() {
+            return None;
+        }
+        let superstep = self.superstep;
+        let prev_aggregate = self.prev_aggregate;
+        let (program, graph, chunk) = (&self.program, self.graph, self.chunk);
+
+        // Compute phase: each thread owns a chunk of vertices.
+        let outboxes: Vec<ThreadOutbox<P::Message>> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.threads);
+            for (tid, (state_chunk, inbox_chunk)) in
+                self.states.chunks_mut(chunk).zip(self.inbox.chunks(chunk)).enumerate()
+            {
+                handles.push(scope.spawn(move || {
+                    let mut buf = Vec::new();
+                    let mut agg = 0.0f64;
+                    let mut active = 0u64;
+                    for (i, st) in state_chunk.iter_mut().enumerate() {
+                        let v = (tid * chunk + i) as VertexId;
+                        let msgs = &inbox_chunk[i];
+                        if superstep == 0 || !msgs.is_empty() {
+                            active += 1;
+                            let mut outbox = Outbox { buf: &mut buf, aggregate: &mut agg };
+                            program.compute(
+                                v,
+                                st,
+                                msgs,
+                                &mut outbox,
+                                graph,
+                                superstep,
+                                prev_aggregate,
+                            );
+                        }
                     }
-                    handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-                });
+                    (buf, agg, active)
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        });
 
-            // Deliver phase: scan outboxes in thread order (deterministic).
-            for slot in &mut inbox {
-                slot.clear();
-            }
-            let mut sent = 0u64;
-            let mut aggregate = 0.0f64;
-            for (buf, agg) in outboxes {
-                aggregate += agg;
-                for (target, msg) in buf {
-                    inbox[target as usize].push(msg);
-                    sent += 1;
-                }
-            }
-            total_messages += sent;
-            prev_aggregate = aggregate;
-            superstep += 1;
-            if sent == 0 {
-                break;
+        // Deliver phase: scan outboxes in thread order (deterministic).
+        for slot in &mut self.inbox {
+            slot.clear();
+        }
+        let mut sent = 0u64;
+        let mut aggregate = 0.0f64;
+        let mut active_vertices = 0u64;
+        for (buf, agg, active) in outboxes {
+            aggregate += agg;
+            active_vertices += active;
+            for (target, msg) in buf {
+                self.inbox[target as usize].push(msg);
+                sent += 1;
             }
         }
-        BspResult { states, supersteps: superstep, messages: total_messages }
+        self.total_messages += sent;
+        self.prev_aggregate = aggregate;
+        self.superstep += 1;
+        if sent == 0 {
+            self.halted = true;
+        }
+        Some(StepStats { superstep, active_vertices, messages_sent: sent })
+    }
+
+    /// Consumes the stepper, yielding the final [`BspResult`].
+    pub fn finish(self) -> BspResult<P::State> {
+        BspResult {
+            states: self.states,
+            supersteps: self.superstep,
+            messages: self.total_messages,
+        }
     }
 }
 
@@ -284,6 +387,29 @@ mod tests {
                 &r.states[..3]
             );
         }
+    }
+
+    #[test]
+    fn stepper_matches_monolithic_run_with_sane_stats() {
+        let mut rng = RngStream::new(3, "bsp-step");
+        let g = erdos_renyi(300, 1_200, &mut rng).undirected();
+        let reference = BspEngine::parallel(4).run(&g, &MinFlood);
+        let mut stepper = BspStepper::new(BspEngine::parallel(4), &g, &MinFlood);
+        let mut stats = Vec::new();
+        while let Some(s) = stepper.step() {
+            stats.push(s);
+        }
+        assert!(stepper.is_done());
+        let result = stepper.finish();
+        assert_eq!(result.states, reference.states);
+        assert_eq!(result.supersteps, reference.supersteps);
+        assert_eq!(result.messages, reference.messages);
+        // Superstep 0 computes every vertex; the tail superstep is quiet.
+        assert_eq!(stats[0].active_vertices, 300);
+        assert_eq!(stats.last().unwrap().messages_sent, 0);
+        assert_eq!(stats.len(), reference.supersteps);
+        let sent: u64 = stats.iter().map(|s| s.messages_sent).sum();
+        assert_eq!(sent, reference.messages);
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! assert_eq!(depths[0], 0);
 //! ```
 
+pub mod actor;
 pub mod algorithms;
 pub mod bsp;
 pub mod generate;
@@ -27,11 +28,12 @@ pub mod graphalytics;
 
 /// Convenience re-exports.
 pub mod prelude {
+    pub use crate::actor::{run_graph_standalone, BspActor, GraphConfig, GraphMsg};
     pub use crate::algorithms::{
         bfs, bfs_serial, cdlp, cdlp_serial, lcc_parallel, lcc_serial, pagerank,
         pagerank_serial, sssp, sssp_serial, wcc, wcc_serial,
     };
-    pub use crate::bsp::{BspEngine, BspResult, Outbox, VertexProgram};
+    pub use crate::bsp::{BspEngine, BspResult, BspStepper, Outbox, StepStats, VertexProgram};
     pub use crate::generate::{
         erdos_renyi, preferential_attachment, rmat, with_random_weights,
     };

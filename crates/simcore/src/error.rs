@@ -34,6 +34,14 @@ pub enum McsError {
     },
     /// A configuration value was rejected during setup.
     Config(String),
+    /// A specific scenario-configuration field failed validation before any
+    /// simulation state was built (zero populations, non-finite rates, ...).
+    InvalidConfig {
+        /// Dotted path of the offending field (e.g. `"faas.arrival_rate"`).
+        field: String,
+        /// Why the value was rejected.
+        message: String,
+    },
     /// A simulation setup or scheduling request was invalid.
     Sim(String),
     /// An event was scheduled before the simulation's current instant.
@@ -57,6 +65,11 @@ impl McsError {
     pub fn decode(expected: impl Into<String>, found: impl Into<String>) -> McsError {
         McsError::Decode { expected: expected.into(), found: found.into() }
     }
+
+    /// Convenience constructor for per-field validation errors.
+    pub fn invalid_config(field: impl Into<String>, message: impl Into<String>) -> McsError {
+        McsError::InvalidConfig { field: field.into(), message: message.into() }
+    }
 }
 
 impl fmt::Display for McsError {
@@ -72,6 +85,9 @@ impl fmt::Display for McsError {
                 write!(f, "trace line {line}: {message}")
             }
             McsError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            McsError::InvalidConfig { field, message } => {
+                write!(f, "invalid configuration: {field}: {message}")
+            }
             McsError::Sim(msg) => write!(f, "simulation error: {msg}"),
             McsError::SchedulePast { at, now } => write!(
                 f,
@@ -110,5 +126,8 @@ mod tests {
         let e = McsError::UnknownActor { actor: 7, registered: 2 };
         assert!(e.to_string().contains("actor id 7"));
         assert!(e.to_string().contains("2 registered"));
+        let e = McsError::invalid_config("faas.arrival_rate", "must be finite");
+        assert!(e.to_string().contains("faas.arrival_rate"));
+        assert!(e.to_string().contains("must be finite"));
     }
 }

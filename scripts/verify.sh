@@ -15,7 +15,7 @@ trap 'rm -rf "$tmpdir"' EXIT
 # experiments must render byte-identical reports across two runs at the
 # same seed — and across parallel-sweep widths, since mcs-simcore::par
 # merges fan-out results by input index, never by completion order.
-for exp in ecosystem_composed resilience_ablation; do
+for exp in ecosystem_composed ecosystem_full resilience_ablation; do
     MCS_PAR_WORKERS=1 "./target/release/$exp" 42 > "$tmpdir/${exp}_w1.txt"
     MCS_PAR_WORKERS=4 "./target/release/$exp" 42 > "$tmpdir/${exp}_w4.txt"
     MCS_PAR_WORKERS=4 "./target/release/$exp" 42 > "$tmpdir/${exp}_w4b.txt"
@@ -33,4 +33,15 @@ if [ -f BENCH_4.json ]; then
     "./target/release/perf_baseline" --check BENCH_4.json
 fi
 
-echo "verify: OK (offline build + tests + clippy + par-aware determinism diffs + bench smoke)"
+# Allow-lint gate: the engine-migrated crates stay clean — no new `#[allow]`
+# escapes into their sources (the BSP stepper carries the single
+# pre-existing `too_many_arguments` exception).
+allow_budget=1
+allow_count="$(grep -rE '#!?\[allow\(' crates/bigdata/src crates/graph/src crates/gaming/src crates/core/src | wc -l)"
+if [ "$allow_count" -gt "$allow_budget" ]; then
+    echo "verify: FAIL — $allow_count #[allow] attributes in migrated crates (budget $allow_budget)" >&2
+    grep -rnE '#!?\[allow\(' crates/bigdata/src crates/graph/src crates/gaming/src crates/core/src >&2
+    exit 1
+fi
+
+echo "verify: OK (offline build + tests + clippy + par-aware determinism diffs + bench smoke + allow-lint budget)"

@@ -358,18 +358,20 @@ fn same_timestamp_mesh_delivery_is_deterministic() {
 /// every subsystem appears on the shared trace bus.
 #[test]
 fn composed_scenario_trace_is_deterministic() {
-    use mcs::core::scenario::{Scenario, ScenarioConfig};
+    use mcs::core::scenario::{
+        BatchConfig, FaasConfig, FailureConfig, Scenario, ScenarioConfig,
+    };
 
     Check::new("composed_scenario_trace_is_deterministic").cases(4).run(|rng| {
         let config = ScenarioConfig {
             seed: rng.uniform_usize(1_000) as u64,
             horizon: SimTime::from_secs(1_800),
             machines: 8,
-            batch_jobs: 12,
-            arrival_rate: 0.3,
-            mtbf_secs: 3_600.0,
             ..ScenarioConfig::default()
-        };
+        }
+        .with_batch(BatchConfig { jobs: 12, ..BatchConfig::default() })
+        .with_faas(FaasConfig { arrival_rate: 0.3, ..FaasConfig::default() })
+        .with_failures(FailureConfig { mtbf_secs: 3_600.0, ..FailureConfig::default() });
         let a = Scenario::new(config.clone()).run();
         let b = Scenario::new(config).run();
         prop_assert_eq!(a.trace.to_json_string(), b.trace.to_json_string());
@@ -548,4 +550,97 @@ fn seed_fanout_is_worker_count_independent() {
         }
         Ok(())
     });
+}
+
+/// Each migrated subsystem actor behaves identically standalone and
+/// composed: running the thin single-actor wrapper and running a bare
+/// `Scenario` hosting only that subsystem produce byte-identical traces
+/// (the composed run's trace *is* the component slice when nothing else is
+/// attached).
+#[test]
+fn standalone_wrappers_match_bare_composed_runs() {
+    use mcs::bigdata::actor::run_bigdata_standalone;
+    use mcs::core::scenario::{Scenario, ScenarioConfig};
+    use mcs::gaming::actor::run_gaming_standalone;
+    use mcs::graph::actor::run_graph_standalone;
+
+    Check::new("standalone_wrappers_match_bare_composed_runs").cases(4).run(|rng| {
+        let seed = rng.uniform_usize(1_000) as u64;
+        let machines = 4 + rng.uniform_usize(12);
+        let horizon = SimTime::from_secs(2 * 3600);
+
+        let bigdata = mcs::core::scenario::BigdataConfig {
+            jobs: 1 + rng.uniform_usize(3),
+            ..Default::default()
+        };
+        let solo = run_bigdata_standalone(&bigdata, machines as u32, seed, horizon);
+        let composed = Scenario::new(
+            ScenarioConfig::bare(seed, horizon, machines).with_bigdata(bigdata),
+        )
+        .run();
+        prop_assert_eq!(solo.to_json_string(), composed.trace.to_json_string());
+
+        let graph = mcs::core::scenario::GraphConfig {
+            queries: 1 + rng.uniform_usize(3),
+            vertices: 100 + rng.uniform_usize(200) as u32,
+            edges: 800,
+            ..Default::default()
+        };
+        let solo = run_graph_standalone(&graph, machines as u32, seed, horizon);
+        let composed = Scenario::new(
+            ScenarioConfig::bare(seed, horizon, machines).with_graph(graph),
+        )
+        .run();
+        prop_assert_eq!(solo.to_json_string(), composed.trace.to_json_string());
+
+        let gaming = mcs::core::scenario::GamingConfig::default();
+        let solo = run_gaming_standalone(&gaming, seed, horizon);
+        let composed = Scenario::new(
+            ScenarioConfig::bare(seed, horizon, machines).with_gaming(gaming),
+        )
+        .run();
+        prop_assert_eq!(solo.to_json_string(), composed.trace.to_json_string());
+        Ok(())
+    });
+}
+
+/// The full-stack composed scenario (all eight actors) is deterministic and
+/// its parallel fan-out is worker-count independent: sweeping seeds at any
+/// `MCS_PAR_WORKERS` width returns identical traces in identical order.
+#[test]
+fn full_stack_fanout_is_worker_count_independent() {
+    use mcs::core::scenario::{
+        BatchConfig, BigdataConfig, FaasConfig, FailureConfig, GamingConfig, GraphConfig,
+        Scenario, ScenarioConfig,
+    };
+    use mcs::simcore::par;
+
+    fn replicate(seed: u64) -> (u64, String) {
+        let config = ScenarioConfig {
+            seed,
+            horizon: SimTime::from_secs(1_800),
+            machines: 8,
+            ..ScenarioConfig::default()
+        }
+        .with_batch(BatchConfig { jobs: 8, ..BatchConfig::default() })
+        .with_faas(FaasConfig { arrival_rate: 0.2, ..FaasConfig::default() })
+        .with_failures(FailureConfig { mtbf_secs: 3_600.0, ..FailureConfig::default() })
+        .with_bigdata(BigdataConfig { jobs: 1, ..BigdataConfig::default() })
+        .with_graph(GraphConfig {
+            queries: 1,
+            vertices: 120,
+            edges: 500,
+            ..GraphConfig::default()
+        })
+        .with_gaming(GamingConfig::default());
+        let out = Scenario::new(config).run();
+        (out.events_handled, out.trace.to_json_string())
+    }
+
+    let seeds: Vec<u64> = (40..44).collect();
+    let reference: Vec<(u64, String)> = seeds.iter().map(|&s| replicate(s)).collect();
+    for workers in [1, 2, 4] {
+        let got = par::run_indexed_with(workers, seeds.len(), |i| replicate(seeds[i]));
+        assert!(got == reference, "full-stack sweep diverged at workers={workers}");
+    }
 }
