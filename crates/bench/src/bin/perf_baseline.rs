@@ -1,9 +1,11 @@
 //! The tracked perf baseline of the simulation core (`BENCH_*.json`).
 //!
-//! Four wall-clock benchmarks cover the hot paths every experiment drives:
+//! Five wall-clock benchmarks cover the hot paths every experiment drives:
 //! raw engine dispatch, trace record + query, the composed-ecosystem
-//! scenario, and the full resilience-ablation sweep. `--json PATH` writes
-//! the machine-readable baseline (the file committed as `BENCH_4.json`),
+//! scenario, the full resilience-ablation sweep, and the transfer-heavy
+//! networked scenario (every cross-component byte a flow through the
+//! `mcs-net` max-min allocator). `--json PATH` writes the machine-readable
+//! baseline (the series committed as `BENCH_4.json` / `BENCH_7.json`),
 //! `--check PATH` re-parses a written baseline with `mcs-simcore::codec`
 //! and validates its shape — the gate `scripts/verify.sh` runs.
 //!
@@ -15,7 +17,7 @@ use mcs::prelude::*;
 use mcs::simcore::codec::{self, Json};
 use mcs::simcore::metrics::{summarize_trace, trace_gauge};
 use mcs::simcore::trace::payload;
-use mcs::core::scenario::{Scenario, ScenarioConfig};
+use mcs::core::scenario::{BigdataConfig, NetworkConfig, Scenario, ScenarioConfig};
 use mcs_bench::experiments::resilience::run_ablation;
 use mcs_bench::harness::{black_box, format_secs, Harness, Stats};
 
@@ -28,6 +30,7 @@ const BEFORE_MEDIANS: &[(&str, f64)] = &[
     ("trace/record_query_20k", 11.41e-3),
     ("scenario/ecosystem_composed", 11.28e-3),
     ("scenario/resilience_ablation_sweep", 227.51e-3),
+    ("scenario/ecosystem_networked", 0.0),
 ];
 
 fn before_median(name: &str) -> f64 {
@@ -127,6 +130,26 @@ fn bench_ablation_sweep(h: &mut Harness) {
     });
 }
 
+/// The composed scenario with the `mcs-net` fabric attached and a shuffle
+/// workload on top: every FaaS payload, checkpoint restore, map/shuffle
+/// transfer, and gaming state sync becomes a flow, so this times the
+/// NetActor's allocate/settle cycle under realistic contention.
+fn bench_networked_scenario(h: &mut Harness) {
+    h.bench("scenario/ecosystem_networked", |b| {
+        b.iter(|| {
+            let cfg = ScenarioConfig { seed: 42, ..ScenarioConfig::default() }
+                .with_bigdata(BigdataConfig {
+                    jobs: 2,
+                    input_mb: 1_024,
+                    ..BigdataConfig::default()
+                })
+                .with_network(NetworkConfig::default());
+            let out = Scenario::new(cfg).run();
+            black_box((out.events_handled, out.net_flows_delivered))
+        })
+    });
+}
+
 /// The machine-readable baseline: one object per benchmark with the
 /// measured distribution, the pre-ISSUE-4 median, and the speedup.
 fn baseline_json(stats: &[Stats]) -> Json {
@@ -149,7 +172,7 @@ fn baseline_json(stats: &[Stats]) -> Json {
         })
         .collect();
     Json::Obj(vec![
-        ("issue".into(), Json::UInt(4)),
+        ("issue".into(), Json::UInt(7)),
         ("group".into(), Json::Str("perf_baseline".to_owned())),
         ("benchmarks".into(), Json::Arr(benchmarks)),
     ])
@@ -201,6 +224,7 @@ fn main() {
     bench_trace_record_query(&mut h);
     bench_composed_scenario(&mut h);
     bench_ablation_sweep(&mut h);
+    bench_networked_scenario(&mut h);
     let stats = h.finish();
 
     for s in stats {

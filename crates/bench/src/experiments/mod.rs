@@ -8,6 +8,7 @@ use mcs::experiment::Experiment;
 mod ecosystem;
 mod fig1;
 mod full;
+mod locality;
 pub mod resilience;
 mod fig2;
 mod fig3;
@@ -21,6 +22,7 @@ mod table5;
 
 pub use ecosystem::EcosystemComposed;
 pub use full::EcosystemFull;
+pub use locality::LocalityContention;
 pub use fig1::Fig1BigdataEcosystem;
 pub use fig2::Fig2EvolutionTimeline;
 pub use fig3::Fig3DatacenterRefarch;
@@ -49,6 +51,7 @@ pub fn all() -> Vec<Box<dyn Experiment>> {
         Box::new(EcosystemComposed),
         Box::new(EcosystemFull),
         Box::new(ResilienceAblation),
+        Box::new(LocalityContention),
     ]
 }
 
@@ -67,6 +70,7 @@ mod tests {
         assert!(names.contains(&"ecosystem_composed"));
         assert!(names.contains(&"ecosystem_full"));
         assert!(names.contains(&"resilience_ablation"));
-        assert_eq!(names.len(), 13);
+        assert!(names.contains(&"locality_contention"));
+        assert_eq!(names.len(), 14);
     }
 }

@@ -45,10 +45,14 @@ pub struct BigdataConfig {
     pub nodes_per_rack: u32,
     /// Map-phase scheduling parameters.
     pub map: MapPhaseConfig,
-    /// Aggregate shuffle bandwidth, MiB/s.
+    /// Aggregate shuffle bandwidth, MiB/s — used only when no transfer hook
+    /// is installed (legacy fixed-delay shuffles).
     pub shuffle_bandwidth_mbs: f64,
     /// Fraction of stage input that crosses the network in the shuffle.
     pub shuffle_ratio: f64,
+    /// Parallel flows a phase's network traffic is split into when routed
+    /// through the flow-level network model.
+    pub shuffle_fanout: usize,
     /// Reduce duration as a fraction of the (healthy) map makespan.
     pub reduce_factor: f64,
     /// Delay before a failed node's blocks are re-replicated.
@@ -68,6 +72,7 @@ impl Default for BigdataConfig {
             map: MapPhaseConfig::default(),
             shuffle_bandwidth_mbs: 400.0,
             shuffle_ratio: 0.4,
+            shuffle_fanout: 4,
             reduce_factor: 0.5,
             recovery_delay_secs: 60.0,
         }
@@ -81,10 +86,16 @@ pub enum BigdataMsg {
     Start,
     /// Job `.0` enters the system: store its input, start stage 0's map.
     Submit(usize),
-    /// Job `.0`'s current map phase finished.
+    /// Job `.0`'s current map phase finished computing.
     MapDone(usize),
-    /// Job `.0`'s current shuffle finished.
+    /// One of job `.0`'s map-input network flows was delivered (flow-level
+    /// network mode only).
+    MapXferDone(usize),
+    /// Job `.0`'s current shuffle finished (legacy fixed-delay mode).
     ShuffleDone(usize),
+    /// One of job `.0`'s shuffle flows was delivered (flow-level network
+    /// mode only).
+    ShuffleXferDone(usize),
     /// Job `.0`'s current reduce finished.
     ReduceDone(usize),
     /// A storage/compute node died (from the scenario failure injector).
@@ -100,12 +111,49 @@ pub enum BigdataMsg {
 /// pressure to co-tenant subsystems.
 pub type ShuffleHook<'a, M> = Box<dyn FnMut(&mut Context<'_, M>, usize, bool) + 'a>;
 
+/// Which phase of a job a network transfer belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BdPhase {
+    /// Remote map-input reads (locality misses).
+    Map,
+    /// The all-to-all shuffle.
+    Shuffle,
+}
+
+/// One network transfer the dataflow engine wants carried by the flow-level
+/// network model. The scenario's transfer hook turns it into an `mcs-net`
+/// flow and later delivers [`BigdataMsg::MapXferDone`] /
+/// [`BigdataMsg::ShuffleXferDone`] back to the actor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BdTransfer {
+    /// The owning job.
+    pub job: usize,
+    /// Map-input read or shuffle traffic.
+    pub phase: BdPhase,
+    /// Source node.
+    pub src: u32,
+    /// Destination node.
+    pub dst: u32,
+    /// Bytes to move.
+    pub bytes: u64,
+}
+
+/// Hook that carries a [`BdTransfer`] onto the network model. When absent,
+/// phases fall back to the legacy fixed-delay cost model, byte-identically.
+pub type TransferHook<'a, M> = Box<dyn FnMut(&mut Context<'_, M>, BdTransfer) + 'a>;
+
 struct JobState {
     file: StoredFile,
     stage: usize,
     submitted: SimTime,
     stage_started: SimTime,
     healthy_map_secs: f64,
+    /// Map-input flows still in the air (flow-level network mode).
+    map_xfers_pending: usize,
+    /// The map phase is still computing.
+    map_compute_pending: bool,
+    /// Shuffle flows still in the air (flow-level network mode).
+    shuffle_xfers_pending: usize,
 }
 
 /// Runs the MapReduce/dataflow stack as one engine actor.
@@ -118,6 +166,7 @@ pub struct DataflowActor<'a, M> {
     jobs: Vec<Option<JobState>>,
     completed: usize,
     on_shuffle: Option<ShuffleHook<'a, M>>,
+    on_transfer: Option<TransferHook<'a, M>>,
 }
 
 impl<'a, M: MessageEnvelope<BigdataMsg>> DataflowActor<'a, M> {
@@ -141,6 +190,7 @@ impl<'a, M: MessageEnvelope<BigdataMsg>> DataflowActor<'a, M> {
             jobs: Vec::new(),
             completed: 0,
             on_shuffle: None,
+            on_transfer: None,
         }
     }
 
@@ -151,6 +201,54 @@ impl<'a, M: MessageEnvelope<BigdataMsg>> DataflowActor<'a, M> {
     ) -> Self {
         self.on_shuffle = Some(Box::new(hook));
         self
+    }
+
+    /// Routes map-input and shuffle traffic through the flow-level network
+    /// model instead of the fixed-delay cost model. Whoever installs the
+    /// hook must deliver [`BigdataMsg::MapXferDone`] /
+    /// [`BigdataMsg::ShuffleXferDone`] once per completed transfer.
+    pub fn with_transfer_hook(
+        mut self,
+        hook: impl FnMut(&mut Context<'_, M>, BdTransfer) + 'a,
+    ) -> Self {
+        self.on_transfer = Some(Box::new(hook));
+        self
+    }
+
+    /// Splits `bytes` of `phase` traffic for `job` into fan-out flows with
+    /// rng-chosen distinct endpoints and hands them to the transfer hook.
+    /// Returns how many flows were started (0 without a hook or bytes).
+    fn launch_transfers(
+        &mut self,
+        ctx: &mut Context<'_, M>,
+        job: usize,
+        phase: BdPhase,
+        bytes: u64,
+    ) -> usize {
+        if self.on_transfer.is_none() || bytes == 0 {
+            return 0;
+        }
+        let fanout = self.config.shuffle_fanout.clamp(1, bytes as usize);
+        let per_flow = bytes / fanout as u64;
+        let mut sent = 0;
+        for i in 0..fanout {
+            // The last flow carries the rounding remainder.
+            let flow_bytes =
+                if i + 1 == fanout { bytes - per_flow * (fanout as u64 - 1) } else { per_flow };
+            let src = self.rng.uniform_usize(self.machines as usize) as u32;
+            let dst = if self.machines > 1 {
+                (src + 1 + self.rng.uniform_usize(self.machines as usize - 1) as u32)
+                    % self.machines
+            } else {
+                src
+            };
+            let xfer = BdTransfer { job, phase, src, dst, bytes: flow_bytes };
+            if let Some(hook) = self.on_transfer.as_mut() {
+                hook(ctx, xfer);
+            }
+            sent += 1;
+        }
+        sent
     }
 
     /// Jobs that ran all their stages to completion.
@@ -197,6 +295,9 @@ impl<'a, M: MessageEnvelope<BigdataMsg>> DataflowActor<'a, M> {
             submitted: ctx.now(),
             stage_started: ctx.now(),
             healthy_map_secs: 0.0,
+            map_xfers_pending: 0,
+            map_compute_pending: false,
+            shuffle_xfers_pending: 0,
         });
         self.start_map(ctx, job);
     }
@@ -224,9 +325,37 @@ impl<'a, M: MessageEnvelope<BigdataMsg>> DataflowActor<'a, M> {
             ]),
         );
         ctx.send_self(SimDuration::from_secs_f64(slowed), M::wrap(BigdataMsg::MapDone(job)));
+        // In flow-level network mode the locality misses are real transfers:
+        // the map barrier opens only when compute *and* every flow finish.
+        let net_bytes = outcome.network_bytes;
+        let flows = self.launch_transfers(ctx, job, BdPhase::Map, net_bytes);
+        if let Some(state) = self.jobs.get_mut(job).and_then(Option::as_mut) {
+            state.map_compute_pending = true;
+            state.map_xfers_pending = flows;
+        }
     }
 
+    /// The map barrier: compute finished. In legacy mode this is the whole
+    /// barrier; in flow-level network mode the in-flight map flows must land
+    /// too.
     fn map_done(&mut self, ctx: &mut Context<'_, M>, job: usize) {
+        let Some(state) = self.jobs.get_mut(job).and_then(Option::as_mut) else { return };
+        state.map_compute_pending = false;
+        if state.map_xfers_pending == 0 {
+            self.start_shuffle(ctx, job);
+        }
+    }
+
+    /// One map-input flow delivered (flow-level network mode).
+    fn map_xfer_done(&mut self, ctx: &mut Context<'_, M>, job: usize) {
+        let Some(state) = self.jobs.get_mut(job).and_then(Option::as_mut) else { return };
+        state.map_xfers_pending = state.map_xfers_pending.saturating_sub(1);
+        if state.map_xfers_pending == 0 && !state.map_compute_pending {
+            self.start_shuffle(ctx, job);
+        }
+    }
+
+    fn start_shuffle(&mut self, ctx: &mut Context<'_, M>, job: usize) {
         let Some(state) = self.jobs.get(job).and_then(Option::as_ref) else { return };
         let stage = state.stage;
         let shuffle_bytes =
@@ -245,7 +374,27 @@ impl<'a, M: MessageEnvelope<BigdataMsg>> DataflowActor<'a, M> {
         if let Some(hook) = self.on_shuffle.as_mut() {
             hook(ctx, job, true);
         }
-        ctx.send_self(SimDuration::from_secs_f64(secs), M::wrap(BigdataMsg::ShuffleDone(job)));
+        if self.on_transfer.is_some() {
+            // Contended mode: the shuffle lasts as long as its flows do.
+            let flows = self.launch_transfers(ctx, job, BdPhase::Shuffle, shuffle_bytes);
+            if let Some(state) = self.jobs.get_mut(job).and_then(Option::as_mut) {
+                state.shuffle_xfers_pending = flows;
+            }
+            if flows == 0 {
+                self.shuffle_done(ctx, job);
+            }
+        } else {
+            ctx.send_self(SimDuration::from_secs_f64(secs), M::wrap(BigdataMsg::ShuffleDone(job)));
+        }
+    }
+
+    /// One shuffle flow delivered (flow-level network mode).
+    fn shuffle_xfer_done(&mut self, ctx: &mut Context<'_, M>, job: usize) {
+        let Some(state) = self.jobs.get_mut(job).and_then(Option::as_mut) else { return };
+        state.shuffle_xfers_pending = state.shuffle_xfers_pending.saturating_sub(1);
+        if state.shuffle_xfers_pending == 0 {
+            self.shuffle_done(ctx, job);
+        }
     }
 
     fn shuffle_done(&mut self, ctx: &mut Context<'_, M>, job: usize) {
@@ -349,7 +498,9 @@ impl<M: MessageEnvelope<BigdataMsg>> Actor<M> for DataflowActor<'_, M> {
             BigdataMsg::Start => self.start(ctx),
             BigdataMsg::Submit(job) => self.submit(ctx, job),
             BigdataMsg::MapDone(job) => self.map_done(ctx, job),
+            BigdataMsg::MapXferDone(job) => self.map_xfer_done(ctx, job),
             BigdataMsg::ShuffleDone(job) => self.shuffle_done(ctx, job),
+            BigdataMsg::ShuffleXferDone(job) => self.shuffle_xfer_done(ctx, job),
             BigdataMsg::ReduceDone(job) => self.reduce_done(ctx, job),
             BigdataMsg::NodeFail(node) => self.node_fail(ctx, node),
             BigdataMsg::NodeRepair(node) => self.node_repair(ctx, node),

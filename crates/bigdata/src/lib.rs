@@ -34,7 +34,9 @@ pub mod storage;
 
 /// Convenience re-exports.
 pub mod prelude {
-    pub use crate::actor::{run_bigdata_standalone, BigdataConfig, BigdataMsg, DataflowActor};
+    pub use crate::actor::{
+        run_bigdata_standalone, BdPhase, BdTransfer, BigdataConfig, BigdataMsg, DataflowActor,
+    };
     pub use crate::dataflow::{execute, Op, Plan, Record, StageReport};
     pub use crate::locality::{schedule_map_phase, LocalityClass, MapPhaseConfig, MapPhaseOutcome};
     pub use crate::mapreduce::{word_count, JobMetrics, MapReduceEngine};

@@ -27,12 +27,14 @@
 use mcs_autoscale::autoscalers::{Autoscaler, React};
 use mcs_autoscale::governor::{GovernorActor, GovernorMsg};
 use mcs_autoscale::service::ServiceConfig;
-use mcs_bigdata::actor::{BigdataMsg, DataflowActor};
+use mcs_bigdata::actor::{BdPhase, BigdataMsg, DataflowActor};
 use mcs_faas::actor::{CongestionConfig, FaasActor, FaasFault, FaasMsg};
 use mcs_faas::platform::{FaasPlatform, FunctionSpec, KeepAlivePolicy, PlatformReport};
 use mcs_failure::inject::{FailureEvent, FailureInjector, InjectorMsg};
 use mcs_failure::model::{FailureModel, FaultKind, FaultMix, SpaceCorrelatedFailures};
-use mcs_gaming::actor::{GamingMsg, WorldActor};
+use mcs_gaming::actor::{GamingMsg, SyncConfig as GamingSyncConfig, WorldActor};
+use mcs_net::actor::{FlowTag, NetActor, NetFault, NetMsg, TransferReq};
+use mcs_net::topology::NetTopology;
 use mcs_graph::actor::{BspActor, GraphMsg};
 use mcs_infra::prelude::{Cluster, ClusterId, MachineSpec};
 use mcs_rms::portfolio::{default_portfolio, Objective, PortfolioSelector};
@@ -72,6 +74,8 @@ pub enum EcosystemMsg {
     Graph(GraphMsg),
     /// Gaming virtual world.
     Gaming(GamingMsg),
+    /// Flow-level network fabric.
+    Net(NetMsg),
 }
 
 macro_rules! impl_envelope {
@@ -98,6 +102,10 @@ impl_envelope!(Injector, InjectorMsg);
 impl_envelope!(Bigdata, BigdataMsg);
 impl_envelope!(Graph, GraphMsg);
 impl_envelope!(Gaming, GamingMsg);
+impl_envelope!(Net, NetMsg);
+
+/// One mebibyte, as the byte unit of the network sub-config.
+const MIB: u64 = 1 << 20;
 
 /// The batch-computing slice of a scenario: jobs through the RMS cluster
 /// scheduler under portfolio policy selection.
@@ -188,6 +196,81 @@ impl Default for FailureConfig {
     }
 }
 
+/// The network slice of a scenario: a two-level rack/uplink fabric shared
+/// by every tenant, with max-min fair bandwidth allocation.
+///
+/// When attached (via [`ScenarioConfig::with_network`]), every
+/// cross-component byte transfer becomes a flow on the shared fabric: FaaS
+/// invocation payloads and responses, big-data map-input reads and shuffle
+/// traffic, batch checkpoint restores, and gaming state syncs all contend
+/// for the same links, so one tenant's burst is another tenant's stall.
+/// Partition and gray faults from the failure mix strike the fabric itself
+/// (cut and degraded access links) instead of opening FaaS service windows.
+/// When absent (`None`, the default), every subsystem keeps its legacy
+/// fixed-delay cost model byte-for-byte.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkConfig {
+    /// Machines per rack in the two-level topology.
+    pub nodes_per_rack: usize,
+    /// Access-link capacity per machine, MiB/s.
+    pub node_bandwidth_mbs: f64,
+    /// Rack-uplink capacity, MiB/s.
+    pub rack_bandwidth_mbs: f64,
+    /// One-way propagation latency within a rack.
+    pub same_rack_latency: SimDuration,
+    /// One-way propagation latency across racks.
+    pub cross_rack_latency: SimDuration,
+    /// FaaS invocation request payload carried caller → platform, bytes.
+    pub faas_payload_bytes: u64,
+    /// FaaS response payload shipped back per successful invocation, bytes
+    /// (`0` disables response flows).
+    pub faas_response_bytes: u64,
+    /// Checkpoint image fetched before a killed batch task re-enters the
+    /// queue, MiB (only exercised when restart resilience is on).
+    pub rms_checkpoint_mb: u64,
+    /// Cadence of gaming world-state sync bursts.
+    pub gaming_sync_interval: SimDuration,
+    /// Fixed payload per gaming sync burst, bytes.
+    pub gaming_sync_base_bytes: u64,
+    /// Additional payload per online player, bytes.
+    pub gaming_sync_per_player_bytes: u64,
+    /// A sync burst that takes longer than this counts as lagged.
+    pub gaming_lag_budget: SimDuration,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            nodes_per_rack: 8,
+            node_bandwidth_mbs: 100.0,
+            rack_bandwidth_mbs: 400.0,
+            same_rack_latency: SimDuration::from_micros(200),
+            cross_rack_latency: SimDuration::from_millis(1),
+            faas_payload_bytes: 64 * 1024,
+            faas_response_bytes: 256 * 1024,
+            rms_checkpoint_mb: 64,
+            gaming_sync_interval: SimDuration::from_secs(5),
+            gaming_sync_base_bytes: 256 * 1024,
+            gaming_sync_per_player_bytes: 4 * 1024,
+            gaming_lag_budget: SimDuration::from_millis(250),
+        }
+    }
+}
+
+impl NetworkConfig {
+    /// Builds the link-capacity topology for a fleet of `machines`.
+    fn topology(&self, machines: usize) -> NetTopology {
+        NetTopology::new(
+            machines as u32,
+            self.nodes_per_rack as u32,
+            self.node_bandwidth_mbs * MIB as f64,
+            self.rack_bandwidth_mbs * MIB as f64,
+            self.same_rack_latency,
+            self.cross_rack_latency,
+        )
+    }
+}
+
 /// Parameters of a composed ecosystem run.
 ///
 /// Subsystems are nested, `Option`-gated sub-configs: `Some` attaches the
@@ -219,6 +302,9 @@ pub struct ScenarioConfig {
     pub graph: Option<GraphConfig>,
     /// Gaming virtual world (opt-in).
     pub gaming: Option<GamingConfig>,
+    /// Flow-level network fabric (opt-in). `None` keeps every subsystem's
+    /// legacy fixed-delay cost model, byte-identically.
+    pub network: Option<NetworkConfig>,
 }
 
 impl Default for ScenarioConfig {
@@ -234,6 +320,7 @@ impl Default for ScenarioConfig {
             bigdata: None,
             graph: None,
             gaming: None,
+            network: None,
         }
     }
 }
@@ -253,6 +340,7 @@ impl ScenarioConfig {
             bigdata: None,
             graph: None,
             gaming: None,
+            network: None,
         }
     }
 
@@ -295,6 +383,13 @@ impl ScenarioConfig {
     #[must_use]
     pub fn with_gaming(mut self, gaming: GamingConfig) -> Self {
         self.gaming = Some(gaming);
+        self
+    }
+
+    /// Attaches (or replaces) the flow-level network fabric.
+    #[must_use]
+    pub fn with_network(mut self, network: NetworkConfig) -> Self {
+        self.network = Some(network);
         self
     }
 
@@ -371,6 +466,28 @@ impl ScenarioConfig {
             }
             finite_non_negative("gaming.players.base_rate", gaming.players.base_rate)?;
         }
+        if let Some(network) = &self.network {
+            if network.nodes_per_rack == 0 {
+                return Err(McsError::invalid_config(
+                    "network.nodes_per_rack",
+                    "racks must hold at least one machine",
+                ));
+            }
+            finite_positive("network.node_bandwidth_mbs", network.node_bandwidth_mbs)?;
+            finite_positive("network.rack_bandwidth_mbs", network.rack_bandwidth_mbs)?;
+            if network.gaming_sync_interval.is_zero() {
+                return Err(McsError::invalid_config(
+                    "network.gaming_sync_interval",
+                    "must be positive",
+                ));
+            }
+            if !network.topology(self.machines).is_connected() {
+                return Err(McsError::invalid_config(
+                    "network",
+                    "topology must be connected (every link needs positive capacity)",
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -415,6 +532,14 @@ pub struct ScenarioOutcome {
     pub gaming_rejected: u64,
     /// Players dropped mid-session by zone failures.
     pub gaming_disconnected: u64,
+    /// Gaming state syncs that blew the lag budget (network runs only).
+    pub gaming_laggy_syncs: u64,
+    /// Flows started on the network fabric (zero without a network).
+    pub net_flows_started: u64,
+    /// Flows delivered by the network fabric.
+    pub net_flows_delivered: u64,
+    /// Total seconds flows lost to contention, faults, and degraded links.
+    pub net_stall_secs: f64,
     /// Engine messages delivered across all actors.
     pub events_handled: u64,
     /// The cross-cutting event trace of the whole run.
@@ -460,6 +585,21 @@ impl Scenario {
     /// [`ScenarioConfig::validate`] (empty fleet, non-finite rates, ...).
     pub fn try_new(config: ScenarioConfig) -> Result<Self, McsError> {
         config.validate()?;
+        if let (Some(failure), None) = (&config.failure, &config.network) {
+            if failure.fault_mix.partition > 0.0 {
+                // Once per process: sweeps build hundreds of scenarios and the
+                // advice does not change between them.
+                static PARTITION_WARNING: std::sync::Once = std::sync::Once::new();
+                PARTITION_WARNING.call_once(|| {
+                    eprintln!(
+                        "warning: fault_mix.partition = {} but no network model is attached; \
+                         partition windows fall back to FaaS service faults — attach a \
+                         NetworkConfig (with_network) to cut topology links instead",
+                        failure.fault_mix.partition
+                    );
+                });
+            }
+        }
         Ok(Scenario {
             config,
             autoscaler: Box::new(React::default()),
@@ -577,23 +717,45 @@ impl Scenario {
         let bigdata_id = alloc(cfg.bigdata.is_some());
         let graph_id = alloc(cfg.graph.is_some());
         let gaming_id = alloc(cfg.gaming.is_some());
+        // The network actor registers last so attaching it never renumbers
+        // the tenants (and `network: None` keeps the legacy id layout).
+        let net_id = alloc(cfg.network.is_some());
 
         let mut arrival = process.as_mut().map(|process| {
             let faas = cfg.faas.as_ref().expect("faas config present with process");
             let faas_id = faas_id.expect("faas id allocated");
             let function_names = function_names.clone();
+            // With a network attached, the invocation payload travels as a
+            // flow from the caller's node to the platform front-end (node 0);
+            // the net completion router issues the Invoke on delivery.
+            let payload_bytes =
+                cfg.network.as_ref().map_or(0, |net| net.faas_payload_bytes.max(1));
+            let machines = cfg.machines as u32;
             ArrivalActor::new(
                 process,
                 RngStream::new(cfg.seed, "arrivals"),
                 cfg.horizon,
                 faas.max_arrivals,
                 move |ctx, index| {
-                    let function = function_names[index % function_names.len()].clone();
-                    ctx.send(
-                        faas_id,
-                        SimDuration::ZERO,
-                        EcosystemMsg::Faas(FaasMsg::Invoke { function }),
-                    );
+                    if let Some(id) = net_id {
+                        ctx.send(
+                            id,
+                            SimDuration::ZERO,
+                            EcosystemMsg::Net(NetMsg::Transfer(TransferReq {
+                                src: index as u32 % machines,
+                                dst: 0,
+                                bytes: payload_bytes,
+                                tag: FlowTag { owner: "faas", id: index as u64 },
+                            })),
+                        );
+                    } else {
+                        let function = function_names[index % function_names.len()].clone();
+                        ctx.send(
+                            faas_id,
+                            SimDuration::ZERO,
+                            EcosystemMsg::Faas(FaasMsg::Invoke { function }),
+                        );
+                    }
                 },
             )
         });
@@ -607,6 +769,27 @@ impl Scenario {
                 .with_selector(selector, batch.policy_interval);
             if let Some(restart) = cfg.resilience.restart {
                 actor = actor.with_restart(restart);
+            }
+            // With a network attached, a killed task's checkpoint image is
+            // fetched over the fabric before it re-enters the queue, so
+            // recovery time tracks contention instead of a fixed backoff.
+            if let (Some(nid), Some(net)) = (net_id, cfg.network.as_ref()) {
+                let bytes = (net.rms_checkpoint_mb * MIB).max(1);
+                let machines = cfg.machines as u32;
+                actor = actor.with_checkpoint_hook(move |ctx, task, attempt| {
+                    let src = task as u32 % machines;
+                    let dst = (task as u32 + 1 + attempt) % machines;
+                    ctx.send(
+                        nid,
+                        SimDuration::ZERO,
+                        EcosystemMsg::Net(NetMsg::Transfer(TransferReq {
+                            src,
+                            dst,
+                            bytes,
+                            tag: FlowTag { owner: "rms", id: task as u64 },
+                        })),
+                    );
+                });
             }
             actor
         });
@@ -650,6 +833,33 @@ impl Scenario {
             if let Some(congestion) = faas.congestion {
                 actor = actor.with_congestion(congestion);
             }
+            // Response payloads ride the fabric back to the callers; they
+            // are fire-and-forget but still contend for bandwidth.
+            if let (Some(nid), Some(net)) = (net_id, cfg.network.as_ref()) {
+                if net.faas_response_bytes > 0 {
+                    let bytes = net.faas_response_bytes;
+                    let machines = cfg.machines as u32;
+                    let mut seq = 0u64;
+                    actor = actor.with_response_hook(move |ctx, _latency_secs| {
+                        let dst = if machines > 1 {
+                            1 + (seq % u64::from(machines - 1)) as u32
+                        } else {
+                            0
+                        };
+                        ctx.send(
+                            nid,
+                            SimDuration::ZERO,
+                            EcosystemMsg::Net(NetMsg::Transfer(TransferReq {
+                                src: 0,
+                                dst,
+                                bytes,
+                                tag: FlowTag { owner: "faas-resp", id: seq },
+                            })),
+                        );
+                        seq += 1;
+                    });
+                }
+            }
             actor
         });
 
@@ -660,17 +870,52 @@ impl Scenario {
             let failure = cfg.failure.as_ref().expect("failure config present with faults");
             let kill_fraction = failure.kill_fraction;
             let service_fault_secs = failure.service_fault_secs;
-            let service_fault = |kind: FaultKind| -> Option<FaasFault> {
+            let has_net = net_id.is_some();
+            // With a network attached, partition and gray windows strike the
+            // fabric itself (cut and degraded access links); without one they
+            // fall back to the legacy FaaS service-fault windows.
+            let service_fault = move |kind: FaultKind| -> Option<FaasFault> {
                 match kind {
                     FaultKind::Crash => None,
                     FaultKind::Slowdown { factor } => Some(FaasFault::Slowdown { factor }),
-                    FaultKind::Gray { error_rate } => Some(FaasFault::Gray { error_rate }),
-                    FaultKind::Partition => Some(FaasFault::Partition),
+                    FaultKind::Gray { error_rate } if !has_net => {
+                        Some(FaasFault::Gray { error_rate })
+                    }
+                    FaultKind::Partition if !has_net => Some(FaasFault::Partition),
+                    FaultKind::Gray { .. } | FaultKind::Partition => None,
+                }
+            };
+            let topo_fault = move |kind: FaultKind, machine: u32| -> Option<NetFault> {
+                if !has_net {
+                    return None;
+                }
+                match kind {
+                    FaultKind::Partition => Some(NetFault::Cut { node: machine }),
+                    FaultKind::Gray { error_rate } => Some(NetFault::Degrade {
+                        node: machine,
+                        factor: (1.0 - error_rate).clamp(0.0, 1.0),
+                    }),
+                    _ => None,
                 }
             };
             FailureInjector::with_faults(faults, move |ctx, event| match event {
                 FailureEvent::Fail(fault) => {
                     let machine = fault.outage.machine as u32;
+                    if let (Some(nf), Some(id)) = (topo_fault(fault.kind, machine), net_id) {
+                        ctx.send(
+                            id,
+                            SimDuration::ZERO,
+                            EcosystemMsg::Net(NetMsg::Fault(nf)),
+                        );
+                        if let Some(secs) = service_fault_secs {
+                            ctx.send(
+                                id,
+                                SimDuration::from_secs_f64(secs),
+                                EcosystemMsg::Net(NetMsg::FaultClear(nf)),
+                            );
+                        }
+                        return;
+                    }
                     match service_fault(fault.kind) {
                         None => {
                             if let Some(id) = scheduler_id {
@@ -731,6 +976,18 @@ impl Scenario {
                 }
                 FailureEvent::Repair(fault) => {
                     let machine = fault.outage.machine as u32;
+                    if let (Some(nf), Some(id)) = (topo_fault(fault.kind, machine), net_id) {
+                        // When the window length is overridden, the clear was
+                        // already scheduled at fault-strike time.
+                        if service_fault_secs.is_none() {
+                            ctx.send(
+                                id,
+                                SimDuration::ZERO,
+                                EcosystemMsg::Net(NetMsg::FaultClear(nf)),
+                            );
+                        }
+                        return;
+                    }
                     match service_fault(fault.kind) {
                         None => {
                             if let Some(id) = scheduler_id {
@@ -807,6 +1064,26 @@ impl Scenario {
                     }
                 });
             }
+            // With a network attached, map-input reads and shuffle traffic
+            // become flows; the net router delivers the phase barriers.
+            if let Some(nid) = net_id {
+                actor = actor.with_transfer_hook(move |ctx, t| {
+                    let owner = match t.phase {
+                        BdPhase::Map => "bd-map",
+                        BdPhase::Shuffle => "bd-shuffle",
+                    };
+                    ctx.send(
+                        nid,
+                        SimDuration::ZERO,
+                        EcosystemMsg::Net(NetMsg::Transfer(TransferReq {
+                            src: t.src,
+                            dst: t.dst,
+                            bytes: t.bytes.max(1),
+                            tag: FlowTag { owner, id: t.job as u64 },
+                        })),
+                    );
+                });
+            }
             actor
         });
 
@@ -815,7 +1092,107 @@ impl Scenario {
         });
 
         let mut gaming_actor = cfg.gaming.as_ref().map(|gaming| {
-            WorldActor::new(gaming.clone(), cfg.horizon, RngStream::new(cfg.seed, "gaming"))
+            let mut actor: WorldActor<'_, EcosystemMsg> =
+                WorldActor::new(gaming.clone(), cfg.horizon, RngStream::new(cfg.seed, "gaming"));
+            // With a network attached, world-state syncs ride the fabric and
+            // lag whenever co-tenant traffic crowds their links.
+            if let (Some(nid), Some(net)) = (net_id, cfg.network.as_ref()) {
+                let machines = cfg.machines as u32;
+                actor = actor.with_sync(
+                    GamingSyncConfig {
+                        interval: net.gaming_sync_interval,
+                        base_bytes: net.gaming_sync_base_bytes,
+                        per_player_bytes: net.gaming_sync_per_player_bytes,
+                    },
+                    move |ctx, seq, bytes| {
+                        let src = if machines > 1 {
+                            1 + (seq % u64::from(machines - 1)) as u32
+                        } else {
+                            0
+                        };
+                        ctx.send(
+                            nid,
+                            SimDuration::ZERO,
+                            EcosystemMsg::Net(NetMsg::Transfer(TransferReq {
+                                src,
+                                dst: 0,
+                                bytes: bytes.max(1),
+                                tag: FlowTag { owner: "game", id: seq },
+                            })),
+                        );
+                    },
+                );
+            }
+            actor
+        });
+
+        // The shared fabric, with the completion router that turns finished
+        // flows back into tenant messages.
+        let mut net_actor = cfg.network.as_ref().map(|net| {
+            let function_names = function_names.clone();
+            let lag_budget = net.gaming_lag_budget.as_secs_f64();
+            NetActor::new(net.topology(cfg.machines)).with_completion(
+                move |ctx, done| match done.tag.owner {
+                    "faas" => {
+                        if let Some(id) = faas_id {
+                            let function = function_names
+                                [done.tag.id as usize % function_names.len()]
+                            .clone();
+                            ctx.send(
+                                id,
+                                SimDuration::ZERO,
+                                EcosystemMsg::Faas(FaasMsg::Invoke { function }),
+                            );
+                        }
+                    }
+                    // Responses only contended for bandwidth; nothing waits
+                    // on their delivery.
+                    "faas-resp" => {}
+                    "rms" => {
+                        if let Some(id) = scheduler_id {
+                            ctx.send(
+                                id,
+                                SimDuration::ZERO,
+                                EcosystemMsg::Rms(RmsMsg::Requeue(done.tag.id as usize)),
+                            );
+                        }
+                    }
+                    "bd-map" => {
+                        if let Some(id) = bigdata_id {
+                            ctx.send(
+                                id,
+                                SimDuration::ZERO,
+                                EcosystemMsg::Bigdata(BigdataMsg::MapXferDone(
+                                    done.tag.id as usize,
+                                )),
+                            );
+                        }
+                    }
+                    "bd-shuffle" => {
+                        if let Some(id) = bigdata_id {
+                            ctx.send(
+                                id,
+                                SimDuration::ZERO,
+                                EcosystemMsg::Bigdata(BigdataMsg::ShuffleXferDone(
+                                    done.tag.id as usize,
+                                )),
+                            );
+                        }
+                    }
+                    "game" => {
+                        if let Some(id) = gaming_id {
+                            ctx.send(
+                                id,
+                                SimDuration::ZERO,
+                                EcosystemMsg::Gaming(GamingMsg::SyncDone(
+                                    done.secs > lag_budget,
+                                )),
+                            );
+                        }
+                    }
+                    other => debug_assert!(false, "unrouted flow owner {other:?}"),
+                },
+            )
         });
 
         let mut sim: Simulation<'_, EcosystemMsg> = Simulation::new(cfg.seed);
@@ -858,6 +1235,11 @@ impl Scenario {
         if let Some(actor) = gaming_actor.as_mut() {
             let id = sim.add_actor(actor);
             debug_assert_eq!(Some(id), gaming_id, "registration order must match precomputed ids");
+            let _ = id;
+        }
+        if let Some(actor) = net_actor.as_mut() {
+            let id = sim.add_actor(actor);
+            debug_assert_eq!(Some(id), net_id, "registration order must match precomputed ids");
             let _ = id;
         }
 
@@ -912,6 +1294,10 @@ impl Scenario {
         let gaming_admitted = gaming_actor.as_ref().map_or(0, |a| a.admitted());
         let gaming_rejected = gaming_actor.as_ref().map_or(0, |a| a.rejected());
         let gaming_disconnected = gaming_actor.as_ref().map_or(0, |a| a.disconnected());
+        let gaming_laggy_syncs = gaming_actor.as_ref().map_or(0, |a| a.laggy_syncs());
+        let net_flows_started = net_actor.as_ref().map_or(0, |a| a.started());
+        let net_flows_delivered = net_actor.as_ref().map_or(0, |a| a.delivered());
+        let net_stall_secs = net_actor.as_ref().map_or(0.0, |a| a.stall_secs());
         drop(arrival);
         drop(faas_actor);
         drop(governor);
@@ -938,6 +1324,10 @@ impl Scenario {
             gaming_admitted,
             gaming_rejected,
             gaming_disconnected,
+            gaming_laggy_syncs,
+            net_flows_started,
+            net_flows_delivered,
+            net_stall_secs,
             events_handled,
             trace,
         }
@@ -1139,6 +1529,85 @@ mod tests {
     }
 
     #[test]
+    fn network_attached_run_is_deterministic_and_carries_flows() {
+        let config = || small_config().with_network(NetworkConfig::default());
+        let a = Scenario::new(config()).run();
+        let b = Scenario::new(config()).run();
+        assert_eq!(a.trace.to_json_string(), b.trace.to_json_string());
+        assert!(a.net_flows_started > 0, "no flows reached the fabric");
+        assert!(a.net_flows_delivered > 0);
+        assert!(a.net_flows_delivered <= a.net_flows_started);
+        assert!(a.invoked > 0, "invocations must still arrive through the fabric");
+        assert!(a.trace.components().iter().any(|c| c == "net"));
+        assert_eq!(a.trace.count("net", "flow_start") as u64, a.net_flows_started);
+    }
+
+    #[test]
+    fn every_tenant_ships_bytes_on_the_shared_fabric() {
+        let out = Scenario::new(
+            small_config()
+                .with_bigdata(BigdataConfig { jobs: 2, ..BigdataConfig::default() })
+                .with_graph(GraphConfig {
+                    queries: 2,
+                    vertices: 300,
+                    edges: 1_200,
+                    ..GraphConfig::default()
+                })
+                .with_gaming(GamingConfig::default())
+                .with_resilience(ResilienceConfig::all_on())
+                .with_network(NetworkConfig::default()),
+        )
+        .run();
+        // FaaS payloads, bigdata phases, and gaming syncs all became flows…
+        assert!(out.invoked > 0);
+        assert!(out.bigdata_jobs > 0, "bigdata jobs must finish over the fabric");
+        assert!(out.trace.count("gaming", "sync_done") > 0);
+        // …and the fabric accounted for all of them.
+        assert!(out.net_flows_delivered > 100);
+    }
+
+    #[test]
+    fn partition_faults_cut_fabric_links_when_network_attached() {
+        let out = Scenario::new(
+            small_config()
+                .with_failures(FailureConfig {
+                    mtbf_secs: 900.0,
+                    fault_mix: FaultMix {
+                        crash: 0.0,
+                        partition: 1.0,
+                        ..FaultMix::crash_only()
+                    },
+                    ..FailureConfig::default()
+                })
+                .with_network(NetworkConfig::default()),
+        )
+        .run();
+        assert!(out.trace.count("net", "link_cut") > 0, "no partitions struck the fabric");
+        assert!(out.trace.count("net", "link_restored") > 0, "cuts were never repaired");
+        // Partitions no longer open FaaS service windows.
+        assert_eq!(out.trace.count("faas", "fault"), 0);
+    }
+
+    #[test]
+    fn checkpoint_restores_ride_the_fabric_under_restart_resilience() {
+        let out = Scenario::new(
+            small_config()
+                .with_failures(FailureConfig {
+                    mtbf_secs: 900.0,
+                    ..FailureConfig::default()
+                })
+                .with_resilience(ResilienceConfig::all_on())
+                .with_network(NetworkConfig::default()),
+        )
+        .run();
+        let xfers = out.trace.count("rms", "checkpoint_xfer_start");
+        assert!(xfers > 0, "no checkpoint traffic despite restarts and failures");
+        // The fixed-backoff requeue path is fully replaced by flows.
+        assert_eq!(out.trace.count("rms", "requeue_scheduled"), 0);
+        assert!(out.schedule.failure_requeues > 0);
+    }
+
+    #[test]
     fn invalid_configs_are_rejected_at_build_time() {
         let invalid: Vec<(&str, ScenarioConfig)> = vec![
             ("machines", ScenarioConfig { machines: 0, ..ScenarioConfig::default() }),
@@ -1170,6 +1639,27 @@ mod tests {
                 "gaming.zone_capacity",
                 ScenarioConfig::default()
                     .with_gaming(GamingConfig { zone_capacity: 0, ..GamingConfig::default() }),
+            ),
+            (
+                "network.nodes_per_rack",
+                ScenarioConfig::default().with_network(NetworkConfig {
+                    nodes_per_rack: 0,
+                    ..NetworkConfig::default()
+                }),
+            ),
+            (
+                "network.node_bandwidth_mbs",
+                ScenarioConfig::default().with_network(NetworkConfig {
+                    node_bandwidth_mbs: -1.0,
+                    ..NetworkConfig::default()
+                }),
+            ),
+            (
+                "network.rack_bandwidth_mbs",
+                ScenarioConfig::default().with_network(NetworkConfig {
+                    rack_bandwidth_mbs: f64::NAN,
+                    ..NetworkConfig::default()
+                }),
             ),
         ];
         for (field, cfg) in invalid {

@@ -125,6 +125,12 @@ pub enum FaasMsg {
 /// demand (instances needed) and current supply (the capacity cap).
 pub type FaasObserver<'a, M> = Box<dyn FnMut(&mut Context<'_, M>, f64, usize) + 'a>;
 
+/// Callback invoked after each *successful* invocation with its latency in
+/// seconds. Composed scenarios use it to push the response payload onto the
+/// flow-level network model, so FaaS answers contend for bandwidth with
+/// every other tenant.
+pub type FaasResponseHook<'a, M> = Box<dyn FnMut(&mut Context<'_, M>, f64) + 'a>;
+
 /// Drives a [`FaasPlatform`] from engine messages.
 ///
 /// Without a capacity cap the actor admits every invocation, exactly like
@@ -136,6 +142,7 @@ pub struct FaasActor<'a, M = FaasMsg> {
     capacity: Option<usize>,
     report_every: Option<SimDuration>,
     observer: Option<FaasObserver<'a, M>>,
+    on_response: Option<FaasResponseHook<'a, M>>,
     window_peak: usize,
     window_rejected: usize,
     rejected: u64,
@@ -162,6 +169,7 @@ impl<'a, M> FaasActor<'a, M> {
             capacity: None,
             report_every: None,
             observer: None,
+            on_response: None,
             window_peak: 0,
             window_rejected: 0,
             rejected: 0,
@@ -215,6 +223,16 @@ impl<'a, M> FaasActor<'a, M> {
         assert!(!report_every.is_zero(), "report interval must be positive");
         self.report_every = Some(report_every);
         self.observer = Some(Box::new(observer));
+        self
+    }
+
+    /// Installs the per-success response hook (see [`FaasResponseHook`]).
+    #[must_use]
+    pub fn with_response_hook(
+        mut self,
+        hook: impl FnMut(&mut Context<'_, M>, f64) + 'a,
+    ) -> Self {
+        self.on_response = Some(Box::new(hook));
         self
     }
 
@@ -469,6 +487,9 @@ impl<'a, M> FaasActor<'a, M> {
                 ("latency_secs", Json::Float(result.latency_secs)),
             ]),
         );
+        if let Some(hook) = self.on_response.as_mut() {
+            hook(ctx, result.latency_secs);
+        }
     }
 
     fn scale(&mut self, ctx: &mut Context<'_, M>, delta: i64) {

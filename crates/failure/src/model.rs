@@ -105,6 +105,14 @@ pub struct FaultMix {
     pub gray_error_rate: f64,
 }
 
+/// The default is [`FaultMix::crash_only`]: the `partition` (and `gray`,
+/// `slowdown`) weights are `0.0`, so **topology faults are silently
+/// disabled** — a default-mix schedule never cuts or degrades a network
+/// link, even when a scenario attaches a network model. Opt into
+/// partitions by giving `partition` a positive weight; conversely, a
+/// positive `partition` weight without a network model attached falls back
+/// to service-level fault windows (composed scenarios print a stderr
+/// warning for that combination).
 impl Default for FaultMix {
     fn default() -> Self {
         FaultMix::crash_only()
@@ -373,6 +381,23 @@ mod tests {
             repair_at: SimTime::from_secs(70),
         };
         assert_eq!(o.duration(), SimDuration::from_secs(60));
+    }
+
+    #[test]
+    fn default_mix_zero_partition_weight_disables_topology_faults() {
+        // The documented contract of `FaultMix::default()`: with the
+        // partition weight at 0.0, a schedule of any size contains no
+        // partition (and no slowdown/gray) windows — topology faults are
+        // silently off unless opted into.
+        let mix = FaultMix::default();
+        assert_eq!(mix.partition, 0.0);
+        let model = IndependentFailures::with_mtbf(20.0 * HOUR);
+        let mut rng = RngStream::new(9, "mix-outages");
+        let outages = model.generate(100, horizon_days(120), &mut rng);
+        assert!(outages.len() > 500, "need a large schedule to trust the sweep");
+        let mut mix_rng = RngStream::new(9, "mix-assign");
+        let faults = mix.assign(outages, &mut mix_rng);
+        assert!(faults.iter().all(|f| f.kind == FaultKind::Crash));
     }
 
     #[test]

@@ -72,11 +72,37 @@ pub enum GamingMsg {
     NodeRepair(u32),
     /// Co-tenant network pressure turned on (`true`) or off (`false`).
     Pressure(bool),
+    /// Periodic state-sync tick (armed only when a sync hook is installed).
+    SyncTick,
+    /// A state-sync transfer was delivered; `true` when it arrived later
+    /// than the lag budget (flow-level network mode).
+    SyncDone(bool),
 }
 
+/// Periodic world-state synchronization traffic (Fig. 4's inter-zone and
+/// client-update fan-out, aggregated): every `interval`, the world ships
+/// `base_bytes + per_player_bytes * online` over the network model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncConfig {
+    /// Time between sync bursts.
+    pub interval: SimDuration,
+    /// Fixed per-burst payload, bytes.
+    pub base_bytes: u64,
+    /// Additional payload per online player, bytes.
+    pub per_player_bytes: u64,
+}
+
+/// Hook that carries one sync burst onto the network model:
+/// `(ctx, sequence_number, bytes)`. The installer must deliver
+/// [`GamingMsg::SyncDone`] when the transfer lands.
+pub type SyncHook<'a, M> = Box<dyn FnMut(&mut Context<'_, M>, u64, u64) + 'a>;
+
 /// Runs the virtual world as one engine actor.
-pub struct WorldActor {
+pub struct WorldActor<'a, M = GamingMsg> {
     config: GamingConfig,
+    sync: Option<(SyncConfig, SyncHook<'a, M>)>,
+    sync_seq: u64,
+    laggy_syncs: u64,
     arrivals: Diurnal,
     rng: RngStream,
     horizon: SimTime,
@@ -97,7 +123,7 @@ pub struct WorldActor {
     overloaded_since: Option<SimTime>,
 }
 
-impl WorldActor {
+impl<'a, M: MessageEnvelope<GamingMsg>> WorldActor<'a, M> {
     /// Builds the actor. The RNG stream must be dedicated to this actor
     /// (label `"gaming"` by convention) so composition does not perturb
     /// other subsystems; `horizon` bounds the arrival process.
@@ -122,6 +148,9 @@ impl WorldActor {
         };
         WorldActor {
             config,
+            sync: None,
+            sync_seq: 0,
+            laggy_syncs: 0,
             arrivals,
             rng,
             horizon,
@@ -143,9 +172,27 @@ impl WorldActor {
         }
     }
 
+    /// Ships periodic state-sync traffic through the flow-level network
+    /// model. The hook owner delivers [`GamingMsg::SyncDone`] per burst.
+    #[must_use]
+    pub fn with_sync(
+        mut self,
+        sync: SyncConfig,
+        hook: impl FnMut(&mut Context<'_, M>, u64, u64) + 'a,
+    ) -> Self {
+        assert!(!sync.interval.is_zero(), "sync interval must be positive");
+        self.sync = Some((sync, Box::new(hook)));
+        self
+    }
+
     /// Players who joined successfully.
     pub fn admitted(&self) -> u64 {
         self.admitted
+    }
+
+    /// Sync bursts that arrived later than the lag budget.
+    pub fn laggy_syncs(&self) -> u64 {
+        self.laggy_syncs
     }
 
     /// Players turned away at the door.
@@ -175,7 +222,7 @@ impl WorldActor {
 
     /// Re-evaluates the overload predicate after any state change, tracing
     /// transitions so overload minutes fall out of the trace.
-    fn refresh_overload<M: MessageEnvelope<GamingMsg>>(&mut self, ctx: &mut Context<'_, M>) {
+    fn refresh_overload(&mut self, ctx: &mut Context<'_, M>) {
         let capacity = self.capacity();
         let overloaded = self.online > 0
             && self.online as f64 >= capacity as f64 * self.config.overload_watermark;
@@ -203,7 +250,7 @@ impl WorldActor {
         }
     }
 
-    fn arm_next_join<M: MessageEnvelope<GamingMsg>>(&mut self, ctx: &mut Context<'_, M>) {
+    fn arm_next_join(&mut self, ctx: &mut Context<'_, M>) {
         if let Some(t) = self.arrivals.next_after(ctx.now(), &mut self.rng) {
             if t < self.horizon {
                 ctx.send_at(ctx.self_id(), t, M::wrap(GamingMsg::Join));
@@ -211,7 +258,7 @@ impl WorldActor {
         }
     }
 
-    fn join<M: MessageEnvelope<GamingMsg>>(&mut self, ctx: &mut Context<'_, M>) {
+    fn join(&mut self, ctx: &mut Context<'_, M>) {
         if (self.online as usize) < self.capacity() {
             self.online += 1;
             self.admitted += 1;
@@ -248,7 +295,7 @@ impl WorldActor {
         self.arm_next_join(ctx);
     }
 
-    fn leave<M: MessageEnvelope<GamingMsg>>(&mut self, ctx: &mut Context<'_, M>) {
+    fn leave(&mut self, ctx: &mut Context<'_, M>) {
         // A zone failure may have already disconnected this player.
         if self.ghost_leaves > 0 {
             self.ghost_leaves -= 1;
@@ -262,7 +309,7 @@ impl WorldActor {
         self.refresh_overload(ctx);
     }
 
-    fn zone_ready<M: MessageEnvelope<GamingMsg>>(&mut self, ctx: &mut Context<'_, M>) {
+    fn zone_ready(&mut self, ctx: &mut Context<'_, M>) {
         self.booting = self.booting.saturating_sub(1);
         self.zones += 1;
         ctx.emit(
@@ -275,7 +322,7 @@ impl WorldActor {
 
     /// Kills one zone instance and disconnects the players the remaining
     /// capacity can no longer hold.
-    fn node_fail<M: MessageEnvelope<GamingMsg>>(&mut self, ctx: &mut Context<'_, M>, node: u32) {
+    fn node_fail(&mut self, ctx: &mut Context<'_, M>, node: u32) {
         if self.available_zones() == 0 {
             return;
         }
@@ -302,7 +349,7 @@ impl WorldActor {
         self.refresh_overload(ctx);
     }
 
-    fn node_repair<M: MessageEnvelope<GamingMsg>>(&mut self, ctx: &mut Context<'_, M>, node: u32) {
+    fn node_repair(&mut self, ctx: &mut Context<'_, M>, node: u32) {
         if self.dead_zones == 0 {
             return;
         }
@@ -318,7 +365,7 @@ impl WorldActor {
         self.refresh_overload(ctx);
     }
 
-    fn set_pressure<M: MessageEnvelope<GamingMsg>>(&mut self, ctx: &mut Context<'_, M>, on: bool) {
+    fn set_pressure(&mut self, ctx: &mut Context<'_, M>, on: bool) {
         if on {
             self.pressure += 1;
         } else {
@@ -331,19 +378,57 @@ impl WorldActor {
         );
         self.refresh_overload(ctx);
     }
+
+    fn arm_sync(&mut self, ctx: &mut Context<'_, M>) {
+        if let Some((cfg, _)) = &self.sync {
+            let t = ctx.now() + cfg.interval;
+            if t < self.horizon {
+                ctx.send_at(ctx.self_id(), t, M::wrap(GamingMsg::SyncTick));
+            }
+        }
+    }
+
+    fn sync_tick(&mut self, ctx: &mut Context<'_, M>) {
+        if let Some((cfg, hook)) = &mut self.sync {
+            let bytes = cfg.base_bytes + cfg.per_player_bytes * self.online;
+            let seq = self.sync_seq;
+            self.sync_seq += 1;
+            hook(ctx, seq, bytes);
+        }
+        self.arm_sync(ctx);
+    }
+
+    fn sync_done(&mut self, ctx: &mut Context<'_, M>, lagged: bool) {
+        if lagged {
+            self.laggy_syncs += 1;
+        }
+        ctx.emit(
+            "gaming",
+            "sync_done",
+            payload(vec![
+                ("lagged", Json::Bool(lagged)),
+                ("online", Json::UInt(self.online)),
+            ]),
+        );
+    }
 }
 
-impl<M: MessageEnvelope<GamingMsg>> Actor<M> for WorldActor {
+impl<M: MessageEnvelope<GamingMsg>> Actor<M> for WorldActor<'_, M> {
     fn handle(&mut self, ctx: &mut Context<'_, M>, msg: M) {
         let Some(msg) = msg.unwrap() else { return };
         match msg {
-            GamingMsg::Start => self.arm_next_join(ctx),
+            GamingMsg::Start => {
+                self.arm_next_join(ctx);
+                self.arm_sync(ctx);
+            }
             GamingMsg::Join => self.join(ctx),
             GamingMsg::Leave => self.leave(ctx),
             GamingMsg::ZoneReady => self.zone_ready(ctx),
             GamingMsg::NodeFail(node) => self.node_fail(ctx, node),
             GamingMsg::NodeRepair(node) => self.node_repair(ctx, node),
             GamingMsg::Pressure(on) => self.set_pressure(ctx, on),
+            GamingMsg::SyncTick => self.sync_tick(ctx),
+            GamingMsg::SyncDone(lagged) => self.sync_done(ctx, lagged),
         }
     }
 }

@@ -33,7 +33,9 @@ pub mod world;
 
 /// Convenience re-exports.
 pub mod prelude {
-    pub use crate::actor::{run_gaming_standalone, GamingConfig, GamingMsg, WorldActor};
+    pub use crate::actor::{
+        run_gaming_standalone, GamingConfig, GamingMsg, SyncConfig, WorldActor,
+    };
     pub use crate::metagame::{
         stream_capacity_plan, PlayedMatch, Tournament, TournamentOutcome,
     };

@@ -314,7 +314,11 @@ impl ClusterScheduler {
     /// embedding in a composed [`Simulation`] (see `mcs_core::scenario`).
     /// The actor borrows the scheduler; extract results with
     /// [`SchedulerActor::outcome`] after the simulation is dropped.
-    pub fn actor(&mut self, jobs: Vec<Job>, horizon: SimTime) -> SchedulerActor<'_> {
+    pub fn actor<M: MessageEnvelope<RmsMsg>>(
+        &mut self,
+        jobs: Vec<Job>,
+        horizon: SimTime,
+    ) -> SchedulerActor<'_, M> {
         SchedulerActor::new(&mut self.cluster, &mut self.config, &mut self.rng, jobs, horizon)
     }
 
@@ -380,7 +384,15 @@ fn run_single(seed: u64, horizon: SimTime, actor: &mut SchedulerActor<'_>) {
 /// single-actor wrappers and inside composed scenarios. Borrows the
 /// cluster, configuration, and RNG stream from its [`ClusterScheduler`] so
 /// the owner observes post-run state (adopted policy, machine health).
-pub struct SchedulerActor<'a> {
+/// Callback fired instead of the fixed backoff delay when a killed task's
+/// checkpoint image must be fetched before it can re-enter the queue:
+/// `(ctx, task_index, attempt)`. The installer (a composed scenario with a
+/// network model) must eventually deliver [`RmsMsg::Requeue`] with the same
+/// task index — typically when the restore transfer's flow completes, so
+/// recovery time is a function of network contention, not a constant.
+pub type CheckpointHook<'a, M> = Box<dyn FnMut(&mut Context<'_, M>, usize, u32) + 'a>;
+
+pub struct SchedulerActor<'a, M = RmsMsg> {
     cluster: &'a mut Cluster,
     config: &'a mut SchedulerConfig,
     rng: &'a mut RngStream,
@@ -405,6 +417,7 @@ pub struct SchedulerActor<'a> {
     rejected: HashSet<usize>,
     restart: Option<RestartConfig>,
     restart_attempts: Vec<u32>,
+    checkpoint_hook: Option<CheckpointHook<'a, M>>,
     abandoned: HashSet<usize>,
     core_capacity: f64,
     used_cores: f64,
@@ -413,7 +426,7 @@ pub struct SchedulerActor<'a> {
     last_finish: SimTime,
 }
 
-impl<'a> SchedulerActor<'a> {
+impl<'a, M: MessageEnvelope<RmsMsg>> SchedulerActor<'a, M> {
     /// Builds the actor: flattens tasks, indexes dependencies, and decides
     /// admission per task (no machine can ever host an oversized request).
     pub fn new(
@@ -480,6 +493,7 @@ impl<'a> SchedulerActor<'a> {
             rejected: HashSet::new(),
             restart: None,
             restart_attempts,
+            checkpoint_hook: None,
             abandoned: HashSet::new(),
             core_capacity,
             used_cores: 0.0,
@@ -506,6 +520,19 @@ impl<'a> SchedulerActor<'a> {
     pub fn with_restart(mut self, restart: RestartConfig) -> Self {
         self.config.checkpoint_factor = sanitize_checkpoint(restart.checkpoint_factor);
         self.restart = Some(restart);
+        self
+    }
+
+    /// Routes checkpoint-restore images over the network model: the backoff
+    /// draw still happens (so RNG streams stay aligned with legacy runs),
+    /// but the requeue is delivered by the restore transfer's completion
+    /// instead of the drawn delay. See [`CheckpointHook`].
+    #[must_use]
+    pub fn with_checkpoint_hook(
+        mut self,
+        hook: impl FnMut(&mut Context<'_, M>, usize, u32) + 'a,
+    ) -> Self {
+        self.checkpoint_hook = Some(Box::new(hook));
         self
     }
 
@@ -543,7 +570,7 @@ impl<'a> SchedulerActor<'a> {
         }
     }
 
-    fn on_start<M: MessageEnvelope<RmsMsg>>(&mut self, ctx: &mut Context<'_, M>) {
+    fn on_start(&mut self, ctx: &mut Context<'_, M>) {
         for (j, job) in self.jobs.iter().enumerate() {
             ctx.send_at(ctx.self_id(), job.submit, M::wrap(RmsMsg::JobArrival(j)));
         }
@@ -557,7 +584,7 @@ impl<'a> SchedulerActor<'a> {
     }
 
     /// Schedules the outage at the cursor, if any starts before the horizon.
-    fn arm_next_outage<M: MessageEnvelope<RmsMsg>>(&mut self, ctx: &mut Context<'_, M>) {
+    fn arm_next_outage(&mut self, ctx: &mut Context<'_, M>) {
         if let Some(o) = self.outages.get(self.next_outage) {
             if o.fail_at < self.horizon {
                 ctx.send_at(ctx.self_id(), o.fail_at, M::wrap(RmsMsg::NextOutage));
@@ -565,7 +592,7 @@ impl<'a> SchedulerActor<'a> {
         }
     }
 
-    fn on_next_outage<M: MessageEnvelope<RmsMsg>>(&mut self, ctx: &mut Context<'_, M>) {
+    fn on_next_outage(&mut self, ctx: &mut Context<'_, M>) {
         let o = self.outages[self.next_outage];
         self.next_outage += 1;
         self.machine_fail(ctx, o.machine as u32);
@@ -577,7 +604,7 @@ impl<'a> SchedulerActor<'a> {
         self.arm_next_outage(ctx);
     }
 
-    fn on_job_arrival<M: MessageEnvelope<RmsMsg>>(&mut self, ctx: &mut Context<'_, M>, j: usize) {
+    fn on_job_arrival(&mut self, ctx: &mut Context<'_, M>, j: usize) {
         let now = ctx.now();
         ctx.emit("rms", "job_arrival", payload(vec![("job", Json::UInt(j as u64))]));
         let task_ids: Vec<TaskId> = self.jobs[j].tasks.iter().map(|t| t.id).collect();
@@ -590,7 +617,7 @@ impl<'a> SchedulerActor<'a> {
     }
 
     /// Queues a dependency-free task, or rejects it if infeasible.
-    fn make_ready<M: MessageEnvelope<RmsMsg>>(
+    fn make_ready(
         &mut self,
         ctx: &mut Context<'_, M>,
         ti: usize,
@@ -609,7 +636,7 @@ impl<'a> SchedulerActor<'a> {
         }
     }
 
-    fn on_task_finish<M: MessageEnvelope<RmsMsg>>(
+    fn on_task_finish(
         &mut self,
         ctx: &mut Context<'_, M>,
         task_idx: usize,
@@ -662,7 +689,7 @@ impl<'a> SchedulerActor<'a> {
         }
     }
 
-    fn machine_fail<M: MessageEnvelope<RmsMsg>>(&mut self, ctx: &mut Context<'_, M>, m: u32) {
+    fn machine_fail(&mut self, ctx: &mut Context<'_, M>, m: u32) {
         let mid = MachineId(m);
         if (mid.0 as usize) >= self.cluster.len() {
             return;
@@ -697,7 +724,7 @@ impl<'a> SchedulerActor<'a> {
                             self.restart_attempts[ti] += 1;
                             let attempt = self.restart_attempts[ti];
                             match rc.backoff.delay_after(attempt, self.rng) {
-                                Some(delay) => {
+                                Some(delay) if self.checkpoint_hook.is_none() => {
                                     ctx.emit(
                                         "rms",
                                         "requeue_scheduled",
@@ -712,6 +739,26 @@ impl<'a> SchedulerActor<'a> {
                                         now + delay,
                                         M::wrap(RmsMsg::Requeue(ti)),
                                     );
+                                }
+                                Some(_) => {
+                                    // Flow-level network mode: the restore
+                                    // image travels the fabric, and *that*
+                                    // transfer's completion delivers the
+                                    // requeue — recovery time is contended
+                                    // bandwidth, not a drawn constant. (The
+                                    // draw above still happened, keeping
+                                    // RNG streams aligned with legacy runs.)
+                                    ctx.emit(
+                                        "rms",
+                                        "checkpoint_xfer_start",
+                                        payload(vec![
+                                            ("task", Json::UInt(self.flat[ti].id.0)),
+                                            ("attempt", Json::UInt(u64::from(attempt))),
+                                        ]),
+                                    );
+                                    if let Some(hook) = self.checkpoint_hook.as_mut() {
+                                        hook(ctx, ti, attempt);
+                                    }
                                 }
                                 None => {
                                     self.abandoned.insert(ti);
@@ -744,7 +791,7 @@ impl<'a> SchedulerActor<'a> {
 
     /// Delivers a checkpoint-restart: the task re-enters the queue with its
     /// checkpointed remaining demand.
-    fn on_requeue<M: MessageEnvelope<RmsMsg>>(&mut self, ctx: &mut Context<'_, M>, ti: usize) {
+    fn on_requeue(&mut self, ctx: &mut Context<'_, M>, ti: usize) {
         let now = ctx.now();
         if self.flat[ti].done || self.abandoned.contains(&ti) {
             return;
@@ -761,7 +808,7 @@ impl<'a> SchedulerActor<'a> {
         self.queue_dirty = true;
     }
 
-    fn machine_repair<M: MessageEnvelope<RmsMsg>>(&mut self, ctx: &mut Context<'_, M>, m: u32) {
+    fn machine_repair(&mut self, ctx: &mut Context<'_, M>, m: u32) {
         let mid = MachineId(m);
         if (mid.0 as usize) < self.cluster.len() {
             self.cluster.machine_mut(mid).repair();
@@ -773,7 +820,7 @@ impl<'a> SchedulerActor<'a> {
         }
     }
 
-    fn on_policy_tick<M: MessageEnvelope<RmsMsg>>(&mut self, ctx: &mut Context<'_, M>) {
+    fn on_policy_tick(&mut self, ctx: &mut Context<'_, M>) {
         let now = ctx.now();
         let Some((selector, interval)) = &mut self.selector else { return };
         let view = SchedulerView {
@@ -806,7 +853,7 @@ impl<'a> SchedulerActor<'a> {
         }
     }
 
-    fn dispatch<M: MessageEnvelope<RmsMsg>>(&mut self, ctx: &mut Context<'_, M>) {
+    fn dispatch(&mut self, ctx: &mut Context<'_, M>) {
         if self.queue_dirty {
             self.sort_queue();
             self.queue_dirty = false;
@@ -867,7 +914,7 @@ impl<'a> SchedulerActor<'a> {
         None
     }
 
-    fn try_place<M: MessageEnvelope<RmsMsg>>(
+    fn try_place(
         &mut self,
         ctx: &mut Context<'_, M>,
         ti: usize,
@@ -942,7 +989,7 @@ impl<'a> SchedulerActor<'a> {
     }
 }
 
-impl<M: MessageEnvelope<RmsMsg>> Actor<M> for SchedulerActor<'_> {
+impl<M: MessageEnvelope<RmsMsg>> Actor<M> for SchedulerActor<'_, M> {
     fn handle(&mut self, ctx: &mut Context<'_, M>, msg: M) {
         let Some(msg) = msg.unwrap() else { return };
         match msg {

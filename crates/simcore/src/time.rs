@@ -118,6 +118,21 @@ impl SimDuration {
         }
     }
 
+    /// Creates a span from fractional seconds, or `None` when the input has
+    /// no meaningful finite span: negative, NaN, or infinite values.
+    ///
+    /// Unlike [`SimDuration::from_secs_f64`], which saturates (useful for
+    /// scaling known-good spans), this is the form for *predicted* spans —
+    /// e.g. a flow-completion estimate of `remaining / rate` where a
+    /// zero-rate (cut) link yields infinity, meaning "never", not "at the
+    /// end of representable time".
+    pub fn try_from_secs_f64(secs: f64) -> Option<Self> {
+        if !secs.is_finite() || secs < 0.0 {
+            return None;
+        }
+        Some(SimDuration::from_secs_f64(secs))
+    }
+
     /// Raw nanoseconds.
     pub const fn as_nanos(self) -> u64 {
         self.0
@@ -245,6 +260,18 @@ mod tests {
         assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
         assert_eq!(SimDuration::from_secs_f64(f64::INFINITY), SimDuration::MAX);
         assert_eq!(SimDuration::from_secs_f64(1.5), SimDuration::from_millis(1500));
+    }
+
+    #[test]
+    fn try_from_secs_f64_rejects_non_finite_predictions() {
+        assert_eq!(SimDuration::try_from_secs_f64(f64::INFINITY), None);
+        assert_eq!(SimDuration::try_from_secs_f64(f64::NAN), None);
+        assert_eq!(SimDuration::try_from_secs_f64(-0.5), None);
+        assert_eq!(SimDuration::try_from_secs_f64(0.0), Some(SimDuration::ZERO));
+        assert_eq!(
+            SimDuration::try_from_secs_f64(2.5),
+            Some(SimDuration::from_millis(2500))
+        );
     }
 
     #[test]

@@ -11,11 +11,12 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
 
-# Determinism gate: the composed-ecosystem and resilience-ablation
-# experiments must render byte-identical reports across two runs at the
-# same seed — and across parallel-sweep widths, since mcs-simcore::par
-# merges fan-out results by input index, never by completion order.
-for exp in ecosystem_composed ecosystem_full resilience_ablation; do
+# Determinism gate: the composed-ecosystem, resilience-ablation, and
+# network-contention experiments must render byte-identical reports across
+# two runs at the same seed — and across parallel-sweep widths, since
+# mcs-simcore::par merges fan-out results by input index, never by
+# completion order.
+for exp in ecosystem_composed ecosystem_full resilience_ablation locality_contention; do
     MCS_PAR_WORKERS=1 "./target/release/$exp" 42 > "$tmpdir/${exp}_w1.txt"
     MCS_PAR_WORKERS=4 "./target/release/$exp" 42 > "$tmpdir/${exp}_w4.txt"
     MCS_PAR_WORKERS=4 "./target/release/$exp" 42 > "$tmpdir/${exp}_w4b.txt"
@@ -25,13 +26,15 @@ done
 
 # Perf-baseline gate: a 2-sample smoke run of the tracked benchmarks must
 # produce a JSON artifact that the in-house codec parses back with a sane
-# shape, and the committed BENCH_4.json must stay valid too.
+# shape, and the committed BENCH_*.json series must stay valid too.
 MCS_BENCH_SAMPLES=2 MCS_BENCH_WARMUP_MS=0 \
     "./target/release/perf_baseline" --json "$tmpdir/bench_smoke.json"
 "./target/release/perf_baseline" --check "$tmpdir/bench_smoke.json"
-if [ -f BENCH_4.json ]; then
-    "./target/release/perf_baseline" --check BENCH_4.json
-fi
+for baseline in BENCH_4.json BENCH_7.json; do
+    if [ -f "$baseline" ]; then
+        "./target/release/perf_baseline" --check "$baseline"
+    fi
+done
 
 # Allow-lint gate: the engine-migrated crates stay clean — no new `#[allow]`
 # escapes into their sources (the BSP stepper carries the single

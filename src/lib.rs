@@ -13,6 +13,7 @@
 //! | [`infra`] | `mcs-infra` | Heterogeneous machines, clusters, datacenters, WAN topology, power/cost |
 //! | [`workload`] | `mcs-workload` | Tasks, workflows, bursty/diurnal arrivals, GWA-style traces, generators |
 //! | [`failure`] | `mcs-failure` | Independent / space- / time-correlated failure models, availability analysis |
+//! | [`net`] | `mcs-net` | Flow-level network model: rack topology, max-min fair sharing, cut/degraded links |
 //! | [`rms`] | `mcs-rms` | The dual scheduling problem: allocation, provisioning, federation, portfolio |
 //! | [`autoscale`] | `mcs-autoscale` | Autoscaler portfolio, elastic-service simulator, SPEC elasticity metrics |
 //! | [`faas`] | `mcs-faas` | Serverless platform: cold/warm starts, keep-alive, composition (Fig. 5) |
@@ -49,6 +50,7 @@ pub use mcs_failure as failure;
 pub use mcs_gaming as gaming;
 pub use mcs_graph as graph;
 pub use mcs_infra as infra;
+pub use mcs_net as net;
 pub use mcs_rms as rms;
 pub use mcs_simcore as simcore;
 pub use mcs_workload as workload;
@@ -64,6 +66,7 @@ pub mod prelude {
     pub use mcs_gaming::prelude::*;
     pub use mcs_graph::prelude::*;
     pub use mcs_infra::prelude::*;
+    pub use mcs_net::prelude::*;
     pub use mcs_rms::prelude::*;
     pub use mcs_simcore::prelude::*;
     pub use mcs_workload::prelude::*;

@@ -644,3 +644,90 @@ fn full_stack_fanout_is_worker_count_independent() {
         assert!(got == reference, "full-stack sweep diverged at workers={workers}");
     }
 }
+
+/// Max-min fair sharing never oversubscribes a link: for arbitrary flow
+/// sets over arbitrary capacities, the per-link sum of allocated rates
+/// stays within capacity, and no flow over live links starves.
+#[test]
+fn max_min_allocation_never_oversubscribes_links() {
+    use mcs::net::flow::max_min_rates;
+
+    Check::new("max_min_allocation_never_oversubscribes_links").cases(128).run(|rng| {
+        let links = 1 + rng.uniform_usize(12);
+        let capacity: Vec<f64> = (0..links).map(|_| rng.uniform_f64(0.5, 1_000.0)).collect();
+        let n_flows = 1 + rng.uniform_usize(24);
+        let flows: Vec<Vec<u32>> = (0..n_flows)
+            .map(|_| {
+                // A path is a set of distinct links: include each link with
+                // probability ~1/3, guaranteeing at least one.
+                let mut path: Vec<u32> = (0..links as u32)
+                    .filter(|_| rng.uniform_usize(3) == 0)
+                    .collect();
+                if path.is_empty() {
+                    path.push(rng.uniform_usize(links) as u32);
+                }
+                path
+            })
+            .collect();
+        let rates = max_min_rates(&flows, &capacity);
+        prop_assert_eq!(rates.len(), flows.len());
+        for (link, &cap) in capacity.iter().enumerate() {
+            let load: f64 = flows
+                .iter()
+                .zip(&rates)
+                .filter(|(path, _)| path.contains(&(link as u32)))
+                .map(|(_, &rate)| rate)
+                .sum();
+            prop_assert!(
+                load <= cap * (1.0 + 1e-9) + 1e-9,
+                "link {link} oversubscribed: load {load} > capacity {cap}"
+            );
+        }
+        // All capacities are positive here, so every flow makes progress.
+        for (i, &rate) in rates.iter().enumerate() {
+            prop_assert!(rate > 0.0, "flow {i} starved on a healthy fabric");
+        }
+        Ok(())
+    });
+}
+
+/// A network-attached composed scenario — where every tenant's transfers
+/// ride the shared fabric — is deterministic and worker-count independent:
+/// sweeping seeds at any `MCS_PAR_WORKERS` width returns identical traces
+/// in identical order.
+#[test]
+fn networked_scenario_fanout_is_worker_count_independent() {
+    use mcs::core::scenario::{
+        BatchConfig, BigdataConfig, FaasConfig, FailureConfig, GamingConfig, NetworkConfig,
+        Scenario, ScenarioConfig,
+    };
+    use mcs::simcore::par;
+
+    fn replicate(seed: u64) -> (u64, u64, String) {
+        let config = ScenarioConfig {
+            seed,
+            horizon: SimTime::from_secs(1_800),
+            machines: 8,
+            ..ScenarioConfig::default()
+        }
+        .with_batch(BatchConfig { jobs: 8, ..BatchConfig::default() })
+        .with_faas(FaasConfig { arrival_rate: 0.2, ..FaasConfig::default() })
+        .with_failures(FailureConfig { mtbf_secs: 3_600.0, ..FailureConfig::default() })
+        .with_bigdata(BigdataConfig { jobs: 1, ..BigdataConfig::default() })
+        .with_gaming(GamingConfig::default())
+        .with_network(NetworkConfig::default());
+        let out = Scenario::new(config).run();
+        (out.events_handled, out.net_flows_delivered, out.trace.to_json_string())
+    }
+
+    let seeds: Vec<u64> = (42..45).collect();
+    let reference: Vec<(u64, u64, String)> = seeds.iter().map(|&s| replicate(s)).collect();
+    assert!(
+        reference.iter().all(|(_, flows, _)| *flows > 0),
+        "networked sweep moved no flows"
+    );
+    for workers in [1, 2, 4] {
+        let got = par::run_indexed_with(workers, seeds.len(), |i| replicate(seeds[i]));
+        assert!(got == reference, "networked sweep diverged at workers={workers}");
+    }
+}
