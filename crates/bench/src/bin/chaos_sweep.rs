@@ -1,0 +1,44 @@
+//! E6 — deterministic chaos campaign with invariant monitors and shrinking.
+//!
+//! Default mode runs the [`mcs_bench::experiments::ChaosSweep`] experiment
+//! (`chaos_sweep [seed]`). With `--check-invariants`, it instead replays the
+//! default scenario configuration and evaluates the full built-in invariant
+//! suite over its trace, printing one status line per invariant and exiting
+//! non-zero on any violation — the gate `scripts/verify.sh` runs against the
+//! golden default-config trace.
+
+use mcs::chaos::{builtin_suite, InvariantCx};
+use mcs::core::scenario::{Scenario, ScenarioConfig};
+use mcs_bench::experiments::ChaosSweep;
+
+fn check_invariants() -> ! {
+    let cfg = ScenarioConfig::default();
+    let cx = InvariantCx::from_config(&cfg);
+    let outcome = Scenario::new(cfg).run();
+    let mut failed = 0usize;
+    for inv in builtin_suite() {
+        let violations = inv.check(&outcome.trace, &cx);
+        if violations.is_empty() {
+            println!("ok   {}", inv.name());
+        } else {
+            failed += violations.len();
+            println!("FAIL {} ({} violations)", inv.name(), violations.len());
+            for v in violations {
+                eprintln!("  {v}");
+            }
+        }
+    }
+    if failed > 0 {
+        eprintln!("{failed} invariant violation(s) on the default-config trace");
+        std::process::exit(1);
+    }
+    println!("all invariants hold on the default-config trace ({} events)", outcome.trace.len());
+    std::process::exit(0);
+}
+
+fn main() {
+    if std::env::args().any(|arg| arg == "--check-invariants") {
+        check_invariants();
+    }
+    mcs_bench::run_cli(&ChaosSweep);
+}

@@ -5,6 +5,7 @@
 
 use mcs::experiment::Experiment;
 
+mod chaos;
 mod ecosystem;
 mod fig1;
 mod full;
@@ -20,6 +21,7 @@ mod table3;
 mod table4;
 mod table5;
 
+pub use chaos::ChaosSweep;
 pub use ecosystem::EcosystemComposed;
 pub use full::EcosystemFull;
 pub use locality::LocalityContention;
@@ -52,6 +54,7 @@ pub fn all() -> Vec<Box<dyn Experiment>> {
         Box::new(EcosystemFull),
         Box::new(ResilienceAblation),
         Box::new(LocalityContention),
+        Box::new(ChaosSweep),
     ]
 }
 
@@ -71,6 +74,7 @@ mod tests {
         assert!(names.contains(&"ecosystem_full"));
         assert!(names.contains(&"resilience_ablation"));
         assert!(names.contains(&"locality_contention"));
-        assert_eq!(names.len(), 14);
+        assert!(names.contains(&"chaos_sweep"));
+        assert_eq!(names.len(), 15);
     }
 }

@@ -63,6 +63,7 @@ fn config(seed: u64, resilience: ResilienceConfig) -> ScenarioConfig {
             gray_error_rate: 1.0,
             ..FaultMix::crash_only()
         },
+        schedule: None,
     })
 }
 
@@ -336,6 +337,20 @@ mod tests {
                 || all.availability() > m.availability()
                 || all.wasted_core_secs < m.wasted_core_secs;
             assert!(dominates, "all-on does not beat {single} on any metric: {all:?} vs {m:?}");
+        }
+    }
+
+    #[test]
+    fn invariant_suite_holds_on_every_ablation_variant() {
+        // The chaos monitors must hold on every healthy trace this
+        // experiment produces — all mechanisms, all fault kinds, no network.
+        use mcs::chaos::{check_all, InvariantCx};
+        for (name, resilience) in variants() {
+            let cfg = config(crate::DEFAULT_SEED, resilience);
+            let cx = InvariantCx::from_config(&cfg);
+            let out = Scenario::new(cfg).run();
+            let violations = check_all(&out.trace, &cx);
+            assert!(violations.is_empty(), "variant {name}: {violations:?}");
         }
     }
 

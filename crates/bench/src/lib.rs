@@ -17,6 +17,9 @@
 //! | `table5_paradigms` | Table 5 — cluster/grid/cloud/MCS operating models |
 //! | `ecosystem_composed` | Composed ecosystem — failures vs autoscaled FaaS vs portfolio batch (one engine run) |
 //! | `resilience_ablation` | Resilience ablation — baseline vs retry/breaker/shedder/restart vs all-on under mixed faults |
+//! | `ecosystem_full` | Full stack — the composed run plus bigdata + graph + gaming on one engine |
+//! | `locality_contention` | Locality-aware vs blind placement contending on the `mcs-net` fabric |
+//! | `chaos_sweep` | Chaos campaign — scripted fault schedules vs the trace-invariant suite, ddmin-shrunk reproducers (`--check-invariants` gates the golden default trace) |
 //! | `perf_baseline` | Tracked perf baseline of the simulation core (`--json`/`--check BENCH_4.json`) |
 //!
 //! Each binary is a thin wrapper over an [`experiments`] type implementing
@@ -27,7 +30,8 @@
 //! `BENCH_4.json` speedup record.)
 //!
 //! The sweep-shaped experiments (`ecosystem_composed`'s autoscaler
-//! portfolio, `resilience_ablation`'s grid) fan replications out over
+//! portfolio, `resilience_ablation`'s grid, `chaos_sweep`'s schedule×seed
+//! campaign) fan replications out over
 //! `mcs::simcore::par` worker threads; `MCS_PAR_WORKERS` sets the width and
 //! the output is byte-identical at any setting.
 //!

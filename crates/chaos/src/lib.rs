@@ -1,0 +1,33 @@
+//! Chaos engineering for the composed ecosystem: scripted fault schedules,
+//! machine-checked invariants over the trace bus, and a campaign driver
+//! that shrinks violating schedules to minimal reproducers.
+//!
+//! The paper's engineering pitch is that ecosystem resilience claims must
+//! hold *under composition*, not just in per-subsystem unit tests. This
+//! crate is the adversarial half of that claim:
+//!
+//! - [`schedule`] — a serializable [`schedule::FaultSchedule`] (a list of
+//!   `(at, target, fault, duration)` entries covering crash, slowdown,
+//!   gray, and partition faults) that the scenario's failure injector
+//!   replays *exactly*, replacing the stochastic outage generator for
+//!   campaign runs while the legacy random mode stays byte-identical;
+//! - [`invariant`] — an [`invariant::Invariant`] trait evaluated over the
+//!   [`mcs_simcore::trace::TraceBus`], with built-in monitors for flow
+//!   conservation, FaaS invocation termination, restart-budget compliance,
+//!   breaker recovery, post-restore drain, fault-window closure, and
+//!   per-component timestamp monotonicity;
+//! - [`campaign`] — a seed-swept grid of schedules fanned out in parallel
+//!   (`mcs_simcore::par`), collecting invariant violations and recovery
+//!   statistics;
+//! - [`shrink`] — ddmin-style delta debugging that reduces a violating
+//!   schedule to a minimal JSON reproducer which replays deterministically.
+
+pub mod campaign;
+pub mod invariant;
+pub mod schedule;
+pub mod shrink;
+
+pub use campaign::{Campaign, CampaignReport, RunResult};
+pub use invariant::{builtin_suite, check_all, Invariant, InvariantCx, Violation};
+pub use schedule::{FaultSchedule, ScheduledFault};
+pub use shrink::ddmin;

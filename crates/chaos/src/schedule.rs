@@ -1,0 +1,274 @@
+//! Explicit, serializable fault schedules for scripted chaos runs.
+//!
+//! A [`FaultSchedule`] is the portable form of "what goes wrong, when":
+//! a flat list of [`ScheduledFault`] entries, each `(at, duration, target,
+//! kind)` with the kind-specific knob (slowdown factor, gray error rate)
+//! inline. It round-trips through the in-house JSON codec, converts to the
+//! failure model's [`Fault`] vocabulary for the scenario's injector
+//! ([`FaultSchedule::to_faults`]), and back ([`FaultSchedule::from_faults`]).
+//! When a network fabric is attached, partition entries cut the target's
+//! access link and gray entries degrade it — the same mapping the random
+//! injector uses — so one schedule vocabulary drives both the machine-level
+//! (`FailureInjector`) and topology-level (`NetActor`) fault paths.
+
+use mcs_failure::model::{Fault, FaultKind, Outage};
+use mcs_simcore::codec::{from_str, to_string};
+use mcs_simcore::error::McsError;
+use mcs_simcore::impl_json;
+use mcs_simcore::time::{SimDuration, SimTime};
+
+/// The stable fault-kind names accepted in [`ScheduledFault::kind`].
+pub const FAULT_KINDS: [&str; 4] = ["crash", "slowdown", "gray", "partition"];
+
+/// One scripted fault: what strikes, whom, when, and for how long.
+///
+/// Flat on purpose: every field is a plain JSON scalar so reproducers stay
+/// hand-editable. `factor` is only meaningful for `kind == "slowdown"`
+/// (latency multiplier > 1) and `error_rate` only for `kind == "gray"`
+/// (work-failure probability in `[0, 1]`, mapped to an access-link degrade
+/// of `1 - error_rate` when a network is attached).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledFault {
+    /// Strike instant, seconds of virtual time.
+    pub at_secs: f64,
+    /// Fault window length, seconds (must be positive).
+    pub duration_secs: f64,
+    /// The victim machine (doubles as the topology node when networked).
+    pub target: u32,
+    /// One of [`FAULT_KINDS`].
+    pub kind: String,
+    /// Slowdown latency multiplier (`kind == "slowdown"` only).
+    pub factor: f64,
+    /// Gray work-failure probability (`kind == "gray"` only).
+    pub error_rate: f64,
+}
+
+impl_json!(struct ScheduledFault { at_secs, duration_secs, target, kind, factor, error_rate });
+
+impl ScheduledFault {
+    fn base(at_secs: f64, duration_secs: f64, target: u32, kind: &str) -> Self {
+        ScheduledFault {
+            at_secs,
+            duration_secs,
+            target,
+            kind: kind.to_owned(),
+            factor: 1.0,
+            error_rate: 0.0,
+        }
+    }
+
+    /// A crash-stop fault: the target is down for the window.
+    pub fn crash(at_secs: f64, duration_secs: f64, target: u32) -> Self {
+        Self::base(at_secs, duration_secs, target, "crash")
+    }
+
+    /// A straggler window: the target runs `factor`× slower.
+    pub fn slowdown(at_secs: f64, duration_secs: f64, target: u32, factor: f64) -> Self {
+        ScheduledFault { factor, ..Self::base(at_secs, duration_secs, target, "slowdown") }
+    }
+
+    /// A gray window: work on the target fails with `error_rate`.
+    pub fn gray(at_secs: f64, duration_secs: f64, target: u32, error_rate: f64) -> Self {
+        ScheduledFault { error_rate, ..Self::base(at_secs, duration_secs, target, "gray") }
+    }
+
+    /// A partition window: the target is cut off for the window.
+    pub fn partition(at_secs: f64, duration_secs: f64, target: u32) -> Self {
+        Self::base(at_secs, duration_secs, target, "partition")
+    }
+
+    /// Checks this entry's fields, returning the first offence.
+    pub fn validate(&self) -> Result<(), McsError> {
+        if !self.at_secs.is_finite() || self.at_secs < 0.0 {
+            return Err(McsError::invalid_config(
+                "schedule.at_secs",
+                "must be finite and non-negative",
+            ));
+        }
+        if !self.duration_secs.is_finite() || self.duration_secs <= 0.0 {
+            return Err(McsError::invalid_config(
+                "schedule.duration_secs",
+                "must be finite and positive",
+            ));
+        }
+        match self.kind.as_str() {
+            "crash" | "partition" => {}
+            "slowdown" => {
+                if !self.factor.is_finite() || self.factor < 1.0 {
+                    return Err(McsError::invalid_config(
+                        "schedule.factor",
+                        "slowdown factor must be finite and >= 1",
+                    ));
+                }
+            }
+            "gray" => {
+                if !self.error_rate.is_finite() || !(0.0..=1.0).contains(&self.error_rate) {
+                    return Err(McsError::invalid_config(
+                        "schedule.error_rate",
+                        "gray error rate must lie in [0, 1]",
+                    ));
+                }
+            }
+            other => {
+                return Err(McsError::invalid_config(
+                    "schedule.kind",
+                    format!("unknown fault kind {other:?} (expected one of {FAULT_KINDS:?})"),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Converts into the failure model's vocabulary.
+    pub fn to_fault(&self) -> Result<Fault, McsError> {
+        self.validate()?;
+        let fail_at = SimTime::ZERO + SimDuration::from_secs_f64(self.at_secs);
+        let repair_at = fail_at + SimDuration::from_secs_f64(self.duration_secs);
+        let kind = match self.kind.as_str() {
+            "crash" => FaultKind::Crash,
+            "slowdown" => FaultKind::Slowdown { factor: self.factor },
+            "gray" => FaultKind::Gray { error_rate: self.error_rate },
+            _ => FaultKind::Partition,
+        };
+        Ok(Fault {
+            outage: Outage { machine: self.target as usize, fail_at, repair_at },
+            kind,
+        })
+    }
+
+    /// The portable form of a model-level [`Fault`].
+    pub fn from_fault(fault: &Fault) -> Self {
+        let at_secs = fault.outage.fail_at.as_secs_f64();
+        let duration_secs = fault.outage.duration().as_secs_f64();
+        let target = fault.outage.machine as u32;
+        match fault.kind {
+            FaultKind::Crash => Self::crash(at_secs, duration_secs, target),
+            FaultKind::Slowdown { factor } => {
+                Self::slowdown(at_secs, duration_secs, target, factor)
+            }
+            FaultKind::Gray { error_rate } => {
+                Self::gray(at_secs, duration_secs, target, error_rate)
+            }
+            FaultKind::Partition => Self::partition(at_secs, duration_secs, target),
+        }
+    }
+}
+
+/// An explicit fault schedule: the unit chaos campaigns sweep, shrink, and
+/// serialize as reproducers.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultSchedule {
+    /// The scripted faults, in any order (the injector sorts by strike time).
+    pub faults: Vec<ScheduledFault>,
+}
+
+impl_json!(struct FaultSchedule { faults });
+
+impl FaultSchedule {
+    /// A schedule over the given entries.
+    pub fn new(faults: Vec<ScheduledFault>) -> Self {
+        FaultSchedule { faults }
+    }
+
+    /// The empty schedule (a fault-free baseline run).
+    pub fn empty() -> Self {
+        FaultSchedule { faults: Vec::new() }
+    }
+
+    /// Number of scripted faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Checks every entry, returning the first offence.
+    pub fn validate(&self) -> Result<(), McsError> {
+        self.faults.iter().try_for_each(ScheduledFault::validate)
+    }
+
+    /// Converts the whole schedule into injector-ready [`Fault`]s.
+    pub fn to_faults(&self) -> Result<Vec<Fault>, McsError> {
+        self.faults.iter().map(ScheduledFault::to_fault).collect()
+    }
+
+    /// The portable form of a model-level schedule.
+    pub fn from_faults(faults: &[Fault]) -> Self {
+        FaultSchedule { faults: faults.iter().map(ScheduledFault::from_fault).collect() }
+    }
+
+    /// Canonical JSON, byte-stable for a given schedule.
+    pub fn to_json_string(&self) -> String {
+        to_string(self)
+    }
+
+    /// Parses (and validates) a schedule from its JSON form.
+    pub fn from_json_str(text: &str) -> Result<Self, McsError> {
+        let schedule: FaultSchedule = from_str(text)?;
+        schedule.validate()?;
+        Ok(schedule)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FaultSchedule {
+        FaultSchedule::new(vec![
+            ScheduledFault::crash(600.0, 300.0, 3),
+            ScheduledFault::slowdown(900.0, 60.0, 7, 4.0),
+            ScheduledFault::gray(1200.0, 45.5, 1, 0.3),
+            ScheduledFault::partition(1800.0, 120.0, 5),
+        ])
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless_and_byte_stable() {
+        let schedule = sample();
+        let text = schedule.to_json_string();
+        let back = FaultSchedule::from_json_str(&text).unwrap();
+        assert_eq!(back, schedule);
+        assert_eq!(back.to_json_string(), text);
+    }
+
+    #[test]
+    fn fault_round_trip_preserves_every_kind() {
+        let schedule = sample();
+        let faults = schedule.to_faults().unwrap();
+        assert_eq!(faults.len(), 4);
+        assert_eq!(FaultSchedule::from_faults(&faults), schedule);
+        // Spot-check the window arithmetic.
+        assert_eq!(faults[0].outage.fail_at, SimTime::from_secs(600));
+        assert_eq!(faults[0].outage.repair_at, SimTime::from_secs(900));
+        assert!(matches!(faults[3].kind, FaultKind::Partition));
+    }
+
+    #[test]
+    fn invalid_entries_are_rejected() {
+        let bad = [
+            ScheduledFault::crash(-1.0, 10.0, 0),
+            ScheduledFault::crash(0.0, 0.0, 0),
+            ScheduledFault::slowdown(0.0, 10.0, 0, 0.5),
+            ScheduledFault::gray(0.0, 10.0, 0, 1.5),
+            ScheduledFault { kind: "meteor".to_owned(), ..ScheduledFault::crash(0.0, 1.0, 0) },
+        ];
+        for fault in bad {
+            assert!(
+                FaultSchedule::new(vec![fault.clone()]).validate().is_err(),
+                "{fault:?} must be rejected"
+            );
+        }
+        assert!(sample().validate().is_ok());
+    }
+
+    #[test]
+    fn parsing_validates_entries() {
+        let text = FaultSchedule::new(vec![ScheduledFault::crash(0.0, -5.0, 0)])
+            .to_json_string();
+        assert!(FaultSchedule::from_json_str(&text).is_err());
+    }
+}

@@ -1,0 +1,149 @@
+//! Minimal-reproducer extraction by delta debugging.
+//!
+//! [`ddmin`] is Zeller-style delta debugging over an arbitrary item slice:
+//! given a failing input (a fault schedule whose run violates an invariant)
+//! and an oracle that replays a candidate subset, it returns a subset that
+//! still fails but is *1-minimal* — removing any single remaining item makes
+//! the violation disappear. Because every simulation run is deterministic,
+//! the oracle is a pure function of the candidate schedule, so shrinking is
+//! reproducible and the shrunk schedule replays to the same violation
+//! forever.
+
+/// Delta-debugging minimisation of a failing item list.
+///
+/// `oracle(candidate)` must return `true` when the candidate still exhibits
+/// the failure. `items` itself is expected to fail; if it does not, it is
+/// returned unchanged (there is nothing coherent to shrink). The result is
+/// 1-minimal with respect to the oracle.
+pub fn ddmin<T: Clone>(items: &[T], mut oracle: impl FnMut(&[T]) -> bool) -> Vec<T> {
+    let mut current: Vec<T> = items.to_vec();
+    if current.is_empty() || !oracle(&current) {
+        return current;
+    }
+    let mut granularity = 2usize;
+    while current.len() >= 2 {
+        let chunks = chunk_ranges(current.len(), granularity);
+        let mut reduced = false;
+
+        // Try each chunk alone, then each complement.
+        for &(start, end) in &chunks {
+            let subset: Vec<T> = current[start..end].to_vec();
+            if subset.len() < current.len() && oracle(&subset) {
+                current = subset;
+                granularity = 2;
+                reduced = true;
+                break;
+            }
+        }
+        if !reduced && granularity > 2 {
+            for &(start, end) in &chunks {
+                let complement: Vec<T> = current[..start]
+                    .iter()
+                    .chain(current[end..].iter())
+                    .cloned()
+                    .collect();
+                if !complement.is_empty()
+                    && complement.len() < current.len()
+                    && oracle(&complement)
+                {
+                    current = complement;
+                    granularity = (granularity - 1).max(2);
+                    reduced = true;
+                    break;
+                }
+            }
+        }
+        if !reduced {
+            if granularity >= current.len() {
+                break; // 1-minimal: no single chunk or complement fails.
+            }
+            granularity = (granularity * 2).min(current.len());
+        }
+    }
+    current
+}
+
+/// Splits `len` items into `n` contiguous, non-empty ranges.
+fn chunk_ranges(len: usize, n: usize) -> Vec<(usize, usize)> {
+    let n = n.min(len).max(1);
+    let base = len / n;
+    let extra = len % n;
+    let mut ranges = Vec::with_capacity(n);
+    let mut start = 0;
+    for i in 0..n {
+        let width = base + usize::from(i < extra);
+        ranges.push((start, start + width));
+        start += width;
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_exactly_without_gaps() {
+        for len in 1..20 {
+            for n in 1..25 {
+                let ranges = chunk_ranges(len, n);
+                assert_eq!(ranges.first().unwrap().0, 0);
+                assert_eq!(ranges.last().unwrap().1, len);
+                for pair in ranges.windows(2) {
+                    assert_eq!(pair[0].1, pair[1].0);
+                }
+                assert!(ranges.iter().all(|&(s, e)| e > s), "empty range in {ranges:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn shrinks_to_the_single_culprit() {
+        let items: Vec<u32> = (0..32).collect();
+        let mut calls = 0;
+        let minimal = ddmin(&items, |subset| {
+            calls += 1;
+            subset.contains(&19)
+        });
+        assert_eq!(minimal, vec![19]);
+        assert!(calls < 200, "ddmin used {calls} oracle calls");
+    }
+
+    #[test]
+    fn shrinks_to_a_pair_of_interacting_culprits() {
+        let items: Vec<u32> = (0..24).collect();
+        let minimal = ddmin(&items, |s| s.contains(&3) && s.contains(&17));
+        assert_eq!(minimal, vec![3, 17]);
+    }
+
+    #[test]
+    fn result_is_one_minimal() {
+        let items: Vec<u32> = (0..16).collect();
+        let oracle = |s: &[u32]| s.iter().filter(|&&x| x % 3 == 0).count() >= 2;
+        let minimal = ddmin(&items, oracle);
+        assert!(oracle(&minimal));
+        for i in 0..minimal.len() {
+            let mut reduced = minimal.clone();
+            reduced.remove(i);
+            assert!(!oracle(&reduced), "removing {i} from {minimal:?} still fails");
+        }
+    }
+
+    #[test]
+    fn non_failing_input_returns_unchanged() {
+        let items = vec![1, 2, 3];
+        assert_eq!(ddmin(&items, |_| false), items);
+        assert_eq!(ddmin::<u32>(&[], |_| true), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn preserves_relative_order() {
+        let items: Vec<u32> = (0..12).collect();
+        let minimal = ddmin(&items, |s| {
+            let pos2 = s.iter().position(|&x| x == 2);
+            let pos9 = s.iter().position(|&x| x == 9);
+            matches!((pos2, pos9), (Some(a), Some(b)) if a < b)
+        });
+        assert_eq!(minimal, vec![2, 9]);
+    }
+}

@@ -31,7 +31,7 @@ use mcs_bigdata::actor::{BdPhase, BigdataMsg, DataflowActor};
 use mcs_faas::actor::{CongestionConfig, FaasActor, FaasFault, FaasMsg};
 use mcs_faas::platform::{FaasPlatform, FunctionSpec, KeepAlivePolicy, PlatformReport};
 use mcs_failure::inject::{FailureEvent, FailureInjector, InjectorMsg};
-use mcs_failure::model::{FailureModel, FaultKind, FaultMix, SpaceCorrelatedFailures};
+use mcs_failure::model::{FailureModel, Fault, FaultKind, FaultMix, SpaceCorrelatedFailures};
 use mcs_gaming::actor::{GamingMsg, SyncConfig as GamingSyncConfig, WorldActor};
 use mcs_net::actor::{FlowTag, NetActor, NetFault, NetMsg, TransferReq};
 use mcs_net::topology::NetTopology;
@@ -182,6 +182,12 @@ pub struct FailureConfig {
     /// partition faults model are typically much shorter; `None` keeps the
     /// outage's own repair instant.
     pub service_fault_secs: Option<f64>,
+    /// An explicit, scripted fault schedule. When `Some`, the injector
+    /// replays exactly these faults — the stochastic outage generator and
+    /// the fault-mix assignment are bypassed entirely (chaos campaigns use
+    /// this for reproducible adversarial runs). `None` (the default) keeps
+    /// the legacy random schedule byte-identical.
+    pub schedule: Option<Vec<Fault>>,
 }
 
 impl Default for FailureConfig {
@@ -192,7 +198,16 @@ impl Default for FailureConfig {
             kill_fraction: 0.5,
             fault_mix: FaultMix::crash_only(),
             service_fault_secs: None,
+            schedule: None,
         }
+    }
+}
+
+impl FailureConfig {
+    /// A failure slice that replays exactly `faults` (scripted mode); the
+    /// stochastic generator parameters keep their defaults but are unused.
+    pub fn scripted(faults: Vec<Fault>) -> Self {
+        FailureConfig { schedule: Some(faults), ..FailureConfig::default() }
     }
 }
 
@@ -236,6 +251,11 @@ pub struct NetworkConfig {
     pub gaming_sync_per_player_bytes: u64,
     /// A sync burst that takes longer than this counts as lagged.
     pub gaming_lag_budget: SimDuration,
+    /// How long a flow may sit at a zero fair share (its endpoint cut) before
+    /// the fabric aborts it with a `net/flow_aborted` record and the owner is
+    /// told to retry or fail fast. `None` restores the pre-timeout behaviour:
+    /// stranded flows stall silently until the cut heals (or forever).
+    pub flow_timeout: Option<SimDuration>,
 }
 
 impl Default for NetworkConfig {
@@ -253,6 +273,7 @@ impl Default for NetworkConfig {
             gaming_sync_base_bytes: 256 * 1024,
             gaming_sync_per_player_bytes: 4 * 1024,
             gaming_lag_budget: SimDuration::from_millis(250),
+            flow_timeout: Some(SimDuration::from_secs(60)),
         }
     }
 }
@@ -400,11 +421,16 @@ impl ScenarioConfig {
         self
     }
 
-    /// Validates the configuration, returning the first offence as
-    /// [`McsError::InvalidConfig`]. Runs the checks a mid-run panic or an
-    /// infinite loop would otherwise surface: an empty fleet, non-finite or
-    /// negative rates, and a zero-sized failure-correlation domain.
-    pub fn validate(&self) -> Result<(), McsError> {
+    /// Validates the configuration.
+    ///
+    /// Hard offences — the checks a mid-run panic or an infinite loop would
+    /// otherwise surface (an empty fleet, non-finite or negative rates, a
+    /// zero-sized failure-correlation domain) — come back as the first
+    /// [`McsError::InvalidConfig`]. A valid configuration returns the list
+    /// of *warnings*: legal-but-suspicious combinations (e.g. partition
+    /// faults without a network model to cut) that binaries print to stderr
+    /// and chaos campaigns assert on. An empty list means a clean config.
+    pub fn validate(&self) -> Result<Vec<ScenarioWarning>, McsError> {
         fn finite_positive(field: &'static str, v: f64) -> Result<(), McsError> {
             if !v.is_finite() || v <= 0.0 {
                 return Err(McsError::invalid_config(field, "must be finite and positive"));
@@ -488,7 +514,77 @@ impl ScenarioConfig {
                 ));
             }
         }
-        Ok(())
+        Ok(self.warnings())
+    }
+
+    /// The legal-but-suspicious combinations in this configuration; see
+    /// [`ScenarioConfig::validate`].
+    fn warnings(&self) -> Vec<ScenarioWarning> {
+        let mut warnings = Vec::new();
+        if let (Some(failure), None) = (&self.failure, &self.network) {
+            let scripted_partitions = failure.schedule.as_ref().is_some_and(|faults| {
+                faults.iter().any(|f| matches!(f.kind, FaultKind::Partition))
+            });
+            if failure.schedule.is_none() && failure.fault_mix.partition > 0.0 {
+                warnings.push(ScenarioWarning::new(
+                    "failure.fault_mix.partition",
+                    format!(
+                        "fault_mix.partition = {} but no network model is attached; \
+                         partition windows fall back to FaaS service faults — attach a \
+                         NetworkConfig (with_network) to cut topology links instead",
+                        failure.fault_mix.partition
+                    ),
+                ));
+            }
+            if scripted_partitions {
+                warnings.push(ScenarioWarning::new(
+                    "failure.schedule",
+                    "scripted schedule contains partition faults but no network model \
+                     is attached; they fall back to FaaS service faults — attach a \
+                     NetworkConfig (with_network) to cut topology links instead"
+                        .to_string(),
+                ));
+            }
+        }
+        if let (Some(failure), Some(network)) = (&self.failure, &self.network) {
+            let has_partitions = failure.fault_mix.partition > 0.0
+                || failure.schedule.as_ref().is_some_and(|faults| {
+                    faults.iter().any(|f| matches!(f.kind, FaultKind::Partition))
+                });
+            if has_partitions && network.flow_timeout.is_none() {
+                warnings.push(ScenarioWarning::new(
+                    "network.flow_timeout",
+                    "partition faults can strand in-flight flows and flow_timeout is \
+                     None: a cut endpoint stalls its flows silently until the cut \
+                     heals — set a timeout so owners are told to retry or fail fast"
+                        .to_string(),
+                ));
+            }
+        }
+        warnings
+    }
+}
+
+/// A legal-but-suspicious configuration combination surfaced by
+/// [`ScenarioConfig::validate`]: binaries print these to stderr, chaos
+/// campaigns assert on them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioWarning {
+    /// Dotted path of the field (combination) the warning is about.
+    pub field: &'static str,
+    /// Human-readable advice.
+    pub message: String,
+}
+
+impl ScenarioWarning {
+    fn new(field: &'static str, message: String) -> Self {
+        ScenarioWarning { field, message }
+    }
+}
+
+impl std::fmt::Display for ScenarioWarning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "warning: {}: {}", self.field, self.message)
     }
 }
 
@@ -538,6 +634,8 @@ pub struct ScenarioOutcome {
     pub net_flows_started: u64,
     /// Flows delivered by the network fabric.
     pub net_flows_delivered: u64,
+    /// Flows aborted after stalling on a cut endpoint past the flow timeout.
+    pub net_flows_aborted: u64,
     /// Total seconds flows lost to contention, faults, and degraded links.
     pub net_stall_secs: f64,
     /// Engine messages delivered across all actors.
@@ -584,21 +682,17 @@ impl Scenario {
     /// Returns [`McsError::InvalidConfig`] when the configuration fails
     /// [`ScenarioConfig::validate`] (empty fleet, non-finite rates, ...).
     pub fn try_new(config: ScenarioConfig) -> Result<Self, McsError> {
-        config.validate()?;
-        if let (Some(failure), None) = (&config.failure, &config.network) {
-            if failure.fault_mix.partition > 0.0 {
-                // Once per process: sweeps build hundreds of scenarios and the
-                // advice does not change between them.
-                static PARTITION_WARNING: std::sync::Once = std::sync::Once::new();
-                PARTITION_WARNING.call_once(|| {
-                    eprintln!(
-                        "warning: fault_mix.partition = {} but no network model is attached; \
-                         partition windows fall back to FaaS service faults — attach a \
-                         NetworkConfig (with_network) to cut topology links instead",
-                        failure.fault_mix.partition
-                    );
-                });
-            }
+        let warnings = config.validate()?;
+        if !warnings.is_empty() {
+            // Once per process: sweeps build hundreds of scenarios and the
+            // advice does not change between them. Callers that want every
+            // instance (chaos campaigns) call `validate()` themselves.
+            static CONFIG_WARNINGS: std::sync::Once = std::sync::Once::new();
+            CONFIG_WARNINGS.call_once(|| {
+                for w in &warnings {
+                    eprintln!("{w}");
+                }
+            });
         }
         Ok(Scenario {
             config,
@@ -660,16 +754,25 @@ impl Scenario {
         });
 
         let mut outages_generated = 0;
-        let faults = cfg.failure.as_ref().map(|failure| {
-            let outages = SpaceCorrelatedFailures::with_mtbf(
-                failure.mtbf_secs,
-                cfg.machines,
-                failure.failure_domain,
-            )
-            .generate(cfg.machines, cfg.horizon, &mut failure_rng);
-            outages_generated = outages.len();
-            let mut mix_rng = RngStream::new(cfg.seed, "fault-mix");
-            failure.fault_mix.assign(outages, &mut mix_rng)
+        let faults = cfg.failure.as_ref().map(|failure| match &failure.schedule {
+            // Scripted mode: replay exactly the given faults; the stochastic
+            // generator and the fault-mix assignment (and their RNG streams)
+            // are never consulted.
+            Some(scripted) => {
+                outages_generated = scripted.len();
+                scripted.clone()
+            }
+            None => {
+                let outages = SpaceCorrelatedFailures::with_mtbf(
+                    failure.mtbf_secs,
+                    cfg.machines,
+                    failure.failure_domain,
+                )
+                .generate(cfg.machines, cfg.horizon, &mut failure_rng);
+                outages_generated = outages.len();
+                let mut mix_rng = RngStream::new(cfg.seed, "fault-mix");
+                failure.fault_mix.assign(outages, &mut mix_rng)
+            }
         });
 
         let mut platform = cfg.faas.as_ref().map(|faas| {
@@ -1127,12 +1230,64 @@ impl Scenario {
         });
 
         // The shared fabric, with the completion router that turns finished
-        // flows back into tenant messages.
+        // flows back into tenant messages. Aborted flows (stranded on a cut
+        // endpoint past the flow timeout) take the retry-or-fail-fast
+        // branch instead of the delivery branch.
         let mut net_actor = cfg.network.as_ref().map(|net| {
             let function_names = function_names.clone();
             let lag_budget = net.gaming_lag_budget.as_secs_f64();
-            NetActor::new(net.topology(cfg.machines)).with_completion(
-                move |ctx, done| match done.tag.owner {
+            let nid = net_id.expect("net id allocated");
+            NetActor::new(net.topology(cfg.machines))
+                .with_flow_timeout(net.flow_timeout)
+                .with_completion(move |ctx, done| {
+                    if done.aborted {
+                        match done.tag.owner {
+                            // The invocation payload (or its response) is
+                            // lost: the caller fails fast, nothing retries.
+                            "faas" | "faas-resp" => {}
+                            // The checkpoint fetch is abandoned; the task
+                            // re-enters the queue and restarts.
+                            "rms" => {
+                                if let Some(id) = scheduler_id {
+                                    ctx.send(
+                                        id,
+                                        SimDuration::ZERO,
+                                        EcosystemMsg::Rms(RmsMsg::Requeue(
+                                            done.tag.id as usize,
+                                        )),
+                                    );
+                                }
+                            }
+                            // Phase barriers would hang forever on a lost
+                            // transfer: retry it (bounded by the timeout
+                            // cadence until the cut heals or the run ends).
+                            "bd-map" | "bd-shuffle" => {
+                                ctx.send(
+                                    nid,
+                                    SimDuration::ZERO,
+                                    EcosystemMsg::Net(NetMsg::Transfer(TransferReq {
+                                        src: done.src,
+                                        dst: done.dst,
+                                        bytes: done.bytes,
+                                        tag: done.tag,
+                                    })),
+                                );
+                            }
+                            // A lost world-state sync counts as (very) lagged.
+                            "game" => {
+                                if let Some(id) = gaming_id {
+                                    ctx.send(
+                                        id,
+                                        SimDuration::ZERO,
+                                        EcosystemMsg::Gaming(GamingMsg::SyncDone(true)),
+                                    );
+                                }
+                            }
+                            other => debug_assert!(false, "unrouted flow owner {other:?}"),
+                        }
+                        return;
+                    }
+                    match done.tag.owner {
                     "faas" => {
                         if let Some(id) = faas_id {
                             let function = function_names
@@ -1191,8 +1346,8 @@ impl Scenario {
                         }
                     }
                     other => debug_assert!(false, "unrouted flow owner {other:?}"),
-                },
-            )
+                    }
+                })
         });
 
         let mut sim: Simulation<'_, EcosystemMsg> = Simulation::new(cfg.seed);
@@ -1297,6 +1452,7 @@ impl Scenario {
         let gaming_laggy_syncs = gaming_actor.as_ref().map_or(0, |a| a.laggy_syncs());
         let net_flows_started = net_actor.as_ref().map_or(0, |a| a.started());
         let net_flows_delivered = net_actor.as_ref().map_or(0, |a| a.delivered());
+        let net_flows_aborted = net_actor.as_ref().map_or(0, |a| a.aborted());
         let net_stall_secs = net_actor.as_ref().map_or(0.0, |a| a.stall_secs());
         drop(arrival);
         drop(faas_actor);
@@ -1327,6 +1483,7 @@ impl Scenario {
             gaming_laggy_syncs,
             net_flows_started,
             net_flows_delivered,
+            net_flows_aborted,
             net_stall_secs,
             events_handled,
             trace,
@@ -1365,6 +1522,7 @@ fn empty_platform_report() -> PlatformReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mcs_failure::model::Outage;
 
     fn small_config() -> ScenarioConfig {
         ScenarioConfig {
@@ -1586,6 +1744,115 @@ mod tests {
         assert!(out.trace.count("net", "link_restored") > 0, "cuts were never repaired");
         // Partitions no longer open FaaS service windows.
         assert_eq!(out.trace.count("faas", "fault"), 0);
+    }
+
+    #[test]
+    fn scripted_schedule_replays_exactly_and_deterministically() {
+        let fault = |machine: usize, fail: u64, repair: u64, kind: FaultKind| Fault {
+            outage: Outage {
+                machine,
+                fail_at: SimTime::from_secs(fail),
+                repair_at: SimTime::from_secs(repair),
+            },
+            kind,
+        };
+        let schedule = vec![
+            fault(3, 600, 1200, FaultKind::Crash),
+            fault(7, 1800, 1860, FaultKind::Slowdown { factor: 4.0 }),
+            fault(1, 2400, 2460, FaultKind::Crash),
+        ];
+        let mk = || {
+            Scenario::new(
+                small_config().with_failures(FailureConfig::scripted(schedule.clone())),
+            )
+            .run()
+        };
+        let out = mk();
+        // Exactly the scripted faults strike — no stochastic extras.
+        assert_eq!(out.outages_generated, 3);
+        assert_eq!(out.outages_delivered, 3);
+        let outages = out.trace.select("failure", "outage");
+        assert_eq!(outages.len(), 3);
+        let strike_secs: Vec<f64> = outages.iter().map(|e| e.at.as_secs_f64()).collect();
+        assert_eq!(strike_secs, vec![600.0, 1800.0, 2400.0]);
+        assert_eq!(out.trace.count("rms", "machine_fail"), 2, "crashes only");
+        // Scripted runs replay byte-identically.
+        assert_eq!(out.trace.to_json_string(), mk().trace.to_json_string());
+    }
+
+    #[test]
+    fn scripted_partition_strands_flows_which_abort_on_timeout() {
+        // A partition window over the whole bigdata transfer phase, with a
+        // short flow timeout: stranded flows must abort (and the barrier
+        // retries keep the run live until the cut heals).
+        let schedule: Vec<Fault> = (0u32..8)
+            .map(|m| Fault {
+                outage: Outage {
+                    machine: m as usize,
+                    fail_at: SimTime::from_secs(5),
+                    repair_at: SimTime::from_secs(3000),
+                },
+                kind: FaultKind::Partition,
+            })
+            .collect();
+        let cfg = ScenarioConfig::bare(11, SimTime::from_secs(4 * 3600), 16)
+            .with_bigdata(BigdataConfig::default())
+            .with_failures(FailureConfig::scripted(schedule))
+            .with_network(NetworkConfig {
+                flow_timeout: Some(SimDuration::from_secs(30)),
+                ..NetworkConfig::default()
+            });
+        let out = Scenario::new(cfg).run();
+        assert!(out.trace.count("net", "link_cut") > 0, "partitions must cut links");
+        assert!(out.net_flows_aborted > 0, "stranded flows must abort");
+        assert_eq!(
+            out.trace.count("net", "flow_aborted") as u64,
+            out.net_flows_aborted
+        );
+        // Every abort is also visible to the flow-accounting identity:
+        // started = delivered + aborted + still-in-flight-at-horizon.
+        assert!(out.net_flows_delivered + out.net_flows_aborted <= out.net_flows_started);
+    }
+
+    #[test]
+    fn validate_returns_structured_warnings() {
+        // A clean default config warns about nothing.
+        assert_eq!(ScenarioConfig::default().validate().unwrap(), Vec::new());
+
+        // Partition weight without a network model.
+        let cfg = ScenarioConfig::default().with_failures(FailureConfig {
+            fault_mix: FaultMix { crash: 0.5, partition: 0.5, ..FaultMix::crash_only() },
+            ..FailureConfig::default()
+        });
+        let warnings = cfg.validate().unwrap();
+        assert_eq!(warnings.len(), 1);
+        assert_eq!(warnings[0].field, "failure.fault_mix.partition");
+
+        // A scripted schedule with partitions but no network.
+        let scripted = ScenarioConfig::default().with_failures(FailureConfig::scripted(vec![
+            Fault {
+                outage: Outage {
+                    machine: 0,
+                    fail_at: SimTime::from_secs(1),
+                    repair_at: SimTime::from_secs(2),
+                },
+                kind: FaultKind::Partition,
+            },
+        ]));
+        let warnings = scripted.validate().unwrap();
+        assert_eq!(warnings.len(), 1);
+        assert_eq!(warnings[0].field, "failure.schedule");
+
+        // Partitions plus a network, but flow aborts disabled: stranded
+        // flows would stall silently — exactly the chaos-campaign seeded
+        // violation, so the config warns about it.
+        let stranded = scripted.with_network(NetworkConfig {
+            flow_timeout: None,
+            ..NetworkConfig::default()
+        });
+        let warnings = stranded.validate().unwrap();
+        assert_eq!(warnings.len(), 1);
+        assert_eq!(warnings[0].field, "network.flow_timeout");
     }
 
     #[test]

@@ -81,6 +81,9 @@ pub enum NetMsg {
     /// Self-scheduled: a drained flow has crossed its propagation latency
     /// and is delivered to the completion hook.
     Deliver(u64),
+    /// Self-scheduled: the earliest stalled-flow abort deadline (only armed
+    /// when a flow timeout is configured and some flow has rate zero).
+    Abort,
     /// Apply a topology fault.
     Fault(NetFault),
     /// Lift a topology fault (must mirror an earlier [`NetMsg::Fault`]).
@@ -103,6 +106,9 @@ pub struct FlowDone {
     /// What the transfer would have taken alone on a healthy fabric:
     /// `bytes / base_bottleneck + latency`. `secs - ideal_secs` is stall.
     pub ideal_secs: f64,
+    /// Whether the flow was aborted after stalling on a cut link for the
+    /// configured timeout instead of draining its bytes.
+    pub aborted: bool,
 }
 
 impl FlowDone {
@@ -127,6 +133,9 @@ struct ActiveFlow {
     latency: SimDuration,
     started: SimTime,
     ideal_secs: f64,
+    /// When the flow's fair share last dropped to zero (a cut on its path);
+    /// cleared as soon as any reallocation gives it a positive rate again.
+    stalled_since: Option<SimTime>,
 }
 
 /// The flow-level network model as a simulation actor.
@@ -138,9 +147,12 @@ pub struct NetActor<'a, M = NetMsg> {
     next_id: u64,
     last_update: SimTime,
     pending: Option<EventToken>,
+    abort_pending: Option<EventToken>,
+    flow_timeout: Option<SimDuration>,
     on_complete: Option<CompletionHook<'a, M>>,
     started: u64,
     delivered: u64,
+    aborted: u64,
     stall_secs: f64,
 }
 
@@ -154,9 +166,12 @@ impl<'a, M: MessageEnvelope<NetMsg>> NetActor<'a, M> {
             next_id: 0,
             last_update: SimTime::ZERO,
             pending: None,
+            abort_pending: None,
+            flow_timeout: None,
             on_complete: None,
             started: 0,
             delivered: 0,
+            aborted: 0,
             stall_secs: 0.0,
         }
     }
@@ -167,6 +182,15 @@ impl<'a, M: MessageEnvelope<NetMsg>> NetActor<'a, M> {
         hook: impl FnMut(&mut Context<'_, M>, &FlowDone) + 'a,
     ) -> Self {
         self.on_complete = Some(Box::new(hook));
+        self
+    }
+
+    /// Aborts any flow whose fair share stays at zero (its path holds a cut
+    /// link) for `timeout`, emitting a `net/flow_aborted` record and handing
+    /// the owner an aborted [`FlowDone`] so it can retry or fail fast.
+    /// `None` (the default) keeps the legacy stall-until-restore behaviour.
+    pub fn with_flow_timeout(mut self, timeout: Option<SimDuration>) -> Self {
+        self.flow_timeout = timeout;
         self
     }
 
@@ -183,6 +207,11 @@ impl<'a, M: MessageEnvelope<NetMsg>> NetActor<'a, M> {
     /// Flows delivered to the completion hook so far.
     pub fn delivered(&self) -> u64 {
         self.delivered
+    }
+
+    /// Flows aborted after stalling past the configured timeout.
+    pub fn aborted(&self) -> u64 {
+        self.aborted
     }
 
     /// Flows currently moving bytes or riding out latency.
@@ -224,6 +253,7 @@ impl<'a, M: MessageEnvelope<NetMsg>> NetActor<'a, M> {
                     bytes: f.bytes,
                     secs,
                     ideal_secs: f.ideal_secs,
+                    aborted: false,
                 };
                 self.stall_secs += done.stall_secs();
                 ctx.emit(
@@ -260,22 +290,97 @@ impl<'a, M: MessageEnvelope<NetMsg>> NetActor<'a, M> {
         let caps = self.topo.effective_capacities();
         let paths: Vec<Vec<LinkId>> = self.flows.iter().map(|f| f.links.clone()).collect();
         let rates = max_min_rates(&paths, &caps);
+        let now = ctx.now();
         let mut earliest = f64::INFINITY;
         for (f, &rate) in self.flows.iter_mut().zip(&rates) {
             f.rate = rate;
             if rate > 0.0 {
+                f.stalled_since = None;
                 earliest = earliest.min(f.remaining / rate);
+            } else if f.stalled_since.is_none() {
+                f.stalled_since = Some(now);
             }
         }
         // Round the prediction *up* one nanosecond so the argmin flow is
         // fully drained when the event fires. Flows on cut links have no
-        // finite prediction; they wait for the next allocation change.
+        // finite prediction; they wait for the next allocation change (or
+        // their abort deadline, when a flow timeout is configured).
         if let Some(dt) = SimDuration::try_from_secs_f64(earliest) {
             self.pending = Some(ctx.send_self(
                 dt + SimDuration::from_nanos(1),
                 M::wrap(NetMsg::Complete),
             ));
         }
+        self.reschedule_aborts(ctx);
+    }
+
+    /// Retimes the single pending abort event to the earliest stalled-flow
+    /// deadline (cancel + re-send, same idiom as the completion event).
+    fn reschedule_aborts(&mut self, ctx: &mut Context<'_, M>) {
+        if let Some(token) = self.abort_pending.take() {
+            ctx.cancel(token);
+        }
+        let Some(timeout) = self.flow_timeout else { return };
+        let mut earliest: Option<SimTime> = None;
+        for f in &self.flows {
+            if let Some(since) = f.stalled_since {
+                let deadline = since + timeout;
+                earliest = Some(earliest.map_or(deadline, |e: SimTime| e.min(deadline)));
+            }
+        }
+        if let Some(at) = earliest {
+            let delay = at.saturating_since(ctx.now());
+            self.abort_pending = Some(ctx.send_self(delay, M::wrap(NetMsg::Abort)));
+        }
+    }
+
+    /// Aborts every flow that has been stalled for at least the timeout,
+    /// then resettles the allocation (which re-arms the next deadline).
+    fn abort_due(&mut self, ctx: &mut Context<'_, M>) {
+        let Some(timeout) = self.flow_timeout else { return };
+        let now = ctx.now();
+        let mut i = 0;
+        while i < self.flows.len() {
+            let due = self.flows[i]
+                .stalled_since
+                .is_some_and(|since| since + timeout <= now);
+            if !due {
+                i += 1;
+                continue;
+            }
+            let f = self.flows.remove(i);
+            let secs = now.saturating_since(f.started).as_secs_f64();
+            let waited = now
+                .saturating_since(f.stalled_since.unwrap_or(f.started))
+                .as_secs_f64();
+            let done = FlowDone {
+                tag: f.tag,
+                src: f.src,
+                dst: f.dst,
+                bytes: f.bytes,
+                secs,
+                ideal_secs: f.ideal_secs,
+                aborted: true,
+            };
+            self.aborted += 1;
+            ctx.emit(
+                NET_COMPONENT,
+                "flow_aborted",
+                payload(vec![
+                    ("owner", Json::Str(f.tag.owner.to_string())),
+                    ("id", Json::UInt(f.tag.id)),
+                    ("src", Json::UInt(u64::from(f.src))),
+                    ("dst", Json::UInt(u64::from(f.dst))),
+                    ("bytes", Json::UInt(f.bytes)),
+                    ("secs", Json::Float(secs)),
+                    ("waited_secs", Json::Float(waited)),
+                ]),
+            );
+            if let Some(hook) = self.on_complete.as_mut() {
+                hook(ctx, &done);
+            }
+        }
+        self.settle(ctx);
     }
 
     fn start_flow(&mut self, ctx: &mut Context<'_, M>, req: TransferReq) {
@@ -315,6 +420,7 @@ impl<'a, M: MessageEnvelope<NetMsg>> NetActor<'a, M> {
             latency,
             started: ctx.now(),
             ideal_secs,
+            stalled_since: None,
         });
         self.settle(ctx);
     }
@@ -384,6 +490,11 @@ impl<M: MessageEnvelope<NetMsg>> Actor<M> for NetActor<'_, M> {
                 self.settle(ctx);
             }
             NetMsg::Deliver(id) => self.deliver(ctx, id),
+            NetMsg::Abort => {
+                self.abort_pending = None;
+                self.advance(ctx.now());
+                self.abort_due(ctx);
+            }
             NetMsg::Fault(fault) => self.apply_fault(ctx, fault, false),
             NetMsg::FaultClear(fault) => self.apply_fault(ctx, fault, true),
         }
@@ -522,6 +633,85 @@ mod tests {
         for &(_, t) in &done {
             assert!((t - 4.002).abs() < 1e-2, "t = {t}");
         }
+    }
+
+    /// Like [`run`] but with a flow timeout armed; also records abort flags.
+    fn run_with_timeout(
+        timeout: Option<SimDuration>,
+        events: Vec<(SimTime, NetMsg)>,
+    ) -> (Vec<(u64, f64, bool)>, String, u64) {
+        let done = std::cell::RefCell::new(Vec::new());
+        let mut actor = NetActor::new(topo()).with_flow_timeout(timeout).with_completion(
+            |ctx, fd: &FlowDone| {
+                done.borrow_mut().push((fd.tag.id, ctx.now().as_secs_f64(), fd.aborted));
+            },
+        );
+        let mut sim: Simulation<'_, NetMsg> = Simulation::new(7);
+        let id = sim.add_actor(&mut actor);
+        for (at, msg) in events {
+            sim.schedule(at, id, msg);
+        }
+        sim.run();
+        let trace = sim.trace().to_json_string();
+        drop(sim);
+        let aborted = actor.aborted();
+        drop(actor);
+        (done.into_inner(), trace, aborted)
+    }
+
+    #[test]
+    fn stalled_flow_aborts_after_timeout() {
+        let bytes = (10.0 * MB) as u64;
+        // Node 0 is cut before the transfer starts and never restored: with a
+        // 10 s timeout the flow must abort at t = 10 s instead of stalling
+        // forever.
+        let (done, trace, aborted) = run_with_timeout(
+            Some(SimDuration::from_secs(10)),
+            vec![
+                (SimTime::ZERO, NetMsg::Fault(NetFault::Cut { node: 0 })),
+                (SimTime::ZERO, NetMsg::Transfer(req(0, 1, bytes, 7))),
+            ],
+        );
+        assert_eq!(aborted, 1);
+        assert_eq!(done.len(), 1);
+        let (id, t, was_aborted) = done[0];
+        assert_eq!(id, 7);
+        assert!(was_aborted);
+        assert!((t - 10.0).abs() < 1e-6, "t = {t}");
+        assert!(trace.contains("flow_aborted"));
+        assert!(!trace.contains("flow_end"), "aborted flow must not also end");
+    }
+
+    #[test]
+    fn restore_before_timeout_prevents_abort() {
+        let bytes = (10.0 * MB) as u64;
+        let (done, trace, aborted) = run_with_timeout(
+            Some(SimDuration::from_secs(10)),
+            vec![
+                (SimTime::ZERO, NetMsg::Fault(NetFault::Cut { node: 0 })),
+                (SimTime::ZERO, NetMsg::Transfer(req(0, 1, bytes, 0))),
+                (SimTime::from_secs(5), NetMsg::FaultClear(NetFault::Cut { node: 0 })),
+            ],
+        );
+        assert_eq!(aborted, 0);
+        assert_eq!(done.len(), 1);
+        assert!(!done[0].2, "flow must complete, not abort");
+        assert!((done[0].1 - 5.1005).abs() < 1e-2, "t = {}", done[0].1);
+        assert!(!trace.contains("flow_aborted"));
+    }
+
+    #[test]
+    fn healthy_flows_never_hit_the_timeout() {
+        let bytes = (100.0 * MB) as u64;
+        // A short timeout must not fire for flows that are merely slow: the
+        // deadline clock only runs while the fair share is zero.
+        let (done, trace, aborted) = run_with_timeout(
+            Some(SimDuration::from_millis(100)),
+            vec![(SimTime::ZERO, NetMsg::Transfer(req(0, 1, bytes, 0)))],
+        );
+        assert_eq!(aborted, 0);
+        assert_eq!(done.len(), 1);
+        assert!(!trace.contains("flow_aborted"));
     }
 
     #[test]

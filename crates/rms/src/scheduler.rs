@@ -1300,6 +1300,71 @@ mod tests {
     }
 
     #[test]
+    fn restart_budget_spends_every_attempt_before_abandoning() {
+        use mcs_simcore::resilience::{Backoff, RetryPolicy};
+
+        // max_attempts 3 with no checkpointing: each kill restarts the task
+        // from scratch after a 10 s fixed delay; the third kill exhausts the
+        // budget. The 40 core-sec task runs 10 s on the 4-core machine, so
+        // outages at 5, 20, and 35 s each catch it mid-run (requeues land at
+        // 15 and 30 s).
+        let restart = RestartConfig {
+            backoff: RetryPolicy {
+                backoff: Backoff::Fixed(SimDuration::from_secs(10)),
+                max_attempts: 3,
+            },
+            checkpoint_factor: 0.0,
+        };
+        let outages: Vec<Outage> = [5u64, 20, 35]
+            .iter()
+            .map(|&s| Outage {
+                machine: 0,
+                fail_at: SimTime::from_secs(s),
+                repair_at: SimTime::from_secs(s + 1),
+            })
+            .collect();
+        let mut cl = cluster(1, 4.0);
+        let mut cfg = SchedulerConfig::default();
+        let mut rng = RngStream::new(1, "scheduler");
+        let horizon = SimTime::from_secs(10_000);
+        let mut actor =
+            SchedulerActor::new(&mut cl, &mut cfg, &mut rng, vec![bag(0, 0, &[(40.0, 4.0)])], horizon)
+                .with_outages(outages)
+                .with_restart(restart);
+        let mut sim: Simulation<'_, RmsMsg> = Simulation::new(1);
+        sim.set_horizon(horizon);
+        let id = sim.add_actor(&mut actor);
+        sim.schedule(SimTime::ZERO, id, RmsMsg::Start);
+        sim.run();
+
+        // Attempts 1 and 2 restart; attempt 3 abandons.
+        assert_eq!(sim.trace().count("rms", "requeue_scheduled"), 2);
+        assert_eq!(sim.trace().count("rms", "checkpoint_restore"), 2);
+        let abandoned = sim.trace().select("rms", "task_abandoned");
+        assert_eq!(abandoned.len(), 1);
+        assert_eq!(
+            abandoned[0].field_f64("attempts"),
+            Some(3.0),
+            "the abandon event records the exhausted budget"
+        );
+        // The budget is terminal: nothing is scheduled after the abandon,
+        // and the only task never finishes.
+        let abandon_at = abandoned[0].at;
+        for event in ["requeue_scheduled", "checkpoint_restore"] {
+            for e in sim.trace().select("rms", event) {
+                assert!(e.at < abandon_at, "{event} after task_abandoned");
+            }
+        }
+        assert_eq!(sim.trace().count("rms", "task_finish"), 0);
+        drop(sim);
+        let out = actor.outcome();
+        assert_eq!(out.failure_requeues, 3, "all three kills are counted");
+        assert_eq!(out.abandoned, 1);
+        assert_eq!(out.unfinished, 1, "the abandoned task is permanently failed");
+        assert!(out.completions.is_empty());
+    }
+
+    #[test]
     fn deadline_misses_counted() {
         let mut job = bag(0, 0, &[(40.0, 4.0), (40.0, 4.0)]);
         for t in &mut job.tasks {

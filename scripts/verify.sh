@@ -16,13 +16,17 @@ trap 'rm -rf "$tmpdir"' EXIT
 # two runs at the same seed — and across parallel-sweep widths, since
 # mcs-simcore::par merges fan-out results by input index, never by
 # completion order.
-for exp in ecosystem_composed ecosystem_full resilience_ablation locality_contention; do
+for exp in ecosystem_composed ecosystem_full resilience_ablation locality_contention chaos_sweep; do
     MCS_PAR_WORKERS=1 "./target/release/$exp" 42 > "$tmpdir/${exp}_w1.txt"
     MCS_PAR_WORKERS=4 "./target/release/$exp" 42 > "$tmpdir/${exp}_w4.txt"
     MCS_PAR_WORKERS=4 "./target/release/$exp" 42 > "$tmpdir/${exp}_w4b.txt"
     diff "$tmpdir/${exp}_w1.txt" "$tmpdir/${exp}_w4.txt"
     diff "$tmpdir/${exp}_w4.txt" "$tmpdir/${exp}_w4b.txt"
 done
+
+# Invariant gate: every built-in chaos invariant must hold on the golden
+# default-config trace (the same composition scenario_golden.rs pins).
+"./target/release/chaos_sweep" --check-invariants
 
 # Perf-baseline gate: a 2-sample smoke run of the tracked benchmarks must
 # produce a JSON artifact that the in-house codec parses back with a sane
@@ -47,4 +51,4 @@ if [ "$allow_count" -gt "$allow_budget" ]; then
     exit 1
 fi
 
-echo "verify: OK (offline build + tests + clippy + par-aware determinism diffs + bench smoke + allow-lint budget)"
+echo "verify: OK (offline build + tests + clippy + par-aware determinism diffs + invariant gate + bench smoke + allow-lint budget)"

@@ -21,6 +21,7 @@
 //! | [`bigdata`] | `mcs-bigdata` | Fig. 1 stack: block store, MapReduce, dataflow, Pregel sub-ecosystem |
 //! | [`gaming`] | `mcs-gaming` | Fig. 4: virtual world, social analytics, procedural content (§6.3) |
 //! | [`core`] | `mcs-core` | NFR calculus, SLAs, recursive ecosystems, MAPE-K, navigation, evolution |
+//! | [`chaos`] | `mcs-chaos` | Scripted fault schedules, trace invariants, campaigns, ddmin shrinking |
 //!
 //! ## Quickstart
 //! ```
@@ -44,6 +45,7 @@ pub mod experiment;
 
 pub use mcs_autoscale as autoscale;
 pub use mcs_bigdata as bigdata;
+pub use mcs_chaos as chaos;
 pub use mcs_core as core;
 pub use mcs_faas as faas;
 pub use mcs_failure as failure;
