@@ -1,11 +1,14 @@
 //! The tracked perf baseline of the simulation core (`BENCH_*.json`).
 //!
-//! Five wall-clock benchmarks cover the hot paths every experiment drives:
+//! Eight wall-clock benchmarks cover the hot paths every experiment drives:
 //! raw engine dispatch, trace record + query, the composed-ecosystem
-//! scenario, the full resilience-ablation sweep, and the transfer-heavy
+//! scenario, the full resilience-ablation sweep, the transfer-heavy
 //! networked scenario (every cross-component byte a flow through the
-//! `mcs-net` max-min allocator). `--json PATH` writes the machine-readable
-//! baseline (the series committed as `BENCH_4.json` / `BENCH_7.json`),
+//! `mcs-net` max-min allocator), and the scale-stress scenario under both
+//! trace sinks (full retention vs streaming aggregation, plus streaming at
+//! 10x the volume — the flat-memory claim as a measured `peak_bytes`
+//! column). `--json PATH` writes the machine-readable baseline (the series
+//! committed as `BENCH_4.json` / `BENCH_7.json` / `BENCH_9.json`),
 //! `--check PATH` re-parses a written baseline with `mcs-simcore::codec`
 //! and validates its shape — the gate `scripts/verify.sh` runs.
 //!
@@ -19,6 +22,7 @@ use mcs::simcore::metrics::{summarize_trace, trace_gauge};
 use mcs::simcore::trace::payload;
 use mcs::core::scenario::{BigdataConfig, NetworkConfig, Scenario, ScenarioConfig};
 use mcs_bench::experiments::resilience::run_ablation;
+use mcs_bench::experiments::scale::scale_config;
 use mcs_bench::harness::{black_box, format_secs, Harness, Stats};
 
 /// Median wall-clock seconds measured at the pre-ISSUE-4 baseline commit
@@ -31,6 +35,11 @@ const BEFORE_MEDIANS: &[(&str, f64)] = &[
     ("scenario/ecosystem_composed", 11.28e-3),
     ("scenario/resilience_ablation_sweep", 227.51e-3),
     ("scenario/ecosystem_networked", 0.0),
+    // The scale benches have no pre-ISSUE-9 measurement: full retention at
+    // these volumes was the problem the streaming sink removes.
+    ("scale/stress_full_1x", 0.0),
+    ("scale/stress_streaming_1x", 0.0),
+    ("scale/stress_streaming_10x", 0.0),
 ];
 
 fn before_median(name: &str) -> f64 {
@@ -150,8 +159,23 @@ fn bench_networked_scenario(h: &mut Harness) {
     });
 }
 
+/// The scale-stress scenario under each trace sink. The timing column
+/// shows the streaming sink is not slower than full retention at equal
+/// volume; the `peak_bytes` column shows it stays flat at 10x while full
+/// retention's heap grows with the event count.
+fn bench_scale_stress(h: &mut Harness) {
+    let run = |factor: f64, streaming: bool| {
+        let out = Scenario::new(scale_config(42, factor, streaming)).run();
+        (out.events_handled, out.trace.recorded(), out.trace.approx_retained_bytes())
+    };
+    h.bench("scale/stress_full_1x", |b| b.iter(|| black_box(run(1.0, false))));
+    h.bench("scale/stress_streaming_1x", |b| b.iter(|| black_box(run(1.0, true))));
+    h.bench("scale/stress_streaming_10x", |b| b.iter(|| black_box(run(10.0, true))));
+}
+
 /// The machine-readable baseline: one object per benchmark with the
-/// measured distribution, the pre-ISSUE-4 median, and the speedup.
+/// measured distribution, the peak heap growth, the pre-ISSUE-4 median,
+/// and the speedup.
 fn baseline_json(stats: &[Stats]) -> Json {
     let benchmarks: Vec<Json> = stats
         .iter()
@@ -166,13 +190,14 @@ fn baseline_json(stats: &[Stats]) -> Json {
                 ("median_secs".into(), Json::Float(s.median)),
                 ("mean_secs".into(), Json::Float(s.mean)),
                 ("max_secs".into(), Json::Float(s.max)),
+                ("peak_bytes".into(), Json::UInt(s.peak_bytes)),
                 ("before_median_secs".into(), Json::Float(before)),
                 ("speedup".into(), Json::Float(speedup)),
             ])
         })
         .collect();
     Json::Obj(vec![
-        ("issue".into(), Json::UInt(7)),
+        ("issue".into(), Json::UInt(9)),
         ("group".into(), Json::Str("perf_baseline".to_owned())),
         ("benchmarks".into(), Json::Arr(benchmarks)),
     ])
@@ -196,6 +221,14 @@ fn check_baseline(path: &str) -> Result<(), String> {
             let v: f64 = b.field(key).map_err(|e| format!("{name}: {e}"))?;
             if !v.is_finite() || v < 0.0 {
                 return Err(format!("{name}: {key} = {v} is not a sane duration"));
+            }
+        }
+        // Baselines before ISSUE-9 (BENCH_4, BENCH_7) predate the peak
+        // memory column; when present it must be a sane byte count.
+        if let Some(peak) = b.get("peak_bytes") {
+            match peak {
+                Json::UInt(_) => {}
+                other => return Err(format!("{name}: peak_bytes = {other:?} is not a byte count")),
             }
         }
     }
@@ -225,6 +258,7 @@ fn main() {
     bench_composed_scenario(&mut h);
     bench_ablation_sweep(&mut h);
     bench_networked_scenario(&mut h);
+    bench_scale_stress(&mut h);
     let stats = h.finish();
 
     for s in stats {

@@ -11,6 +11,7 @@ mod fig1;
 mod full;
 mod locality;
 pub mod resilience;
+pub mod scale;
 mod fig2;
 mod fig3;
 mod fig4;
@@ -31,6 +32,7 @@ pub use fig3::Fig3DatacenterRefarch;
 pub use fig4::Fig4GamingEcosystem;
 pub use fig5::Fig5FaasRefarch;
 pub use resilience::ResilienceAblation;
+pub use scale::ScaleStress;
 pub use table1::Table1Methods;
 pub use table2::Table2Principles;
 pub use table3::Table3Challenges;
@@ -55,6 +57,7 @@ pub fn all() -> Vec<Box<dyn Experiment>> {
         Box::new(ResilienceAblation),
         Box::new(LocalityContention),
         Box::new(ChaosSweep),
+        Box::new(ScaleStress),
     ]
 }
 
@@ -75,6 +78,7 @@ mod tests {
         assert!(names.contains(&"resilience_ablation"));
         assert!(names.contains(&"locality_contention"));
         assert!(names.contains(&"chaos_sweep"));
-        assert_eq!(names.len(), 15);
+        assert!(names.contains(&"scale_stress"));
+        assert_eq!(names.len(), 16);
     }
 }

@@ -23,7 +23,9 @@ pub use std::hint::black_box;
 /// would hang a CI smoke run for hours.
 const ENV_KNOB_MAX: u64 = 10_000;
 
-/// Timing statistics for one benchmark, in seconds.
+/// Timing statistics for one benchmark, in seconds, plus the peak heap
+/// growth observed across the timed samples (bytes above the live count at
+/// the start of sampling, from [`crate::peakmem::PEAK_ALLOC`]).
 #[derive(Debug, Clone)]
 pub struct Stats {
     pub name: String,
@@ -32,6 +34,7 @@ pub struct Stats {
     pub median: f64,
     pub mean: f64,
     pub max: f64,
+    pub peak_bytes: u64,
 }
 
 /// Reads one env knob as a `u64` in `min..=ENV_KNOB_MAX`, warning on stderr
@@ -65,12 +68,14 @@ pub struct Bencher {
     samples: Vec<f64>,
     target_samples: usize,
     warmup: Duration,
+    peak_bytes: u64,
 }
 
 impl Bencher {
     /// Warms `f` up, then times `target_samples` calls of it. The return
     /// value is routed through [`black_box`] so the work is not optimised
-    /// away.
+    /// away. Peak heap growth is measured across the timed samples (warmup
+    /// excluded, so one-time setup allocations don't pollute the number).
     pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
         let warmup_start = Instant::now();
         let mut warmed = 0u32;
@@ -81,11 +86,13 @@ impl Bencher {
                 break;
             }
         }
+        let baseline = crate::peakmem::PEAK_ALLOC.reset_peak();
         for _ in 0..self.target_samples {
             let start = Instant::now();
             black_box(f());
             self.samples.push(start.elapsed().as_secs_f64());
         }
+        self.peak_bytes = crate::peakmem::PEAK_ALLOC.peak_bytes().saturating_sub(baseline);
     }
 }
 
@@ -106,8 +113,10 @@ impl Harness {
             samples: Vec::new(),
             target_samples: samples_per_bench(),
             warmup: warmup_budget(),
+            peak_bytes: 0,
         };
         f(&mut bencher);
+        let peak_bytes = bencher.peak_bytes;
         let mut xs = bencher.samples;
         assert!(!xs.is_empty(), "benchmark {name:?} never called Bencher::iter");
         xs.sort_by(|a, b| a.total_cmp(b));
@@ -118,13 +127,15 @@ impl Harness {
             median: xs[xs.len() / 2],
             mean: xs.iter().sum::<f64>() / xs.len() as f64,
             max: xs[xs.len() - 1],
+            peak_bytes,
         };
         eprintln!(
-            "  {:<44} min {:>10}  median {:>10}  mean {:>10}",
+            "  {:<44} min {:>10}  median {:>10}  mean {:>10}  peak {:>10}",
             stats.name,
             format_secs(stats.min),
             format_secs(stats.median),
             format_secs(stats.mean),
+            crate::peakmem::format_bytes(stats.peak_bytes),
         );
         self.results.push(stats);
         self

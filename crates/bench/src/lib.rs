@@ -20,14 +20,15 @@
 //! | `ecosystem_full` | Full stack — the composed run plus bigdata + graph + gaming on one engine |
 //! | `locality_contention` | Locality-aware vs blind placement contending on the `mcs-net` fabric |
 //! | `chaos_sweep` | Chaos campaign — scripted fault schedules vs the trace-invariant suite, ddmin-shrunk reproducers (`--check-invariants` gates the golden default trace) |
+//! | `scale_stress` | Streaming observability at scale — bounded-memory trace sinks vs full retention at 10M+ events |
 //! | `perf_baseline` | Tracked perf baseline of the simulation core (`--json`/`--check BENCH_4.json`) |
 //!
 //! Each binary is a thin wrapper over an [`experiments`] type implementing
 //! [`mcs::experiment::Experiment`]; [`run_cli`] handles seed selection and
 //! rendering, so `<experiment> [seed]` reruns any artifact at any seed.
 //! (`perf_baseline` is the exception: it wraps the wall-clock [`harness`]
-//! around the engine/trace/scenario hot paths and emits the committed
-//! `BENCH_4.json` speedup record.)
+//! around the engine/trace/scenario hot paths — with [`peakmem`] peak-heap
+//! columns — and emits the committed `BENCH_*.json` speedup records.)
 //!
 //! The sweep-shaped experiments (`ecosystem_composed`'s autoscaler
 //! portfolio, `resilience_ablation`'s grid, `chaos_sweep`'s schedule×seed
@@ -44,6 +45,7 @@ use mcs::prelude::*;
 
 pub mod experiments;
 pub mod harness;
+pub mod peakmem;
 
 /// The seed every experiment binary uses unless overridden.
 pub const DEFAULT_SEED: u64 = 42;

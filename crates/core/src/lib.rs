@@ -65,8 +65,8 @@ pub mod prelude {
         Layer, ReferenceArchitecture,
     };
     pub use crate::scenario::{
-        BatchConfig, EcosystemMsg, FaasConfig, FailureConfig, NetworkConfig, Scenario,
-        ScenarioConfig, ScenarioOutcome,
+        BatchConfig, EcosystemMsg, FaasConfig, FailureConfig, NetworkConfig,
+        ObservabilityConfig, Scenario, ScenarioConfig, ScenarioOutcome,
     };
     pub use crate::selfaware::{Action, Analysis, EmergenceDetector, Knowledge, MapeLoop};
     pub use crate::sla::{Sla, SlaReport, Slo, SloOutcome};

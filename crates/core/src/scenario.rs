@@ -44,7 +44,7 @@ use mcs_simcore::error::McsError;
 use mcs_simcore::resilience::ResilienceConfig;
 use mcs_simcore::rng::RngStream;
 use mcs_simcore::time::{SimDuration, SimTime};
-use mcs_simcore::trace::TraceBus;
+use mcs_simcore::trace::{StreamConfig, TraceBus};
 use mcs_workload::actor::{ArrivalActor, ArrivalMsg};
 use mcs_workload::arrival::Poisson;
 use mcs_workload::generator::{BatchWorkloadConfig, BatchWorkloadGenerator};
@@ -292,6 +292,41 @@ impl NetworkConfig {
     }
 }
 
+/// How the run's trace is retained.
+///
+/// `None` (the default) keeps the legacy full-retention [`TraceBus`]:
+/// every event stored, byte-identical traces, unbounded memory. `Some`
+/// switches the bus to streaming aggregation *before the first event is
+/// emitted*: events are folded into per-`(component, event)` rollups
+/// (counts, per-field [`mcs_simcore::metrics::OnlineStats`] and
+/// [`mcs_simcore::metrics::QuantileSketch`]s, optional windowed counters)
+/// and the events themselves are dropped, so trace memory stays flat no
+/// matter how long the run is. Aggregate queries (`count`, `counts`,
+/// `field_stats`, `field_quantile`, ...) keep working; per-event queries
+/// (`select`, `series`) come back empty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObservabilityConfig {
+    /// Centroid budget of each per-field quantile sketch. Rank error is
+    /// ~`2n / sketch_centroids`; memory is ~16 bytes per centroid.
+    pub sketch_centroids: usize,
+    /// When set, each rollup also counts events into fixed windows of this
+    /// width (for load-over-time plots without retaining events).
+    pub window: Option<SimDuration>,
+}
+
+impl Default for ObservabilityConfig {
+    fn default() -> Self {
+        let stream = StreamConfig::default();
+        ObservabilityConfig { sketch_centroids: stream.sketch_centroids, window: stream.window }
+    }
+}
+
+impl ObservabilityConfig {
+    fn stream_config(&self) -> StreamConfig {
+        StreamConfig { sketch_centroids: self.sketch_centroids, window: self.window }
+    }
+}
+
 /// Parameters of a composed ecosystem run.
 ///
 /// Subsystems are nested, `Option`-gated sub-configs: `Some` attaches the
@@ -326,6 +361,9 @@ pub struct ScenarioConfig {
     /// Flow-level network fabric (opt-in). `None` keeps every subsystem's
     /// legacy fixed-delay cost model, byte-identically.
     pub network: Option<NetworkConfig>,
+    /// Streaming trace aggregation (opt-in). `None` keeps the legacy
+    /// full-retention trace, byte-identically.
+    pub observability: Option<ObservabilityConfig>,
 }
 
 impl Default for ScenarioConfig {
@@ -342,6 +380,7 @@ impl Default for ScenarioConfig {
             graph: None,
             gaming: None,
             network: None,
+            observability: None,
         }
     }
 }
@@ -362,6 +401,7 @@ impl ScenarioConfig {
             graph: None,
             gaming: None,
             network: None,
+            observability: None,
         }
     }
 
@@ -418,6 +458,13 @@ impl ScenarioConfig {
     #[must_use]
     pub fn with_resilience(mut self, resilience: ResilienceConfig) -> Self {
         self.resilience = resilience;
+        self
+    }
+
+    /// Switches the run's trace to bounded-memory streaming aggregation.
+    #[must_use]
+    pub fn with_observability(mut self, observability: ObservabilityConfig) -> Self {
+        self.observability = Some(observability);
         self
     }
 
@@ -511,6 +558,20 @@ impl ScenarioConfig {
                 return Err(McsError::invalid_config(
                     "network",
                     "topology must be connected (every link needs positive capacity)",
+                ));
+            }
+        }
+        if let Some(obs) = &self.observability {
+            if obs.sketch_centroids < 8 {
+                return Err(McsError::invalid_config(
+                    "observability.sketch_centroids",
+                    "sketch needs at least 8 centroids",
+                ));
+            }
+            if obs.window.is_some_and(|w| w.is_zero()) {
+                return Err(McsError::invalid_config(
+                    "observability.window",
+                    "must be positive",
                 ));
             }
         }
@@ -1352,6 +1413,11 @@ impl Scenario {
 
         let mut sim: Simulation<'_, EcosystemMsg> = Simulation::new(cfg.seed);
         sim.set_horizon(cfg.horizon);
+        if let Some(obs) = &cfg.observability {
+            // Must happen before the first emission: the sink folds events
+            // as they are recorded, so a late switch would lose history.
+            sim.set_trace(TraceBus::streaming(obs.stream_config()));
+        }
         if let Some(actor) = arrival.as_mut() {
             let id = sim.add_actor(actor);
             debug_assert_eq!(Some(id), arrival_id, "registration order must match precomputed ids");
@@ -1547,6 +1613,57 @@ mod tests {
             (a.arrivals, a.invoked, a.rejected, a.events_handled),
             (b.arrivals, b.invoked, b.rejected, b.events_handled)
         );
+    }
+
+    #[test]
+    fn streaming_observability_matches_full_retention_aggregates() {
+        let full = Scenario::new(small_config()).run();
+        let streamed =
+            Scenario::new(small_config().with_observability(ObservabilityConfig::default())).run();
+
+        // Everything the simulation *did* is untouched by the sink choice.
+        assert!(streamed.trace.is_streaming() && !full.trace.is_streaming());
+        assert_eq!(streamed.schedule, full.schedule);
+        assert_eq!(streamed.faas, full.faas);
+        assert_eq!(
+            (streamed.arrivals, streamed.invoked, streamed.rejected, streamed.events_handled),
+            (full.arrivals, full.invoked, full.rejected, full.events_handled)
+        );
+
+        // Aggregate queries agree exactly; stats are bit-identical because
+        // the streaming fold visits events in emission order.
+        assert_eq!(streamed.trace.counts(), full.trace.counts());
+        assert_eq!(streamed.trace.components(), full.trace.components());
+        assert_eq!(
+            streamed.trace.field_stats("faas", "invoke", "latency_secs"),
+            full.trace.field_stats("faas", "invoke", "latency_secs")
+        );
+        assert_eq!(
+            streamed.trace.time_span("workload", "arrival"),
+            full.trace.time_span("workload", "arrival")
+        );
+        // The streaming bus dropped the events themselves.
+        assert!(streamed.trace.select("faas", "invoke").is_empty());
+        assert!(streamed.trace.approx_retained_bytes() < full.trace.approx_retained_bytes());
+    }
+
+    #[test]
+    fn observability_config_is_validated() {
+        let bad_centroids = small_config()
+            .with_observability(ObservabilityConfig { sketch_centroids: 2, window: None });
+        assert!(Scenario::try_new(bad_centroids).is_err());
+        let bad_window = small_config().with_observability(ObservabilityConfig {
+            sketch_centroids: 64,
+            window: Some(SimDuration::ZERO),
+        });
+        assert!(Scenario::try_new(bad_window).is_err());
+        let windowed = small_config().with_observability(ObservabilityConfig {
+            sketch_centroids: 64,
+            window: Some(SimDuration::from_secs(600)),
+        });
+        let out = Scenario::new(windowed).run();
+        let windows = out.trace.window_counts("workload", "arrival").expect("windowed counters");
+        assert_eq!(windows.iter().sum::<u64>() as usize, out.arrivals);
     }
 
     #[test]

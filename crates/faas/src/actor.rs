@@ -17,12 +17,11 @@
 //! bus, not side counters.
 
 use crate::platform::FaasPlatform;
-use mcs_simcore::codec::Json;
 use mcs_simcore::engine::{Actor, Context, MessageEnvelope};
 use mcs_simcore::resilience::{Bulkhead, CircuitBreaker, ResilienceConfig};
 use mcs_simcore::rng::RngStream;
 use mcs_simcore::time::SimDuration;
-use mcs_simcore::trace::payload;
+use mcs_simcore::trace::Field;
 use std::collections::HashMap;
 
 /// A service-level fault window affecting the platform (the FaaS-side view
@@ -268,13 +267,10 @@ impl<'a, M> FaasActor<'a, M> {
     }
 
     fn emit_breaker(ctx: &mut Context<'_, M>, function: &str, state: &'static str) {
-        ctx.emit(
+        ctx.emit_fields(
             "faas",
             "breaker",
-            payload(vec![
-                ("function", Json::Str(function.to_owned())),
-                ("state", Json::Str(state.to_owned())),
-            ]),
+            &[("function", Field::Str(function)), ("state", Field::Str(state))],
         );
     }
 
@@ -285,15 +281,15 @@ impl<'a, M> FaasActor<'a, M> {
         attempt: u32,
         wasted_exec_secs: f64,
     ) {
-        ctx.emit(
+        ctx.emit_fields(
             "faas",
             "invoke_failed",
-            payload(vec![
-                ("function", Json::Str(function.to_owned())),
-                ("reason", Json::Str(reason.to_owned())),
-                ("attempt", Json::UInt(attempt as u64)),
-                ("wasted_exec_secs", Json::Float(wasted_exec_secs)),
-            ]),
+            &[
+                ("function", Field::Str(function)),
+                ("reason", Field::Str(reason)),
+                ("attempt", Field::U64(attempt as u64)),
+                ("wasted_exec_secs", Field::F64(wasted_exec_secs)),
+            ],
         );
     }
 
@@ -305,38 +301,32 @@ impl<'a, M> FaasActor<'a, M> {
     {
         let Some(policy) = self.resilience.retry else { return };
         let Some(delay) = policy.delay_after(attempt, &mut self.res_rng) else {
-            ctx.emit(
+            ctx.emit_fields(
                 "faas",
                 "retry_exhausted",
-                payload(vec![
-                    ("function", Json::Str(function.to_owned())),
-                    ("attempt", Json::UInt(attempt as u64)),
-                ]),
+                &[("function", Field::Str(function)), ("attempt", Field::U64(attempt as u64))],
             );
             return;
         };
         if let Some(bh) = &mut self.retry_bulkhead {
             if !bh.try_acquire() {
-                ctx.emit(
+                ctx.emit_fields(
                     "faas",
                     "retry_dropped",
-                    payload(vec![
-                        ("function", Json::Str(function.to_owned())),
-                        ("attempt", Json::UInt(attempt as u64)),
-                    ]),
+                    &[("function", Field::Str(function)), ("attempt", Field::U64(attempt as u64))],
                 );
                 return;
             }
         }
         self.retries_scheduled += 1;
-        ctx.emit(
+        ctx.emit_fields(
             "faas",
             "retry_scheduled",
-            payload(vec![
-                ("function", Json::Str(function.to_owned())),
-                ("attempt", Json::UInt(attempt as u64)),
-                ("delay_secs", Json::Float(delay.as_secs_f64())),
-            ]),
+            &[
+                ("function", Field::Str(function)),
+                ("attempt", Field::U64(attempt as u64)),
+                ("delay_secs", Field::F64(delay.as_secs_f64())),
+            ],
         );
         ctx.send_self(
             delay,
@@ -386,14 +376,14 @@ impl<'a, M> FaasActor<'a, M> {
                 if !shedder.admits(busy, cap) {
                     self.shed += 1;
                     self.window_rejected += 1;
-                    ctx.emit(
+                    ctx.emit_fields(
                         "faas",
                         "shed",
-                        payload(vec![
-                            ("function", Json::Str(function.to_owned())),
-                            ("busy", Json::UInt(busy as u64)),
-                            ("capacity", Json::UInt(cap as u64)),
-                        ]),
+                        &[
+                            ("function", Field::Str(function)),
+                            ("busy", Field::U64(busy as u64)),
+                            ("capacity", Field::U64(cap as u64)),
+                        ],
                     );
                     return;
                 }
@@ -405,14 +395,14 @@ impl<'a, M> FaasActor<'a, M> {
                 self.rejected += 1;
                 self.window_rejected += 1;
                 self.window_peak = self.window_peak.max(busy + 1);
-                ctx.emit(
+                ctx.emit_fields(
                     "faas",
                     "reject",
-                    payload(vec![
-                        ("function", Json::Str(function.to_owned())),
-                        ("busy", Json::UInt(busy as u64)),
-                        ("capacity", Json::UInt(cap as u64)),
-                    ]),
+                    &[
+                        ("function", Field::Str(function)),
+                        ("busy", Field::U64(busy as u64)),
+                        ("capacity", Field::U64(cap as u64)),
+                    ],
                 );
                 self.schedule_retry(ctx, function, attempt);
                 return;
@@ -478,14 +468,14 @@ impl<'a, M> FaasActor<'a, M> {
             }
         }
         self.invoked += 1;
-        ctx.emit(
+        ctx.emit_fields(
             "faas",
             "invoke",
-            payload(vec![
-                ("function", Json::Str(result.function)),
-                ("cold", Json::Bool(result.cold)),
-                ("latency_secs", Json::Float(result.latency_secs)),
-            ]),
+            &[
+                ("function", Field::Str(&result.function)),
+                ("cold", Field::Bool(result.cold)),
+                ("latency_secs", Field::F64(result.latency_secs)),
+            ],
         );
         if let Some(hook) = self.on_response.as_mut() {
             hook(ctx, result.latency_secs);
@@ -496,13 +486,10 @@ impl<'a, M> FaasActor<'a, M> {
         let Some(cap) = self.capacity else { return };
         let next = (cap as i64 + delta).max(1) as usize;
         self.capacity = Some(next);
-        ctx.emit(
+        ctx.emit_fields(
             "faas",
             "scale",
-            payload(vec![
-                ("delta", Json::Int(delta)),
-                ("capacity", Json::UInt(next as u64)),
-            ]),
+            &[("delta", Field::I64(delta)), ("capacity", Field::U64(next as u64))],
         );
     }
 
@@ -511,13 +498,10 @@ impl<'a, M> FaasActor<'a, M> {
         let idle = self.platform.idle_instances(now);
         let victims = (idle as f64 * fraction.clamp(0.0, 1.0)).ceil() as usize;
         let killed = self.platform.kill_idle(now, victims);
-        ctx.emit(
+        ctx.emit_fields(
             "faas",
             "kill_warm",
-            payload(vec![
-                ("idle", Json::UInt(idle as u64)),
-                ("killed", Json::UInt(killed as u64)),
-            ]),
+            &[("idle", Field::U64(idle as u64)), ("killed", Field::U64(killed as u64))],
         );
     }
 
@@ -553,20 +537,12 @@ impl<M: MessageEnvelope<FaasMsg>> Actor<M> for FaasActor<'_, M> {
             FaasMsg::KillWarm { fraction } => self.kill_warm(ctx, fraction),
             FaasMsg::Fault(fault) => {
                 self.active_faults.push(fault);
-                ctx.emit(
-                    "faas",
-                    "fault",
-                    payload(vec![("kind", Json::Str(fault.name().to_owned()))]),
-                );
+                ctx.emit_fields("faas", "fault", &[("kind", Field::Str(fault.name()))]);
             }
             FaasMsg::FaultClear(fault) => {
                 if let Some(idx) = self.active_faults.iter().position(|f| *f == fault) {
                     self.active_faults.remove(idx);
-                    ctx.emit(
-                        "faas",
-                        "fault_clear",
-                        payload(vec![("kind", Json::Str(fault.name().to_owned()))]),
-                    );
+                    ctx.emit_fields("faas", "fault_clear", &[("kind", Field::Str(fault.name()))]);
                 }
             }
             FaasMsg::SetShedding(on) => self.shedding = on,
@@ -578,6 +554,7 @@ impl<M: MessageEnvelope<FaasMsg>> Actor<M> for FaasActor<'_, M> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mcs_simcore::codec::Json;
     use crate::platform::{FunctionSpec, KeepAlivePolicy};
     use mcs_simcore::engine::Simulation;
     use mcs_simcore::time::SimTime;

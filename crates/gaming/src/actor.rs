@@ -14,12 +14,11 @@
 //! metric is computed from traces alone.
 
 use crate::world::{PlayerModel, ZoneProvisioning};
-use mcs_simcore::codec::Json;
 use mcs_simcore::dist::Sample;
 use mcs_simcore::engine::{Actor, Context, MessageEnvelope, Simulation};
 use mcs_simcore::rng::RngStream;
 use mcs_simcore::time::{SimDuration, SimTime};
-use mcs_simcore::trace::{payload, TraceBus};
+use mcs_simcore::trace::{Field, TraceBus};
 use mcs_workload::arrival::{ArrivalProcess, Diurnal};
 
 /// Configuration of the gaming subsystem inside a scenario.
@@ -229,21 +228,21 @@ impl<'a, M: MessageEnvelope<GamingMsg>> WorldActor<'a, M> {
         match (self.overloaded_since, overloaded) {
             (None, true) => {
                 self.overloaded_since = Some(ctx.now());
-                ctx.emit(
+                ctx.emit_fields(
                     "gaming",
                     "overload_start",
-                    payload(vec![
-                        ("online", Json::UInt(self.online)),
-                        ("capacity", Json::UInt(capacity as u64)),
-                    ]),
+                    &[
+                        ("online", Field::U64(self.online)),
+                        ("capacity", Field::U64(capacity as u64)),
+                    ],
                 );
             }
             (Some(since), false) => {
                 self.overloaded_since = None;
-                ctx.emit(
+                ctx.emit_fields(
                     "gaming",
                     "overload_end",
-                    payload(vec![("secs", Json::Float((ctx.now() - since).as_secs_f64()))]),
+                    &[("secs", Field::F64((ctx.now() - since).as_secs_f64()))],
                 );
             }
             _ => {}
@@ -262,7 +261,7 @@ impl<'a, M: MessageEnvelope<GamingMsg>> WorldActor<'a, M> {
         if (self.online as usize) < self.capacity() {
             self.online += 1;
             self.admitted += 1;
-            ctx.emit("gaming", "join", payload(vec![("online", Json::UInt(self.online))]));
+            ctx.emit_fields("gaming", "join", &[("online", Field::U64(self.online))]);
             let session = self
                 .config
                 .players
@@ -272,7 +271,7 @@ impl<'a, M: MessageEnvelope<GamingMsg>> WorldActor<'a, M> {
             ctx.send_self(SimDuration::from_secs_f64(session), M::wrap(GamingMsg::Leave));
         } else {
             self.rejected += 1;
-            ctx.emit("gaming", "reject", payload(vec![("online", Json::UInt(self.online))]));
+            ctx.emit_fields("gaming", "reject", &[("online", Field::U64(self.online))]);
         }
 
         // Elastic control loop, evaluated at every join (mirrors the legacy
@@ -285,10 +284,10 @@ impl<'a, M: MessageEnvelope<GamingMsg>> WorldActor<'a, M> {
             ctx.send_self(self.boot, M::wrap(GamingMsg::ZoneReady));
         } else if occupancy < self.low && self.zones > self.min_zones && self.booting == 0 {
             self.zones -= 1;
-            ctx.emit(
+            ctx.emit_fields(
                 "gaming",
                 "zone_down",
-                payload(vec![("zones", Json::UInt(self.available_zones() as u64))]),
+                &[("zones", Field::U64(self.available_zones() as u64))],
             );
         }
         self.refresh_overload(ctx);
@@ -305,17 +304,17 @@ impl<'a, M: MessageEnvelope<GamingMsg>> WorldActor<'a, M> {
             return;
         }
         self.online -= 1;
-        ctx.emit("gaming", "leave", payload(vec![("online", Json::UInt(self.online))]));
+        ctx.emit_fields("gaming", "leave", &[("online", Field::U64(self.online))]);
         self.refresh_overload(ctx);
     }
 
     fn zone_ready(&mut self, ctx: &mut Context<'_, M>) {
         self.booting = self.booting.saturating_sub(1);
         self.zones += 1;
-        ctx.emit(
+        ctx.emit_fields(
             "gaming",
             "zone_up",
-            payload(vec![("zones", Json::UInt(self.available_zones() as u64))]),
+            &[("zones", Field::U64(self.available_zones() as u64))],
         );
         self.refresh_overload(ctx);
     }
@@ -327,23 +326,23 @@ impl<'a, M: MessageEnvelope<GamingMsg>> WorldActor<'a, M> {
             return;
         }
         self.dead_zones += 1;
-        ctx.emit(
+        ctx.emit_fields(
             "gaming",
             "zone_fail",
-            payload(vec![
-                ("node", Json::UInt(u64::from(node))),
-                ("zones", Json::UInt(self.available_zones() as u64)),
-            ]),
+            &[
+                ("node", Field::U64(u64::from(node))),
+                ("zones", Field::U64(self.available_zones() as u64)),
+            ],
         );
         let capacity = self.capacity() as u64;
         while self.online > capacity {
             self.online -= 1;
             self.ghost_leaves += 1;
             self.disconnected += 1;
-            ctx.emit(
+            ctx.emit_fields(
                 "gaming",
                 "disconnect",
-                payload(vec![("online", Json::UInt(self.online))]),
+                &[("online", Field::U64(self.online))],
             );
         }
         self.refresh_overload(ctx);
@@ -354,13 +353,13 @@ impl<'a, M: MessageEnvelope<GamingMsg>> WorldActor<'a, M> {
             return;
         }
         self.dead_zones -= 1;
-        ctx.emit(
+        ctx.emit_fields(
             "gaming",
             "zone_repair",
-            payload(vec![
-                ("node", Json::UInt(u64::from(node))),
-                ("zones", Json::UInt(self.available_zones() as u64)),
-            ]),
+            &[
+                ("node", Field::U64(u64::from(node))),
+                ("zones", Field::U64(self.available_zones() as u64)),
+            ],
         );
         self.refresh_overload(ctx);
     }
@@ -371,10 +370,10 @@ impl<'a, M: MessageEnvelope<GamingMsg>> WorldActor<'a, M> {
         } else {
             self.pressure = self.pressure.saturating_sub(1);
         }
-        ctx.emit(
+        ctx.emit_fields(
             "gaming",
             "pressure",
-            payload(vec![("windows", Json::UInt(u64::from(self.pressure)))]),
+            &[("windows", Field::U64(u64::from(self.pressure)))],
         );
         self.refresh_overload(ctx);
     }
@@ -402,13 +401,13 @@ impl<'a, M: MessageEnvelope<GamingMsg>> WorldActor<'a, M> {
         if lagged {
             self.laggy_syncs += 1;
         }
-        ctx.emit(
+        ctx.emit_fields(
             "gaming",
             "sync_done",
-            payload(vec![
-                ("lagged", Json::Bool(lagged)),
-                ("online", Json::UInt(self.online)),
-            ]),
+            &[
+                ("lagged", Field::Bool(lagged)),
+                ("online", Field::U64(self.online)),
+            ],
         );
     }
 }
@@ -453,6 +452,7 @@ pub fn run_gaming_standalone(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mcs_simcore::codec::Json;
 
     const HOUR: u64 = 3600;
 

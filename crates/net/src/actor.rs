@@ -18,10 +18,9 @@
 
 use crate::flow::max_min_rates;
 use crate::topology::{LinkId, NetTopology};
-use mcs_simcore::codec::Json;
 use mcs_simcore::engine::{Actor, Context, EventToken, MessageEnvelope};
 use mcs_simcore::time::{SimDuration, SimTime};
-use mcs_simcore::trace::payload;
+use mcs_simcore::trace::Field;
 
 /// Trace component under which all flow and link events are recorded.
 pub const NET_COMPONENT: &str = "net";
@@ -256,19 +255,19 @@ impl<'a, M: MessageEnvelope<NetMsg>> NetActor<'a, M> {
                     aborted: false,
                 };
                 self.stall_secs += done.stall_secs();
-                ctx.emit(
+                ctx.emit_fields(
                     NET_COMPONENT,
                     "flow_end",
-                    payload(vec![
-                        ("owner", Json::Str(f.tag.owner.to_string())),
-                        ("id", Json::UInt(f.tag.id)),
-                        ("src", Json::UInt(u64::from(f.src))),
-                        ("dst", Json::UInt(u64::from(f.dst))),
-                        ("bytes", Json::UInt(f.bytes)),
-                        ("secs", Json::Float(secs)),
-                        ("ideal_secs", Json::Float(done.ideal_secs)),
-                        ("stall_secs", Json::Float(done.stall_secs())),
-                    ]),
+                    &[
+                        ("owner", Field::Str(f.tag.owner)),
+                        ("id", Field::U64(f.tag.id)),
+                        ("src", Field::U64(u64::from(f.src))),
+                        ("dst", Field::U64(u64::from(f.dst))),
+                        ("bytes", Field::U64(f.bytes)),
+                        ("secs", Field::F64(secs)),
+                        ("ideal_secs", Field::F64(done.ideal_secs)),
+                        ("stall_secs", Field::F64(done.stall_secs())),
+                    ],
                 );
                 ctx.send_self(f.latency, M::wrap(NetMsg::Deliver(f.id)));
                 self.in_delivery.push((f.id, done));
@@ -363,18 +362,18 @@ impl<'a, M: MessageEnvelope<NetMsg>> NetActor<'a, M> {
                 aborted: true,
             };
             self.aborted += 1;
-            ctx.emit(
+            ctx.emit_fields(
                 NET_COMPONENT,
                 "flow_aborted",
-                payload(vec![
-                    ("owner", Json::Str(f.tag.owner.to_string())),
-                    ("id", Json::UInt(f.tag.id)),
-                    ("src", Json::UInt(u64::from(f.src))),
-                    ("dst", Json::UInt(u64::from(f.dst))),
-                    ("bytes", Json::UInt(f.bytes)),
-                    ("secs", Json::Float(secs)),
-                    ("waited_secs", Json::Float(waited)),
-                ]),
+                &[
+                    ("owner", Field::Str(f.tag.owner)),
+                    ("id", Field::U64(f.tag.id)),
+                    ("src", Field::U64(u64::from(f.src))),
+                    ("dst", Field::U64(u64::from(f.dst))),
+                    ("bytes", Field::U64(f.bytes)),
+                    ("secs", Field::F64(secs)),
+                    ("waited_secs", Field::F64(waited)),
+                ],
             );
             if let Some(hook) = self.on_complete.as_mut() {
                 hook(ctx, &done);
@@ -388,16 +387,16 @@ impl<'a, M: MessageEnvelope<NetMsg>> NetActor<'a, M> {
         let id = self.next_id;
         self.next_id += 1;
         self.started += 1;
-        ctx.emit(
+        ctx.emit_fields(
             NET_COMPONENT,
             "flow_start",
-            payload(vec![
-                ("owner", Json::Str(req.tag.owner.to_string())),
-                ("id", Json::UInt(req.tag.id)),
-                ("src", Json::UInt(u64::from(req.src))),
-                ("dst", Json::UInt(u64::from(req.dst))),
-                ("bytes", Json::UInt(req.bytes)),
-            ]),
+            &[
+                ("owner", Field::Str(req.tag.owner)),
+                ("id", Field::U64(req.tag.id)),
+                ("src", Field::U64(u64::from(req.src))),
+                ("dst", Field::U64(u64::from(req.dst))),
+                ("bytes", Field::U64(req.bytes)),
+            ],
         );
         let latency = self.topo.latency(req.src, req.dst);
         let links = self.topo.path(req.src, req.dst);
@@ -441,37 +440,30 @@ impl<'a, M: MessageEnvelope<NetMsg>> NetActor<'a, M> {
         match (fault, clear) {
             (NetFault::Cut { node }, false) => {
                 self.topo.cut_node(node);
-                ctx.emit(
-                    NET_COMPONENT,
-                    "link_cut",
-                    payload(vec![("node", Json::UInt(u64::from(node)))]),
-                );
+                ctx.emit_fields(NET_COMPONENT, "link_cut", &[("node", Field::U64(u64::from(node)))]);
             }
             (NetFault::Cut { node }, true) => {
                 self.topo.restore_node(node);
-                ctx.emit(
+                ctx.emit_fields(
                     NET_COMPONENT,
                     "link_restored",
-                    payload(vec![("node", Json::UInt(u64::from(node)))]),
+                    &[("node", Field::U64(u64::from(node)))],
                 );
             }
             (NetFault::Degrade { node, factor }, false) => {
                 self.topo.degrade_node(node, factor);
-                ctx.emit(
+                ctx.emit_fields(
                     NET_COMPONENT,
                     "link_degraded",
-                    payload(vec![
-                        ("node", Json::UInt(u64::from(node))),
-                        ("factor", Json::Float(factor)),
-                    ]),
+                    &[("node", Field::U64(u64::from(node))), ("factor", Field::F64(factor))],
                 );
             }
             (NetFault::Degrade { node, factor }, true) => {
                 self.topo.undegrade_node(node, factor);
-                ctx.emit(
+                ctx.emit_fields(
                     NET_COMPONENT,
                     "link_healed",
-                    payload(vec![("node", Json::UInt(u64::from(node)))]),
+                    &[("node", Field::U64(u64::from(node)))],
                 );
             }
         }

@@ -21,14 +21,13 @@ use mcs_failure::model::Outage;
 use mcs_infra::cluster::Cluster;
 use mcs_infra::machine::MachineId;
 use mcs_infra::resource::ResourceVector;
-use mcs_simcore::codec::Json;
 use mcs_simcore::engine::{Actor, Context, MessageEnvelope, Simulation};
 use mcs_simcore::error::McsError;
 use mcs_simcore::metrics::TimeWeighted;
 use mcs_simcore::resilience::RestartConfig;
 use mcs_simcore::rng::RngStream;
 use mcs_simcore::time::{SimDuration, SimTime};
-use mcs_simcore::trace::payload;
+use mcs_simcore::trace::Field;
 use mcs_workload::task::{Job, TaskCompletion, TaskId};
 use std::collections::{HashMap, HashSet};
 
@@ -606,7 +605,7 @@ impl<'a, M: MessageEnvelope<RmsMsg>> SchedulerActor<'a, M> {
 
     fn on_job_arrival(&mut self, ctx: &mut Context<'_, M>, j: usize) {
         let now = ctx.now();
-        ctx.emit("rms", "job_arrival", payload(vec![("job", Json::UInt(j as u64))]));
+        ctx.emit_fields("rms", "job_arrival", &[("job", Field::U64(j as u64))]);
         let task_ids: Vec<TaskId> = self.jobs[j].tasks.iter().map(|t| t.id).collect();
         for tid in task_ids {
             let ti = self.index[&tid];
@@ -628,11 +627,7 @@ impl<'a, M: MessageEnvelope<RmsMsg>> SchedulerActor<'a, M> {
             self.queue_dirty = true;
         } else {
             self.rejected.insert(ti);
-            ctx.emit(
-                "rms",
-                "task_reject",
-                payload(vec![("task", Json::UInt(self.flat[ti].id.0))]),
-            );
+            ctx.emit_fields("rms", "task_reject", &[("task", Field::U64(self.flat[ti].id.0))]);
         }
     }
 
@@ -669,15 +664,15 @@ impl<'a, M: MessageEnvelope<RmsMsg>> SchedulerActor<'a, M> {
                 missed = true;
             }
         }
-        ctx.emit(
+        ctx.emit_fields(
             "rms",
             "task_finish",
-            payload(vec![
-                ("task", Json::UInt(comp.task.0)),
-                ("wait_secs", Json::Float((comp.start - comp.submit).as_secs_f64())),
-                ("response_secs", Json::Float(comp.response_time().as_secs_f64())),
-                ("missed_deadline", Json::Bool(missed)),
-            ]),
+            &[
+                ("task", Field::U64(comp.task.0)),
+                ("wait_secs", Field::F64((comp.start - comp.submit).as_secs_f64())),
+                ("response_secs", Field::F64(comp.response_time().as_secs_f64())),
+                ("missed_deadline", Field::Bool(missed)),
+            ],
         );
         self.completions.push(comp);
         let children = self.flat[task_idx].children.clone();
@@ -725,14 +720,14 @@ impl<'a, M: MessageEnvelope<RmsMsg>> SchedulerActor<'a, M> {
                             let attempt = self.restart_attempts[ti];
                             match rc.backoff.delay_after(attempt, self.rng) {
                                 Some(delay) if self.checkpoint_hook.is_none() => {
-                                    ctx.emit(
+                                    ctx.emit_fields(
                                         "rms",
                                         "requeue_scheduled",
-                                        payload(vec![
-                                            ("task", Json::UInt(self.flat[ti].id.0)),
-                                            ("attempt", Json::UInt(u64::from(attempt))),
-                                            ("delay_secs", Json::Float(delay.as_secs_f64())),
-                                        ]),
+                                        &[
+                                            ("task", Field::U64(self.flat[ti].id.0)),
+                                            ("attempt", Field::U64(u64::from(attempt))),
+                                            ("delay_secs", Field::F64(delay.as_secs_f64())),
+                                        ],
                                     );
                                     ctx.send_at(
                                         ctx.self_id(),
@@ -748,13 +743,13 @@ impl<'a, M: MessageEnvelope<RmsMsg>> SchedulerActor<'a, M> {
                                     // bandwidth, not a drawn constant. (The
                                     // draw above still happened, keeping
                                     // RNG streams aligned with legacy runs.)
-                                    ctx.emit(
+                                    ctx.emit_fields(
                                         "rms",
                                         "checkpoint_xfer_start",
-                                        payload(vec![
-                                            ("task", Json::UInt(self.flat[ti].id.0)),
-                                            ("attempt", Json::UInt(u64::from(attempt))),
-                                        ]),
+                                        &[
+                                            ("task", Field::U64(self.flat[ti].id.0)),
+                                            ("attempt", Field::U64(u64::from(attempt))),
+                                        ],
                                     );
                                     if let Some(hook) = self.checkpoint_hook.as_mut() {
                                         hook(ctx, ti, attempt);
@@ -762,13 +757,13 @@ impl<'a, M: MessageEnvelope<RmsMsg>> SchedulerActor<'a, M> {
                                 }
                                 None => {
                                     self.abandoned.insert(ti);
-                                    ctx.emit(
+                                    ctx.emit_fields(
                                         "rms",
                                         "task_abandoned",
-                                        payload(vec![
-                                            ("task", Json::UInt(self.flat[ti].id.0)),
-                                            ("attempts", Json::UInt(u64::from(attempt))),
-                                        ]),
+                                        &[
+                                            ("task", Field::U64(self.flat[ti].id.0)),
+                                            ("attempts", Field::U64(u64::from(attempt))),
+                                        ],
                                     );
                                 }
                             }
@@ -778,14 +773,14 @@ impl<'a, M: MessageEnvelope<RmsMsg>> SchedulerActor<'a, M> {
             }
             self.util.set(now, self.used_cores / self.core_capacity);
         }
-        ctx.emit(
+        ctx.emit_fields(
             "rms",
             "machine_fail",
-            payload(vec![
-                ("machine", Json::UInt(u64::from(m))),
-                ("requeued", Json::UInt(requeued)),
-                ("lost_core_secs", Json::Float(lost_core_secs)),
-            ]),
+            &[
+                ("machine", Field::U64(u64::from(m))),
+                ("requeued", Field::U64(requeued)),
+                ("lost_core_secs", Field::F64(lost_core_secs)),
+            ],
         );
     }
 
@@ -796,13 +791,13 @@ impl<'a, M: MessageEnvelope<RmsMsg>> SchedulerActor<'a, M> {
         if self.flat[ti].done || self.abandoned.contains(&ti) {
             return;
         }
-        ctx.emit(
+        ctx.emit_fields(
             "rms",
             "checkpoint_restore",
-            payload(vec![
-                ("task", Json::UInt(self.flat[ti].id.0)),
-                ("demand_left", Json::Float(self.flat[ti].demand_left)),
-            ]),
+            &[
+                ("task", Field::U64(self.flat[ti].id.0)),
+                ("demand_left", Field::F64(self.flat[ti].demand_left)),
+            ],
         );
         self.queue.push(PendingTask { task_idx: ti, ready_at: now });
         self.queue_dirty = true;
@@ -812,11 +807,7 @@ impl<'a, M: MessageEnvelope<RmsMsg>> SchedulerActor<'a, M> {
         let mid = MachineId(m);
         if (mid.0 as usize) < self.cluster.len() {
             self.cluster.machine_mut(mid).repair();
-            ctx.emit(
-                "rms",
-                "machine_repair",
-                payload(vec![("machine", Json::UInt(u64::from(m)))]),
-            );
+            ctx.emit_fields("rms", "machine_repair", &[("machine", Field::U64(u64::from(m)))]);
         }
     }
 
@@ -839,13 +830,13 @@ impl<'a, M: MessageEnvelope<RmsMsg>> SchedulerActor<'a, M> {
             *self.config = new_config;
             self.queue_dirty = true;
         }
-        ctx.emit(
+        ctx.emit_fields(
             "rms",
             "policy_tick",
-            payload(vec![
-                ("queue_policy", Json::Str(self.config.queue.name().to_owned())),
-                ("queued", Json::UInt(self.queue.len() as u64)),
-            ]),
+            &[
+                ("queue_policy", Field::Str(self.config.queue.name())),
+                ("queued", Field::U64(self.queue.len() as u64)),
+            ],
         );
         let next = now + *interval;
         if next <= self.horizon {
@@ -949,13 +940,13 @@ impl<'a, M: MessageEnvelope<RmsMsg>> SchedulerActor<'a, M> {
             ends,
             M::wrap(RmsMsg::TaskFinish { task_idx: ti, generation: g }),
         );
-        ctx.emit(
+        ctx.emit_fields(
             "rms",
             "task_start",
-            payload(vec![
-                ("task", Json::UInt(self.flat[ti].id.0)),
-                ("machine", Json::UInt(u64::from(mid.0))),
-            ]),
+            &[
+                ("task", Field::U64(self.flat[ti].id.0)),
+                ("machine", Field::U64(u64::from(mid.0))),
+            ],
         );
         true
     }

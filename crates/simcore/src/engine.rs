@@ -46,14 +46,15 @@
 //! ```
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 use std::fmt;
 
 use crate::codec::Json;
 use crate::error::McsError;
+use crate::intern::FastHashSet;
 use crate::rng::RngStream;
 use crate::time::{SimDuration, SimTime};
-use crate::trace::TraceBus;
+use crate::trace::{Field, TraceBus};
 
 /// Identifies an actor registered with a [`Simulation`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -169,7 +170,7 @@ pub struct Context<'a, M> {
     self_id: ActorId,
     outbox: &'a mut Vec<(SimTime, ActorId, M, u64)>,
     seq: &'a mut u64,
-    cancelled: &'a mut HashSet<u64>,
+    cancelled: &'a mut FastHashSet<u64>,
     trace: &'a mut TraceBus,
     rng: &'a mut RngStream,
     stop_requested: &'a mut bool,
@@ -226,6 +227,15 @@ impl<'a, M> Context<'a, M> {
         self.trace.record(self.now, component, event, payload);
     }
 
+    /// Emits a record from a stack slice of scalar [`Field`]s — the lazy
+    /// hot path. On the default full-retention bus this produces exactly
+    /// the bytes [`Context::emit`] with [`crate::trace::payload`] would
+    /// have; on a streaming bus the fields are folded into rollups without
+    /// building a payload at all.
+    pub fn emit_fields(&mut self, component: &str, event: &str, fields: &[(&'static str, Field<'_>)]) {
+        self.trace.record_fields(self.now, component, event, fields);
+    }
+
     /// The simulation-wide RNG stream (actors with their own stochastic
     /// behaviour should hold their own [`RngStream`] instead).
     pub fn rng(&mut self) -> &mut RngStream {
@@ -251,7 +261,7 @@ pub struct Simulation<'a, M> {
     rng: RngStream,
     events_handled: u64,
     horizon: Option<SimTime>,
-    cancelled: HashSet<u64>,
+    cancelled: FastHashSet<u64>,
     trace: TraceBus,
     /// Reused across `step` calls so dispatch does not allocate per event.
     outbox_scratch: Vec<(SimTime, ActorId, M, u64)>,
@@ -280,7 +290,7 @@ impl<'a, M> Simulation<'a, M> {
             rng: RngStream::new(seed, "simulation"),
             events_handled: 0,
             horizon: None,
-            cancelled: HashSet::new(),
+            cancelled: FastHashSet::default(),
             trace: TraceBus::new(),
             outbox_scratch: Vec::new(),
         }
@@ -379,6 +389,17 @@ impl<'a, M> Simulation<'a, M> {
         std::mem::take(&mut self.trace)
     }
 
+    /// Replaces the trace bus — how a scenario installs a streaming
+    /// (bounded-memory) bus before the run starts.
+    ///
+    /// # Panics
+    /// Panics if records were already emitted onto the current bus; swapping
+    /// the sink mid-run would silently drop them.
+    pub fn set_trace(&mut self, bus: TraceBus) {
+        assert!(self.trace.is_empty(), "cannot replace a trace bus that already has records");
+        self.trace = bus;
+    }
+
     /// Drops cancelled events from the head of the queue so `peek` sees the
     /// next live event.
     fn discard_cancelled_head(&mut self) {
@@ -398,7 +419,9 @@ impl<'a, M> Simulation<'a, M> {
     pub fn step(&mut self) -> bool {
         let ev = loop {
             let Some(ev) = self.queue.pop() else { return false };
-            if self.cancelled.remove(&ev.seq) {
+            // Most runs never cancel anything; skip the hash probe entirely
+            // until the first cancellation arrives.
+            if !self.cancelled.is_empty() && self.cancelled.remove(&ev.seq) {
                 continue;
             }
             break ev;

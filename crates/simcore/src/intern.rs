@@ -34,7 +34,7 @@
 //! assert_eq!(interner.lookup("rms"), None); // never interned
 //! ```
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
 
 /// A dense id for an interned string, valid only with its issuing
@@ -107,6 +107,9 @@ impl Hasher for FastHasher {
 
 /// A `HashMap` with the deterministic [`FastHasher`].
 pub type FastHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
+
+/// A `HashSet` with the deterministic [`FastHasher`].
+pub type FastHashSet<T> = HashSet<T, BuildHasherDefault<FastHasher>>;
 
 /// An append-only string table: each distinct string is stored once and
 /// addressed by a [`Symbol`].

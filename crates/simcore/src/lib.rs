@@ -55,12 +55,12 @@ pub mod prelude {
     };
     pub use crate::error::McsError;
     pub use crate::intern::{Interner, Symbol};
-    pub use crate::metrics::{OnlineStats, Summary, TimeWeighted};
+    pub use crate::metrics::{OnlineStats, QuantileSketch, Summary, TimeWeighted};
     pub use crate::resilience::{
         Backoff, BreakerConfig, BreakerState, Bulkhead, CircuitBreaker, ResilienceConfig,
         RestartConfig, RetryPolicy, ShedderConfig, Timeout,
     };
     pub use crate::rng::{RngCore, RngStream};
     pub use crate::time::{SimDuration, SimTime};
-    pub use crate::trace::{TraceBus, TraceEvent};
+    pub use crate::trace::{Field, StreamConfig, TraceBus, TraceEvent};
 }

@@ -124,6 +124,220 @@ pub fn quantile(samples: &[f64], q: f64) -> Option<f64> {
     }
 }
 
+/// A bounded-memory streaming quantile estimator (t-digest style).
+///
+/// Observations are buffered and periodically compacted into at most
+/// `max_centroids` weighted centroids, kept sorted by mean. Compaction walks
+/// the sorted points left to right and greedily merges neighbours while the
+/// combined weight stays under `ceil(2n / max_centroids)`, so no centroid
+/// ever covers more than that many ranks — which bounds the rank error of
+/// [`QuantileSketch::quantile`] by roughly `2n / max_centroids` (a ~1.6%
+/// rank error at the default 128 centroids), regardless of how many
+/// observations stream through.
+///
+/// Sketches built over partitions of a sample set [`merge`] into a sketch
+/// over the union: counts, min, and max merge exactly, quantiles stay within
+/// the rank-error bound whatever the merge order. Merging in a fixed order
+/// (as `mcs-simcore::par` does, by input index) is bit-deterministic.
+///
+/// With fewer than `max_centroids` observations nothing has been compacted
+/// and quantiles are exact (they match [`quantile`] on the raw samples).
+///
+/// [`merge`]: QuantileSketch::merge
+///
+/// # Examples
+/// ```
+/// use mcs_simcore::metrics::QuantileSketch;
+/// let mut s = QuantileSketch::new(64);
+/// for i in 1..=1000 { s.record(i as f64); }
+/// let p50 = s.quantile(0.5).unwrap();
+/// assert!((p50 - 500.5).abs() < 32.0); // within the rank-error bound
+/// assert_eq!(s.quantile(0.0), Some(1.0));
+/// assert_eq!(s.quantile(1.0), Some(1000.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileSketch {
+    max_centroids: usize,
+    /// `(mean, weight)` pairs, sorted by mean.
+    centroids: Vec<(f64, u64)>,
+    /// Raw observations not yet compacted (at most `max_centroids` of them).
+    buffer: Vec<f64>,
+    count: u64,
+    min: f64,
+    max: f64,
+}
+
+crate::impl_json!(struct QuantileSketch { max_centroids, centroids, buffer, count, min, max });
+
+impl QuantileSketch {
+    /// The centroid budget used when callers do not pick one.
+    pub const DEFAULT_CENTROIDS: usize = 128;
+
+    /// An empty sketch holding at most `max_centroids` centroids
+    /// (clamped to a minimum of 8 so the error bound stays meaningful).
+    pub fn new(max_centroids: usize) -> Self {
+        QuantileSketch {
+            max_centroids: max_centroids.max(8),
+            centroids: Vec::new(),
+            buffer: Vec::new(),
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation; non-finite values are ignored.
+    pub fn record(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.count += 1;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        self.buffer.push(x);
+        if self.buffer.len() >= self.max_centroids {
+            self.compress();
+        }
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest observation; `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        if self.count == 0 { None } else { Some(self.min) }
+    }
+
+    /// Largest observation; `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        if self.count == 0 { None } else { Some(self.max) }
+    }
+
+    /// Number of `(mean, weight)` points currently retained (centroids plus
+    /// buffered raw observations) — the sketch's memory footprint, bounded
+    /// by ~`2 × max_centroids` regardless of `count`.
+    pub fn retained_points(&self) -> usize {
+        self.centroids.len() + self.buffer.len()
+    }
+
+    /// Folds another sketch into this one. The merged sketch summarizes the
+    /// union of both sample sets; count/min/max are exact, quantiles keep
+    /// the rank-error bound of the larger centroid budget in use.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        let merged = merge_sorted(
+            &sorted_points(&self.centroids, &self.buffer),
+            &sorted_points(&other.centroids, &other.buffer),
+        );
+        self.centroids = compact(merged, self.count, self.max_centroids);
+        self.buffer.clear();
+    }
+
+    /// Folds the buffer into the centroid set.
+    fn compress(&mut self) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        let points = sorted_points(&self.centroids, &self.buffer);
+        self.centroids = compact(points, self.count, self.max_centroids);
+        self.buffer.clear();
+    }
+
+    /// The estimated `q`-quantile (0 ≤ q ≤ 1); `None` when empty or `q` is
+    /// non-finite. Exact while fewer than `max_centroids` observations have
+    /// been recorded; within the rank-error bound afterwards.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !q.is_finite() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Place each centroid's mean at the midpoint of the rank range it
+        // covers, anchored by the exact min at rank 0 and max at rank n-1,
+        // then interpolate linearly between neighbouring anchors. With unit
+        // weights this reproduces the exact interpolated quantile.
+        let mut anchors: Vec<(f64, f64)> = Vec::with_capacity(self.centroids.len() + 2);
+        anchors.push((0.0, self.min));
+        let mut cum = 0u64;
+        for (mean, w) in sorted_points(&self.centroids, &self.buffer) {
+            let mid = cum as f64 + (w - 1) as f64 / 2.0;
+            if mid > anchors.last().unwrap().0 {
+                anchors.push((mid, mean));
+            }
+            cum += w;
+        }
+        let last_rank = (self.count - 1) as f64;
+        if last_rank > anchors.last().unwrap().0 {
+            anchors.push((last_rank, self.max));
+        }
+        let target = q * last_rank;
+        let mut prev = anchors[0];
+        for &(rank, value) in &anchors {
+            if target <= rank {
+                if rank <= prev.0 {
+                    return Some(value);
+                }
+                let frac = (target - prev.0) / (rank - prev.0);
+                return Some(prev.1 + frac * (value - prev.1));
+            }
+            prev = (rank, value);
+        }
+        Some(self.max)
+    }
+}
+
+/// All points of a sketch — centroids plus buffered singletons — as one
+/// weight-ordered-by-mean list.
+fn sorted_points(centroids: &[(f64, u64)], buffer: &[f64]) -> Vec<(f64, u64)> {
+    let mut singles: Vec<(f64, u64)> = buffer.iter().map(|&x| (x, 1)).collect();
+    singles.sort_by(|a, b| a.0.total_cmp(&b.0));
+    merge_sorted(centroids, &singles)
+}
+
+/// Merges two mean-sorted point lists into one.
+fn merge_sorted(a: &[(f64, u64)], b: &[(f64, u64)]) -> Vec<(f64, u64)> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i].0 <= b[j].0 {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Greedy left-to-right compaction under a per-centroid weight cap of
+/// `ceil(2·count / max_centroids)`. Any two adjacent output centroids exceed
+/// the cap together, so at most `max_centroids + 1` centroids survive.
+fn compact(points: Vec<(f64, u64)>, count: u64, max_centroids: usize) -> Vec<(f64, u64)> {
+    let cap = (2 * count).div_ceil(max_centroids as u64).max(1);
+    let mut out: Vec<(f64, u64)> = Vec::with_capacity(max_centroids + 1);
+    for (mean, w) in points {
+        if let Some(last) = out.last_mut() {
+            if last.1 + w <= cap {
+                let total = last.1 + w;
+                last.0 = (last.0 * last.1 as f64 + mean * w as f64) / total as f64;
+                last.1 = total;
+                continue;
+            }
+        }
+        out.push((mean, w));
+    }
+    out
+}
+
 /// A complete distribution summary of a sample set, as reported in the
 /// experiment tables (mean, p50, p95, p99, max, …).
 #[derive(Debug, Clone, PartialEq)]
@@ -412,6 +626,101 @@ mod tests {
         assert_eq!(a.count(), all.count());
         assert!((a.mean() - all.mean()).abs() < 1e-9);
         assert!((a.variance() - all.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sketch_is_exact_below_the_centroid_budget() {
+        let xs = [5.0, 1.0, 4.0, 2.0, 3.0];
+        let mut s = QuantileSketch::new(64);
+        for &x in &xs {
+            s.record(x);
+        }
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
+            assert_eq!(s.quantile(q), quantile(&xs, q), "q={q}");
+        }
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(5.0));
+    }
+
+    #[test]
+    fn sketch_empty_and_non_finite() {
+        let mut s = QuantileSketch::new(16);
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.min(), None);
+        s.record(f64::NAN);
+        s.record(f64::INFINITY);
+        assert_eq!(s.count(), 0);
+        s.record(2.0);
+        assert_eq!(s.quantile(f64::NAN), None);
+        assert_eq!(s.quantile(0.5), Some(2.0));
+    }
+
+    #[test]
+    fn sketch_rank_error_is_bounded_at_scale() {
+        // 100k uniform ranks through a 128-centroid sketch: every estimated
+        // quantile must land within the documented ~2n/C rank error.
+        let n = 100_000u64;
+        let c = 128usize;
+        let mut s = QuantileSketch::new(c);
+        for i in 0..n {
+            s.record(i as f64);
+        }
+        assert!(s.centroids.len() <= c + 1);
+        assert!(s.buffer.len() < c);
+        let tolerance = 2.0 * (2.0 * n as f64 / c as f64);
+        for q in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999] {
+            let est = s.quantile(q).unwrap();
+            let exact = q * (n - 1) as f64;
+            assert!(
+                (est - exact).abs() <= tolerance,
+                "q={q}: est {est}, exact {exact}, tolerance {tolerance}"
+            );
+        }
+        assert_eq!(s.quantile(0.0), Some(0.0));
+        assert_eq!(s.quantile(1.0), Some((n - 1) as f64));
+    }
+
+    #[test]
+    fn sketch_merge_matches_single_stream_bounds() {
+        let n = 20_000u64;
+        let mut whole = QuantileSketch::new(96);
+        let mut left = QuantileSketch::new(96);
+        let mut right = QuantileSketch::new(96);
+        for i in 0..n {
+            let x = (i as f64).sin() * 1000.0;
+            whole.record(x);
+            if i % 2 == 0 {
+                left.record(x);
+            } else {
+                right.record(x);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+        let tol = 2000.0 * (4.0 / 96.0) * 2.0; // value-range × rank-error share
+        for q in [0.1, 0.5, 0.9] {
+            let a = left.quantile(q).unwrap();
+            let b = whole.quantile(q).unwrap();
+            assert!((a - b).abs() <= tol, "q={q}: merged {a} vs single {b}");
+        }
+        // Merging an empty sketch is a no-op.
+        let before = whole.clone();
+        whole.merge(&QuantileSketch::new(96));
+        assert_eq!(whole, before);
+    }
+
+    #[test]
+    fn sketch_json_round_trips() {
+        use crate::codec::{from_str, to_string};
+        let mut s = QuantileSketch::new(32);
+        for i in 0..100 {
+            s.record(f64::from(i) * 0.5);
+        }
+        let back: QuantileSketch = from_str(&to_string(&s)).unwrap();
+        assert_eq!(back, s);
     }
 
     #[test]

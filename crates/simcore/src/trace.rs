@@ -50,7 +50,8 @@
 use crate::codec::{self, Json, ToJson};
 use crate::error::McsError;
 use crate::intern::{FastHashMap, Interner, Symbol};
-use crate::time::SimTime;
+use crate::metrics::{OnlineStats, QuantileSketch};
+use crate::time::{SimDuration, SimTime};
 use std::cell::RefCell;
 
 /// One structured record on the bus.
@@ -100,8 +101,229 @@ pub fn payload(fields: Vec<(&'static str, Json)>) -> Json {
     Json::Obj(fields.into_iter().map(|(k, v)| (codec::JsonKey::Borrowed(k), v)).collect())
 }
 
+/// One payload value on the lazy emission path ([`TraceBus::record_fields`],
+/// `Context::emit_fields`).
+///
+/// A `Field` is a plain copyable scalar: hot emitters hand the bus a stack
+/// slice of `(&'static str, Field)` pairs and the bus decides what to do
+/// with it — a full-retention sink materializes the exact [`Json`] object
+/// [`payload`] would have built (so serialized traces stay byte-identical),
+/// while a streaming sink folds the numeric fields into its rollups without
+/// ever allocating a payload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Field<'v> {
+    /// A float value, materialized as `Json::Float`.
+    F64(f64),
+    /// A non-negative integer, materialized as `Json::UInt`.
+    U64(u64),
+    /// A signed integer, materialized as `Json::Int`.
+    I64(i64),
+    /// A boolean, materialized as `Json::Bool`.
+    Bool(bool),
+    /// A borrowed string, materialized as `Json::Str` (owned) only when a
+    /// full-retention sink actually keeps the event.
+    Str(&'v str),
+}
+
+impl Field<'_> {
+    /// The owned JSON value this field materializes to on the full path.
+    fn to_json(self) -> Json {
+        match self {
+            Field::F64(x) => Json::Float(x),
+            Field::U64(x) => Json::UInt(x),
+            Field::I64(x) => Json::Int(x),
+            Field::Bool(x) => Json::Bool(x),
+            Field::Str(s) => Json::Str(s.to_owned()),
+        }
+    }
+
+    /// The numeric view a streaming sink folds — exactly the values
+    /// [`TraceEvent::field_f64`] would read back off a retained event.
+    fn fold_f64(self) -> Option<f64> {
+        match self {
+            Field::F64(x) if x.is_finite() => Some(x),
+            Field::F64(_) | Field::Bool(_) | Field::Str(_) => None,
+            Field::U64(x) => Some(x as f64),
+            Field::I64(x) => Some(x as f64),
+        }
+    }
+}
+
 /// The `(component, event) -> event indices` query index.
 type QueryIndex = FastHashMap<(Symbol, Symbol), Vec<u32>>;
+
+/// Tuning for a streaming (bounded-memory) trace sink; see
+/// [`TraceBus::streaming`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamConfig {
+    /// Centroid budget of each per-field [`QuantileSketch`]; clamped to at
+    /// least 8. Larger budgets tighten quantile error (~2n/budget ranks) at
+    /// ~16 bytes per centroid.
+    pub sketch_centroids: usize,
+    /// When set, each rollup also keeps a per-window event counter over
+    /// fixed windows of this width (capped at [`MAX_WINDOWS`] windows; later
+    /// events saturate into the last window). `None` disables windowing.
+    pub window: Option<SimDuration>,
+}
+
+/// The ceiling on per-rollup window counters a streaming sink will allocate.
+pub const MAX_WINDOWS: usize = 1 << 16;
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig { sketch_centroids: QuantileSketch::DEFAULT_CENTROIDS, window: None }
+    }
+}
+
+/// Online aggregation of one numeric payload field within a rollup.
+#[derive(Debug, Clone, PartialEq)]
+struct FieldAgg {
+    /// The field name, interned in the owning bus's table.
+    key: Symbol,
+    stats: OnlineStats,
+    sketch: QuantileSketch,
+}
+
+/// The per-`(component, event)` aggregate a streaming sink maintains in
+/// place of retained events.
+#[derive(Debug, Clone, PartialEq)]
+struct Rollup {
+    count: u64,
+    first_at: SimTime,
+    last_at: SimTime,
+    /// One aggregate per numeric payload field, in first-seen order (the
+    /// per-event field vocabulary is tiny, so a linear scan beats a map).
+    fields: Vec<FieldAgg>,
+    /// Event counts per time window (empty unless the sink is windowed).
+    windows: Vec<u64>,
+}
+
+impl Rollup {
+    fn new(at: SimTime) -> Self {
+        Rollup { count: 0, first_at: at, last_at: at, fields: Vec::new(), windows: Vec::new() }
+    }
+
+    fn field_mut(&mut self, key: Symbol, sketch_centroids: usize) -> &mut FieldAgg {
+        if let Some(i) = self.fields.iter().position(|f| f.key == key) {
+            return &mut self.fields[i];
+        }
+        self.fields.push(FieldAgg {
+            key,
+            stats: OnlineStats::new(),
+            sketch: QuantileSketch::new(sketch_centroids),
+        });
+        self.fields.last_mut().expect("just pushed")
+    }
+
+    fn field(&self, key: Symbol) -> Option<&FieldAgg> {
+        self.fields.iter().find(|f| f.key == key)
+    }
+}
+
+/// The bounded-memory aggregation state behind a streaming bus.
+#[derive(Debug, Clone, PartialEq)]
+struct StreamingSink {
+    config: StreamConfig,
+    rollups: FastHashMap<(Symbol, Symbol), Rollup>,
+    total: u64,
+}
+
+impl StreamingSink {
+    fn new(config: StreamConfig) -> Self {
+        let config = StreamConfig {
+            sketch_centroids: config.sketch_centroids.max(8),
+            window: config.window.filter(|w| *w > SimDuration::ZERO),
+        };
+        StreamingSink { config, rollups: FastHashMap::default(), total: 0 }
+    }
+
+    /// Advances the event-level counters and returns the rollup to fold
+    /// field values into.
+    fn touch(&mut self, at: SimTime, component: Symbol, event: Symbol) -> &mut Rollup {
+        self.total += 1;
+        let window = self.config.window;
+        let rollup = self.rollups.entry((component, event)).or_insert_with(|| Rollup::new(at));
+        rollup.count += 1;
+        rollup.first_at = rollup.first_at.min(at);
+        rollup.last_at = rollup.last_at.max(at);
+        if let Some(w) = window {
+            let idx = (at.as_nanos() / w.as_nanos()) as usize;
+            let idx = idx.min(MAX_WINDOWS - 1);
+            if idx >= rollup.windows.len() {
+                rollup.windows.resize(idx + 1, 0);
+            }
+            rollup.windows[idx] += 1;
+        }
+        rollup
+    }
+
+    /// Folds an already-built JSON payload (the [`TraceBus::record`] path).
+    fn fold_json(
+        &mut self,
+        at: SimTime,
+        component: Symbol,
+        event: Symbol,
+        payload: &Json,
+        interner: &mut Interner,
+    ) {
+        let centroids = self.config.sketch_centroids;
+        let rollup = self.touch(at, component, event);
+        if let Json::Obj(entries) = payload {
+            for (key, value) in entries {
+                let Some(x) = value.as_f64().filter(|x| x.is_finite()) else { continue };
+                let key = interner.intern(key.as_ref());
+                let agg = rollup.field_mut(key, centroids);
+                agg.stats.record(x);
+                agg.sketch.record(x);
+            }
+        }
+    }
+
+    /// Folds a lazy field slice (the [`TraceBus::record_fields`] path) —
+    /// no JSON object is ever built.
+    fn fold_fields(
+        &mut self,
+        at: SimTime,
+        component: Symbol,
+        event: Symbol,
+        fields: &[(&'static str, Field<'_>)],
+        interner: &mut Interner,
+    ) {
+        let centroids = self.config.sketch_centroids;
+        let rollup = self.touch(at, component, event);
+        for &(key, value) in fields {
+            let Some(x) = value.fold_f64() else { continue };
+            let key = interner.intern(key);
+            let agg = rollup.field_mut(key, centroids);
+            agg.stats.record(x);
+            agg.sketch.record(x);
+        }
+    }
+
+    /// Approximate heap bytes this sink retains — the "flat memory" number
+    /// the scale benchmarks track.
+    fn approx_bytes(&self) -> u64 {
+        let mut bytes = std::mem::size_of::<Self>() as u64;
+        for rollup in self.rollups.values() {
+            bytes += std::mem::size_of::<((Symbol, Symbol), Rollup)>() as u64;
+            bytes += (rollup.windows.len() * std::mem::size_of::<u64>()) as u64;
+            for agg in &rollup.fields {
+                bytes += std::mem::size_of::<FieldAgg>() as u64;
+                bytes += (agg.sketch.retained_points() * 16) as u64;
+            }
+        }
+        bytes
+    }
+}
+
+/// How a [`TraceBus`] treats records as they arrive.
+#[derive(Debug, Clone, PartialEq)]
+enum Sink {
+    /// Retain every event (the default; serialized traces are golden-pinned).
+    Full,
+    /// Fold each event into bounded-memory rollups and drop it.
+    Streaming(Box<StreamingSink>),
+}
 
 /// The append-only, seed-deterministic record of one simulation run.
 ///
@@ -109,13 +331,25 @@ type QueryIndex = FastHashMap<(Symbol, Symbol), Vec<u32>>;
 /// [`crate::engine::Context::emit`], and the experiment harness reads it
 /// back after the run (or takes it with
 /// [`crate::engine::Simulation::take_trace`]).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct TraceBus {
     events: Vec<TraceEvent>,
     interner: Interner,
+    sink: Sink,
     /// Built on first query, maintained incrementally by later records.
     /// Purely derived state: ignored by `Clone`/`PartialEq`.
     index: RefCell<Option<QueryIndex>>,
+}
+
+impl Default for TraceBus {
+    fn default() -> Self {
+        TraceBus {
+            events: Vec::new(),
+            interner: Interner::new(),
+            sink: Sink::Full,
+            index: RefCell::new(None),
+        }
+    }
 }
 
 impl Clone for TraceBus {
@@ -123,6 +357,7 @@ impl Clone for TraceBus {
         TraceBus {
             events: self.events.clone(),
             interner: self.interner.clone(),
+            sink: self.sink.clone(),
             index: RefCell::new(None),
         }
     }
@@ -130,14 +365,44 @@ impl Clone for TraceBus {
 
 impl PartialEq for TraceBus {
     fn eq(&self, other: &Self) -> bool {
-        self.events == other.events && self.interner == other.interner
+        self.events == other.events && self.interner == other.interner && self.sink == other.sink
     }
 }
 
 impl TraceBus {
-    /// An empty bus.
+    /// An empty full-retention bus (every record kept; serialized traces are
+    /// byte-identical across same-seed runs).
     pub fn new() -> Self {
         TraceBus::default()
+    }
+
+    /// An empty streaming bus: records are folded into bounded-memory
+    /// per-`(component, event)` rollups — counts, per-field [`OnlineStats`]
+    /// and [`QuantileSketch`]es, and optional per-window counters — at
+    /// [`record`] time, then dropped.
+    ///
+    /// In this mode [`events`] stays empty and [`select`]/[`series`]/the
+    /// serializers return nothing; use the mode-agnostic aggregate queries
+    /// ([`count`], [`counts`], [`recorded`], [`field_stats`],
+    /// [`field_quantile`], [`window_counts`]) instead.
+    ///
+    /// [`record`]: TraceBus::record
+    /// [`events`]: TraceBus::events
+    /// [`select`]: TraceBus::select
+    /// [`series`]: TraceBus::series
+    /// [`count`]: TraceBus::count
+    /// [`counts`]: TraceBus::counts
+    /// [`recorded`]: TraceBus::recorded
+    /// [`field_stats`]: TraceBus::field_stats
+    /// [`field_quantile`]: TraceBus::field_quantile
+    /// [`window_counts`]: TraceBus::window_counts
+    pub fn streaming(config: StreamConfig) -> Self {
+        TraceBus { sink: Sink::Streaming(Box::new(StreamingSink::new(config))), ..TraceBus::default() }
+    }
+
+    /// Whether this bus aggregates instead of retaining events.
+    pub fn is_streaming(&self) -> bool {
+        matches!(self.sink, Sink::Streaming(_))
     }
 
     /// Appends one record, interning `component` and `event` (allocation-free
@@ -151,10 +416,64 @@ impl TraceBus {
     /// Appends one record with pre-interned identity — the fastest path for
     /// emitters that hold their symbols.
     pub fn record_interned(&mut self, at: SimTime, component: Symbol, event: Symbol, payload: Json) {
-        let idx = u32::try_from(self.events.len()).expect("trace bus overflow");
-        self.events.push(TraceEvent { at, component, event, payload });
-        if let Some(index) = self.index.get_mut().as_mut() {
-            index.entry((component, event)).or_default().push(idx);
+        match &mut self.sink {
+            Sink::Full => {
+                let idx = u32::try_from(self.events.len()).expect("trace bus overflow");
+                self.events.push(TraceEvent { at, component, event, payload });
+                if let Some(index) = self.index.get_mut().as_mut() {
+                    index.entry((component, event)).or_default().push(idx);
+                }
+            }
+            Sink::Streaming(sink) => {
+                sink.fold_json(at, component, event, &payload, &mut self.interner);
+            }
+        }
+    }
+
+    /// Records one event from a stack slice of scalar fields — the lazy hot
+    /// path. A full-retention bus materializes exactly the [`Json`] object
+    /// [`payload`] would have built (serialized bytes are unchanged); a
+    /// streaming bus folds the numeric fields into its rollups without
+    /// building any payload at all.
+    pub fn record_fields(
+        &mut self,
+        at: SimTime,
+        component: &str,
+        event: &str,
+        fields: &[(&'static str, Field<'_>)],
+    ) {
+        let component = self.interner.intern(component);
+        let event = self.interner.intern(event);
+        self.record_fields_interned(at, component, event, fields);
+    }
+
+    /// [`record_fields`] with pre-interned identity.
+    ///
+    /// [`record_fields`]: TraceBus::record_fields
+    pub fn record_fields_interned(
+        &mut self,
+        at: SimTime,
+        component: Symbol,
+        event: Symbol,
+        fields: &[(&'static str, Field<'_>)],
+    ) {
+        match &mut self.sink {
+            Sink::Full => {
+                let payload = Json::Obj(
+                    fields
+                        .iter()
+                        .map(|&(k, v)| (codec::JsonKey::Borrowed(k), v.to_json()))
+                        .collect(),
+                );
+                let idx = u32::try_from(self.events.len()).expect("trace bus overflow");
+                self.events.push(TraceEvent { at, component, event, payload });
+                if let Some(index) = self.index.get_mut().as_mut() {
+                    index.entry((component, event)).or_default().push(idx);
+                }
+            }
+            Sink::Streaming(sink) => {
+                sink.fold_fields(at, component, event, fields, &mut self.interner);
+            }
         }
     }
 
@@ -168,25 +487,40 @@ impl TraceBus {
         &self.interner
     }
 
-    /// All records, in emission order (which equals delivery order, so it is
-    /// identical across same-seed runs).
+    /// All retained records, in emission order (which equals delivery order,
+    /// so it is identical across same-seed runs). Always empty on a
+    /// streaming bus — use [`TraceBus::recorded`] for the events-seen count.
     pub fn events(&self) -> &[TraceEvent] {
         &self.events
     }
 
-    /// Number of records.
+    /// Number of retained records (0 on a streaming bus).
     pub fn len(&self) -> usize {
         self.events.len()
     }
 
-    /// Whether the bus is empty.
-    pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+    /// Total records ever offered to the bus, whatever the sink did with
+    /// them — the mode-agnostic event counter.
+    pub fn recorded(&self) -> u64 {
+        match &self.sink {
+            Sink::Full => self.events.len() as u64,
+            Sink::Streaming(sink) => sink.total,
+        }
     }
 
-    /// Drops all records (the string table and its symbols stay valid).
+    /// Whether nothing was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.recorded() == 0
+    }
+
+    /// Drops all records and rollups (the string table and its symbols stay
+    /// valid, and the sink keeps its mode and configuration).
     pub fn clear(&mut self) {
         self.events.clear();
+        if let Sink::Streaming(sink) = &mut self.sink {
+            sink.rollups.clear();
+            sink.total = 0;
+        }
         *self.index.get_mut() = None;
     }
 
@@ -203,56 +537,76 @@ impl TraceBus {
         f(index)
     }
 
-    /// The event indices matching one `(component, event)` pair, in order;
-    /// empty when either name was never recorded.
-    fn indices(&self, component: &str, event: &str) -> Vec<u32> {
-        let (Some(c), Some(e)) =
-            (self.interner.lookup(component), self.interner.lookup(event))
-        else {
-            return Vec::new();
-        };
-        self.with_index(|index| index.get(&(c, e)).cloned().unwrap_or_default())
+    /// Looks up the symbols of a `(component, event)` pair without interning.
+    fn lookup_pair(&self, component: &str, event: &str) -> Option<(Symbol, Symbol)> {
+        Some((self.interner.lookup(component)?, self.interner.lookup(event)?))
     }
 
-    /// The records matching one `(component, event)` pair, in order.
+    /// The records matching one `(component, event)` pair, in order. The
+    /// query folds inside the index borrow — no index clone, one output
+    /// allocation. Always empty on a streaming bus.
     pub fn select(&self, component: &str, event: &str) -> Vec<&TraceEvent> {
-        self.indices(component, event).into_iter().map(|i| &self.events[i as usize]).collect()
+        let Some(key) = self.lookup_pair(component, event) else { return Vec::new() };
+        let events = &self.events;
+        self.with_index(|index| {
+            index.get(&key).map_or_else(Vec::new, |indices| {
+                indices.iter().map(|&i| &events[i as usize]).collect()
+            })
+        })
     }
 
-    /// Number of records matching one `(component, event)` pair.
+    /// Number of records matching one `(component, event)` pair (works in
+    /// both retention modes).
     pub fn count(&self, component: &str, event: &str) -> usize {
-        let (Some(c), Some(e)) =
-            (self.interner.lookup(component), self.interner.lookup(event))
-        else {
-            return 0;
-        };
-        self.with_index(|index| index.get(&(c, e)).map_or(0, Vec::len))
+        let Some(key) = self.lookup_pair(component, event) else { return 0 };
+        match &self.sink {
+            Sink::Full => self.with_index(|index| index.get(&key).map_or(0, Vec::len)),
+            Sink::Streaming(sink) => {
+                sink.rollups.get(&key).map_or(0, |r| r.count as usize)
+            }
+        }
     }
 
     /// Event counts per `(component, event)`, sorted for deterministic
-    /// report rows. Each name is resolved once per distinct pair, not once
-    /// per event.
+    /// report rows (works in both retention modes). Each name is resolved
+    /// once per distinct pair, not once per event.
     pub fn counts(&self) -> Vec<(String, String, u64)> {
-        let mut rows: Vec<(String, String, u64)> = self.with_index(|index| {
-            index
+        let mut rows: Vec<(String, String, u64)> = match &self.sink {
+            Sink::Full => self.with_index(|index| {
+                index
+                    .iter()
+                    .map(|(&(c, e), indices)| {
+                        (
+                            self.interner.resolve(c).to_owned(),
+                            self.interner.resolve(e).to_owned(),
+                            indices.len() as u64,
+                        )
+                    })
+                    .collect()
+            }),
+            Sink::Streaming(sink) => sink
+                .rollups
                 .iter()
-                .map(|(&(c, e), indices)| {
+                .map(|(&(c, e), rollup)| {
                     (
                         self.interner.resolve(c).to_owned(),
                         self.interner.resolve(e).to_owned(),
-                        indices.len() as u64,
+                        rollup.count,
                     )
                 })
-                .collect()
-        });
+                .collect(),
+        };
         rows.sort_unstable();
         rows
     }
 
-    /// The sorted distinct component names on the bus.
+    /// The sorted distinct component names on the bus (works in both
+    /// retention modes).
     pub fn components(&self) -> Vec<String> {
-        let mut symbols: Vec<Symbol> =
-            self.with_index(|index| index.keys().map(|&(c, _)| c).collect());
+        let mut symbols: Vec<Symbol> = match &self.sink {
+            Sink::Full => self.with_index(|index| index.keys().map(|&(c, _)| c).collect()),
+            Sink::Streaming(sink) => sink.rollups.keys().map(|&(c, _)| c).collect(),
+        };
         symbols.sort_unstable();
         symbols.dedup();
         let mut names: Vec<String> =
@@ -262,31 +616,183 @@ impl TraceBus {
     }
 
     /// The `(instant, value)` series of a numeric payload field across
-    /// matching records (records without the field are skipped).
+    /// matching records (records without the field are skipped). The filter
+    /// folds inside the index borrow — no index clone. Always empty on a
+    /// streaming bus (the per-event series is exactly what streaming gives
+    /// up; use [`TraceBus::field_stats`] / [`TraceBus::field_quantile`]).
     pub fn series(&self, component: &str, event: &str, field: &str) -> Vec<(SimTime, f64)> {
-        self.indices(component, event)
-            .into_iter()
-            .filter_map(|i| {
-                let e = &self.events[i as usize];
-                e.field_f64(field).map(|x| (e.at, x))
+        let Some(key) = self.lookup_pair(component, event) else { return Vec::new() };
+        let events = &self.events;
+        self.with_index(|index| {
+            index.get(&key).map_or_else(Vec::new, |indices| {
+                indices
+                    .iter()
+                    .filter_map(|&i| {
+                        let e = &events[i as usize];
+                        e.field_f64(field).map(|x| (e.at, x))
+                    })
+                    .collect()
             })
-            .collect()
+        })
+    }
+
+    /// Online statistics of a numeric payload field across matching records;
+    /// `None` when no matching record carries the field. On a full bus this
+    /// folds the retained series (exact); on a streaming bus it reads the
+    /// rollup, which folded the same values in the same order — the two
+    /// modes agree bit-for-bit.
+    pub fn field_stats(&self, component: &str, event: &str, field: &str) -> Option<OnlineStats> {
+        let key = self.lookup_pair(component, event)?;
+        match &self.sink {
+            Sink::Full => {
+                let mut stats = OnlineStats::new();
+                for (_, x) in self.series(component, event, field) {
+                    stats.record(x);
+                }
+                if stats.count() == 0 { None } else { Some(stats) }
+            }
+            Sink::Streaming(sink) => {
+                let field = self.interner.lookup(field)?;
+                let agg = sink.rollups.get(&key)?.field(field)?;
+                Some(agg.stats.clone())
+            }
+        }
+    }
+
+    /// The `q`-quantile of a numeric payload field across matching records;
+    /// `None` when no matching record carries the field. Exact (sort-based)
+    /// on a full bus; within the sketch's rank-error bound on a streaming
+    /// bus.
+    pub fn field_quantile(&self, component: &str, event: &str, field: &str, q: f64) -> Option<f64> {
+        match &self.sink {
+            Sink::Full => {
+                let xs: Vec<f64> =
+                    self.series(component, event, field).into_iter().map(|(_, x)| x).collect();
+                crate::metrics::quantile(&xs, q)
+            }
+            Sink::Streaming(sink) => {
+                let key = self.lookup_pair(component, event)?;
+                let field = self.interner.lookup(field)?;
+                sink.rollups.get(&key)?.field(field)?.sketch.quantile(q)
+            }
+        }
+    }
+
+    /// Per-window event counts of one `(component, event)` pair, from window
+    /// 0 up to the last populated window. `None` unless this is a streaming
+    /// bus configured with a [`StreamConfig::window`]; empty when the pair
+    /// never recorded.
+    pub fn window_counts(&self, component: &str, event: &str) -> Option<Vec<u64>> {
+        let Sink::Streaming(sink) = &self.sink else { return None };
+        sink.config.window?;
+        let Some(key) = self.lookup_pair(component, event) else { return Some(Vec::new()) };
+        Some(sink.rollups.get(&key).map_or_else(Vec::new, |r| r.windows.clone()))
+    }
+
+    /// The `[first, last]` instants of one `(component, event)` pair, in
+    /// either retention mode; `None` when the pair never recorded.
+    pub fn time_span(&self, component: &str, event: &str) -> Option<(SimTime, SimTime)> {
+        let key = self.lookup_pair(component, event)?;
+        match &self.sink {
+            Sink::Full => {
+                let events = &self.events;
+                self.with_index(|index| {
+                    let indices = index.get(&key)?;
+                    let first = events[*indices.first()? as usize].at;
+                    let last = events[*indices.last()? as usize].at;
+                    Some((first, last))
+                })
+            }
+            Sink::Streaming(sink) => {
+                sink.rollups.get(&key).map(|r| (r.first_at, r.last_at))
+            }
+        }
+    }
+
+    /// Approximate heap bytes the bus retains: event storage plus payload
+    /// heap on a full bus, rollup state on a streaming bus (plus the string
+    /// table in both). Deterministic for a deterministic run — the memory
+    /// column the scale benchmarks and `scale_stress` report.
+    pub fn approx_retained_bytes(&self) -> u64 {
+        let mut bytes: u64 = self.interner.names().map(|n| n.len() as u64 + 16).sum();
+        match &self.sink {
+            Sink::Full => {
+                bytes += (self.events.len() * std::mem::size_of::<TraceEvent>()) as u64;
+                for e in &self.events {
+                    bytes += json_heap_bytes(&e.payload);
+                }
+            }
+            Sink::Streaming(sink) => {
+                bytes += sink.approx_bytes();
+            }
+        }
+        bytes
     }
 
     /// Appends every record of `other` (used to merge buses of sequential
     /// runs; records keep their original instants). Symbols are re-interned
     /// into this bus's table, so merged buses stay self-contained.
+    ///
+    /// A streaming `other` merges its rollups into a streaming `self`
+    /// (counts and min/max exactly, statistics via parallel Welford, sketch
+    /// quantiles within their rank-error bound, window counters
+    /// element-wise).
+    ///
+    /// # Panics
+    /// Panics when `other` is streaming and `self` retains events — dropped
+    /// events cannot be reconstructed.
     pub fn extend_from(&mut self, other: TraceBus) {
         // Map other-bus symbol ids to this bus's ids once, not per event.
         let remap: Vec<Symbol> =
             other.interner.names().map(|name| self.interner.intern(name)).collect();
-        for e in other.events {
-            self.record_interned(
-                e.at,
-                remap[e.component.index()],
-                remap[e.event.index()],
-                e.payload,
-            );
+        match other.sink {
+            Sink::Full => {
+                for e in other.events {
+                    self.record_interned(
+                        e.at,
+                        remap[e.component.index()],
+                        remap[e.event.index()],
+                        e.payload,
+                    );
+                }
+            }
+            Sink::Streaming(other_sink) => {
+                let Sink::Streaming(sink) = &mut self.sink else {
+                    panic!("cannot merge a streaming trace into a full-retention bus");
+                };
+                sink.total += other_sink.total;
+                for ((c, e), rollup) in other_sink.rollups {
+                    let key = (remap[c.index()], remap[e.index()]);
+                    match sink.rollups.entry(key) {
+                        std::collections::hash_map::Entry::Vacant(slot) => {
+                            let mut rollup = rollup;
+                            for agg in &mut rollup.fields {
+                                agg.key = remap[agg.key.index()];
+                            }
+                            slot.insert(rollup);
+                        }
+                        std::collections::hash_map::Entry::Occupied(mut slot) => {
+                            let mine = slot.get_mut();
+                            mine.count += rollup.count;
+                            mine.first_at = mine.first_at.min(rollup.first_at);
+                            mine.last_at = mine.last_at.max(rollup.last_at);
+                            if mine.windows.len() < rollup.windows.len() {
+                                mine.windows.resize(rollup.windows.len(), 0);
+                            }
+                            for (w, n) in rollup.windows.iter().enumerate() {
+                                mine.windows[w] += n;
+                            }
+                            let centroids = sink.config.sketch_centroids;
+                            for agg in rollup.fields {
+                                let key = remap[agg.key.index()];
+                                let mine = mine.field_mut(key, centroids);
+                                mine.stats.merge(&agg.stats);
+                                mine.sketch.merge(&agg.sketch);
+                            }
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -349,6 +855,32 @@ impl TraceBus {
             bus.record(at, &component, &event, payload);
         }
         Ok(bus)
+    }
+}
+
+/// Rough heap footprint of one payload value: string bytes plus vector
+/// slots, recursively. An estimate (allocator overhead and spare capacity
+/// are ignored), but a deterministic one.
+fn json_heap_bytes(value: &Json) -> u64 {
+    match value {
+        Json::Str(s) => s.len() as u64,
+        Json::Arr(items) => items
+            .iter()
+            .map(|v| std::mem::size_of::<Json>() as u64 + json_heap_bytes(v))
+            .sum(),
+        Json::Obj(fields) => fields
+            .iter()
+            .map(|(k, v)| {
+                let key_bytes = match k {
+                    codec::JsonKey::Owned(s) => s.len() as u64,
+                    codec::JsonKey::Borrowed(_) => 0,
+                };
+                std::mem::size_of::<(codec::JsonKey, Json)>() as u64
+                    + key_bytes
+                    + json_heap_bytes(v)
+            })
+            .sum(),
+        _ => 0,
     }
 }
 
@@ -465,6 +997,191 @@ mod tests {
     #[test]
     fn components_sorted_unique() {
         assert_eq!(bus().components(), vec!["faas".to_owned(), "rms".to_owned()]);
+    }
+
+    /// The same record stream sent to either sink mode.
+    fn drive(bus: &mut TraceBus) {
+        for i in 0..500u64 {
+            let at = SimTime::from_secs(i);
+            bus.record(
+                at,
+                "faas",
+                "invoke",
+                payload(vec![
+                    ("latency_secs", Json::Float(0.01 * (i % 37) as f64)),
+                    ("cold", Json::Bool(i % 10 == 0)),
+                ]),
+            );
+            if i % 3 == 0 {
+                bus.record_fields(
+                    at,
+                    "rms",
+                    "task_finish",
+                    &[("wait_secs", Field::F64(0.5 * (i % 11) as f64)), ("job", Field::Str("j"))],
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_counts_match_full_retention() {
+        let mut full = TraceBus::new();
+        let mut stream = TraceBus::streaming(StreamConfig::default());
+        drive(&mut full);
+        drive(&mut stream);
+        assert!(stream.is_streaming() && !full.is_streaming());
+        assert_eq!(stream.len(), 0);
+        assert!(stream.events().is_empty());
+        assert_eq!(stream.recorded(), full.recorded());
+        assert_eq!(stream.counts(), full.counts());
+        assert_eq!(stream.components(), full.components());
+        assert_eq!(stream.count("faas", "invoke"), full.count("faas", "invoke"));
+        assert_eq!(stream.count("nope", "invoke"), 0);
+        assert_eq!(stream.time_span("faas", "invoke"), full.time_span("faas", "invoke"));
+        assert_eq!(full.time_span("nope", "x"), None);
+    }
+
+    #[test]
+    fn streaming_field_stats_are_bit_identical_to_full() {
+        let mut full = TraceBus::new();
+        let mut stream = TraceBus::streaming(StreamConfig::default());
+        drive(&mut full);
+        drive(&mut stream);
+        let a = full.field_stats("faas", "invoke", "latency_secs").unwrap();
+        let b = stream.field_stats("faas", "invoke", "latency_secs").unwrap();
+        assert_eq!(a, b); // same values folded in the same order
+        assert!(full.field_stats("faas", "invoke", "nope").is_none());
+        assert!(stream.field_stats("faas", "invoke", "nope").is_none());
+        // Bool and Str fields are not numeric in either mode.
+        assert!(stream.field_stats("faas", "invoke", "cold").is_none());
+        assert!(stream.field_stats("rms", "task_finish", "job").is_none());
+    }
+
+    #[test]
+    fn streaming_quantiles_stay_within_sketch_bounds() {
+        let mut full = TraceBus::new();
+        let mut stream = TraceBus::streaming(StreamConfig::default());
+        drive(&mut full);
+        drive(&mut stream);
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            let exact = full.field_quantile("faas", "invoke", "latency_secs", q).unwrap();
+            let est = stream.field_quantile("faas", "invoke", "latency_secs", q).unwrap();
+            // 500 samples over a 0.36-wide range at 128 centroids: generous.
+            assert!((est - exact).abs() < 0.05, "q={q}: {est} vs {exact}");
+        }
+        assert!(full.field_quantile("faas", "invoke", "nope", 0.5).is_none());
+        assert!(stream.field_quantile("faas", "invoke", "nope", 0.5).is_none());
+    }
+
+    #[test]
+    fn streaming_windows_count_events_per_interval() {
+        let config =
+            StreamConfig { window: Some(SimDuration::from_secs(100)), ..StreamConfig::default() };
+        let mut bus = TraceBus::streaming(config);
+        drive(&mut bus);
+        // 500 one-per-second invokes over 100 s windows: five full windows.
+        assert_eq!(bus.window_counts("faas", "invoke"), Some(vec![100; 5]));
+        assert_eq!(bus.window_counts("never", "seen"), Some(Vec::new()));
+        // No window configured (or full retention): no window counters.
+        assert_eq!(TraceBus::streaming(StreamConfig::default()).window_counts("a", "b"), None);
+        assert_eq!(TraceBus::new().window_counts("faas", "invoke"), None);
+    }
+
+    #[test]
+    fn streaming_retained_bytes_stay_flat() {
+        let mut small = TraceBus::streaming(StreamConfig::default());
+        let mut big = TraceBus::streaming(StreamConfig::default());
+        let mut full = TraceBus::new();
+        drive(&mut small);
+        for _ in 0..20 {
+            drive(&mut big);
+            drive(&mut full);
+        }
+        // 20x the events: full retention grows ~20x, streaming stays put.
+        assert!(full.approx_retained_bytes() > 10 * small.approx_retained_bytes());
+        assert!(big.approx_retained_bytes() < 2 * small.approx_retained_bytes());
+    }
+
+    #[test]
+    fn streaming_extend_from_merges_rollups() {
+        let mut a = TraceBus::streaming(StreamConfig::default());
+        let mut b = TraceBus::streaming(StreamConfig::default());
+        let mut whole = TraceBus::streaming(StreamConfig::default());
+        drive(&mut a);
+        drive(&mut whole);
+        // b has a different intern order plus an rollup unknown to a.
+        b.record(SimTime::ZERO, "zzz", "boot", payload(vec![("n", Json::UInt(1))]));
+        drive(&mut b);
+        whole.record(SimTime::ZERO, "zzz", "boot", payload(vec![("n", Json::UInt(1))]));
+        drive(&mut whole);
+        a.extend_from(b);
+        assert_eq!(a.recorded(), whole.recorded());
+        assert_eq!(a.counts(), whole.counts());
+        assert_eq!(a.count("zzz", "boot"), 1);
+        let merged = a.field_stats("faas", "invoke", "latency_secs").unwrap();
+        let direct = whole.field_stats("faas", "invoke", "latency_secs").unwrap();
+        assert_eq!(merged.count(), direct.count());
+        assert!((merged.mean() - direct.mean()).abs() < 1e-12);
+        // A full bus folds into a streaming one; the reverse must refuse.
+        let mut full_src = TraceBus::new();
+        drive(&mut full_src);
+        let mut stream_dst = TraceBus::streaming(StreamConfig::default());
+        stream_dst.extend_from(full_src.clone());
+        assert_eq!(stream_dst.counts(), full_src.counts());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot merge a streaming trace")]
+    fn full_bus_refuses_streaming_merge() {
+        let mut full = TraceBus::new();
+        let mut stream = TraceBus::streaming(StreamConfig::default());
+        stream.record(SimTime::ZERO, "a", "b", payload(vec![]));
+        full.extend_from(stream);
+    }
+
+    #[test]
+    fn record_fields_matches_payload_bytes_in_full_mode() {
+        let mut via_payload = TraceBus::new();
+        via_payload.record(
+            SimTime::from_secs(1),
+            "net",
+            "flow_end",
+            payload(vec![
+                ("owner", Json::Str("faas".to_owned())),
+                ("id", Json::UInt(7)),
+                ("delta", Json::Int(-2)),
+                ("stalled", Json::Bool(false)),
+                ("secs", Json::Float(0.25)),
+            ]),
+        );
+        let mut via_fields = TraceBus::new();
+        via_fields.record_fields(
+            SimTime::from_secs(1),
+            "net",
+            "flow_end",
+            &[
+                ("owner", Field::Str("faas")),
+                ("id", Field::U64(7)),
+                ("delta", Field::I64(-2)),
+                ("stalled", Field::Bool(false)),
+                ("secs", Field::F64(0.25)),
+            ],
+        );
+        assert_eq!(via_fields, via_payload);
+        assert_eq!(via_fields.to_json_string(), via_payload.to_json_string());
+    }
+
+    #[test]
+    fn streaming_clear_resets_rollups_but_keeps_mode() {
+        let mut bus = TraceBus::streaming(StreamConfig::default());
+        drive(&mut bus);
+        assert!(!bus.is_empty());
+        bus.clear();
+        assert!(bus.is_empty() && bus.is_streaming());
+        assert_eq!(bus.recorded(), 0);
+        assert!(bus.counts().is_empty());
+        drive(&mut bus);
+        assert_eq!(bus.count("faas", "invoke"), 500);
     }
 
     #[test]

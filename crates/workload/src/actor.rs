@@ -8,11 +8,10 @@
 //! function, submit a job, ...).
 
 use crate::arrival::ArrivalProcess;
-use mcs_simcore::codec::Json;
 use mcs_simcore::engine::{Actor, Context, MessageEnvelope};
 use mcs_simcore::rng::RngStream;
 use mcs_simcore::time::SimTime;
-use mcs_simcore::trace::payload;
+use mcs_simcore::trace::Field;
 
 /// The arrival actor's message vocabulary.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,7 +69,7 @@ impl<'a, M: MessageEnvelope<ArrivalMsg>> ArrivalActor<'a, M> {
     fn arrive(&mut self, ctx: &mut Context<'_, M>) {
         let index = self.count;
         self.count += 1;
-        ctx.emit("workload", "arrival", payload(vec![("index", Json::UInt(index as u64))]));
+        ctx.emit_fields("workload", "arrival", &[("index", Field::U64(index as u64))]);
         (self.deliver)(ctx, index);
         self.arm_next(ctx);
     }

@@ -731,3 +731,201 @@ fn networked_scenario_fanout_is_worker_count_independent() {
         assert!(got == reference, "networked sweep diverged at workers={workers}");
     }
 }
+
+/// The streaming quantile sketch stays inside its documented rank-error
+/// bound (~`2n / centroid-budget` ranks, doubled for merge slack) on
+/// adversarial input shapes: sorted, reverse-sorted, constant, bimodal,
+/// and heavy-tailed streams are exactly the distributions that break
+/// naive compaction heuristics.
+#[test]
+fn quantile_sketch_honours_rank_error_on_adversarial_streams() {
+    Check::new("quantile_sketch_honours_rank_error_on_adversarial_streams").cases(24).run(
+        |rng| {
+            let n = 2_000 + rng.uniform_usize(6_000);
+            let shape = rng.uniform_usize(5);
+            let mut xs: Vec<f64> = (0..n)
+                .map(|i| match shape {
+                    0 => i as f64,                       // sorted ascending
+                    1 => (n - i) as f64,                 // sorted descending
+                    2 => 42.0,                           // constant
+                    3 => {
+                        // bimodal: two far-apart clusters
+                        if rng.bernoulli(0.5) {
+                            rng.uniform_f64(0.0, 1.0)
+                        } else {
+                            rng.uniform_f64(1.0e6, 1.0e6 + 1.0)
+                        }
+                    }
+                    _ => {
+                        // heavy tail: x = u^-2 explodes as u -> 0
+                        let u = rng.uniform_f64(1.0e-4, 1.0);
+                        u.powi(-2)
+                    }
+                })
+                .collect();
+
+            let budget = 64 + rng.uniform_usize(3) * 64; // 64, 128, 192
+            let mut sketch = QuantileSketch::new(budget);
+            for &x in &xs {
+                sketch.record(x);
+            }
+            xs.sort_by(|a, b| a.total_cmp(b));
+
+            let max_rank_err = (4 * n).div_ceil(budget); // 2 * (2n / budget)
+            for q in [0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+                let got = sketch.quantile(q).expect("non-empty sketch");
+                let target = (q * (n - 1) as f64).round() as usize;
+                let lo = xs[target.saturating_sub(max_rank_err)];
+                let hi = xs[(target + max_rank_err).min(n - 1)];
+                prop_assert!(
+                    got >= lo && got <= hi,
+                    "shape {shape} n {n} budget {budget} q {q}: {got} outside [{lo}, {hi}]"
+                );
+            }
+            prop_assert_eq!(sketch.count(), n as u64);
+            prop_assert!(sketch.retained_points() <= 2 * budget + 2);
+            Ok(())
+        },
+    );
+}
+
+/// Merging sketches is associative within the error bound, and exact for
+/// count/min/max: `(a + b) + c` and `a + (b + c)` summarize the same
+/// stream, so both must agree with a single-pass sketch to within the
+/// documented rank error.
+#[test]
+fn quantile_sketch_merge_is_associative_within_bounds() {
+    Check::new("quantile_sketch_merge_is_associative_within_bounds").cases(24).run(|rng| {
+        let budget = 128;
+        let n = 3_000 + rng.uniform_usize(3_000);
+        let mut xs: Vec<f64> = (0..n).map(|_| rng.uniform_f64(-1.0e3, 1.0e3)).collect();
+        let cut1 = n / 3 + rng.uniform_usize(n / 3);
+        let cut2 = cut1 + (n - cut1) / 2;
+
+        let sketch_of = |slice: &[f64]| {
+            let mut s = QuantileSketch::new(budget);
+            for &x in slice {
+                s.record(x);
+            }
+            s
+        };
+        let (a, b, c) = (sketch_of(&xs[..cut1]), sketch_of(&xs[cut1..cut2]), sketch_of(&xs[cut2..]));
+        let single = sketch_of(&xs);
+
+        // (a + b) + c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a + (b + c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+
+        for s in [&left, &right] {
+            prop_assert_eq!(s.count(), single.count());
+            prop_assert_eq!(s.min(), single.min());
+            prop_assert_eq!(s.max(), single.max());
+        }
+
+        xs.sort_by(|x, y| x.total_cmp(y));
+        // Each merge can add one compaction's worth of slack on top of the
+        // single-pass bound.
+        let max_rank_err = 2 * (4 * n).div_ceil(budget);
+        for q in [0.05, 0.25, 0.5, 0.75, 0.95] {
+            let target = (q * (n - 1) as f64).round() as usize;
+            let lo = xs[target.saturating_sub(max_rank_err)];
+            let hi = xs[(target + max_rank_err).min(n - 1)];
+            for (label, s) in [("left", &left), ("right", &right)] {
+                let got = s.quantile(q).expect("non-empty merge");
+                prop_assert!(
+                    got >= lo && got <= hi,
+                    "{label} q {q}: {got} outside [{lo}, {hi}] (n {n})"
+                );
+            }
+        }
+        Ok(())
+    });
+}
+
+/// The streaming sink is an exact aggregator for everything but quantiles:
+/// for arbitrary seeds, a streaming run of the composed scenario reports
+/// the same per-(component, event) counts, per-field statistics (bitwise),
+/// and time spans as a full-retention run — and the equality survives
+/// parallel fan-out at any worker count.
+#[test]
+fn streaming_rollups_match_full_retention_across_seeds_and_workers() {
+    use mcs::core::scenario::{
+        FaasConfig, GamingConfig, ObservabilityConfig, Scenario, ScenarioConfig,
+    };
+    use mcs::simcore::par;
+
+    fn config(seed: u64, streaming: bool) -> ScenarioConfig {
+        let mut cfg = ScenarioConfig {
+            seed,
+            horizon: SimTime::from_secs(1_800),
+            machines: 8,
+            ..ScenarioConfig::default()
+        }
+        .with_faas(FaasConfig { arrival_rate: 0.5, ..FaasConfig::default() })
+        .with_gaming(GamingConfig::default());
+        if streaming {
+            cfg = cfg.with_observability(ObservabilityConfig {
+                window: Some(SimDuration::from_secs(300)),
+                ..ObservabilityConfig::default()
+            });
+        }
+        cfg
+    }
+
+    fn aggregates(seed: u64, streaming: bool) -> Vec<String> {
+        let out = Scenario::new(config(seed, streaming)).run();
+        let mut rows: Vec<String> = Vec::new();
+        for (component, event, count) in out.trace.counts() {
+            let mut row = format!("{component}/{event}: {count}");
+            if let Some((first, last)) = out.trace.time_span(&component, &event) {
+                row.push_str(&format!(" [{} .. {}]", first.as_nanos(), last.as_nanos()));
+            }
+            rows.push(row);
+        }
+        for (component, event, field) in [
+            ("faas", "invoke", "latency_secs"),
+            ("workload", "arrival", "index"),
+            ("gaming", "join", "online"),
+        ] {
+            if let Some(s) = out.trace.field_stats(component, event, field) {
+                // {:?} on the floats keeps full precision: the claim is
+                // bitwise equality, not approximate agreement.
+                rows.push(format!(
+                    "{component}/{event}.{field}: n={} mean={:?} sd={:?}",
+                    s.count(),
+                    s.mean(),
+                    s.std_dev()
+                ));
+            }
+        }
+        rows
+    }
+
+    Check::new("streaming_rollups_match_full_retention_across_seeds_and_workers")
+        .cases(4)
+        .run(|rng| {
+            let base = rng.uniform_usize(10_000) as u64;
+            let seeds: Vec<u64> = (0..3).map(|i| base + i).collect();
+            let full: Vec<Vec<String>> =
+                seeds.iter().map(|&s| aggregates(s, false)).collect();
+            prop_assert!(
+                full.iter().all(|rows| !rows.is_empty()),
+                "full-retention runs must record events"
+            );
+            for workers in [1, 4] {
+                let streamed =
+                    par::run_indexed_with(workers, seeds.len(), |i| aggregates(seeds[i], true));
+                prop_assert!(
+                    streamed == full,
+                    "streaming aggregates diverged from full retention at workers={workers}"
+                );
+            }
+            Ok(())
+        });
+}
