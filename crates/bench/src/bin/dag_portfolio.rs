@@ -1,0 +1,3 @@
+fn main() {
+    mcs_bench::run_cli(&mcs_bench::experiments::DagPortfolioExperiment);
+}

@@ -1,16 +1,18 @@
 //! The tracked perf baseline of the simulation core (`BENCH_*.json`).
 //!
-//! Eight wall-clock benchmarks cover the hot paths every experiment drives:
+//! Nine wall-clock benchmarks cover the hot paths every experiment drives:
 //! raw engine dispatch, trace record + query, the composed-ecosystem
 //! scenario, the full resilience-ablation sweep, the transfer-heavy
 //! networked scenario (every cross-component byte a flow through the
-//! `mcs-net` max-min allocator), and the scale-stress scenario under both
-//! trace sinks (full retention vs streaming aggregation, plus streaming at
-//! 10x the volume — the flat-memory claim as a measured `peak_bytes`
-//! column). `--json PATH` writes the machine-readable baseline (the series
-//! committed as `BENCH_4.json` / `BENCH_7.json` / `BENCH_9.json`),
-//! `--check PATH` re-parses a written baseline with `mcs-simcore::codec`
-//! and validates its shape — the gate `scripts/verify.sh` runs.
+//! `mcs-net` max-min allocator), the workflow scenario (DAG engine +
+//! portfolio lookaheads + edge flows), and the scale-stress scenario under
+//! both trace sinks (full retention vs streaming aggregation, plus
+//! streaming at 10x the volume — the flat-memory claim as a measured
+//! `peak_bytes` column). `--json PATH` writes the machine-readable baseline
+//! (the series committed as `BENCH_4.json` / `BENCH_7.json` / `BENCH_9.json`
+//! / `BENCH_10.json`), `--check PATH` re-parses a written baseline with
+//! `mcs-simcore::codec` and validates its shape — the gate
+//! `scripts/verify.sh` runs.
 //!
 //! Each benchmark carries the median measured *before* the ISSUE-4
 //! fast-path work (interned trace identity, indexed queries, parallel
@@ -20,7 +22,9 @@ use mcs::prelude::*;
 use mcs::simcore::codec::{self, Json};
 use mcs::simcore::metrics::{summarize_trace, trace_gauge};
 use mcs::simcore::trace::payload;
-use mcs::core::scenario::{BigdataConfig, NetworkConfig, Scenario, ScenarioConfig};
+use mcs::core::scenario::{
+    BigdataConfig, DagConfig, NetworkConfig, Scenario, ScenarioConfig,
+};
 use mcs_bench::experiments::resilience::run_ablation;
 use mcs_bench::experiments::scale::scale_config;
 use mcs_bench::harness::{black_box, format_secs, Harness, Stats};
@@ -35,6 +39,7 @@ const BEFORE_MEDIANS: &[(&str, f64)] = &[
     ("scenario/ecosystem_composed", 11.28e-3),
     ("scenario/resilience_ablation_sweep", 227.51e-3),
     ("scenario/ecosystem_networked", 0.0),
+    ("scenario/ecosystem_dag", 0.0),
     // The scale benches have no pre-ISSUE-9 measurement: full retention at
     // these volumes was the problem the streaming sink removes.
     ("scale/stress_full_1x", 0.0),
@@ -159,6 +164,21 @@ fn bench_networked_scenario(h: &mut Harness) {
     });
 }
 
+/// The workflow scenario: a mixed-class DAG stream under the per-class
+/// portfolio (so every candidate pays its simulate-ahead lookahead) with
+/// every edge payload a flow on the fabric.
+fn bench_dag_scenario(h: &mut Harness) {
+    h.bench("scenario/ecosystem_dag", |b| {
+        b.iter(|| {
+            let cfg = ScenarioConfig::bare(42, SimTime::from_secs(4 * 3600), 32)
+                .with_dag(DagConfig::default())
+                .with_network(NetworkConfig::default());
+            let out = Scenario::new(cfg).run();
+            black_box((out.events_handled, out.dag_jobs_finished))
+        })
+    });
+}
+
 /// The scale-stress scenario under each trace sink. The timing column
 /// shows the streaming sink is not slower than full retention at equal
 /// volume; the `peak_bytes` column shows it stays flat at 10x while full
@@ -197,7 +217,7 @@ fn baseline_json(stats: &[Stats]) -> Json {
         })
         .collect();
     Json::Obj(vec![
-        ("issue".into(), Json::UInt(9)),
+        ("issue".into(), Json::UInt(10)),
         ("group".into(), Json::Str("perf_baseline".to_owned())),
         ("benchmarks".into(), Json::Arr(benchmarks)),
     ])
@@ -258,6 +278,7 @@ fn main() {
     bench_composed_scenario(&mut h);
     bench_ablation_sweep(&mut h);
     bench_networked_scenario(&mut h);
+    bench_dag_scenario(&mut h);
     bench_scale_stress(&mut h);
     let stats = h.finish();
 

@@ -6,6 +6,7 @@
 use mcs::experiment::Experiment;
 
 mod chaos;
+mod dag;
 mod ecosystem;
 mod fig1;
 mod full;
@@ -23,6 +24,7 @@ mod table4;
 mod table5;
 
 pub use chaos::ChaosSweep;
+pub use dag::DagPortfolioExperiment;
 pub use ecosystem::EcosystemComposed;
 pub use full::EcosystemFull;
 pub use locality::LocalityContention;
@@ -58,6 +60,7 @@ pub fn all() -> Vec<Box<dyn Experiment>> {
         Box::new(LocalityContention),
         Box::new(ChaosSweep),
         Box::new(ScaleStress),
+        Box::new(DagPortfolioExperiment),
     ]
 }
 
@@ -79,6 +82,7 @@ mod tests {
         assert!(names.contains(&"locality_contention"));
         assert!(names.contains(&"chaos_sweep"));
         assert!(names.contains(&"scale_stress"));
-        assert_eq!(names.len(), 16);
+        assert!(names.contains(&"dag_portfolio"));
+        assert_eq!(names.len(), 17);
     }
 }

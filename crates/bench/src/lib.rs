@@ -21,6 +21,7 @@
 //! | `locality_contention` | Locality-aware vs blind placement contending on the `mcs-net` fabric |
 //! | `chaos_sweep` | Chaos campaign — scripted fault schedules vs the trace-invariant suite, ddmin-shrunk reproducers (`--check-invariants` gates the golden default trace) |
 //! | `scale_stress` | Streaming observability at scale — bounded-memory trace sinks vs full retention at 10M+ events |
+//! | `dag_portfolio` | DAG workflow portfolio scheduling — per-class simulate-ahead vs every fixed policy on the shared fabric |
 //! | `perf_baseline` | Tracked perf baseline of the simulation core (`--json`/`--check BENCH_4.json`) |
 //!
 //! Each binary is a thin wrapper over an [`experiments`] type implementing

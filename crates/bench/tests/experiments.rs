@@ -36,7 +36,7 @@ fn every_registered_experiment_reports_its_seed() {
     // Cheap structural check over the whole registry without running the
     // heavy simulations: names are non-empty, stable, and unique.
     let registry = experiments::all();
-    assert_eq!(registry.len(), 16);
+    assert_eq!(registry.len(), 17);
     for e in &registry {
         assert!(!e.name().is_empty());
         assert!(e.name().is_ascii());

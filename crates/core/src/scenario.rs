@@ -32,8 +32,9 @@ use mcs_faas::actor::{CongestionConfig, FaasActor, FaasFault, FaasMsg};
 use mcs_faas::platform::{FaasPlatform, FunctionSpec, KeepAlivePolicy, PlatformReport};
 use mcs_failure::inject::{FailureEvent, FailureInjector, InjectorMsg};
 use mcs_failure::model::{FailureModel, Fault, FaultKind, FaultMix, SpaceCorrelatedFailures};
+use mcs_dag::actor::{DagActor, DagMsg};
 use mcs_gaming::actor::{GamingMsg, SyncConfig as GamingSyncConfig, WorldActor};
-use mcs_net::actor::{FlowTag, NetActor, NetFault, NetMsg, TransferReq};
+use mcs_net::actor::{FlowOwner, FlowTag, NetActor, NetFault, NetMsg, TransferReq};
 use mcs_net::topology::NetTopology;
 use mcs_graph::actor::{BspActor, GraphMsg};
 use mcs_infra::prelude::{Cluster, ClusterId, MachineSpec};
@@ -50,6 +51,7 @@ use mcs_workload::arrival::Poisson;
 use mcs_workload::generator::{BatchWorkloadConfig, BatchWorkloadGenerator};
 
 pub use mcs_bigdata::actor::BigdataConfig;
+pub use mcs_dag::actor::{DagConfig, DagPolicy};
 pub use mcs_gaming::actor::GamingConfig;
 pub use mcs_graph::actor::GraphConfig;
 
@@ -74,6 +76,8 @@ pub enum EcosystemMsg {
     Graph(GraphMsg),
     /// Gaming virtual world.
     Gaming(GamingMsg),
+    /// DAG workflow engine.
+    Dag(DagMsg),
     /// Flow-level network fabric.
     Net(NetMsg),
 }
@@ -102,6 +106,7 @@ impl_envelope!(Injector, InjectorMsg);
 impl_envelope!(Bigdata, BigdataMsg);
 impl_envelope!(Graph, GraphMsg);
 impl_envelope!(Gaming, GamingMsg);
+impl_envelope!(Dag, DagMsg);
 impl_envelope!(Net, NetMsg);
 
 /// One mebibyte, as the byte unit of the network sub-config.
@@ -358,6 +363,8 @@ pub struct ScenarioConfig {
     pub graph: Option<GraphConfig>,
     /// Gaming virtual world (opt-in).
     pub gaming: Option<GamingConfig>,
+    /// DAG workflow engine with portfolio scheduling (opt-in).
+    pub dag: Option<DagConfig>,
     /// Flow-level network fabric (opt-in). `None` keeps every subsystem's
     /// legacy fixed-delay cost model, byte-identically.
     pub network: Option<NetworkConfig>,
@@ -379,6 +386,7 @@ impl Default for ScenarioConfig {
             bigdata: None,
             graph: None,
             gaming: None,
+            dag: None,
             network: None,
             observability: None,
         }
@@ -400,6 +408,7 @@ impl ScenarioConfig {
             bigdata: None,
             graph: None,
             gaming: None,
+            dag: None,
             network: None,
             observability: None,
         }
@@ -444,6 +453,13 @@ impl ScenarioConfig {
     #[must_use]
     pub fn with_gaming(mut self, gaming: GamingConfig) -> Self {
         self.gaming = Some(gaming);
+        self
+    }
+
+    /// Attaches (or replaces) the DAG workflow engine.
+    #[must_use]
+    pub fn with_dag(mut self, dag: DagConfig) -> Self {
+        self.dag = Some(dag);
         self
     }
 
@@ -539,6 +555,9 @@ impl ScenarioConfig {
             }
             finite_non_negative("gaming.players.base_rate", gaming.players.base_rate)?;
         }
+        if let Some(dag) = &self.dag {
+            dag.validate()?;
+        }
         if let Some(network) = &self.network {
             if network.nodes_per_rack == 0 {
                 return Err(McsError::invalid_config(
@@ -604,6 +623,21 @@ impl ScenarioConfig {
                      is attached; they fall back to FaaS service faults — attach a \
                      NetworkConfig (with_network) to cut topology links instead"
                         .to_string(),
+                ));
+            }
+        }
+        if let (Some(dag), Some(network)) = (&self.dag, &self.network) {
+            let racks = self.machines.div_ceil(network.nodes_per_rack.max(1));
+            if racks < dag.locality_domains as usize {
+                warnings.push(ScenarioWarning::new(
+                    "dag.locality_domains",
+                    format!(
+                        "workload is laid out for {} locality domains but the fabric \
+                         has only {racks} rack(s); locality-first placement degrades \
+                         to blind best-fit beyond the rack count — widen the fleet or \
+                         lower nodes_per_rack / locality_domains",
+                        dag.locality_domains
+                    ),
                 ));
             }
         }
@@ -691,6 +725,16 @@ pub struct ScenarioOutcome {
     pub gaming_disconnected: u64,
     /// Gaming state syncs that blew the lag budget (network runs only).
     pub gaming_laggy_syncs: u64,
+    /// Workflows the DAG engine ran to completion.
+    pub dag_jobs_finished: u64,
+    /// Workflow tasks completed.
+    pub dag_tasks_finished: u64,
+    /// Mean workflow makespan (submit to last task), seconds.
+    pub dag_mean_makespan_secs: f64,
+    /// Total seconds workflow edge payloads spent in flight.
+    pub dag_transfer_secs: f64,
+    /// Workflow transfer seconds beyond the reference-bandwidth ideal.
+    pub dag_stall_secs: f64,
     /// Flows started on the network fabric (zero without a network).
     pub net_flows_started: u64,
     /// Flows delivered by the network fabric.
@@ -881,6 +925,7 @@ impl Scenario {
         let bigdata_id = alloc(cfg.bigdata.is_some());
         let graph_id = alloc(cfg.graph.is_some());
         let gaming_id = alloc(cfg.gaming.is_some());
+        let dag_id = alloc(cfg.dag.is_some());
         // The network actor registers last so attaching it never renumbers
         // the tenants (and `network: None` keeps the legacy id layout).
         let net_id = alloc(cfg.network.is_some());
@@ -909,7 +954,7 @@ impl Scenario {
                                 src: index as u32 % machines,
                                 dst: 0,
                                 bytes: payload_bytes,
-                                tag: FlowTag { owner: "faas", id: index as u64 },
+                                tag: FlowTag { owner: FlowOwner::Faas, id: index as u64 },
                             })),
                         );
                     } else {
@@ -950,7 +995,7 @@ impl Scenario {
                             src,
                             dst,
                             bytes,
-                            tag: FlowTag { owner: "rms", id: task as u64 },
+                            tag: FlowTag { owner: FlowOwner::Rms, id: task as u64 },
                         })),
                     );
                 });
@@ -1017,7 +1062,7 @@ impl Scenario {
                                 src: 0,
                                 dst,
                                 bytes,
-                                tag: FlowTag { owner: "faas-resp", id: seq },
+                                tag: FlowTag { owner: FlowOwner::FaasResp, id: seq },
                             })),
                         );
                         seq += 1;
@@ -1233,8 +1278,8 @@ impl Scenario {
             if let Some(nid) = net_id {
                 actor = actor.with_transfer_hook(move |ctx, t| {
                     let owner = match t.phase {
-                        BdPhase::Map => "bd-map",
-                        BdPhase::Shuffle => "bd-shuffle",
+                        BdPhase::Map => FlowOwner::BdMap,
+                        BdPhase::Shuffle => FlowOwner::BdShuffle,
                     };
                     ctx.send(
                         nid,
@@ -1281,11 +1326,46 @@ impl Scenario {
                                 src,
                                 dst: 0,
                                 bytes: bytes.max(1),
-                                tag: FlowTag { owner: "game", id: seq },
+                                tag: FlowTag { owner: FlowOwner::Game, id: seq },
                             })),
                         );
                     },
                 );
+            }
+            actor
+        });
+
+        let mut dag_actor = cfg.dag.as_ref().map(|dag| {
+            let mut rng = RngStream::new(cfg.seed, "dag");
+            // With a network attached, the fabric's rack width dictates the
+            // locality structure the locality-first policy reasons over.
+            let mut actor: DagActor<'_, EcosystemMsg> = match cfg.network.as_ref() {
+                Some(net) => DagActor::with_rack_width(
+                    cfg.machines as u32,
+                    dag.clone(),
+                    &mut rng,
+                    net.nodes_per_rack as u32,
+                ),
+                None => DagActor::new(cfg.machines as u32, dag.clone(), &mut rng),
+            };
+            // With a network attached, edge payloads ride the fabric; the
+            // net completion router delivers the EdgeDone barriers.
+            if let Some(nid) = net_id {
+                actor = actor.with_edge_hook(move |ctx, t| {
+                    ctx.send(
+                        nid,
+                        SimDuration::ZERO,
+                        EcosystemMsg::Net(NetMsg::Transfer(TransferReq {
+                            src: t.src,
+                            dst: t.dst,
+                            bytes: t.bytes.max(1),
+                            tag: FlowTag {
+                                owner: FlowOwner::Dag,
+                                id: (u64::from(t.job) << 32) | u64::from(t.edge),
+                            },
+                        })),
+                    );
+                });
             }
             actor
         });
@@ -1305,10 +1385,10 @@ impl Scenario {
                         match done.tag.owner {
                             // The invocation payload (or its response) is
                             // lost: the caller fails fast, nothing retries.
-                            "faas" | "faas-resp" => {}
+                            FlowOwner::Faas | FlowOwner::FaasResp => {}
                             // The checkpoint fetch is abandoned; the task
                             // re-enters the queue and restarts.
-                            "rms" => {
+                            FlowOwner::Rms => {
                                 if let Some(id) = scheduler_id {
                                     ctx.send(
                                         id,
@@ -1319,10 +1399,12 @@ impl Scenario {
                                     );
                                 }
                             }
-                            // Phase barriers would hang forever on a lost
-                            // transfer: retry it (bounded by the timeout
-                            // cadence until the cut heals or the run ends).
-                            "bd-map" | "bd-shuffle" => {
+                            // Barriers would hang forever on a lost transfer:
+                            // retry it (bounded by the timeout cadence until
+                            // the cut heals or the run ends). Workflow input
+                            // edges are barriers too — the consumer task
+                            // cannot start without its bytes.
+                            FlowOwner::BdMap | FlowOwner::BdShuffle | FlowOwner::Dag => {
                                 ctx.send(
                                     nid,
                                     SimDuration::ZERO,
@@ -1335,7 +1417,7 @@ impl Scenario {
                                 );
                             }
                             // A lost world-state sync counts as (very) lagged.
-                            "game" => {
+                            FlowOwner::Game => {
                                 if let Some(id) = gaming_id {
                                     ctx.send(
                                         id,
@@ -1344,12 +1426,14 @@ impl Scenario {
                                     );
                                 }
                             }
-                            other => debug_assert!(false, "unrouted flow owner {other:?}"),
+                            FlowOwner::Test => {
+                                debug_assert!(false, "test flows never reach a scenario")
+                            }
                         }
                         return;
                     }
                     match done.tag.owner {
-                    "faas" => {
+                    FlowOwner::Faas => {
                         if let Some(id) = faas_id {
                             let function = function_names
                                 [done.tag.id as usize % function_names.len()]
@@ -1363,8 +1447,8 @@ impl Scenario {
                     }
                     // Responses only contended for bandwidth; nothing waits
                     // on their delivery.
-                    "faas-resp" => {}
-                    "rms" => {
+                    FlowOwner::FaasResp => {}
+                    FlowOwner::Rms => {
                         if let Some(id) = scheduler_id {
                             ctx.send(
                                 id,
@@ -1373,7 +1457,7 @@ impl Scenario {
                             );
                         }
                     }
-                    "bd-map" => {
+                    FlowOwner::BdMap => {
                         if let Some(id) = bigdata_id {
                             ctx.send(
                                 id,
@@ -1384,7 +1468,7 @@ impl Scenario {
                             );
                         }
                     }
-                    "bd-shuffle" => {
+                    FlowOwner::BdShuffle => {
                         if let Some(id) = bigdata_id {
                             ctx.send(
                                 id,
@@ -1395,7 +1479,7 @@ impl Scenario {
                             );
                         }
                     }
-                    "game" => {
+                    FlowOwner::Game => {
                         if let Some(id) = gaming_id {
                             ctx.send(
                                 id,
@@ -1406,7 +1490,21 @@ impl Scenario {
                             );
                         }
                     }
-                    other => debug_assert!(false, "unrouted flow owner {other:?}"),
+                    FlowOwner::Dag => {
+                        if let Some(id) = dag_id {
+                            ctx.send(
+                                id,
+                                SimDuration::ZERO,
+                                EcosystemMsg::Dag(DagMsg::EdgeDone {
+                                    job: (done.tag.id >> 32) as u32,
+                                    edge: done.tag.id as u32,
+                                }),
+                            );
+                        }
+                    }
+                    FlowOwner::Test => {
+                        debug_assert!(false, "test flows never reach a scenario")
+                    }
                     }
                 })
         });
@@ -1458,6 +1556,11 @@ impl Scenario {
             debug_assert_eq!(Some(id), gaming_id, "registration order must match precomputed ids");
             let _ = id;
         }
+        if let Some(actor) = dag_actor.as_mut() {
+            let id = sim.add_actor(actor);
+            debug_assert_eq!(Some(id), dag_id, "registration order must match precomputed ids");
+            let _ = id;
+        }
         if let Some(actor) = net_actor.as_mut() {
             let id = sim.add_actor(actor);
             debug_assert_eq!(Some(id), net_id, "registration order must match precomputed ids");
@@ -1489,6 +1592,9 @@ impl Scenario {
         if let Some(id) = gaming_id {
             sim.schedule(SimTime::ZERO, id, EcosystemMsg::Gaming(GamingMsg::Start));
         }
+        if let Some(id) = dag_id {
+            sim.schedule(SimTime::ZERO, id, EcosystemMsg::Dag(DagMsg::Start));
+        }
         sim.run();
 
         let events_handled = sim.events_handled();
@@ -1516,6 +1622,11 @@ impl Scenario {
         let gaming_rejected = gaming_actor.as_ref().map_or(0, |a| a.rejected());
         let gaming_disconnected = gaming_actor.as_ref().map_or(0, |a| a.disconnected());
         let gaming_laggy_syncs = gaming_actor.as_ref().map_or(0, |a| a.laggy_syncs());
+        let dag_jobs_finished = dag_actor.as_ref().map_or(0, |a| a.jobs_finished());
+        let dag_tasks_finished = dag_actor.as_ref().map_or(0, |a| a.tasks_finished());
+        let dag_mean_makespan_secs = dag_actor.as_ref().map_or(0.0, |a| a.mean_makespan_secs());
+        let dag_transfer_secs = dag_actor.as_ref().map_or(0.0, |a| a.transfer_secs());
+        let dag_stall_secs = dag_actor.as_ref().map_or(0.0, |a| a.stall_secs());
         let net_flows_started = net_actor.as_ref().map_or(0, |a| a.started());
         let net_flows_delivered = net_actor.as_ref().map_or(0, |a| a.delivered());
         let net_flows_aborted = net_actor.as_ref().map_or(0, |a| a.aborted());
@@ -1547,6 +1658,11 @@ impl Scenario {
             gaming_rejected,
             gaming_disconnected,
             gaming_laggy_syncs,
+            dag_jobs_finished,
+            dag_tasks_finished,
+            dag_mean_makespan_secs,
+            dag_transfer_secs,
+            dag_stall_secs,
             net_flows_started,
             net_flows_delivered,
             net_flows_aborted,

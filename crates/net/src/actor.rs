@@ -29,12 +29,51 @@ pub const NET_COMPONENT: &str = "net";
 /// quantization of completion scheduling).
 const DRAIN_EPS: f64 = 0.5;
 
+/// The subsystem that owns a flow. Typed (rather than a string) so routing
+/// matches in completion hooks are exhaustive: a new tenant that forgets a
+/// match arm is a compile error, not a silently dropped completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlowOwner {
+    /// FaaS invocation payload (gateway → worker).
+    Faas,
+    /// FaaS response payload (worker → gateway).
+    FaasResp,
+    /// RMS checkpoint restore.
+    Rms,
+    /// Bigdata map-input fetch.
+    BdMap,
+    /// Bigdata shuffle wave.
+    BdShuffle,
+    /// Gaming state-sync burst.
+    Game,
+    /// DAG workflow edge transfer (task output → dependent task input).
+    Dag,
+    /// Tests and documentation examples.
+    Test,
+}
+
+impl FlowOwner {
+    /// Stable wire name, used verbatim in trace `owner` fields.
+    pub fn name(self) -> &'static str {
+        match self {
+            FlowOwner::Faas => "faas",
+            FlowOwner::FaasResp => "faas-resp",
+            FlowOwner::Rms => "rms",
+            FlowOwner::BdMap => "bd-map",
+            FlowOwner::BdShuffle => "bd-shuffle",
+            FlowOwner::Game => "game",
+            FlowOwner::Dag => "dag",
+            FlowOwner::Test => "test",
+        }
+    }
+}
+
 /// Identifies who started a flow and which of their transfers it is; echoed
 /// back verbatim on completion so the scenario can route the event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FlowTag {
-    /// The owning subsystem, e.g. `"bd-shuffle"` or `"faas"`.
-    pub owner: &'static str,
+    /// The owning subsystem.
+    pub owner: FlowOwner,
     /// Owner-scoped transfer id (job index, invocation sequence, ...).
     pub id: u64,
 }
@@ -259,7 +298,7 @@ impl<'a, M: MessageEnvelope<NetMsg>> NetActor<'a, M> {
                     NET_COMPONENT,
                     "flow_end",
                     &[
-                        ("owner", Field::Str(f.tag.owner)),
+                        ("owner", Field::Str(f.tag.owner.name())),
                         ("id", Field::U64(f.tag.id)),
                         ("src", Field::U64(u64::from(f.src))),
                         ("dst", Field::U64(u64::from(f.dst))),
@@ -366,7 +405,7 @@ impl<'a, M: MessageEnvelope<NetMsg>> NetActor<'a, M> {
                 NET_COMPONENT,
                 "flow_aborted",
                 &[
-                    ("owner", Field::Str(f.tag.owner)),
+                    ("owner", Field::Str(f.tag.owner.name())),
                     ("id", Field::U64(f.tag.id)),
                     ("src", Field::U64(u64::from(f.src))),
                     ("dst", Field::U64(u64::from(f.dst))),
@@ -391,7 +430,7 @@ impl<'a, M: MessageEnvelope<NetMsg>> NetActor<'a, M> {
             NET_COMPONENT,
             "flow_start",
             &[
-                ("owner", Field::Str(req.tag.owner)),
+                ("owner", Field::Str(req.tag.owner.name())),
                 ("id", Field::U64(req.tag.id)),
                 ("src", Field::U64(u64::from(req.src))),
                 ("dst", Field::U64(u64::from(req.dst))),
@@ -512,7 +551,7 @@ mod tests {
     const MB: f64 = 1024.0 * 1024.0;
 
     fn req(src: u32, dst: u32, bytes: u64, id: u64) -> TransferReq {
-        TransferReq { src, dst, bytes, tag: FlowTag { owner: "test", id } }
+        TransferReq { src, dst, bytes, tag: FlowTag { owner: FlowOwner::Test, id } }
     }
 
     /// Runs transfers scheduled at t=0 plus optional extra events, returning

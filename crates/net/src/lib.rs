@@ -37,7 +37,7 @@
 //! let net = sim.add_actor(NetActor::new(topo));
 //! sim.schedule(SimTime::ZERO, net, NetMsg::Transfer(TransferReq {
 //!     src: 0, dst: 5, bytes: (64.0 * MB) as u64,
-//!     tag: FlowTag { owner: "doc", id: 0 },
+//!     tag: FlowTag { owner: FlowOwner::Test, id: 0 },
 //! }));
 //! sim.run();
 //! assert_eq!(sim.trace().count("net", "flow_end"), 1);
@@ -51,13 +51,14 @@ pub mod flow;
 pub mod topology;
 
 pub use actor::{
-    CompletionHook, FlowDone, FlowTag, NetActor, NetFault, NetMsg, TransferReq, NET_COMPONENT,
+    CompletionHook, FlowDone, FlowOwner, FlowTag, NetActor, NetFault, NetMsg, TransferReq,
+    NET_COMPONENT,
 };
 pub use flow::max_min_rates;
 pub use topology::{LinkId, NetTopology};
 
 /// Convenient glob-import surface: `use mcs_net::prelude::*;`.
 pub mod prelude {
-    pub use crate::actor::{FlowDone, FlowTag, NetActor, NetFault, NetMsg, TransferReq};
+    pub use crate::actor::{FlowDone, FlowOwner, FlowTag, NetActor, NetFault, NetMsg, TransferReq};
     pub use crate::topology::NetTopology;
 }

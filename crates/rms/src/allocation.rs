@@ -108,7 +108,7 @@ impl AllocationPolicy {
 /// residuals over the dimensions the request actually uses, lower = tighter
 /// fit. Ignoring unrequested dimensions keeps a GPU box from looking "empty"
 /// to a CPU-only task.
-fn remaining_after(m: &mcs_infra::machine::Machine, req: &ResourceVector) -> f64 {
+pub(crate) fn remaining_after(m: &mcs_infra::machine::Machine, req: &ResourceVector) -> f64 {
     let avail = m.available();
     let cap = m.capacity();
     let resid = avail - *req;

@@ -34,6 +34,7 @@
 
 pub mod allocation;
 pub mod multicluster;
+pub mod policy;
 pub mod portfolio;
 pub mod provisioning;
 pub mod scavenge;
@@ -43,6 +44,9 @@ pub mod scheduler;
 pub mod prelude {
     pub use crate::allocation::AllocationPolicy;
     pub use crate::multicluster::{Federation, FederationOutcome, RoutingPolicy};
+    pub use crate::policy::{
+        GreedyReadyPolicy, HeftPolicy, LocalityFirstPolicy, QueuedTaskView, SchedulingPolicy,
+    };
     pub use crate::portfolio::{default_portfolio, Objective, PortfolioSelector};
     pub use crate::scavenge::{
         apply_scavenge, plan_scavenge, release_scavenge, ScavengeConfig, ScavengePlacement,

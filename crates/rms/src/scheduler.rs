@@ -17,6 +17,7 @@
 //! trace bus under component `"rms"`.
 
 use crate::allocation::AllocationPolicy;
+use crate::policy::{QueuedTaskView, SchedulingPolicy};
 use mcs_failure::model::Outage;
 use mcs_infra::cluster::Cluster;
 use mcs_infra::machine::MachineId;
@@ -247,6 +248,37 @@ struct FlatTask {
     submit: SimTime,
     done: bool,
     feasible: bool,
+    /// Upward rank: critical-path core-seconds from this task to a sink
+    /// (its own demand included). Feeds rank-ordering policies (HEFT);
+    /// equals plain demand for independent tasks.
+    rank: f64,
+}
+
+/// Computes upward ranks over the flattened DAG: a task's rank is its own
+/// demand plus the largest child rank. Sinks seed the reverse-topological
+/// sweep; each task is ranked exactly once, so the result is independent of
+/// traversal order.
+fn compute_upward_ranks(flat: &mut [FlatTask]) {
+    let n = flat.len();
+    let mut parents: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut pending_children: Vec<usize> = vec![0; n];
+    for (i, t) in flat.iter().enumerate() {
+        pending_children[i] = t.children.len();
+        for &c in &t.children {
+            parents[c].push(i);
+        }
+    }
+    let mut stack: Vec<usize> = (0..n).filter(|&i| pending_children[i] == 0).collect();
+    while let Some(i) = stack.pop() {
+        let max_child = flat[i].children.iter().map(|&c| flat[c].rank).fold(0.0, f64::max);
+        flat[i].rank = flat[i].demand_left + max_child;
+        for &p in &parents[i] {
+            pending_children[p] -= 1;
+            if pending_children[p] == 0 {
+                stack.push(p);
+            }
+        }
+    }
 }
 
 /// An event-driven single-cluster scheduler.
@@ -453,6 +485,7 @@ impl<'a, M: MessageEnvelope<RmsMsg>> SchedulerActor<'a, M> {
                     submit: job.submit,
                     done: false,
                     feasible,
+                    rank: 0.0,
                 });
             }
         }
@@ -466,6 +499,7 @@ impl<'a, M: MessageEnvelope<RmsMsg>> SchedulerActor<'a, M> {
                 }
             }
         }
+        compute_upward_ranks(&mut flat);
         config.checkpoint_factor = sanitize_checkpoint(config.checkpoint_factor);
         let generation = vec![0; flat.len()];
         let restart_attempts = vec![0; flat.len()];
@@ -855,6 +889,7 @@ impl<'a, M: MessageEnvelope<RmsMsg>> SchedulerActor<'a, M> {
         let mut shadow: Option<SimTime> = None;
         while i < self.queue.len() {
             let ti = self.queue[i].task_idx;
+            let ready_at = self.queue[i].ready_at;
             let req = self.flat[ti].req;
             if head_blocked {
                 if !self.config.backfill {
@@ -863,7 +898,7 @@ impl<'a, M: MessageEnvelope<RmsMsg>> SchedulerActor<'a, M> {
                 // EASY backfill: only tasks that (clairvoyantly) finish before
                 // the head's earliest possible start may jump the queue.
                 let Some(shadow_t) = shadow else { break };
-                if self.try_place(ctx, ti, Some(shadow_t)) {
+                if self.try_place(ctx, ti, ready_at, Some(shadow_t)) {
                     self.used_cores += req.cpu_cores;
                     self.util.set(now, self.used_cores / self.core_capacity);
                     self.queue.remove(i);
@@ -872,7 +907,7 @@ impl<'a, M: MessageEnvelope<RmsMsg>> SchedulerActor<'a, M> {
                 }
                 continue;
             }
-            if self.try_place(ctx, ti, None) {
+            if self.try_place(ctx, ti, ready_at, None) {
                 self.used_cores += req.cpu_cores;
                 self.util.set(now, self.used_cores / self.core_capacity);
                 self.queue.remove(i);
@@ -909,11 +944,13 @@ impl<'a, M: MessageEnvelope<RmsMsg>> SchedulerActor<'a, M> {
         &mut self,
         ctx: &mut Context<'_, M>,
         ti: usize,
+        ready_at: SimTime,
         must_finish_by: Option<SimTime>,
     ) -> bool {
         let now = ctx.now();
         let req = self.flat[ti].req;
-        let Some(mid) = self.config.allocation.select(self.cluster, &req, self.rng) else {
+        let view = task_view(&self.flat[ti], ready_at);
+        let Some(mid) = self.config.select_machine(self.cluster, &view, self.rng) else {
             return false;
         };
         let machine = self.cluster.machine(mid);
@@ -951,32 +988,31 @@ impl<'a, M: MessageEnvelope<RmsMsg>> SchedulerActor<'a, M> {
         true
     }
 
+    /// One sort, any policy: the per-discipline branches live behind
+    /// [`SchedulingPolicy::compare`] now.
     fn sort_queue(&mut self) {
         let Self { queue, flat, config, .. } = self;
-        match config.queue {
-            QueuePolicy::Fcfs => {
-                queue.sort_by_key(|p| (flat[p.task_idx].submit, p.ready_at, flat[p.task_idx].id))
-            }
-            QueuePolicy::Sjf => queue.sort_by(|a, b| {
-                flat[a.task_idx]
-                    .demand_left
-                    .partial_cmp(&flat[b.task_idx].demand_left)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(flat[a.task_idx].id.cmp(&flat[b.task_idx].id))
-            }),
-            QueuePolicy::Ljf => queue.sort_by(|a, b| {
-                flat[b.task_idx]
-                    .demand_left
-                    .partial_cmp(&flat[a.task_idx].demand_left)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(flat[a.task_idx].id.cmp(&flat[b.task_idx].id))
-            }),
-            QueuePolicy::EarliestDeadline => queue.sort_by_key(|p| {
-                let f = &flat[p.task_idx];
-                let abs = f.deadline.map(|d| f.submit + d).unwrap_or(SimTime::MAX);
-                (abs, f.id)
-            }),
-        }
+        queue.sort_by(|a, b| {
+            config.compare(
+                &task_view(&flat[a.task_idx], a.ready_at),
+                &task_view(&flat[b.task_idx], b.ready_at),
+            )
+        });
+    }
+}
+
+/// Projects a flattened task into the policy-facing view. Batch tasks have
+/// no data home; their rank is the precedence-derived upward rank.
+fn task_view(flat: &FlatTask, ready_at: SimTime) -> QueuedTaskView<'_> {
+    QueuedTaskView {
+        id: flat.id,
+        submit: flat.submit,
+        ready_at,
+        demand_left: flat.demand_left,
+        req: &flat.req,
+        deadline: flat.deadline,
+        rank: flat.rank,
+        data_home: None,
     }
 }
 

@@ -16,7 +16,7 @@ trap 'rm -rf "$tmpdir"' EXIT
 # two runs at the same seed — and across parallel-sweep widths, since
 # mcs-simcore::par merges fan-out results by input index, never by
 # completion order.
-for exp in ecosystem_composed ecosystem_full resilience_ablation locality_contention chaos_sweep scale_stress; do
+for exp in ecosystem_composed ecosystem_full resilience_ablation locality_contention chaos_sweep scale_stress dag_portfolio; do
     MCS_PAR_WORKERS=1 "./target/release/$exp" 42 > "$tmpdir/${exp}_w1.txt"
     MCS_PAR_WORKERS=4 "./target/release/$exp" 42 > "$tmpdir/${exp}_w4.txt"
     MCS_PAR_WORKERS=4 "./target/release/$exp" 42 > "$tmpdir/${exp}_w4b.txt"
@@ -34,7 +34,7 @@ done
 MCS_BENCH_SAMPLES=2 MCS_BENCH_WARMUP_MS=0 \
     "./target/release/perf_baseline" --json "$tmpdir/bench_smoke.json"
 "./target/release/perf_baseline" --check "$tmpdir/bench_smoke.json"
-for baseline in BENCH_4.json BENCH_7.json BENCH_9.json; do
+for baseline in BENCH_4.json BENCH_7.json BENCH_9.json BENCH_10.json; do
     if [ -f "$baseline" ]; then
         "./target/release/perf_baseline" --check "$baseline"
     fi

@@ -15,6 +15,7 @@
 //! | [`failure`] | `mcs-failure` | Independent / space- / time-correlated failure models, availability analysis |
 //! | [`net`] | `mcs-net` | Flow-level network model: rack topology, max-min fair sharing, cut/degraded links |
 //! | [`rms`] | `mcs-rms` | The dual scheduling problem: allocation, provisioning, federation, portfolio |
+//! | [`dag`] | `mcs-dag` | DAG workflows: science-shape generators, HEFT ranks, per-class portfolio scheduling |
 //! | [`autoscale`] | `mcs-autoscale` | Autoscaler portfolio, elastic-service simulator, SPEC elasticity metrics |
 //! | [`faas`] | `mcs-faas` | Serverless platform: cold/warm starts, keep-alive, composition (Fig. 5) |
 //! | [`graph`] | `mcs-graph` | BSP/Pregel engine, Graphalytics-six algorithms, generators (§6.6) |
@@ -47,6 +48,7 @@ pub use mcs_autoscale as autoscale;
 pub use mcs_bigdata as bigdata;
 pub use mcs_chaos as chaos;
 pub use mcs_core as core;
+pub use mcs_dag as dag;
 pub use mcs_faas as faas;
 pub use mcs_failure as failure;
 pub use mcs_gaming as gaming;
@@ -63,6 +65,7 @@ pub mod prelude {
     pub use mcs_autoscale::prelude::*;
     pub use mcs_bigdata::prelude::*;
     pub use mcs_core::prelude::*;
+    pub use mcs_dag::prelude::*;
     pub use mcs_faas::prelude::*;
     pub use mcs_failure::prelude::*;
     pub use mcs_gaming::prelude::*;
